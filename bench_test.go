@@ -1,0 +1,256 @@
+// Benchmarks regenerating the paper's evaluation (PODC 2010, §5.3).
+// One benchmark per figure plus the DESIGN.md ablations; each reports
+// the figure's headline quantities through b.ReportMetric so a
+// `go test -bench=. -benchmem` run prints the series shape alongside
+// timing. The benchmarks run at reduced network sizes to keep the suite
+// quick; cmd/experiments reproduces the figures at full paper scale
+// (n = 1000).
+package distclass_test
+
+import (
+	"testing"
+
+	"distclass/internal/experiments"
+	"distclass/internal/topology"
+)
+
+// BenchmarkFigure1Association scores the Figure 1 example: a value
+// nearer collection A's centroid but likelier under the wide collection
+// B. correct=1 means the centroid rule picked A and the Gaussian rule
+// picked B, the paper's point.
+func BenchmarkFigure1Association(b *testing.B) {
+	correct := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CentroidPick == "A" && res.GMPick == "B" {
+			correct = 1
+		}
+	}
+	b.ReportMetric(correct, "correct")
+}
+
+// BenchmarkFigure2Classification runs the Figure 2 experiment (GM
+// classification of 3-Gaussian data, k=7) and reports how closely the
+// estimated mixture covers the true cluster means and the round at
+// which the network converged.
+func BenchmarkFigure2Classification(b *testing.B) {
+	var cover, rounds float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure2(experiments.Fig2Config{
+			N: 300, K: 7, MaxRounds: 60, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cover = res.MeanCoverError
+		rounds = float64(res.ConvergedRound)
+	}
+	b.ReportMetric(cover, "cover-err")
+	b.ReportMetric(rounds, "conv-round")
+}
+
+// BenchmarkFigure3OutlierSweep runs the Figure 3 sweep at four deltas
+// and reports the paper's three series at the extremes: high miss rate
+// with overlapping outliers, near-zero with separated ones, regular
+// error growing with delta while the robust error stays small.
+func BenchmarkFigure3OutlierSweep(b *testing.B) {
+	var rows []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFigure3(experiments.Fig3Config{
+			NGood: 190, NOut: 10,
+			Deltas: []float64{2, 5, 10, 20},
+			Rounds: 30, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(first.RegularErr, "regular-err@2")
+	b.ReportMetric(last.RegularErr, "regular-err@20")
+	b.ReportMetric(last.RobustErr, "robust-err@20")
+	b.ReportMetric(last.MissPct, "miss%@20")
+}
+
+// BenchmarkFigure4CrashConvergence runs the four Figure 4 traces
+// (robust/regular x crash/no-crash) and reports the final-round errors:
+// robust beats regular, with and without crashes.
+func BenchmarkFigure4CrashConvergence(b *testing.B) {
+	var rows []experiments.Fig4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RunFigure4(experiments.Fig4Config{
+			NGood: 190, NOut: 10, Delta: 10,
+			Rounds: 25, CrashProb: 0.05, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.RobustNoCrash, "robust-err")
+	b.ReportMetric(last.RegularNoCrash, "regular-err")
+	b.ReportMetric(last.RobustCrash, "robust-err-crash")
+	b.ReportMetric(last.RegularCrash, "regular-err-crash")
+}
+
+// BenchmarkAblationTopology measures rounds-to-convergence across
+// fast-mixing topologies (experiment A) plus the message payload size,
+// which depends only on k, never on n.
+func BenchmarkAblationTopology(b *testing.B) {
+	var fullRounds, gridRounds, payload float64
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunTopologyAblation(
+			[]topology.Kind{topology.KindFull, topology.KindGrid, topology.KindER},
+			experiments.AblationConfig{N: 64, MaxRounds: 300, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullRounds = float64(runs[0].Rounds)
+		gridRounds = float64(runs[1].Rounds)
+		payload = runs[0].AvgPayload
+	}
+	b.ReportMetric(fullRounds, "rounds-full")
+	b.ReportMetric(gridRounds, "rounds-grid")
+	b.ReportMetric(payload, "colls/msg")
+}
+
+// BenchmarkAblationK runs the Figure 2 workload at k=2 and k=7
+// (experiment B) and reports the quality difference: too small a k
+// forces cross-cluster merges.
+func BenchmarkAblationK(b *testing.B) {
+	var cover2, cover7 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunKQuality([]int{2, 7}, 150, 40, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cover2 = rows[0].MeanCoverError
+		cover7 = rows[1].MeanCoverError
+	}
+	b.ReportMetric(cover2, "cover-err@k2")
+	b.ReportMetric(cover7, "cover-err@k7")
+}
+
+// BenchmarkAblationQuantization sweeps the weight quantum q (experiment
+// C) and reports the worst weight drift — which must be zero: weights
+// stay exact multiples of q and the total is conserved.
+func BenchmarkAblationQuantization(b *testing.B) {
+	var worstDrift float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunQAblation(
+			[]float64{0.25, 1.0 / 64, 1.0 / (1 << 30)},
+			experiments.AblationConfig{N: 48, MaxRounds: 200, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstDrift = 0
+		for _, r := range rows {
+			if r.WeightDrift > worstDrift {
+				worstDrift = r.WeightDrift
+			}
+		}
+	}
+	b.ReportMetric(worstDrift, "weight-drift")
+}
+
+// BenchmarkAblationGossipPolicy compares uniform push against
+// round-robin neighbor selection (experiment D).
+func BenchmarkAblationGossipPolicy(b *testing.B) {
+	var push, rr float64
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunPolicyAblation(
+			experiments.AblationConfig{N: 48, MaxRounds: 300, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		push = float64(runs[0].Rounds)
+		rr = float64(runs[1].Rounds)
+	}
+	b.ReportMetric(push, "rounds-push")
+	b.ReportMetric(rr, "rounds-roundrobin")
+}
+
+// BenchmarkHistogramComparison contrasts the GM robust mean with the
+// related-work gossip histogram estimator on outlier-contaminated
+// scalars: histograms smear the outliers into the estimate.
+func BenchmarkHistogramComparison(b *testing.B) {
+	var robust, hist float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHistogramComparison(200, 15, 30, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		robust = res.RobustErr
+		hist = res.HistogramErr
+	}
+	b.ReportMetric(robust, "robust-err")
+	b.ReportMetric(hist, "histogram-err")
+}
+
+// BenchmarkAblationGossipMode compares the three gossip patterns of
+// §4.1 — push, pull, push-pull — by rounds to convergence.
+func BenchmarkAblationGossipMode(b *testing.B) {
+	var push, pull, pushPull float64
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunModeAblation(
+			experiments.AblationConfig{N: 48, MaxRounds: 300, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		push = float64(runs[0].Rounds)
+		pull = float64(runs[1].Rounds)
+		pushPull = float64(runs[2].Rounds)
+	}
+	b.ReportMetric(push, "rounds-push")
+	b.ReportMetric(pull, "rounds-pull")
+	b.ReportMetric(pushPull, "rounds-pushpull")
+}
+
+// BenchmarkRelatedWorkComparison pits the one-shot generic algorithm
+// against the iterative gossip baselines of the paper's §2 (distributed
+// k-means, Newscast EM) and reports each contender's total gossip
+// rounds — the paper's "multiple aggregation iterations" argument.
+func BenchmarkRelatedWorkComparison(b *testing.B) {
+	var generic, dkm, nem float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRelatedWorkComparison(
+			experiments.AblationConfig{N: 48, MaxRounds: 300, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		generic = float64(rows[0].GossipRounds)
+		dkm = float64(rows[1].GossipRounds)
+		nem = float64(rows[2].GossipRounds)
+	}
+	b.ReportMetric(generic, "rounds-generic")
+	b.ReportMetric(dkm, "rounds-dkmeans")
+	b.ReportMetric(nem, "rounds-newscastEM")
+}
+
+// BenchmarkAblationReducer compares the EM mixture reduction with
+// greedy Runnalls-cost merging on the Figure 2 workload.
+func BenchmarkAblationReducer(b *testing.B) {
+	var emCover, greedyCover float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunReducerAblation(
+			experiments.AblationConfig{N: 120, MaxRounds: 60, Seed: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emCover = rows[0].MeanCoverError
+		greedyCover = rows[1].MeanCoverError
+	}
+	b.ReportMetric(emCover, "cover-err-em")
+	b.ReportMetric(greedyCover, "cover-err-greedy")
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunTransportValidation(t *testing.T) {
+	if err := run(8, 2, "gm", "full", "bogus", 1, 100*time.Millisecond, time.Millisecond, 0.1); err == nil ||
+		!strings.Contains(err.Error(), "unknown transport") {
+		t.Errorf("unknown transport error = %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(8, 2, "bogus", "full", "pipe", 1, 100*time.Millisecond, time.Millisecond, 0.1); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown method error = %v", err)
+	}
+	if err := run(8, 2, "gm", "bogus", "pipe", 1, 100*time.Millisecond, time.Millisecond, 0.1); err == nil ||
+		!strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown topology error = %v", err)
+	}
+}
+
+func TestRunShortLive(t *testing.T) {
+	if err := run(8, 2, "gm", "full", "pipe", 3, 500*time.Millisecond, time.Millisecond, 0.3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCentroidsLive(t *testing.T) {
+	if err := run(6, 2, "centroids", "ring", "tcp", 5, 400*time.Millisecond, time.Millisecond, 0.3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+// Command distclass-sim runs one distributed-classification simulation
+// from command-line flags and prints the resulting classification, the
+// convergence round and traffic statistics.
+//
+// Example:
+//
+//	distclass-sim -n 200 -method gm -k 3 -topology geometric -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"distclass"
+	"distclass/internal/plot"
+	"distclass/internal/rng"
+	"distclass/internal/trace"
+	"distclass/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distclass-sim: ")
+
+	var (
+		n         = flag.Int("n", 100, "number of nodes")
+		k         = flag.Int("k", 2, "max collections per classification")
+		method    = flag.String("method", "gm", "classification method: gm or centroids")
+		topo      = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric")
+		policy    = flag.String("policy", "push", "gossip policy: push or roundrobin")
+		mode      = flag.String("mode", "push", "gossip mode: push, pull or pushpull")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		rounds    = flag.Int("rounds", 0, "fixed number of rounds (0 = run until converged)")
+		maxRounds = flag.Int("max-rounds", 500, "round budget for convergence detection")
+		crash     = flag.Float64("crash", 0, "per-round node crash probability")
+		clusters  = flag.Int("clusters", 2, "number of synthetic data clusters")
+		spreadStd = flag.Float64("std", 1.0, "cluster standard deviation")
+		plotOut   = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
+		traceFile = flag.String("trace", "", "write per-round JSONL trace of node 0's classification to this file")
+	)
+	flag.Parse()
+
+	if err := run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile string) error {
+	var m distclass.Method
+	switch method {
+	case "gm":
+		m = distclass.GaussianMixture()
+	case "centroids":
+		m = distclass.Centroids()
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	var p distclass.Policy
+	switch policy {
+	case "push":
+		p = distclass.PushRandom
+	case "roundrobin":
+		p = distclass.RoundRobin
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	var gmode distclass.Mode
+	switch mode {
+	case "push":
+		gmode = distclass.ModePush
+	case "pull":
+		gmode = distclass.ModePull
+	case "pushpull":
+		gmode = distclass.ModePushPull
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if clusters < 1 {
+		return fmt.Errorf("clusters = %d must be positive", clusters)
+	}
+
+	// Synthetic input: `clusters` well-separated 2-D blobs.
+	r := rng.New(seed)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		c := i % clusters
+		cx := float64(c) * 10
+		values[i] = distclass.Value{cx + r.Normal(0, std), r.Normal(0, std)}
+	}
+
+	sys, err := distclass.New(values, m,
+		distclass.WithK(k),
+		distclass.WithSeed(seed),
+		distclass.WithTopology(distclass.Topology(topo)),
+		distclass.WithPolicy(p),
+		distclass.WithMode(gmode),
+		distclass.WithCrashProb(crash),
+		distclass.WithMaxRounds(maxRounds),
+	)
+	if err != nil {
+		return err
+	}
+
+	var rec *trace.Recorder
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = trace.NewRecorder(f)
+	}
+	observe := func(round int) error {
+		if rec == nil {
+			return nil
+		}
+		spread, err := sys.Spread()
+		if err != nil {
+			return err
+		}
+		if err := rec.Scalar(round, -1, "spread", spread); err != nil {
+			return err
+		}
+		return rec.Classification(round, 0, sys.Classification(0), func(s distclass.Summary) ([]float64, error) {
+			mean, err := distclass.MeanOf(s)
+			if err != nil {
+				return nil, err
+			}
+			return mean, nil
+		})
+	}
+	if rounds > 0 {
+		if err := sys.RunObserved(rounds, observe); err != nil {
+			return err
+		}
+		fmt.Printf("ran %d rounds\n", rounds)
+	} else {
+		ran, converged, err := sys.RunUntilConverged()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ran %d rounds, converged=%v\n", ran, converged)
+	}
+	if rec != nil {
+		fmt.Printf("trace: %d events -> %s\n", rec.Count(), traceFile)
+	}
+
+	// Report the first alive node's classification.
+	reporter := -1
+	for i := 0; i < sys.N(); i++ {
+		if sys.Alive(i) {
+			reporter = i
+			break
+		}
+	}
+	if reporter < 0 {
+		return fmt.Errorf("all nodes crashed")
+	}
+	fmt.Printf("\nnode %d classification:\n%s\n", reporter, sys.Classification(reporter))
+
+	st := sys.Stats()
+	fmt.Printf("\nalive nodes:    %d/%d\n", sys.AliveCount(), sys.N())
+	fmt.Printf("messages sent:  %d (dropped %d)\n", st.MessagesSent, st.MessagesDropped)
+	if st.MessagesSent > 0 {
+		fmt.Printf("avg collections/message: %.2f\n", float64(st.PayloadSize)/float64(st.MessagesSent))
+	}
+	spread, err := sys.Spread()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final spread:   %.3g\n", spread)
+	if plotOut {
+		if method != "gm" {
+			return fmt.Errorf("-plot requires the gm method")
+		}
+		mix, err := distclass.ToMixture(sys.Classification(reporter))
+		if err != nil {
+			return err
+		}
+		pts := make([]vec.Vector, 0, sys.N())
+		for _, v := range sys.Values() {
+			pts = append(pts, vec.Vector(v))
+		}
+		scene, err := plot.MixtureScene(78, 24, pts, mix)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nvalues (.) and node's mixture (o ellipses, x slivers):")
+		fmt.Println(scene)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{
+			"unknown method",
+			func() error { return run(10, 2, "bogus", "full", "push", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			"unknown method",
+		},
+		{
+			"unknown policy",
+			func() error { return run(10, 2, "gm", "full", "bogus", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			"unknown policy",
+		},
+		{
+			"unknown mode",
+			func() error { return run(10, 2, "gm", "full", "push", "bogus", 1, 5, 10, 0, 2, 1, false, "") },
+			"unknown mode",
+		},
+		{
+			"bad clusters",
+			func() error { return run(10, 2, "gm", "full", "push", "push", 1, 5, 10, 0, 0, 1, false, "") },
+			"clusters",
+		},
+		{
+			"bad topology",
+			func() error { return run(10, 2, "gm", "nope", "push", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			"unknown kind",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.call()
+			if err == nil {
+				t.Fatalf("expected error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunFixedRounds(t *testing.T) {
+	if err := run(12, 2, "centroids", "ring", "roundrobin", "pushpull", 3, 8, 10, 0, 2, 0.5, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUntilConverged(t *testing.T) {
+	if err := run(16, 2, "gm", "full", "push", "pull", 5, 0, 120, 0, 2, 0.5, true, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCrashes(t *testing.T) {
+	if err := run(20, 2, "gm", "full", "push", "push", 7, 10, 10, 0.1, 2, 1, false, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithTraceAndPlot(t *testing.T) {
+	traceFile := t.TempDir() + "/trace.jsonl"
+	if err := run(10, 2, "gm", "full", "push", "push", 9, 6, 10, 0, 2, 0.5, true, traceFile); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(data), "\"kind\":\"classification\"") {
+		t.Errorf("trace missing classification events:\n%s", data)
+	}
+	if !strings.Contains(string(data), "\"kind\":\"spread\"") {
+		t.Errorf("trace missing spread events")
+	}
+}
+
+func TestRunPlotRequiresGM(t *testing.T) {
+	err := run(8, 2, "centroids", "full", "push", "push", 1, 3, 10, 0, 2, 1, true, "")
+	if err == nil || !strings.Contains(err.Error(), "-plot requires") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+// Command experiments regenerates the paper's evaluation: Figures 1-4
+// of "Distributed Data Classification in Sensor Networks" (PODC 2010)
+// plus the ablation studies listed in DESIGN.md. It prints the same
+// series the paper plots, as aligned text tables.
+//
+// Usage:
+//
+//	experiments -fig 1            # Figure 1 association example
+//	experiments -fig 2            # Figure 2 GM classification (n=1000, k=7)
+//	experiments -fig 3            # Figure 3 outlier sweep (delta 0..25)
+//	experiments -fig 4            # Figure 4 crash/convergence traces
+//	experiments -ablation topology|k|q|policy|methods|histogram
+//	experiments -all              # everything (long)
+//
+// Use -quick for reduced network sizes (fast smoke runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"distclass/internal/experiments"
+	"distclass/internal/plot"
+	"distclass/internal/topology"
+)
+
+// writeCSVFile writes one CSV artifact under dir.
+func writeCSVFile(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		fig      = flag.Int("fig", 0, "figure to reproduce (1-4)")
+		ablation = flag.String("ablation", "", "ablation to run: topology, k, q, policy, mode, methods, reducer, relatedwork, histogram")
+		all      = flag.Bool("all", false, "run every figure and ablation")
+		quick    = flag.Bool("quick", false, "smaller networks for a fast smoke run")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "also write figure data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if !*all && *fig == 0 && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*fig, *ablation, *all, *quick, *seed, *csvDir); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string) error {
+	figs := []int{fig}
+	ablations := []string{ablation}
+	if all {
+		figs = []int{1, 2, 3, 4}
+		ablations = []string{"topology", "k", "q", "policy", "mode", "methods", "reducer", "crash", "loss", "outliermethods", "scalability", "dimension", "relatedwork", "histogram"}
+	}
+	for _, f := range figs {
+		if f == 0 {
+			continue
+		}
+		if err := runFigure(f, quick, seed, csvDir); err != nil {
+			return err
+		}
+	}
+	for _, a := range ablations {
+		if a == "" {
+			continue
+		}
+		if err := runAblation(a, quick, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure(fig int, quick bool, seed uint64, csvDir string) error {
+	switch fig {
+	case 1:
+		fmt.Println("=== Figure 1: value association, centroids vs Gaussians ===")
+		res, err := experiments.RunFigure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+	case 2:
+		fmt.Println("=== Figure 2: GM classification of 3-Gaussian data ===")
+		cfg := experiments.Fig2Config{Seed: seed}
+		if quick {
+			cfg.N = 200
+			cfg.MaxRounds = 40
+		}
+		res, err := experiments.RunFigure2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		scene, err := plot.MixtureScene(78, 26, res.Values, res.Estimated)
+		if err != nil {
+			return err
+		}
+		fmt.Println("input values (.) with the estimated mixture's 2-sigma contours (o), x = singleton slivers:")
+		fmt.Println(scene)
+		if csvDir != "" {
+			if err := writeCSVFile(csvDir, "fig2.csv", func(w io.Writer) error {
+				return experiments.Fig2CSV(w, res)
+			}); err != nil {
+				return err
+			}
+		}
+	case 3:
+		fmt.Println("=== Figure 3: outlier-robust average vs delta ===")
+		cfg := experiments.Fig3Config{Seed: seed}
+		if quick {
+			cfg.NGood, cfg.NOut = 190, 10
+			cfg.Rounds = 30
+			cfg.Deltas = []float64{0, 2, 4, 5, 6, 8, 10, 15, 20, 25}
+		}
+		rows, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig3Table(rows))
+		if csvDir != "" {
+			if err := writeCSVFile(csvDir, "fig3.csv", func(w io.Writer) error {
+				return experiments.Fig3CSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		}
+	case 4:
+		fmt.Println("=== Figure 4: crash robustness and convergence speed ===")
+		cfg := experiments.Fig4Config{Seed: seed}
+		if quick {
+			cfg.NGood, cfg.NOut = 190, 10
+			cfg.Rounds = 30
+		}
+		rows, err := experiments.RunFigure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig4Table(rows))
+		if csvDir != "" {
+			if err := writeCSVFile(csvDir, "fig4.csv", func(w io.Writer) error {
+				return experiments.Fig4CSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %d (valid: 1-4)", fig)
+	}
+	return nil
+}
+
+func runAblation(name string, quick bool, seed uint64) error {
+	cfg := experiments.AblationConfig{Seed: seed}
+	if quick {
+		cfg.N = 36
+	}
+	switch name {
+	case "topology":
+		fmt.Println("=== Ablation A: rounds to convergence by topology ===")
+		kinds := []topology.Kind{
+			topology.KindFull, topology.KindGrid, topology.KindTorus,
+			topology.KindER, topology.KindGeometric, topology.KindTree,
+			topology.KindStar,
+		}
+		cfg.MaxRounds = 400
+		runs, err := experiments.RunTopologyAblation(kinds, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ConvergenceTable(runs))
+		fmt.Println("(rings mix in Theta(n^2) rounds; run with a larger budget separately)")
+	case "k":
+		fmt.Println("=== Ablation B: classification quality by k (Figure 2 data) ===")
+		n, rounds := 400, 60
+		if quick {
+			n, rounds = 120, 40
+		}
+		rows, err := experiments.RunKQuality([]int{2, 3, 4, 5, 7, 10}, n, rounds, seed)
+		if err != nil {
+			return err
+		}
+		out := make([][]string, len(rows))
+		for i, r := range rows {
+			out[i] = []string{
+				fmt.Sprintf("%d", r.K),
+				experiments.F(r.MeanCoverError),
+				fmt.Sprintf("%d", r.Components),
+			}
+		}
+		fmt.Println(experiments.FormatTable([]string{"k", "mean cover error", "components"}, out))
+	case "q":
+		fmt.Println("=== Ablation C: weight quantum q (Zeno guard) ===")
+		rows, err := experiments.RunQAblation([]float64{0.25, 1.0 / 64, 1.0 / 4096, 1.0 / (1 << 30)}, cfg)
+		if err != nil {
+			return err
+		}
+		out := make([][]string, len(rows))
+		for i, r := range rows {
+			out[i] = []string{
+				experiments.F(r.Q),
+				fmt.Sprintf("%d", r.Rounds),
+				experiments.F(r.WeightDrift),
+			}
+		}
+		fmt.Println(experiments.FormatTable([]string{"q", "rounds", "weight drift"}, out))
+	case "policy":
+		fmt.Println("=== Ablation D: gossip policy ===")
+		runs, err := experiments.RunPolicyAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ConvergenceTable(runs))
+	case "mode":
+		fmt.Println("=== Ablation D': gossip mode (push / pull / push-pull) ===")
+		runs, err := experiments.RunModeAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ConvergenceTable(runs))
+	case "methods":
+		fmt.Println("=== Methods: centroids vs GM on bimodal data ===")
+		rows, err := experiments.RunMethodComparison(cfg)
+		if err != nil {
+			return err
+		}
+		out := make([][]string, len(rows))
+		for i, r := range rows {
+			out[i] = []string{r.Method, fmt.Sprintf("%d", r.Rounds), experiments.F(r.FinalSpread)}
+		}
+		fmt.Println(experiments.FormatTable([]string{"method", "rounds", "spread"}, out))
+	case "reducer":
+		fmt.Println("=== Reducer: EM vs greedy Runnalls merging (Figure 2 data, k=7) ===")
+		rows, err := experiments.RunReducerAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ReducerTable(rows))
+	case "crash":
+		fmt.Println("=== Crash sweep: final error vs per-round crash probability ===")
+		n := 1000
+		if quick {
+			n = 200
+		}
+		rows, err := experiments.RunCrashSweep(
+			[]float64{0, 0.01, 0.02, 0.05, 0.1, 0.15},
+			experiments.Fig4Config{NGood: n * 19 / 20, NOut: n / 20, Seed: seed},
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.CrashSweepTable(rows))
+	case "loss":
+		fmt.Println("=== Message loss: degrading the reliable-channel assumption ===")
+		rows, err := experiments.RunLossAblation([]float64{0, 0.05, 0.1, 0.2, 0.3}, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.LossTable(rows))
+	case "outliermethods":
+		fmt.Println("=== Outlier removal: centroids vs GM on the Figure 3 workload ===")
+		n := 1000
+		rounds := 50
+		if quick {
+			n, rounds = 200, 30
+		}
+		rows, err := experiments.RunOutlierMethodComparison(10, n*19/20, n/20, rounds, seed)
+		if err != nil {
+			return err
+		}
+		out := make([][]string, len(rows))
+		for i, r := range rows {
+			out[i] = []string{r.Method, experiments.F(r.RobustErr)}
+		}
+		fmt.Println(experiments.FormatTable([]string{"method", "robust err"}, out))
+	case "relatedwork":
+		fmt.Println("=== Related work: one-shot classification vs iterative gossip baselines ===")
+		cfg.MaxRounds = 300
+		rows, err := experiments.RunRelatedWorkComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RelatedWorkTable(rows))
+	case "scalability":
+		fmt.Println("=== Scalability: rounds and payload vs n ===")
+		sizes := []int{32, 64, 128, 256}
+		if quick {
+			sizes = []int{16, 32, 64}
+		}
+		cfg.MaxRounds = 300
+		rows, err := experiments.RunScalabilityAblation(sizes, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ScalabilityTable(rows))
+	case "dimension":
+		fmt.Println("=== Dimension sweep: two clusters in R^d ===")
+		dims := []int{1, 2, 3, 5, 8}
+		cfg.MaxRounds = 200
+		rows, err := experiments.RunDimensionAblation(dims, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.DimensionTable(rows))
+	case "histogram":
+		fmt.Println("=== Related work: GM robust mean vs gossip histogram ===")
+		n, rounds := 500, 40
+		if quick {
+			n, rounds = 200, 30
+		}
+		res, err := experiments.RunHistogramComparison(n, 15, rounds, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable(
+			[]string{"estimator", "mean error"},
+			[][]string{
+				{"gm robust (k=2)", experiments.F(res.RobustErr)},
+				{"gossip histogram", experiments.F(res.HistogramErr)},
+			}))
+	default:
+		return fmt.Errorf("unknown ablation %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigureValidation(t *testing.T) {
+	err := runFigure(9, true, 1, "")
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Errorf("error = %v, want unknown figure", err)
+	}
+}
+
+func TestRunAblationValidation(t *testing.T) {
+	err := runAblation("bogus", true, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown ablation") {
+		t.Errorf("error = %v, want unknown ablation", err)
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	if err := runFigure(1, true, 1, ""); err != nil {
+		t.Fatalf("runFigure(1): %v", err)
+	}
+}
+
+func TestRunQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick figures still run full sweeps")
+	}
+	for _, fig := range []int{2, 3, 4} {
+		if err := runFigure(fig, true, 1, t.TempDir()); err != nil {
+			t.Fatalf("runFigure(%d): %v", fig, err)
+		}
+	}
+}
+
+func TestRunQuickAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps are slow")
+	}
+	for _, name := range []string{"q", "policy", "mode", "methods", "relatedwork", "histogram", "loss", "scalability", "outliermethods"} {
+		if err := runAblation(name, true, 1); err != nil {
+			t.Fatalf("runAblation(%s): %v", name, err)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	// fig=0 and empty ablation entries are skipped without error.
+	if err := run(0, "", false, true, 1, ""); err != nil {
+		t.Fatalf("run noop: %v", err)
+	}
+	if err := run(1, "", false, true, 1, ""); err != nil {
+		t.Fatalf("run fig1: %v", err)
+	}
+}

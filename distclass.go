@@ -1,0 +1,464 @@
+// Package distclass is a Go implementation of "Distributed Data
+// Classification in Sensor Networks" (Eyal, Keidar, Rom — PODC 2010).
+//
+// Every node in a network holds one data value (a sensor read, a load
+// metric, ...). The generic gossip algorithm lets all nodes converge to
+// a common classification of the complete data set — a small set of
+// weighted summaries — without any node ever collecting all values:
+// nodes repeatedly split their classification, send half of the weight
+// to a neighbor, and merge what they receive back down to at most K
+// collections using an application-specific partition rule.
+//
+// Two instantiations ship with the library, mirroring the paper:
+//
+//   - Centroids (Algorithm 2): collections are summarized by their
+//     weighted mean; the partition rule greedily merges the closest
+//     centroids (k-means flavor).
+//   - GaussianMixture (§5): collections are summarized as weighted
+//     Gaussians (mean + covariance); the partition rule reduces the
+//     mixture with Expectation-Maximization, which makes the
+//     classification variance-aware and able to isolate outliers.
+//
+// The package also bundles the simulation harness used to reproduce the
+// paper's evaluation: topologies, a synchronous round driver with crash
+// injection, and a fully asynchronous event driver. A System wires
+// values, a method and a topology into a runnable network:
+//
+//	values := []distclass.Value{{1.0, 2.0}, {1.1, 2.2}, {9.0, 8.5}}
+//	sys, err := distclass.New(values, distclass.GaussianMixture(),
+//		distclass.WithK(2))
+//	if err != nil { ... }
+//	rounds, err := sys.RunUntilConverged()
+//	fmt.Println(sys.Classification(0))
+//
+// All randomness is seeded (WithSeed); identical configurations produce
+// identical runs.
+package distclass
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/experiments"
+	"distclass/internal/gauss"
+	"distclass/internal/gm"
+	"distclass/internal/livenet"
+	"distclass/internal/rng"
+	"distclass/internal/sim"
+	"distclass/internal/topology"
+	"distclass/internal/vec"
+)
+
+// Core algorithm types, re-exported from the implementation packages.
+type (
+	// Value is a data point in R^d.
+	Value = core.Value
+	// Summary is a concise description of a collection of weighted
+	// values.
+	Summary = core.Summary
+	// Collection is a weighted summary.
+	Collection = core.Collection
+	// Classification is a set of collections.
+	Classification = core.Classification
+	// Method instantiates the generic algorithm (valToSummary, mergeSet,
+	// partition and the summary distance of §4.1).
+	Method = core.Method
+	// Mixture is a weighted set of Gaussians, produced by the
+	// GaussianMixture method.
+	Mixture = gauss.Mixture
+	// Component is one weighted Gaussian of a Mixture.
+	Component = gauss.Component
+	// Stats reports simulator traffic counters.
+	Stats = sim.Stats
+	// Topology names a network topology generator.
+	Topology = topology.Kind
+	// Policy selects how nodes pick gossip partners.
+	Policy = sim.Policy
+	// Mode selects the gossip communication pattern (push, pull,
+	// push-pull).
+	Mode = sim.Mode
+)
+
+// Supported topologies.
+const (
+	TopologyFull      = topology.KindFull
+	TopologyRing      = topology.KindRing
+	TopologyGrid      = topology.KindGrid
+	TopologyTorus     = topology.KindTorus
+	TopologyStar      = topology.KindStar
+	TopologyTree      = topology.KindTree
+	TopologyER        = topology.KindER
+	TopologyGeometric = topology.KindGeometric
+)
+
+// Gossip policies.
+const (
+	PushRandom = sim.PushRandom
+	RoundRobin = sim.RoundRobin
+)
+
+// Gossip modes (§4.1: push, pull, or bilateral push-pull exchange).
+const (
+	ModePush     = sim.ModePush
+	ModePull     = sim.ModePull
+	ModePushPull = sim.ModePushPull
+)
+
+// Centroids returns the paper's Algorithm 2 instantiation: centroid
+// summaries with greedy closest-pair partitioning.
+func Centroids() Method { return centroids.Method{} }
+
+// GaussianMixture returns the paper's §5 instantiation: weighted
+// Gaussian summaries with EM mixture-reduction partitioning.
+func GaussianMixture() Method { return gm.Method{} }
+
+// ToMixture converts a classification produced by the GaussianMixture
+// method into a Mixture for density evaluation or reporting.
+func ToMixture(cls Classification) (Mixture, error) { return gm.ToMixture(cls) }
+
+// MeanOf extracts the mean point of a summary produced by either
+// built-in method.
+func MeanOf(s Summary) (Value, error) {
+	switch v := s.(type) {
+	case centroids.Centroid:
+		return v.Point.Clone(), nil
+	case gm.Summary:
+		return v.G.Mean.Clone(), nil
+	default:
+		return nil, fmt.Errorf("distclass: unknown summary type %T", s)
+	}
+}
+
+// Assign associates a value with one collection of a classification and
+// returns its index: nearest centroid for the Centroids method,
+// highest-posterior component for the GaussianMixture method (the
+// variance-aware rule the paper's Figure 1 motivates).
+func Assign(cls Classification, v Value) (int, error) {
+	if len(cls) == 0 {
+		return 0, errors.New("distclass: empty classification")
+	}
+	if _, ok := cls[0].Summary.(gm.Summary); ok {
+		mix, err := gm.ToMixture(cls)
+		if err != nil {
+			return 0, err
+		}
+		return gm.Assign(mix, vec.Vector(v), 0)
+	}
+	best, bestD := -1, 0.0
+	for i, c := range cls {
+		mean, err := MeanOf(c.Summary)
+		if err != nil {
+			return 0, err
+		}
+		d, err := vec.Dist(vec.Vector(v), vec.Vector(mean))
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, nil
+}
+
+// options carries the functional-option state for New.
+type options struct {
+	k         int
+	q         float64
+	seed      uint64
+	topo      Topology
+	policy    Policy
+	mode      Mode
+	crashProb float64
+	tol       float64
+	maxRounds int
+}
+
+// Option configures a System.
+type Option func(*options)
+
+// WithK bounds the number of collections per classification (default 2).
+func WithK(k int) Option { return func(o *options) { o.k = k } }
+
+// WithQ sets the weight quantum (default core.DefaultQ = 2^-30).
+func WithQ(q float64) Option { return func(o *options) { o.q = q } }
+
+// WithSeed seeds all randomness (default 1).
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithTopology selects the network topology (default fully connected).
+func WithTopology(t Topology) Option { return func(o *options) { o.topo = t } }
+
+// WithPolicy selects the gossip partner policy (default PushRandom).
+func WithPolicy(p Policy) Option { return func(o *options) { o.policy = p } }
+
+// WithMode selects the gossip pattern: ModePush (default), ModePull or
+// ModePushPull.
+func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithCrashProb makes every node crash with the given probability after
+// each round (default 0, no crashes).
+func WithCrashProb(p float64) Option { return func(o *options) { o.crashProb = p } }
+
+// WithTolerance sets the convergence threshold used by
+// RunUntilConverged (default 1e-3).
+func WithTolerance(tol float64) Option { return func(o *options) { o.tol = tol } }
+
+// WithMaxRounds bounds RunUntilConverged (default 500).
+func WithMaxRounds(n int) Option { return func(o *options) { o.maxRounds = n } }
+
+// System is a simulated network running the distributed classification
+// algorithm.
+type System struct {
+	method core.Method
+	nodes  []*core.Node
+	net    *sim.Network[core.Classification]
+	opts   options
+	values []Value
+}
+
+// New builds a network with one node per value.
+func New(values []Value, method Method, opts ...Option) (*System, error) {
+	if len(values) == 0 {
+		return nil, errors.New("distclass: no input values")
+	}
+	if method == nil {
+		return nil, errors.New("distclass: nil method")
+	}
+	o := options{
+		k:         2,
+		seed:      1,
+		topo:      TopologyFull,
+		policy:    PushRandom,
+		tol:       1e-3,
+		maxRounds: 500,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	r := rng.New(o.seed)
+	graph, err := topology.Build(o.topo, len(values), r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("distclass: %w", err)
+	}
+	nodes := make([]*core.Node, len(values))
+	agents := make([]sim.Agent[core.Classification], len(values))
+	for i, v := range values {
+		node, err := core.NewNode(i, vec.Vector(v).Clone(), nil, core.Config{
+			Method: method,
+			K:      o.k,
+			Q:      o.q,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("distclass: %w", err)
+		}
+		nodes[i] = node
+		agents[i] = &experiments.ClassifierAgent{Node: node}
+	}
+	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{
+		Policy:    o.policy,
+		Mode:      o.mode,
+		CrashProb: o.crashProb,
+		SizeFunc:  experiments.ClassificationSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distclass: %w", err)
+	}
+	kept := make([]Value, len(values))
+	for i, v := range values {
+		kept[i] = Value(vec.Vector(v).Clone())
+	}
+	return &System{method: method, nodes: nodes, net: net, opts: o, values: kept}, nil
+}
+
+// Values returns a copy of the input values, one per node.
+func (s *System) Values() []Value {
+	out := make([]Value, len(s.values))
+	for i, v := range s.values {
+		out[i] = Value(vec.Vector(v).Clone())
+	}
+	return out
+}
+
+// N returns the number of nodes.
+func (s *System) N() int { return len(s.nodes) }
+
+// Method returns the instantiation in use.
+func (s *System) Method() Method { return s.method }
+
+// Step runs one gossip round: every alive node sends half of its
+// classification to one neighbor, and receivers re-partition.
+func (s *System) Step() error { return s.net.Round() }
+
+// Run executes the given number of rounds.
+func (s *System) Run(rounds int) error {
+	return s.net.RunRounds(rounds, nil)
+}
+
+// ErrStop, returned from a RunObserved callback, halts the run early
+// without error.
+var ErrStop = sim.ErrStop
+
+// RunObserved executes rounds, invoking after at the end of each; the
+// callback may inspect classifications, record traces, or return
+// ErrStop to halt early.
+func (s *System) RunObserved(rounds int, after func(round int) error) error {
+	return s.net.RunRounds(rounds, after)
+}
+
+// RunUntilConverged runs rounds until the sampled inter-node
+// classification spread stays below the configured tolerance for three
+// consecutive rounds, or until the round budget is exhausted. It
+// returns the number of rounds executed and whether convergence was
+// detected.
+func (s *System) RunUntilConverged() (rounds int, converged bool, err error) {
+	stable := 0
+	err = s.net.RunRounds(s.opts.maxRounds, func(round int) error {
+		rounds = round + 1
+		spread, err := s.Spread()
+		if err != nil {
+			return err
+		}
+		if spread < s.opts.tol {
+			stable++
+			if stable >= 3 {
+				converged = true
+				return sim.ErrStop
+			}
+		} else {
+			stable = 0
+		}
+		return nil
+	})
+	if err != nil {
+		return rounds, false, err
+	}
+	return rounds, converged, nil
+}
+
+// Classification returns a copy of node i's current classification.
+func (s *System) Classification(i int) Classification {
+	return s.nodes[i].Classification()
+}
+
+// Spread returns the sampled maximum pairwise dissimilarity between
+// node classifications — the convergence diagnostic (it tends to zero).
+func (s *System) Spread() (float64, error) {
+	return experiments.Spread(s.nodes, s.method, 4)
+}
+
+// RobustMean returns node i's outlier-robust estimate of the data mean:
+// the mean of its heaviest collection. It requires the GaussianMixture
+// method.
+func (s *System) RobustMean(i int) (Value, error) {
+	return experiments.RobustEstimate(s.nodes[i])
+}
+
+// Alive reports whether node i is still alive (relevant with
+// WithCrashProb).
+func (s *System) Alive(i int) bool { return s.net.Alive(i) }
+
+// AliveCount returns the number of alive nodes.
+func (s *System) AliveCount() int { return s.net.AliveCount() }
+
+// Stats returns the traffic counters accumulated so far.
+func (s *System) Stats() Stats { return s.net.Stats() }
+
+// TotalWeight returns the total weight currently held by alive nodes;
+// in crash-free runs it equals the number of nodes at all times (weight
+// conservation).
+func (s *System) TotalWeight() float64 {
+	var total float64
+	for i, n := range s.nodes {
+		if s.net.Alive(i) {
+			total += n.Weight()
+		}
+	}
+	return total
+}
+
+// LiveCluster is a running live deployment: one goroutine pair per
+// node over real in-process connections with wire-encoded messages and
+// genuine asynchrony, in contrast to System's deterministic simulator.
+type LiveCluster struct {
+	inner  *livenet.Cluster
+	method Method
+}
+
+// StartLive launches a live cluster with one node per value. Callers
+// must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
+// WithTolerance (used by WaitConverged); the simulator-only options
+// (policy, mode, crashes, round budget) do not apply.
+func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {
+	if method == nil {
+		return nil, errors.New("distclass: nil method")
+	}
+	o := options{k: 2, seed: 1, topo: TopologyFull, tol: 1e-3}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	r := rng.New(o.seed)
+	graph, err := topology.Build(o.topo, len(values), r.Split())
+	if err != nil {
+		return nil, fmt.Errorf("distclass: %w", err)
+	}
+	vals := make([]core.Value, len(values))
+	for i, v := range values {
+		vals[i] = vec.Vector(v).Clone()
+	}
+	inner, err := livenet.Start(graph, vals, livenet.Config{
+		Method: method,
+		K:      o.k,
+		Q:      o.q,
+		Seed:   o.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distclass: %w", err)
+	}
+	return &LiveCluster{inner: inner, method: method}, nil
+}
+
+// N returns the number of nodes.
+func (c *LiveCluster) N() int { return c.inner.N() }
+
+// Classification returns a copy of node i's current classification.
+func (c *LiveCluster) Classification(i int) Classification {
+	return c.inner.Classification(i)
+}
+
+// Spread returns the sampled inter-node classification dissimilarity.
+func (c *LiveCluster) Spread() (float64, error) { return c.inner.Spread() }
+
+// MessagesSent returns the number of messages sent so far.
+func (c *LiveCluster) MessagesSent() int64 { return c.inner.MessagesSent() }
+
+// Err returns the first internal error observed, or nil.
+func (c *LiveCluster) Err() error { return c.inner.Err() }
+
+// WaitConverged polls until the spread stays below the configured
+// tolerance or the timeout elapses; it reports whether convergence was
+// observed.
+func (c *LiveCluster) WaitConverged(timeout time.Duration, tol float64) (bool, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := c.inner.Err(); err != nil {
+			return false, err
+		}
+		spread, err := c.inner.Spread()
+		if err != nil {
+			return false, err
+		}
+		if spread < tol {
+			return true, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false, nil
+}
+
+// Stop shuts the cluster down and joins all goroutines. Safe to call
+// more than once.
+func (c *LiveCluster) Stop() { c.inner.Stop() }

@@ -1,0 +1,101 @@
+package distclass_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"distclass"
+)
+
+// Example classifies two groups of values on a fully connected network
+// and prints the collections every node converges to.
+func Example() {
+	values := []distclass.Value{
+		{0, 0}, {0.2, 0}, {-0.2, 0.1}, {0.1, -0.1},
+		{9, 9}, {9.2, 8.9}, {8.8, 9.1}, {9.1, 9.2},
+	}
+	sys, err := distclass.New(values, distclass.Centroids(),
+		distclass.WithK(2), distclass.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := sys.RunUntilConverged(); err != nil {
+		log.Fatal(err)
+	}
+	cls := sys.Classification(0)
+	var xs []float64
+	for _, c := range cls {
+		mean, err := distclass.MeanOf(c.Summary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs = append(xs, mean[0])
+	}
+	sort.Float64s(xs)
+	fmt.Printf("%d collections, centroid x-coordinates %.2f and %.2f\n", len(cls), xs[0], xs[1])
+	// Output:
+	// 2 collections, centroid x-coordinates 0.03 and 9.02
+}
+
+// ExampleSystem_RobustMean removes outliers from an average: the
+// GaussianMixture method with K=2 isolates the two broken readings in
+// their own collection.
+func ExampleSystem_RobustMean() {
+	values := make([]distclass.Value, 20)
+	for i := range values {
+		values[i] = distclass.Value{float64(i%5)*0.1 - 0.2} // around 0
+	}
+	values[18] = distclass.Value{50} // broken sensors
+	values[19] = distclass.Value{51}
+
+	sys, err := distclass.New(values, distclass.GaussianMixture(),
+		distclass.WithK(2), distclass.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(30); err != nil {
+		log.Fatal(err)
+	}
+	robust, err := sys.RobustMean(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("robust mean %.2f (naive mean would be %.2f)\n", robust[0], 5.05)
+	// Output:
+	// robust mean -0.02 (naive mean would be 5.05)
+}
+
+// ExampleAssign shows the variance-aware association rule of the
+// paper's Figure 1: after classification, a node can associate any
+// value — its own reading, a new observation — with the collection
+// that explains it best. The probe at 7 is three units from the tight
+// cluster's mean (10) and seven from the wide cluster's (0), yet the
+// Gaussian rule assigns it to the wide cluster, under which it is far
+// likelier.
+func ExampleAssign() {
+	values := []distclass.Value{
+		{-4}, {-2}, {0}, {2}, {4}, {-3}, {3}, {1}, // wide cluster around 0
+		{9.95}, {10}, {10.1}, {10.05}, // tight cluster at 10
+	}
+	sys, err := distclass.New(values, distclass.GaussianMixture(),
+		distclass.WithK(2), distclass.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(30); err != nil {
+		log.Fatal(err)
+	}
+	cls := sys.Classification(0)
+	idx, err := distclass.Assign(cls, distclass.Value{7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, err := distclass.MeanOf(cls[idx].Summary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("7 joins the collection centered at %.1f\n", mean[0])
+	// Output:
+	// 7 joins the collection centered at 0.1
+}

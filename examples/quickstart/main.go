@@ -1,0 +1,55 @@
+// Quickstart: sixteen nodes on a ring, each holding one 2-D value from
+// one of two groups, learn a common two-collection classification of
+// the whole data set with the centroids method — no node ever sees all
+// the values.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distclass"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One value per node: eight around (0, 0), eight around (8, 8).
+	values := []distclass.Value{
+		{0.1, -0.2}, {0.4, 0.1}, {-0.3, 0.2}, {0.0, 0.5},
+		{-0.1, -0.4}, {0.3, 0.3}, {0.2, -0.1}, {-0.4, 0.0},
+		{8.1, 7.8}, {7.9, 8.3}, {8.4, 8.0}, {8.0, 7.6},
+		{7.7, 8.1}, {8.2, 8.2}, {8.3, 7.9}, {7.8, 8.4},
+	}
+
+	sys, err := distclass.New(values, distclass.Centroids(),
+		distclass.WithK(2),
+		distclass.WithTopology(distclass.TopologyRing),
+		distclass.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rounds, converged, err := sys.RunUntilConverged()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v after %d rounds\n\n", converged, rounds)
+
+	// Every node now holds (approximately) the same classification.
+	for _, node := range []int{0, 8, 15} {
+		fmt.Printf("node %2d sees:\n", node)
+		for _, c := range sys.Classification(node) {
+			mean, err := distclass.MeanOf(c.Summary)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  collection: weight=%.3f centroid=%v\n", c.Weight, mean)
+		}
+	}
+
+	// Weight is conserved: the 16 units of input weight are all
+	// accounted for across the network.
+	fmt.Printf("\ntotal weight in network: %.6f (want 16)\n", sys.TotalWeight())
+}

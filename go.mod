@@ -1,0 +1,3 @@
+module distclass
+
+go 1.22

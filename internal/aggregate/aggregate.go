@@ -1,0 +1,121 @@
+// Package aggregate implements gossip-based average aggregation by
+// weight diffusion (push-sum, after Kempe et al.), the paper's "regular
+// aggregation" baseline: each node holds a (sum, weight) pair, sends
+// half of both to a neighbor each round, and estimates the global
+// average as sum/weight. It computes a plain average — no outlier
+// removal — which is exactly what Figures 3 and 4 compare the robust GM
+// algorithm against.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+
+	"distclass/internal/vec"
+)
+
+// Message is half of a node's mass: a partial sum vector and its weight.
+type Message struct {
+	Sum    vec.Vector
+	Weight float64
+}
+
+// Node is a push-sum participant.
+type Node struct {
+	id  int
+	sum vec.Vector
+	w   float64
+}
+
+// NewNode creates a push-sum node holding input value val with weight 1.
+func NewNode(id int, val vec.Vector) (*Node, error) {
+	if len(val) == 0 {
+		return nil, fmt.Errorf("aggregate: node %d: empty input value", id)
+	}
+	return &Node{id: id, sum: val.Clone(), w: 1}, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// Weight returns the node's current weight.
+func (n *Node) Weight() float64 { return n.w }
+
+// Split halves the node's mass and returns the outgoing half.
+func (n *Node) Split() Message {
+	out := Message{Sum: vec.Scale(0.5, n.sum), Weight: n.w / 2}
+	vec.ScaleInPlace(0.5, n.sum)
+	n.w /= 2
+	return out
+}
+
+// Receive folds incoming messages into the node's mass.
+func (n *Node) Receive(msgs []Message) error {
+	for _, m := range msgs {
+		if m.Sum.Dim() != n.sum.Dim() {
+			return fmt.Errorf("aggregate: node %d: message dim %d, want %d", n.id, m.Sum.Dim(), n.sum.Dim())
+		}
+		vec.AddInPlace(n.sum, m.Sum)
+		n.w += m.Weight
+	}
+	return nil
+}
+
+// Estimate returns the node's current estimate of the global average,
+// sum/weight. It returns an error if the node's weight has decayed to
+// (numerically) zero, which cannot happen in crash-free runs.
+func (n *Node) Estimate() (vec.Vector, error) {
+	if n.w <= 1e-300 {
+		return nil, errors.New("aggregate: weight underflow")
+	}
+	return vec.Scale(1/n.w, n.sum), nil
+}
+
+// PairwiseNode is the other classic averaging gossip (Boyd et al., the
+// result behind the paper's Lemma 6): instead of diffusing (sum, weight)
+// mass, two nodes replace both their estimates with the average of the
+// pair. It requires bilateral exchanges (the simulator's push-pull
+// mode): each side sends its current estimate and averages in what it
+// receives.
+type PairwiseNode struct {
+	id  int
+	est vec.Vector
+}
+
+// NewPairwiseNode creates a pairwise-averaging node with initial
+// estimate val.
+func NewPairwiseNode(id int, val vec.Vector) (*PairwiseNode, error) {
+	if len(val) == 0 {
+		return nil, fmt.Errorf("aggregate: node %d: empty input value", id)
+	}
+	return &PairwiseNode{id: id, est: val.Clone()}, nil
+}
+
+// ID returns the node's identifier.
+func (n *PairwiseNode) ID() int { return n.id }
+
+// Estimate returns the node's current estimate.
+func (n *PairwiseNode) Estimate() vec.Vector { return n.est.Clone() }
+
+// Send returns the node's current estimate for a bilateral exchange.
+func (n *PairwiseNode) Send() vec.Vector { return n.est.Clone() }
+
+// Receive averages the peer estimates into the node's own. With the
+// push-pull round model both sides of an exchange apply the same
+// update, so the pair's mean — and hence the global mean — is
+// preserved in expectation; exact conservation holds when exchanges
+// are pairwise-atomic, which the synchronous driver provides when each
+// node partners once per round.
+func (n *PairwiseNode) Receive(peers []vec.Vector) error {
+	for _, p := range peers {
+		if p.Dim() != n.est.Dim() {
+			return fmt.Errorf("aggregate: node %d: estimate dim %d, want %d", n.id, p.Dim(), n.est.Dim())
+		}
+		mid, err := vec.Add(n.est, p)
+		if err != nil {
+			return err
+		}
+		n.est = vec.Scale(0.5, mid)
+	}
+	return nil
+}

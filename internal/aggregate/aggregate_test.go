@@ -1,0 +1,231 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+func TestNewNode(t *testing.T) {
+	n, err := NewNode(3, vec.Of(1, 2))
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	if n.ID() != 3 || n.Weight() != 1 {
+		t.Errorf("id=%d w=%v", n.ID(), n.Weight())
+	}
+	est, err := n.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if !est.Equal(vec.Of(1, 2)) {
+		t.Errorf("initial estimate = %v", est)
+	}
+	if _, err := NewNode(0, nil); err == nil {
+		t.Errorf("empty value should error")
+	}
+}
+
+func TestSplitHalves(t *testing.T) {
+	n, _ := NewNode(0, vec.Of(4))
+	m := n.Split()
+	if m.Weight != 0.5 || !m.Sum.Equal(vec.Of(2)) {
+		t.Errorf("sent = %+v", m)
+	}
+	if n.Weight() != 0.5 {
+		t.Errorf("kept weight = %v", n.Weight())
+	}
+	est, _ := n.Estimate()
+	if !est.ApproxEqual(vec.Of(4), 1e-12) {
+		t.Errorf("estimate changed by split: %v", est)
+	}
+}
+
+func TestReceive(t *testing.T) {
+	a, _ := NewNode(0, vec.Of(0))
+	b, _ := NewNode(1, vec.Of(10))
+	if err := a.Receive([]Message{b.Split()}); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	est, _ := a.Estimate()
+	// a has (0*1 + 10*0.5) / 1.5 = 10/3.
+	if math.Abs(est[0]-10.0/3) > 1e-12 {
+		t.Errorf("estimate = %v", est)
+	}
+	if err := a.Receive([]Message{{Sum: vec.Of(1, 2), Weight: 1}}); err == nil {
+		t.Errorf("dim mismatch should error")
+	}
+}
+
+func TestGossipConvergesToMean(t *testing.T) {
+	const n = 64
+	r := rng.New(42)
+	nodes := make([]*Node, n)
+	var want float64
+	for i := range nodes {
+		v := r.UniformRange(-10, 10)
+		want += v / n
+		node, err := NewNode(i, vec.Of(v))
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		nodes[i] = node
+	}
+	for round := 0; round < 60; round++ {
+		inbox := make([][]Message, n)
+		for i, node := range nodes {
+			dst := r.IntN(n - 1)
+			if dst >= i {
+				dst++
+			}
+			inbox[dst] = append(inbox[dst], node.Split())
+		}
+		for i, msgs := range inbox {
+			if err := nodes[i].Receive(msgs); err != nil {
+				t.Fatalf("Receive: %v", err)
+			}
+		}
+	}
+	for i, node := range nodes {
+		est, err := node.Estimate()
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		if math.Abs(est[0]-want) > 1e-6 {
+			t.Errorf("node %d estimate = %v, want %v", i, est[0], want)
+		}
+	}
+}
+
+// TestPropertyMassConservation checks sum and weight conservation under
+// arbitrary split/receive interleavings.
+func TestPropertyMassConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(6)
+		nodes := make([]*Node, n)
+		var totalSum float64
+		for i := range nodes {
+			v := r.UniformRange(-5, 5)
+			totalSum += v
+			node, err := NewNode(i, vec.Of(v))
+			if err != nil {
+				return false
+			}
+			nodes[i] = node
+		}
+		var inflight []Message
+		for step := 0; step < 80; step++ {
+			if len(inflight) > 0 && r.Bool(0.5) {
+				mi := r.IntN(len(inflight))
+				m := inflight[mi]
+				inflight = append(inflight[:mi], inflight[mi+1:]...)
+				if err := nodes[r.IntN(n)].Receive([]Message{m}); err != nil {
+					return false
+				}
+			} else {
+				inflight = append(inflight, nodes[r.IntN(n)].Split())
+			}
+		}
+		var gotSum, gotW float64
+		for _, node := range nodes {
+			gotSum += node.sum[0]
+			gotW += node.w
+		}
+		for _, m := range inflight {
+			gotSum += m.Sum[0]
+			gotW += m.Weight
+		}
+		return math.Abs(gotSum-totalSum) < 1e-9 && math.Abs(gotW-float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseNodeBasics(t *testing.T) {
+	n, err := NewPairwiseNode(1, vec.Of(2, 4))
+	if err != nil {
+		t.Fatalf("NewPairwiseNode: %v", err)
+	}
+	if n.ID() != 1 {
+		t.Errorf("ID = %d", n.ID())
+	}
+	est := n.Estimate()
+	est[0] = 99
+	if n.Estimate()[0] != 2 {
+		t.Errorf("Estimate aliases internal state")
+	}
+	if _, err := NewPairwiseNode(0, nil); err == nil {
+		t.Errorf("empty value accepted")
+	}
+	if err := n.Receive([]vec.Vector{vec.Of(1)}); err == nil {
+		t.Errorf("dim mismatch accepted")
+	}
+}
+
+func TestPairwiseExchangeAveragesPair(t *testing.T) {
+	a, _ := NewPairwiseNode(0, vec.Of(0))
+	b, _ := NewPairwiseNode(1, vec.Of(10))
+	// Bilateral exchange: both send, both receive.
+	sa, sb := a.Send(), b.Send()
+	if err := a.Receive([]vec.Vector{sb}); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if err := b.Receive([]vec.Vector{sa}); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if got := a.Estimate()[0]; got != 5 {
+		t.Errorf("a = %v, want 5", got)
+	}
+	if got := b.Estimate()[0]; got != 5 {
+		t.Errorf("b = %v, want 5", got)
+	}
+}
+
+func TestPairwiseGossipConverges(t *testing.T) {
+	const n = 32
+	r := rng.New(44)
+	nodes := make([]*PairwiseNode, n)
+	var want float64
+	for i := range nodes {
+		v := r.UniformRange(-10, 10)
+		want += v / n
+		node, err := NewPairwiseNode(i, vec.Of(v))
+		if err != nil {
+			t.Fatalf("NewPairwiseNode: %v", err)
+		}
+		nodes[i] = node
+	}
+	// Random atomic pairwise exchanges (the Boyd model).
+	for step := 0; step < 6000; step++ {
+		i := r.IntN(n)
+		j := r.IntN(n - 1)
+		if j >= i {
+			j++
+		}
+		si, sj := nodes[i].Send(), nodes[j].Send()
+		if err := nodes[i].Receive([]vec.Vector{sj}); err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+		if err := nodes[j].Receive([]vec.Vector{si}); err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+	}
+	// Atomic exchanges preserve the global sum exactly.
+	var sum float64
+	for _, node := range nodes {
+		sum += node.Estimate()[0]
+	}
+	if math.Abs(sum/n-want) > 1e-9 {
+		t.Errorf("global mean drifted: %v vs %v", sum/n, want)
+	}
+	for i, node := range nodes {
+		if got := node.Estimate()[0]; math.Abs(got-want) > 1e-6 {
+			t.Errorf("node %d estimate %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package centroids implements the paper's in-line example
+// instantiation of the generic algorithm (Algorithm 2): collections are
+// summarized by their centroid — the weighted average of their values —
+// and partition decisions greedily merge the closest centroids until the
+// k bound is met, exactly as k-means-style classification would.
+//
+// The summary domain S equals the value domain R^d; d_S is the Euclidean
+// distance between centroids, which satisfies requirement R1 (summaries
+// of nearby mixture vectors are near).
+package centroids
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"distclass/internal/core"
+	"distclass/internal/vec"
+)
+
+// Centroid is the summary type: the weighted mean of a collection.
+type Centroid struct {
+	Point vec.Vector
+}
+
+var _ core.Summary = Centroid{}
+
+// Dim returns the dimension of the centroid.
+func (c Centroid) Dim() int { return c.Point.Dim() }
+
+// String renders the centroid.
+func (c Centroid) String() string { return c.Point.String() }
+
+// Method is the centroids instantiation. The zero value is ready to use.
+type Method struct{}
+
+var (
+	_ core.Method        = Method{}
+	_ core.AuxSummarizer = Method{}
+)
+
+// Name returns "centroids".
+func (Method) Name() string { return "centroids" }
+
+// Summarize implements valToSummary: the centroid of a single value is
+// the value itself.
+func (Method) Summarize(val core.Value) (core.Summary, error) {
+	if len(val) == 0 {
+		return nil, errors.New("centroids: empty value")
+	}
+	return Centroid{Point: val.Clone()}, nil
+}
+
+// Merge implements mergeSet: the weight-averaged centroid.
+func (Method) Merge(cs []core.Collection) (core.Summary, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("centroids: merge of no collections")
+	}
+	points := make([]vec.Vector, len(cs))
+	weights := make([]float64, len(cs))
+	for i, c := range cs {
+		cen, ok := c.Summary.(Centroid)
+		if !ok {
+			return nil, fmt.Errorf("centroids: unexpected summary type %T", c.Summary)
+		}
+		points[i] = cen.Point
+		weights[i] = c.Weight
+	}
+	mean, err := vec.WeightedMean(points, weights)
+	if err != nil {
+		return nil, fmt.Errorf("centroids: %w", err)
+	}
+	return Centroid{Point: mean}, nil
+}
+
+// Distance is the Euclidean distance between centroids (d_S).
+func (Method) Distance(a, b core.Summary) (float64, error) {
+	ca, ok := a.(Centroid)
+	if !ok {
+		return 0, fmt.Errorf("centroids: unexpected summary type %T", a)
+	}
+	cb, ok := b.(Centroid)
+	if !ok {
+		return 0, fmt.Errorf("centroids: unexpected summary type %T", b)
+	}
+	return vec.Dist(ca.Point, cb.Point)
+}
+
+// group is a partition candidate: member indices plus the running
+// weighted centroid of the merged members.
+type group struct {
+	members  []int
+	centroid vec.Vector
+	weight   float64
+}
+
+func mergeGroups(a, b group) group {
+	w := a.weight + b.weight
+	cen := vec.Scale(a.weight/w, a.centroid)
+	vec.Axpy(cen, b.weight/w, b.centroid)
+	return group{
+		members:  append(append([]int{}, a.members...), b.members...),
+		centroid: cen,
+		weight:   w,
+	}
+}
+
+// Partition implements the paper's greedy partition (Algorithm 2): every
+// collection starts as its own set; sets of weight q are first merged
+// with their nearest set; then, while more than k sets remain, the two
+// sets with the closest centroids are merged.
+func (Method) Partition(cs []core.Collection, k int, q float64) ([][]int, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("centroids: partition of no collections")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("centroids: k = %d must be at least 1", k)
+	}
+	groups := make([]group, len(cs))
+	for i, c := range cs {
+		cen, ok := c.Summary.(Centroid)
+		if !ok {
+			return nil, fmt.Errorf("centroids: unexpected summary type %T", c.Summary)
+		}
+		groups[i] = group{members: []int{i}, centroid: cen.Point, weight: c.Weight}
+	}
+	// Quantum rule: a set holding a single collection of weight <= q must
+	// be merged with another (Algorithm 2 line 7).
+	groups = mergeQuantumSingletons(groups, q)
+	// Greedy closest-pair merging down to k sets (lines 8-10).
+	for len(groups) > k {
+		i, j, err := closestPair(groups)
+		if err != nil {
+			return nil, err
+		}
+		merged := mergeGroups(groups[i], groups[j])
+		groups[i] = merged
+		groups = append(groups[:j], groups[j+1:]...)
+	}
+	out := make([][]int, len(groups))
+	for i, g := range groups {
+		out[i] = g.members
+	}
+	return out, nil
+}
+
+// mergeQuantumSingletons merges every singleton group of weight <= q
+// with its nearest group, while at least two groups remain.
+func mergeQuantumSingletons(groups []group, q float64) []group {
+	const eps = 1e-12
+	for {
+		if len(groups) < 2 {
+			return groups
+		}
+		idx := -1
+		for i, g := range groups {
+			if len(g.members) == 1 && g.weight <= q+eps {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return groups
+		}
+		best, bestDist := -1, math.Inf(1)
+		for j, g := range groups {
+			if j == idx {
+				continue
+			}
+			d := vec.DistSq(groups[idx].centroid, g.centroid)
+			if d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		merged := mergeGroups(groups[idx], groups[best])
+		lo, hi := idx, best
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		groups[lo] = merged
+		groups = append(groups[:hi], groups[hi+1:]...)
+	}
+}
+
+func closestPair(groups []group) (int, int, error) {
+	if len(groups) < 2 {
+		return 0, 0, errors.New("centroids: closest pair of fewer than two groups")
+	}
+	bi, bj, best := -1, -1, math.Inf(1)
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			d := vec.DistSq(groups[i].centroid, groups[j].centroid)
+			if d < best {
+				bi, bj, best = i, j, d
+			}
+		}
+	}
+	return bi, bj, nil
+}
+
+// SummarizeAux computes f(aux) for Lemma 1 verification: the centroid of
+// the collection whose per-input weights are given by aux.
+func (Method) SummarizeAux(aux vec.Vector, inputs []core.Value) (core.Summary, error) {
+	if aux.Dim() != len(inputs) {
+		return nil, fmt.Errorf("centroids: aux dim %d but %d inputs", aux.Dim(), len(inputs))
+	}
+	mean, err := vec.WeightedMean(inputs, aux)
+	if err != nil {
+		return nil, fmt.Errorf("centroids: %w", err)
+	}
+	return Centroid{Point: mean}, nil
+}

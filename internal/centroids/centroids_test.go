@@ -1,0 +1,337 @@
+package centroids
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/core"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+var method Method
+
+func mkColl(t *testing.T, w float64, xs ...float64) core.Collection {
+	t.Helper()
+	s, err := method.Summarize(vec.Of(xs...))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	return core.Collection{Summary: s, Weight: w}
+}
+
+func TestName(t *testing.T) {
+	if method.Name() != "centroids" {
+		t.Errorf("Name = %q", method.Name())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	v := vec.Of(1, 2)
+	s, err := method.Summarize(v)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	c := s.(Centroid)
+	if !c.Point.Equal(v) {
+		t.Errorf("Point = %v", c.Point)
+	}
+	if c.Dim() != 2 {
+		t.Errorf("Dim = %d", c.Dim())
+	}
+	v[0] = 99
+	if c.Point[0] != 1 {
+		t.Errorf("Summarize aliases input")
+	}
+	if _, err := method.Summarize(nil); err == nil {
+		t.Errorf("empty value should error")
+	}
+}
+
+// TestSummarizeIsR2 checks requirement R2: valToSummary(val) equals
+// f(e_i), the summary of the singleton collection.
+func TestSummarizeIsR2(t *testing.T) {
+	inputs := []core.Value{vec.Of(3, -1), vec.Of(0, 2)}
+	s, err := method.Summarize(inputs[1])
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	viaAux, err := method.SummarizeAux(vec.Of(0, 1), inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	d, _ := method.Distance(s, viaAux)
+	if d > 1e-12 {
+		t.Errorf("R2 violated: distance %v", d)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := mkColl(t, 1, 0, 0)
+	b := mkColl(t, 3, 4, 0)
+	s, err := method.Merge([]core.Collection{a, b})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	got := s.(Centroid).Point
+	if !got.ApproxEqual(vec.Of(3, 0), 1e-12) {
+		t.Errorf("merged centroid = %v, want (3,0)", got)
+	}
+	if _, err := method.Merge(nil); err == nil {
+		t.Errorf("merge of nothing should error")
+	}
+}
+
+// TestMergeIsR4 checks requirement R4: merging summaries equals
+// summarizing the union of the underlying collections.
+func TestMergeIsR4(t *testing.T) {
+	inputs := []core.Value{vec.Of(1, 1), vec.Of(5, -3), vec.Of(2, 2)}
+	auxA := vec.Of(1, 0.5, 0)
+	auxB := vec.Of(0, 0.5, 1)
+	sa, err := method.SummarizeAux(auxA, inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	sb, err := method.SummarizeAux(auxB, inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	merged, err := method.Merge([]core.Collection{
+		{Summary: sa, Weight: auxA.Norm1()},
+		{Summary: sb, Weight: auxB.Norm1()},
+	})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	sum, _ := vec.Add(auxA, auxB)
+	direct, err := method.SummarizeAux(sum, inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	d, _ := method.Distance(merged, direct)
+	if d > 1e-12 {
+		t.Errorf("R4 violated: distance %v", d)
+	}
+}
+
+// TestScaleInvarianceR3 checks requirement R3: f(v) == f(alpha v).
+func TestScaleInvarianceR3(t *testing.T) {
+	inputs := []core.Value{vec.Of(1, 1), vec.Of(5, -3), vec.Of(2, 2)}
+	aux := vec.Of(0.25, 1, 0.5)
+	s1, err := method.SummarizeAux(aux, inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	s2, err := method.SummarizeAux(vec.Scale(7, aux), inputs)
+	if err != nil {
+		t.Fatalf("SummarizeAux: %v", err)
+	}
+	d, _ := method.Distance(s1, s2)
+	if d > 1e-12 {
+		t.Errorf("R3 violated: distance %v", d)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := mkColl(t, 1, 0, 0).Summary
+	b := mkColl(t, 1, 3, 4).Summary
+	d, err := method.Distance(a, b)
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", d)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	other := fakeSummary{}
+	if _, err := method.Distance(other, other); err == nil {
+		t.Errorf("Distance with foreign summary should error")
+	}
+	cs := []core.Collection{{Summary: other, Weight: 1}}
+	if _, err := method.Merge(cs); err == nil {
+		t.Errorf("Merge with foreign summary should error")
+	}
+	if _, err := method.Partition(cs, 1, 0.25); err == nil {
+		t.Errorf("Partition with foreign summary should error")
+	}
+}
+
+type fakeSummary struct{}
+
+func (fakeSummary) Dim() int       { return 1 }
+func (fakeSummary) String() string { return "fake" }
+
+func TestPartitionMergesClosest(t *testing.T) {
+	cs := []core.Collection{
+		mkColl(t, 1, 0),
+		mkColl(t, 1, 0.1),
+		mkColl(t, 1, 10),
+	}
+	groups, err := method.Partition(cs, 2, 1.0/1024)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := core.ValidatePartition(groups, 3, 2); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	// 0 and 1 must be grouped; 2 alone.
+	for _, g := range groups {
+		has := func(x int) bool {
+			for _, i := range g {
+				if i == x {
+					return true
+				}
+			}
+			return false
+		}
+		if has(2) && len(g) != 1 {
+			t.Errorf("collection 2 grouped with others: %v", groups)
+		}
+		if has(0) != has(1) {
+			t.Errorf("collections 0 and 1 split: %v", groups)
+		}
+	}
+}
+
+func TestPartitionSingleCollection(t *testing.T) {
+	cs := []core.Collection{mkColl(t, 1, 5)}
+	groups, err := method.Partition(cs, 3, 0.25)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestPartitionQuantumRule(t *testing.T) {
+	const q = 0.25
+	cs := []core.Collection{
+		mkColl(t, q, 0),   // quantum singleton: must merge with someone
+		mkColl(t, 1, 100), // even though it is far away
+		mkColl(t, 1, 101),
+	}
+	groups, err := method.Partition(cs, 3, q)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	for _, g := range groups {
+		if len(g) == 1 && math.Abs(cs[g[0]].Weight-q) < 1e-12 {
+			t.Errorf("quantum-weight collection left as singleton: %v", groups)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := method.Partition(nil, 2, 0.25); err == nil {
+		t.Errorf("empty partition should error")
+	}
+	cs := []core.Collection{mkColl(t, 1, 0)}
+	if _, err := method.Partition(cs, 0, 0.25); err == nil {
+		t.Errorf("k=0 should error")
+	}
+}
+
+func TestSummarizeAuxErrors(t *testing.T) {
+	if _, err := method.SummarizeAux(vec.Of(1, 0), []core.Value{vec.Of(1)}); err == nil {
+		t.Errorf("aux/inputs length mismatch should error")
+	}
+	if _, err := method.SummarizeAux(vec.Of(0, 0), []core.Value{vec.Of(1), vec.Of(2)}); err == nil {
+		t.Errorf("zero-weight aux should error")
+	}
+}
+
+// TestPropertyPartitionValid checks that Partition always emits a valid
+// partition within the k bound, with no quantum-weight singletons when
+// avoidable.
+func TestPropertyPartitionValid(t *testing.T) {
+	const q = 1.0 / 256
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(12)
+		k := 1 + r.IntN(6)
+		cs := make([]core.Collection, n)
+		for i := range cs {
+			w := q * float64(1+r.IntN(64))
+			cs[i] = core.Collection{Weight: w}
+			s, err := method.Summarize(vec.Of(r.UniformRange(-10, 10), r.UniformRange(-10, 10)))
+			if err != nil {
+				return false
+			}
+			cs[i].Summary = s
+		}
+		groups, err := method.Partition(cs, k, q)
+		if err != nil {
+			return false
+		}
+		if core.ValidatePartition(groups, n, k) != nil {
+			return false
+		}
+		if n >= 2 {
+			for _, g := range groups {
+				if len(g) == 1 && cs[g[0]].Weight <= q+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMergeCentroidInHull checks the merged centroid lies within
+// the bounding box of the inputs.
+func TestPropertyMergeCentroidInHull(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(8)
+		cs := make([]core.Collection, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range cs {
+			x := r.UniformRange(-10, 10)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			s, err := method.Summarize(vec.Of(x))
+			if err != nil {
+				return false
+			}
+			cs[i] = core.Collection{Summary: s, Weight: r.UniformRange(0.1, 2)}
+		}
+		m, err := method.Merge(cs)
+		if err != nil {
+			return false
+		}
+		p := m.(Centroid).Point[0]
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	r := rng.New(3)
+	cs := make([]core.Collection, 24)
+	for i := range cs {
+		s, err := method.Summarize(vec.Of(r.UniformRange(-10, 10), r.UniformRange(-10, 10)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = core.Collection{Summary: s, Weight: 0.5}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := method.Partition(cs, 7, core.DefaultQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

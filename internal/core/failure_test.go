@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/vec"
+)
+
+// faultyMethod wraps the centroids method and fails selected calls,
+// exercising the generic algorithm's error paths and its atomicity:
+// a failed Absorb must leave the node's classification untouched.
+type faultyMethod struct {
+	centroids.Method
+	failSummarize bool
+	failMerge     bool
+	failPartition bool
+	badPartition  [][]int // returned instead of a real partition when set
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f faultyMethod) Summarize(v core.Value) (core.Summary, error) {
+	if f.failSummarize {
+		return nil, errInjected
+	}
+	return f.Method.Summarize(v)
+}
+
+func (f faultyMethod) Merge(cs []core.Collection) (core.Summary, error) {
+	if f.failMerge {
+		return nil, errInjected
+	}
+	return f.Method.Merge(cs)
+}
+
+func (f faultyMethod) Partition(cs []core.Collection, k int, q float64) ([][]int, error) {
+	if f.failPartition {
+		return nil, errInjected
+	}
+	if f.badPartition != nil {
+		return f.badPartition, nil
+	}
+	return f.Method.Partition(cs, k, q)
+}
+
+func TestNewNodeSummarizeFailure(t *testing.T) {
+	cfg := core.Config{Method: faultyMethod{failSummarize: true}, K: 2}
+	if _, err := core.NewNode(0, vec.Of(1), nil, cfg); !errors.Is(err, errInjected) {
+		t.Errorf("error = %v, want injected", err)
+	}
+}
+
+func TestAbsorbPartitionFailureLeavesStateIntact(t *testing.T) {
+	cfg := core.Config{Method: faultyMethod{failPartition: true}, K: 2}
+	n, err := core.NewNode(0, vec.Of(1), nil, cfg)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	before := n.Classification().String()
+	s, _ := centroids.Method{}.Summarize(vec.Of(5))
+	in := core.Classification{{Summary: s, Weight: 0.5}}
+	if err := n.Absorb(in); !errors.Is(err, errInjected) {
+		t.Fatalf("error = %v, want injected", err)
+	}
+	if got := n.Classification().String(); got != before {
+		t.Errorf("state changed by failed absorb:\nbefore %s\nafter  %s", before, got)
+	}
+	if n.Weight() != 1 {
+		t.Errorf("weight = %v, want 1", n.Weight())
+	}
+}
+
+func TestAbsorbMergeFailureLeavesStateIntact(t *testing.T) {
+	cfg := core.Config{Method: faultyMethod{failMerge: true}, K: 1}
+	n, err := core.NewNode(0, vec.Of(1), nil, cfg)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	before := n.Weight()
+	s, _ := centroids.Method{}.Summarize(vec.Of(5))
+	// Two collections with K=1 forces a merge, which fails.
+	if err := n.Absorb(core.Classification{{Summary: s, Weight: 0.5}}); !errors.Is(err, errInjected) {
+		t.Fatalf("error = %v, want injected", err)
+	}
+	if n.Weight() != before {
+		t.Errorf("weight changed by failed merge: %v", n.Weight())
+	}
+	if n.Len() != 1 {
+		t.Errorf("len = %d, want 1", n.Len())
+	}
+}
+
+func TestAbsorbRejectsInvalidPartitions(t *testing.T) {
+	tests := []struct {
+		name   string
+		groups [][]int
+		want   string
+	}{
+		{"too many groups", [][]int{{0}, {1}, {2}}, "bound k"},
+		{"duplicate index", [][]int{{0, 0}, {1}}, "twice"},
+		{"missing index", [][]int{{0}}, "covers"},
+		{"out of range", [][]int{{0, 1, 7}}, "out of range"},
+		{"empty group", [][]int{{0, 1}, {}}, "empty"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := core.Config{Method: faultyMethod{badPartition: tt.groups}, K: 2}
+			n, err := core.NewNode(0, vec.Of(1), nil, cfg)
+			if err != nil {
+				t.Fatalf("NewNode: %v", err)
+			}
+			s, _ := centroids.Method{}.Summarize(vec.Of(5))
+			err = n.Absorb(core.Classification{{Summary: s, Weight: 0.5}})
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}

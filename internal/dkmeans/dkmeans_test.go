@@ -1,0 +1,171 @@
+package dkmeans
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"distclass/internal/gauss"
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+	"distclass/internal/vec"
+)
+
+func bimodal(t *testing.T, n int, seed uint64) []vec.Vector {
+	t.Helper()
+	r := rng.New(seed)
+	values := make([]vec.Vector, n)
+	for i := range values {
+		c := -5.0
+		if i%2 == 1 {
+			c = 5
+		}
+		values[i] = vec.Of(c+r.Normal(0, 1), r.Normal(0, 1))
+	}
+	return values
+}
+
+func fullGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g, err := topology.Full(n)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	return g
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	const n = 60
+	values := bimodal(t, n, 1)
+	res, err := KMeans(values, 2, fullGraph(t, n), rng.New(2), Options{})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	c0, c1 := res.Centroids[0], res.Centroids[1]
+	if c0[0] > c1[0] {
+		c0, c1 = c1, c0
+	}
+	if !c0.ApproxEqual(vec.Of(-5, 0), 0.6) || !c1.ApproxEqual(vec.Of(5, 0), 0.6) {
+		t.Errorf("centroids %v / %v, want near (-5,0)/(5,0)", c0, c1)
+	}
+	if res.Iterations < 1 || res.GossipRounds != res.Iterations*30 {
+		t.Errorf("iterations=%d gossip rounds=%d", res.Iterations, res.GossipRounds)
+	}
+	if res.Messages == 0 {
+		t.Errorf("no messages counted")
+	}
+}
+
+func TestKMeansMultipleIterationsCost(t *testing.T) {
+	// The paper's point: each centralized iteration costs a whole
+	// gossip-aggregation phase. With deliberately bad initialization the
+	// run takes >= 2 iterations, so >= 2x RoundsPerIter gossip rounds.
+	const n = 40
+	values := bimodal(t, n, 3)
+	res, err := KMeans(values, 2, fullGraph(t, n), rng.New(4), Options{RoundsPerIter: 20})
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if res.Iterations < 2 {
+		t.Skipf("lucky initialization converged in one iteration")
+	}
+	if res.GossipRounds < 40 {
+		t.Errorf("gossip rounds = %d, want >= 2 iterations' worth", res.GossipRounds)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	g := fullGraph(t, 4)
+	r := rng.New(1)
+	if _, err := KMeans(nil, 2, g, r, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	values := bimodal(t, 4, 1)
+	if _, err := KMeans(values, 0, g, r, Options{}); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := KMeans(values, 5, g, r, Options{}); err == nil {
+		t.Errorf("k>n accepted")
+	}
+	if _, err := KMeans(values, 2, fullGraph(t, 3), r, Options{}); err == nil {
+		t.Errorf("graph size mismatch accepted")
+	}
+}
+
+func TestNewscastEMTwoBlobs(t *testing.T) {
+	const n = 60
+	values := bimodal(t, n, 5)
+	res, err := NewscastEM(values, 2, fullGraph(t, n), rng.New(6), Options{MaxIters: 15})
+	if err != nil {
+		t.Fatalf("NewscastEM: %v", err)
+	}
+	if len(res.Mixture) != 2 {
+		t.Fatalf("components = %d", len(res.Mixture))
+	}
+	lo, hi := res.Mixture[0], res.Mixture[1]
+	if lo.Mean[0] > hi.Mean[0] {
+		lo, hi = hi, lo
+	}
+	if !lo.Mean.ApproxEqual(vec.Of(-5, 0), 0.6) || !hi.Mean.ApproxEqual(vec.Of(5, 0), 0.6) {
+		t.Errorf("means %v / %v", lo.Mean, hi.Mean)
+	}
+	// Equal blob sizes: weights near 0.5 each.
+	ratio := lo.Weight / (lo.Weight + hi.Weight)
+	if math.Abs(ratio-0.5) > 0.15 {
+		t.Errorf("weight ratio = %v", ratio)
+	}
+	// Covariances near identity-ish scale.
+	if lo.Cov.At(0, 0) < 0.3 || lo.Cov.At(0, 0) > 3 {
+		t.Errorf("cov00 = %v", lo.Cov.At(0, 0))
+	}
+	if res.GossipRounds < 30 {
+		t.Errorf("gossip rounds = %d", res.GossipRounds)
+	}
+}
+
+func TestNewscastEMErrors(t *testing.T) {
+	g := fullGraph(t, 4)
+	r := rng.New(1)
+	if _, err := NewscastEM(nil, 2, g, r, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	values := bimodal(t, 4, 1)
+	if _, err := NewscastEM(values, 0, g, r, Options{}); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := NewscastEM(values, 5, g, r, Options{}); err == nil {
+		t.Errorf("k>n accepted")
+	}
+	if _, err := NewscastEM(values, 2, fullGraph(t, 3), r, Options{}); err == nil {
+		t.Errorf("graph size mismatch accepted")
+	}
+}
+
+func TestMixtureShift(t *testing.T) {
+	mk := func(ps ...vec.Vector) gauss.Mixture {
+		mix := make(gauss.Mixture, len(ps))
+		for i, p := range ps {
+			mix[i] = gauss.Component{Gaussian: gauss.NewPoint(p), Weight: 1}
+		}
+		return mix
+	}
+	a := mk(vec.Of(0, 0), vec.Of(10, 0))
+	b := mk(vec.Of(0, 1), vec.Of(10, 0))
+	got, err := mixtureShift(a, b)
+	if err != nil {
+		t.Fatalf("mixtureShift: %v", err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("shift = %v, want 1", got)
+	}
+	same, err := mixtureShift(a, a)
+	if err != nil {
+		t.Fatalf("mixtureShift: %v", err)
+	}
+	if same != 0 {
+		t.Errorf("self shift = %v, want 0", same)
+	}
+}

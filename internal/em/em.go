@@ -1,0 +1,453 @@
+// Package em implements the Expectation-Maximization machinery the
+// paper relies on:
+//
+//   - ReduceMixture — hard-assignment EM that fits a k-component
+//     Gaussian Mixture to an l-component one (l > k). This is the
+//     "partition" engine of the paper's GM instantiation (§5.2):
+//     Maximum-Likelihood reduction is NP-hard, so the algorithm
+//     approximates it with EM, scoring each input Gaussian against each
+//     candidate component by expected log-density and moment-matching
+//     the winners.
+//   - FitGMM — classic soft EM over raw points, the centralized
+//     baseline the paper's related work simulates distributively
+//     (Kowalczyk & Vlassis).
+//   - KMeans — Lloyd's algorithm with k-means++ seeding, the
+//     centralized baseline behind the centroids instantiation
+//     (MacQueen; Datta et al. distribute it).
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"distclass/internal/gauss"
+	"distclass/internal/mat"
+	"distclass/internal/rng"
+	"distclass/internal/stats"
+	"distclass/internal/vec"
+)
+
+// ErrNoData reports a fit requested over no inputs.
+var ErrNoData = errors.New("em: no input data")
+
+// Options tune the EM loops. The zero value selects the defaults.
+type Options struct {
+	// MaxIters bounds the EM iterations (default 50).
+	MaxIters int
+	// Tol stops soft EM when the per-point log-likelihood improves by
+	// less than this (default 1e-6).
+	Tol float64
+	// VarFloor is the ridge added to covariances before density
+	// evaluation (default gauss.DefaultVarianceFloor).
+	VarFloor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.VarFloor <= 0 {
+		o.VarFloor = gauss.DefaultVarianceFloor
+	}
+	return o
+}
+
+// ReduceMixture partitions the given weighted Gaussians into at most k
+// groups such that merging each group yields a k-component mixture that
+// explains the input well. It returns the member-index groups (the form
+// the generic algorithm's partition function needs).
+//
+// The loop is hard EM over components: E-step assigns every input
+// Gaussian to the candidate with the maximal merge-aware affinity (see
+// affinity below); M-step moment-matches each candidate to its assigned
+// inputs. Candidates are seeded by farthest-first traversal over the
+// input means (deterministic), so the reduction needs no RNG.
+//
+// The E-step affinity scores input i against candidate j as
+//
+//	log N(mu_i; mu_j, Sigma_j + Sigma_i + c_ij I)
+//
+// where c_ij = (w_i w_j / (w_i+w_j)^2) ||mu_i - mu_j||^2 / d + floor is
+// the isotropic variance the hypothetical merge of i and j would add.
+// The score deliberately carries no log-weight prior: hard assignment
+// with a prior starves freshly seeded light candidates (a heavy far
+// cluster outscores a tiny same-cluster seed by the prior gap alone),
+// which collapses well-separated clusters into one component. Dropping
+// the prior makes the E-step a geometry-only rule in the spirit of
+// k-means / hard mixture clustering.
+// Folding the input's own covariance and the merge-induced spread into
+// the evaluation covariance keeps the score finite and meaningful when
+// candidates are freshly summarized input values with zero covariance —
+// a plain expected-log-density E-step makes such degenerate candidates
+// reject even their closest peers (the quadratic form explodes at 1/floor),
+// driving every input into the widest cluster and permanently
+// contaminating it. The merge-aware form preserves the variance
+// awareness the paper's Figure 1 motivates while remaining robust to
+// singletons.
+func ReduceMixture(cs []gauss.Component, k int, opts Options) ([][]int, error) {
+	opts = opts.withDefaults()
+	if len(cs) == 0 {
+		return nil, ErrNoData
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("em: k = %d must be at least 1", k)
+	}
+	if len(cs) <= k {
+		groups := make([][]int, len(cs))
+		for i := range cs {
+			groups[i] = []int{i}
+		}
+		return groups, nil
+	}
+	seeds := farthestFirst(cs, k)
+	// Initial candidates: the seed components themselves.
+	targets := make([]gauss.Component, len(seeds))
+	for i, s := range seeds {
+		targets[i] = cs[s].Clone()
+	}
+	assign := make([]int, len(cs))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		changed := false
+		next := make([]int, len(cs))
+		for i, c := range cs {
+			bestJ, bestScore := -1, math.Inf(-1)
+			for j := range targets {
+				aff, err := affinity(c, targets[j], opts.VarFloor)
+				if err != nil {
+					return nil, fmt.Errorf("em: scoring input %d against candidate %d: %w", i, j, err)
+				}
+				if aff > bestScore {
+					bestJ, bestScore = j, aff
+				}
+			}
+			next[i] = bestJ
+			if bestJ != assign[i] {
+				changed = true
+			}
+		}
+		assign = next
+		if !changed {
+			break
+		}
+		// M-step: moment-match candidates to their members; drop empties.
+		members := make([][]int, len(targets))
+		for i, j := range assign {
+			members[j] = append(members[j], i)
+		}
+		newTargets := targets[:0]
+		remap := make([]int, len(targets))
+		for j, m := range members {
+			if len(m) == 0 {
+				remap[j] = -1
+				continue
+			}
+			sub := make([]gauss.Component, len(m))
+			for x, idx := range m {
+				sub[x] = cs[idx]
+			}
+			merged, err := gauss.Merge(sub)
+			if err != nil {
+				return nil, fmt.Errorf("em: m-step merge: %w", err)
+			}
+			remap[j] = len(newTargets)
+			newTargets = append(newTargets, merged)
+		}
+		targets = newTargets
+		for i := range assign {
+			assign[i] = remap[assign[i]]
+		}
+	}
+	groups := make([][]int, len(targets))
+	for i, j := range assign {
+		groups[j] = append(groups[j], i)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// affinity computes the merge-aware E-step score of input src against
+// candidate dst (see ReduceMixture). It is symmetric up to the weight
+// prior, finite for zero-covariance singletons, and reduces to the
+// expected log-density when both covariances dominate the mean gap.
+func affinity(src, dst gauss.Component, floor float64) (float64, error) {
+	d := src.Dim()
+	delta, err := vec.Sub(src.Mean, dst.Mean)
+	if err != nil {
+		return 0, err
+	}
+	gap, err := vec.Dot(delta, delta)
+	if err != nil {
+		return 0, err
+	}
+	f := src.Weight * dst.Weight / ((src.Weight + dst.Weight) * (src.Weight + dst.Weight))
+	iso := f*gap/float64(d) + floor
+	cov, err := mat.Add(dst.Cov, src.Cov)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < d; i++ {
+		cov.Set(i, i, cov.At(i, i)+iso)
+	}
+	eval, err := gauss.New(dst.Mean, cov)
+	if err != nil {
+		return 0, err
+	}
+	cond, err := eval.Condition(0)
+	if err != nil {
+		return 0, err
+	}
+	return cond.LogDensity(src.Mean)
+}
+
+// farthestFirst picks k seed indices: the heaviest component first, then
+// repeatedly the component whose mean is farthest from all chosen seeds.
+func farthestFirst(cs []gauss.Component, k int) []int {
+	first := 0
+	for i, c := range cs {
+		if c.Weight > cs[first].Weight {
+			first = i
+		}
+	}
+	seeds := []int{first}
+	minDist := make([]float64, len(cs))
+	for i := range cs {
+		minDist[i] = vec.DistSq(cs[i].Mean, cs[first].Mean)
+	}
+	for len(seeds) < k {
+		far := -1
+		for i := range cs {
+			if minDist[i] == 0 {
+				continue
+			}
+			if far < 0 || minDist[i] > minDist[far] {
+				far = i
+			}
+		}
+		if far < 0 {
+			// All remaining means coincide with a seed; duplicate seeds
+			// add nothing.
+			break
+		}
+		seeds = append(seeds, far)
+		for i := range cs {
+			if d := vec.DistSq(cs[i].Mean, cs[far].Mean); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return seeds
+}
+
+// GMMResult reports a soft-EM fit.
+type GMMResult struct {
+	// Mixture is the fitted k-component Gaussian Mixture with weights
+	// summing to the number of points.
+	Mixture gauss.Mixture
+	// LogLikelihood is the final total data log-likelihood.
+	LogLikelihood float64
+	// Iters is the number of EM iterations performed.
+	Iters int
+}
+
+// FitGMM fits a k-component Gaussian Mixture to the points with soft
+// EM, seeded by k-means++. It is the centralized baseline: the quality
+// target the distributed GM algorithm is compared against.
+func FitGMM(points []vec.Vector, k int, r *rng.RNG, opts Options) (*GMMResult, error) {
+	opts = opts.withDefaults()
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("em: k = %d outside [1, %d]", k, len(points))
+	}
+	centers, err := kmeansPP(points, k, r)
+	if err != nil {
+		return nil, err
+	}
+	n := len(points)
+	mix := make(gauss.Mixture, k)
+	for j, c := range centers {
+		mix[j] = gauss.Component{Gaussian: gauss.NewPoint(c), Weight: float64(n) / float64(k)}
+	}
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	iters := 0
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		iters = iter + 1
+		// E-step.
+		conds := make([]*gauss.Conditioned, len(mix))
+		for j, c := range mix {
+			cond, err := c.Condition(opts.VarFloor)
+			if err != nil {
+				return nil, fmt.Errorf("em: conditioning component %d: %w", j, err)
+			}
+			conds[j] = cond
+		}
+		total := mix.TotalWeight()
+		var ll float64
+		logs := make([]float64, len(mix))
+		for i, p := range points {
+			for j := range mix {
+				lp, err := conds[j].LogDensity(p)
+				if err != nil {
+					return nil, err
+				}
+				logs[j] = math.Log(mix[j].Weight/total) + lp
+			}
+			lse := gauss.LogSumExp(logs)
+			ll += lse
+			for j := range mix {
+				resp[i][j] = math.Exp(logs[j] - lse)
+			}
+		}
+		// M-step.
+		next := make(gauss.Mixture, 0, len(mix))
+		for j := range mix {
+			var w float64
+			for i := range points {
+				w += resp[i][j]
+			}
+			if w < 1e-12 {
+				continue // component died
+			}
+			ws := make([]float64, n)
+			for i := range points {
+				ws[i] = resp[i][j]
+			}
+			mu, cov, err := stats.WeightedMeanCov(points, ws)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, gauss.Component{
+				Gaussian: gauss.Gaussian{Mean: mu, Cov: cov},
+				Weight:   w,
+			})
+		}
+		mix = next
+		if ll-prevLL < opts.Tol*float64(n) && iter > 0 {
+			prevLL = ll
+			break
+		}
+		prevLL = ll
+	}
+	return &GMMResult{Mixture: mix, LogLikelihood: prevLL, Iters: iters}, nil
+}
+
+// KMeansResult reports a Lloyd's-algorithm run.
+type KMeansResult struct {
+	// Centers are the final cluster centroids.
+	Centers []vec.Vector
+	// Assign maps each point to its cluster index.
+	Assign []int
+	// Inertia is the total squared distance of points to their centers.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// KMeans clusters the points into k groups with Lloyd's algorithm,
+// seeded by k-means++.
+func KMeans(points []vec.Vector, k int, r *rng.RNG, opts Options) (*KMeansResult, error) {
+	opts = opts.withDefaults()
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if k < 1 || k > len(points) {
+		return nil, fmt.Errorf("em: k = %d outside [1, %d]", k, len(points))
+	}
+	centers, err := kmeansPP(points, k, r)
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iters := 0
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		iters = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := -1, math.Inf(1)
+			for j, c := range centers {
+				if d := vec.DistSq(p, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		sums := make([]vec.Vector, len(centers))
+		counts := make([]int, len(centers))
+		for j := range sums {
+			sums[j] = vec.New(points[0].Dim())
+		}
+		for i, p := range points {
+			vec.AddInPlace(sums[assign[i]], p)
+			counts[assign[i]]++
+		}
+		for j := range centers {
+			if counts[j] > 0 {
+				centers[j] = vec.Scale(1/float64(counts[j]), sums[j])
+			}
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += vec.DistSq(p, centers[assign[i]])
+	}
+	return &KMeansResult{Centers: centers, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+// kmeansPP seeds k centers with the k-means++ distribution.
+func kmeansPP(points []vec.Vector, k int, r *rng.RNG) ([]vec.Vector, error) {
+	centers := make([]vec.Vector, 0, k)
+	centers = append(centers, points[r.IntN(len(points))].Clone())
+	dist := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if dd := vec.DistSq(p, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			// All points coincide with centers; any choice is equivalent.
+			idx = r.IntN(len(points))
+		} else {
+			var err error
+			idx, err = r.Categorical(dist)
+			if err != nil {
+				return nil, fmt.Errorf("em: k-means++ seeding: %w", err)
+			}
+		}
+		centers = append(centers, points[idx].Clone())
+	}
+	return centers, nil
+}

@@ -1,0 +1,182 @@
+package em
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/gauss"
+	"distclass/internal/mat"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+func TestReduceGreedyTwoClusters(t *testing.T) {
+	cs := []gauss.Component{
+		pointComp(1, 0, 0), pointComp(1, 0.2, 0), pointComp(1, -0.1, 0.1),
+		pointComp(1, 10, 10), pointComp(1, 10.3, 9.8),
+	}
+	groups, err := ReduceGreedy(cs, 2, Options{})
+	if err != nil {
+		t.Fatalf("ReduceGreedy: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for _, g := range groups {
+		first := g[0] < 3
+		for _, idx := range g {
+			if (idx < 3) != first {
+				t.Errorf("mixed group: %v", groups)
+			}
+		}
+	}
+}
+
+func TestReduceGreedyFewerThanK(t *testing.T) {
+	cs := []gauss.Component{pointComp(1, 0), pointComp(1, 5)}
+	groups, err := ReduceGreedy(cs, 5, Options{})
+	if err != nil {
+		t.Fatalf("ReduceGreedy: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestReduceGreedyVarianceAware(t *testing.T) {
+	// Figure 1 again: the probe nearer the tight cluster must merge with
+	// the wide one, because inflating the tight cluster is costlier.
+	wide, err := gauss.New(vec.Of(0, 0), mat.Diagonal(9, 9))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tight, err := gauss.New(vec.Of(4, 0), mat.Diagonal(0.01, 0.01))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cs := []gauss.Component{
+		{Gaussian: wide, Weight: 10},
+		{Gaussian: tight, Weight: 10},
+		pointComp(0.5, 2.6, 0),
+	}
+	groups, err := ReduceGreedy(cs, 2, Options{})
+	if err != nil {
+		t.Fatalf("ReduceGreedy: %v", err)
+	}
+	for _, g := range groups {
+		hasProbe, hasTight := false, false
+		for _, idx := range g {
+			if idx == 2 {
+				hasProbe = true
+			}
+			if idx == 1 {
+				hasTight = true
+			}
+		}
+		if hasProbe && hasTight {
+			t.Errorf("probe merged with the tight cluster: %v", groups)
+		}
+	}
+}
+
+func TestReduceGreedyErrors(t *testing.T) {
+	if _, err := ReduceGreedy(nil, 2, Options{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := ReduceGreedy([]gauss.Component{pointComp(1, 0)}, 0, Options{}); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+}
+
+func TestPropertyGreedyPartitionValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(12)
+		k := 1 + r.IntN(5)
+		cs := make([]gauss.Component, n)
+		for i := range cs {
+			cs[i] = pointComp(r.UniformRange(0.1, 2), r.UniformRange(-10, 10), r.UniformRange(-10, 10))
+		}
+		groups, err := ReduceGreedy(cs, k, Options{})
+		if err != nil {
+			return false
+		}
+		if len(groups) > k && n > k {
+			return false
+		}
+		seen := make([]bool, n)
+		count := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			for _, idx := range g {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyAgreesWithEMOnEasyData cross-checks the two reduction
+// engines: on cleanly separated clusters they must produce the same
+// partition (up to group order).
+func TestGreedyAgreesWithEMOnEasyData(t *testing.T) {
+	r := rng.New(13)
+	cs := make([]gauss.Component, 0, 12)
+	for i := 0; i < 12; i++ {
+		c := -8.0
+		if i%2 == 1 {
+			c = 8
+		}
+		cs = append(cs, pointComp(r.UniformRange(0.5, 1.5), c+r.UniformRange(-1, 1), r.UniformRange(-1, 1)))
+	}
+	canon := func(groups [][]int) map[int]int {
+		owner := map[int]int{}
+		for gi, g := range groups {
+			for _, idx := range g {
+				owner[idx] = gi
+			}
+		}
+		return owner
+	}
+	em, err := ReduceMixture(cs, 2, Options{})
+	if err != nil {
+		t.Fatalf("ReduceMixture: %v", err)
+	}
+	greedy, err := ReduceGreedy(cs, 2, Options{})
+	if err != nil {
+		t.Fatalf("ReduceGreedy: %v", err)
+	}
+	emOwner, grOwner := canon(em), canon(greedy)
+	// Same partition iff for all pairs, same-group relations agree.
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if (emOwner[i] == emOwner[j]) != (grOwner[i] == grOwner[j]) {
+				t.Fatalf("partitions disagree on pair (%d, %d): em=%v greedy=%v", i, j, em, greedy)
+			}
+		}
+	}
+}
+
+func BenchmarkReduceGreedy(b *testing.B) {
+	r := rng.New(17)
+	cs := make([]gauss.Component, 20)
+	for i := range cs {
+		cs[i] = pointComp(r.UniformRange(0.5, 2), r.UniformRange(-10, 10), r.UniformRange(-10, 10))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReduceGreedy(cs, 7, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

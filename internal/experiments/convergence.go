@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"distclass/internal/core"
+)
+
+// Spread measures how far apart node classifications currently are: the
+// maximum pairwise core.Dissimilarity over a deterministic sample of
+// node pairs (all pairs when n is small, a spaced subset otherwise).
+// Converging networks drive it to zero.
+func Spread(nodes []*core.Node, m core.Method, maxNodes int) (float64, error) {
+	if maxNodes < 2 {
+		maxNodes = 2
+	}
+	idx := sampleIndices(len(nodes), maxNodes)
+	var worst float64
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			d, err := core.Dissimilarity(
+				nodes[idx[i]].Classification(),
+				nodes[idx[j]].Classification(),
+				m,
+			)
+			if err != nil {
+				return 0, err
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// sampleIndices returns up to max evenly spaced indices over [0, n).
+func sampleIndices(n, max int) []int {
+	if n <= max {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i * n / max
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes headers and rows as RFC-4180 CSV — the format
+// plotting tools consume to regenerate the paper's figures graphically.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for i, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fs(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Fig3CSV writes the Figure 3 sweep as CSV.
+func Fig3CSV(w io.Writer, rows []Fig3Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fs(r.Delta), fs(r.MissPct), fs(r.RobustErr), fs(r.RegularErr)}
+	}
+	return WriteCSV(w, []string{"delta", "missed_outliers_pct", "robust_err", "regular_err"}, out)
+}
+
+// Fig4CSV writes the Figure 4 traces as CSV.
+func Fig4CSV(w io.Writer, rows []Fig4Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Round),
+			fs(r.RobustNoCrash), fs(r.RegularNoCrash),
+			fs(r.RobustCrash), fs(r.RegularCrash),
+		}
+	}
+	return WriteCSV(w, []string{"round", "robust", "regular", "robust_crash", "regular_crash"}, out)
+}
+
+// Fig2CSV writes the Figure 2 mixtures (true and estimated components)
+// as CSV; the kind column distinguishes them.
+func Fig2CSV(w io.Writer, res *Fig2Result) error {
+	var out [][]string
+	add := func(kind string, mixIdx int, weight float64, mx, my, cxx, cyy float64) {
+		out = append(out, []string{
+			kind, strconv.Itoa(mixIdx), fs(weight), fs(mx), fs(my), fs(cxx), fs(cyy),
+		})
+	}
+	for i, c := range res.True {
+		add("true", i, c.Weight, c.Mean[0], c.Mean[1], c.Cov.At(0, 0), c.Cov.At(1, 1))
+	}
+	for i, c := range res.Estimated {
+		add("estimated", i, c.Weight, c.Mean[0], c.Mean[1], c.Cov.At(0, 0), c.Cov.At(1, 1))
+	}
+	return WriteCSV(w, []string{"kind", "component", "weight", "mean_x", "mean_y", "var_x", "var_y"}, out)
+}

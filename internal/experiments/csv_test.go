@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "x,y"}})
+	if err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[2][1] != "x,y" {
+		t.Errorf("quoting broken: %q", records[2][1])
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	rows := []Fig3Row{
+		{Delta: 1, MissPct: 50, RobustErr: 0.1, RegularErr: 0.2},
+		{Delta: 2.5, MissPct: 0, RobustErr: 0.05, RegularErr: 0.4},
+	}
+	var b strings.Builder
+	if err := Fig3CSV(&b, rows); err != nil {
+		t.Fatalf("Fig3CSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) != 3 || records[0][0] != "delta" {
+		t.Fatalf("records = %v", records)
+	}
+	if records[2][0] != "2.5" || records[2][3] != "0.4" {
+		t.Errorf("row = %v", records[2])
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	rows := []Fig4Row{{Round: 1, RobustNoCrash: 0.5, RegularNoCrash: 0.6, RobustCrash: 0.7, RegularCrash: 0.8}}
+	var b strings.Builder
+	if err := Fig4CSV(&b, rows); err != nil {
+		t.Fatalf("Fig4CSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) != 2 || records[1][0] != "1" || records[1][4] != "0.8" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	res, err := RunFigure2(Fig2Config{N: 60, K: 4, MaxRounds: 15, Seed: 2})
+	if err != nil {
+		t.Fatalf("RunFigure2: %v", err)
+	}
+	var b strings.Builder
+	if err := Fig2CSV(&b, res); err != nil {
+		t.Fatalf("Fig2CSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	// Header + 3 true + >=1 estimated.
+	if len(records) < 5 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[1][0] != "true" {
+		t.Errorf("first data row kind = %q", records[1][0])
+	}
+	sawEst := false
+	for _, rec := range records[1:] {
+		if rec[0] == "estimated" {
+			sawEst = true
+		}
+	}
+	if !sawEst {
+		t.Errorf("no estimated rows in %v", records)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distclass/internal/gauss"
+	"distclass/internal/mat"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+// FMin is the paper's outlier threshold for Figure 3: values whose
+// probability density under the standard normal is below this are
+// ground-truth outliers.
+const FMin = 5e-5
+
+// Figure2TrueMixture returns the 3-Gaussian generating distribution of
+// the Figure 2 experiment. The paper does not print its exact
+// parameters; this mixture matches the figure's shape: sensors along a
+// fence (x = position, y = temperature), with the right side close to a
+// fire outbreak — one hot, elongated component and two cooler background
+// components.
+func Figure2TrueMixture() gauss.Mixture {
+	mk := func(w, mx, my, sxx, sxy, syy float64) gauss.Component {
+		cov, err := mat.FromRows([][]float64{{sxx, sxy}, {sxy, syy}})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: bad literal covariance: %v", err))
+		}
+		g, err := gauss.New(vec.Of(mx, my), cov)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: bad literal component: %v", err))
+		}
+		return gauss.Component{Gaussian: g, Weight: w}
+	}
+	return gauss.Mixture{
+		// Background sensors along the left of the fence.
+		mk(0.40, -6, 0, 1.2, 0.2, 0.5),
+		// Background sensors mid-fence, slightly warmer.
+		mk(0.35, 0, 3, 1.0, -0.3, 0.7),
+		// Sensors near the fire: hot, strongly elongated in temperature.
+		mk(0.25, 6, 9, 0.8, 0.6, 2.5),
+	}
+}
+
+// Figure2Dataset samples n values from the Figure 2 mixture.
+func Figure2Dataset(n int, r *rng.RNG) ([]vec.Vector, error) {
+	return Figure2TrueMixture().Sample(r, n, 0)
+}
+
+// Figure3Dataset builds the Figure 3 input: nGood values from the
+// standard bivariate normal and nOut values from N((0, delta), 0.1*I).
+// It returns the values and their ground-truth outlier flags — per the
+// paper, a value is an outlier when its density under the standard
+// normal is below FMin (so extreme draws from the good distribution
+// count as outliers, and near-mean draws from the bad one do not).
+func Figure3Dataset(nGood, nOut int, delta float64, r *rng.RNG) ([]vec.Vector, []bool, error) {
+	if nGood < 0 || nOut < 0 || nGood+nOut == 0 {
+		return nil, nil, fmt.Errorf("experiments: bad sizes nGood=%d nOut=%d", nGood, nOut)
+	}
+	values := make([]vec.Vector, 0, nGood+nOut)
+	good, err := rng.NewMVN(vec.Of(0, 0), mat.Identity(2))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < nGood; i++ {
+		values = append(values, good.Sample(r))
+	}
+	if nOut > 0 {
+		bad, err := rng.NewMVN(vec.Of(0, delta), mat.Diagonal(0.1, 0.1))
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < nOut; i++ {
+			values = append(values, bad.Sample(r))
+		}
+	}
+	outlier := make([]bool, len(values))
+	for i, v := range values {
+		outlier[i] = StandardNormalDensity2D(v) < FMin
+	}
+	return values, outlier, nil
+}
+
+// StandardNormalDensity2D returns the density of the standard bivariate
+// normal at v.
+func StandardNormalDensity2D(v vec.Vector) float64 {
+	if v.Dim() != 2 {
+		return 0
+	}
+	return math.Exp(-0.5*(v[0]*v[0]+v[1]*v[1])) / (2 * math.Pi)
+}

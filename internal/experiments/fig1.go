@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distclass/internal/gauss"
+	"distclass/internal/gm"
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+// Fig1Result reports the Figure 1 association example: a new value that
+// the centroid rule assigns to the tight collection A (whose centroid is
+// nearer) while the Gaussian rule assigns it to the wide collection B
+// (under which it is likelier).
+type Fig1Result struct {
+	// Value is the probe value being associated.
+	Value vec.Vector
+	// A is the tight collection, B the wide one.
+	A, B gauss.Component
+	// DistToA and DistToB are centroid (Euclidean) distances.
+	DistToA, DistToB float64
+	// LogDensA and LogDensB are weighted Gaussian log-densities.
+	LogDensA, LogDensB float64
+	// CentroidPick and GMPick name the collection ("A"/"B") chosen by
+	// each rule.
+	CentroidPick, GMPick string
+}
+
+// RunFigure1 reproduces the Figure 1 scenario.
+func RunFigure1() (*Fig1Result, error) {
+	tight, err := gauss.New(vec.Of(4, 0), mat.Diagonal(0.05, 0.05))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 collection A: %w", err)
+	}
+	wide, err := gauss.New(vec.Of(0, 0), mat.Diagonal(9, 9))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 collection B: %w", err)
+	}
+	res := &Fig1Result{
+		Value: vec.Of(2.6, 0),
+		A:     gauss.Component{Gaussian: tight, Weight: 1},
+		B:     gauss.Component{Gaussian: wide, Weight: 1},
+	}
+	if res.DistToA, err = vec.Dist(res.Value, tight.Mean); err != nil {
+		return nil, err
+	}
+	if res.DistToB, err = vec.Dist(res.Value, wide.Mean); err != nil {
+		return nil, err
+	}
+	res.CentroidPick = "B"
+	if res.DistToA < res.DistToB {
+		res.CentroidPick = "A"
+	}
+	mix := gauss.Mixture{res.A, res.B}
+	idx, err := gm.Assign(mix, res.Value, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 assign: %w", err)
+	}
+	res.GMPick = []string{"A", "B"}[idx]
+	condA, err := tight.Condition(0)
+	if err != nil {
+		return nil, err
+	}
+	condB, err := wide.Condition(0)
+	if err != nil {
+		return nil, err
+	}
+	if res.LogDensA, err = condA.LogDensity(res.Value); err != nil {
+		return nil, err
+	}
+	if res.LogDensB, err = condB.LogDensity(res.Value); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the result as the rows the paper's Figure 1 caption
+// narrates.
+func (r *Fig1Result) Table() string {
+	rows := [][]string{
+		{"A (tight)", F(r.DistToA), F(r.LogDensA)},
+		{"B (wide)", F(r.DistToB), F(r.LogDensB)},
+	}
+	s := FormatTable([]string{"collection", "dist to centroid", "log density"}, rows)
+	return s + fmt.Sprintf("centroid rule picks %s; Gaussian rule picks %s\n", r.CentroidPick, r.GMPick)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distclass/internal/core"
+	"distclass/internal/gauss"
+	"distclass/internal/gm"
+	"distclass/internal/rng"
+	"distclass/internal/sim"
+	"distclass/internal/topology"
+	"distclass/internal/vec"
+)
+
+// Fig2Config parameterizes the Figure 2 experiment: GM classification of
+// 2-D values drawn from three Gaussians, on a fully connected network,
+// run until the nodes' mixtures stop moving. The paper uses N = 1000 and
+// K = 7.
+type Fig2Config struct {
+	// N is the network size (default 1000).
+	N int
+	// K is the collection bound (default 7).
+	K int
+	// MaxRounds bounds the run (default 60).
+	MaxRounds int
+	// Tol is the convergence threshold on the sampled inter-node
+	// classification spread (default 1e-3).
+	Tol float64
+	// Seed drives dataset generation and gossip (default 1).
+	Seed uint64
+}
+
+func (c Fig2Config) withDefaults() Fig2Config {
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.K == 0 {
+		c.K = 7
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 60
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig2Result reports a Figure 2 run.
+type Fig2Result struct {
+	// Estimated is node 0's final mixture — the paper's Figure 2c.
+	Estimated gauss.Mixture
+	// True is the generating mixture — the paper's Figure 2a.
+	True gauss.Mixture
+	// ConvergedRound is the first round at which the sampled spread fell
+	// below Tol (-1 if it never did within MaxRounds).
+	ConvergedRound int
+	// RoundsRun is the number of rounds executed.
+	RoundsRun int
+	// MeanCoverError is the weight-averaged distance from each true
+	// component mean to the nearest estimated component mean — how well
+	// the estimate covers the real clusters.
+	MeanCoverError float64
+	// FinalSpread is the sampled inter-node spread at the end.
+	FinalSpread float64
+	// Values are the sampled input values (one per node), kept for
+	// rendering the Figure 2b scatter.
+	Values []vec.Vector
+}
+
+// RunFigure2 executes the Figure 2 experiment.
+func RunFigure2(cfg Fig2Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	values, err := Figure2Dataset(cfg.N, r)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 dataset: %w", err)
+	}
+	method := gm.Method{}
+	nodes := make([]*core.Node, cfg.N)
+	agents := make([]sim.Agent[core.Classification], cfg.N)
+	for i := range nodes {
+		n, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: cfg.K})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 node %d: %w", i, err)
+		}
+		nodes[i] = n
+		agents[i] = &ClassifierAgent{Node: n}
+	}
+	graph, err := topology.Full(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{True: Figure2TrueMixture(), ConvergedRound: -1, Values: values}
+	stable := 0
+	err = net.RunRounds(cfg.MaxRounds, func(round int) error {
+		res.RoundsRun = round + 1
+		spread, err := Spread(nodes, method, 4)
+		if err != nil {
+			return err
+		}
+		res.FinalSpread = spread
+		if spread < cfg.Tol {
+			stable++
+			if stable >= 3 {
+				if res.ConvergedRound < 0 {
+					res.ConvergedRound = round + 1
+				}
+				return sim.ErrStop
+			}
+		} else {
+			stable = 0
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 run: %w", err)
+	}
+	mix, err := gm.ToMixture(nodes[0].Classification())
+	if err != nil {
+		return nil, err
+	}
+	res.Estimated = mix
+	res.MeanCoverError, err = MeanCoverError(res.True, res.Estimated)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MeanCoverError returns the weight-averaged distance from each true
+// component mean to the nearest estimated component mean.
+func MeanCoverError(truth, estimated gauss.Mixture) (float64, error) {
+	if len(truth) == 0 || len(estimated) == 0 {
+		return 0, fmt.Errorf("experiments: empty mixture in cover error")
+	}
+	totalW := truth.TotalWeight()
+	var sum float64
+	for _, tc := range truth {
+		best := math.Inf(1)
+		for _, ec := range estimated {
+			d, err := vec.Dist(tc.Mean, ec.Mean)
+			if err != nil {
+				return 0, err
+			}
+			if d < best {
+				best = d
+			}
+		}
+		sum += tc.Weight / totalW * best
+	}
+	return sum, nil
+}
+
+// Table renders the estimated mixture next to the true one.
+func (r *Fig2Result) Table() string {
+	headers := []string{"component", "weight", "mean", "cov diag"}
+	var rows [][]string
+	for i, c := range r.True {
+		rows = append(rows, []string{
+			fmt.Sprintf("true %d", i), F(c.Weight), c.Mean.String(),
+			fmt.Sprintf("(%s, %s)", F(c.Cov.At(0, 0)), F(c.Cov.At(1, 1))),
+		})
+	}
+	for i, c := range r.Estimated {
+		rows = append(rows, []string{
+			fmt.Sprintf("est %d", i), F(c.Weight), c.Mean.String(),
+			fmt.Sprintf("(%s, %s)", F(c.Cov.At(0, 0)), F(c.Cov.At(1, 1))),
+		})
+	}
+	s := FormatTable(headers, rows)
+	return s + fmt.Sprintf("converged round: %d   mean cover error: %s   spread: %s\n",
+		r.ConvergedRound, F(r.MeanCoverError), F(r.FinalSpread))
+}

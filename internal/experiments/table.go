@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTable renders headers and rows as an aligned text table, the
+// output format of cmd/experiments and the bench harness.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 4 significant digits for table cells.
+func F(x float64) string { return fmt.Sprintf("%.4g", x) }

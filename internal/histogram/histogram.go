@@ -1,0 +1,137 @@
+// Package histogram implements a gossip-based one-dimensional
+// distribution estimator in the style the paper's related work surveys
+// (Haridasan & van Renesse; Sacha et al.): every node maps its scalar
+// input into a fixed equal-width bin vector and the network runs weight
+// diffusion over those vectors, so all nodes converge to the global
+// normalized histogram.
+//
+// It serves as a comparator: the paper argues such estimators are
+// limited to single-dimensional values and cannot classify — e.g. a
+// small set of distant values (outliers) is smeared into bins rather
+// than kept as a separate summarized collection. The repository's
+// comparison benches exercise exactly that failure mode.
+package histogram
+
+import (
+	"errors"
+	"fmt"
+
+	"distclass/internal/vec"
+)
+
+// Spec fixes the binning: nbins equal-width bins over [Lo, Hi). Values
+// outside the range clamp into the boundary bins.
+type Spec struct {
+	Lo, Hi float64
+	Bins   int
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Bins <= 0 {
+		return fmt.Errorf("histogram: bins = %d must be positive", s.Bins)
+	}
+	if !(s.Lo < s.Hi) {
+		return fmt.Errorf("histogram: invalid range [%v, %v)", s.Lo, s.Hi)
+	}
+	return nil
+}
+
+// BinOf returns the bin index of value x under the spec.
+func (s Spec) BinOf(x float64) int {
+	width := (s.Hi - s.Lo) / float64(s.Bins)
+	b := int((x - s.Lo) / width)
+	if b < 0 {
+		return 0
+	}
+	if b >= s.Bins {
+		return s.Bins - 1
+	}
+	return b
+}
+
+// Centers returns the center coordinate of every bin.
+func (s Spec) Centers() []float64 {
+	width := (s.Hi - s.Lo) / float64(s.Bins)
+	out := make([]float64, s.Bins)
+	for i := range out {
+		out[i] = s.Lo + width*(float64(i)+0.5)
+	}
+	return out
+}
+
+// Message carries half of a node's bin mass.
+type Message struct {
+	Mass   vec.Vector
+	Weight float64
+}
+
+// Node is a gossip histogram estimator.
+type Node struct {
+	id   int
+	spec Spec
+	mass vec.Vector
+	w    float64
+}
+
+// NewNode creates a node whose scalar input value is x.
+func NewNode(id int, x float64, spec Spec) (*Node, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mass := vec.New(spec.Bins)
+	mass[spec.BinOf(x)] = 1
+	return &Node{id: id, spec: spec, mass: mass, w: 1}, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// Spec returns the node's binning spec.
+func (n *Node) Spec() Spec { return n.spec }
+
+// Split halves the node's mass and returns the outgoing half.
+func (n *Node) Split() Message {
+	out := Message{Mass: vec.Scale(0.5, n.mass), Weight: n.w / 2}
+	vec.ScaleInPlace(0.5, n.mass)
+	n.w /= 2
+	return out
+}
+
+// Receive folds incoming messages into the node's mass.
+func (n *Node) Receive(msgs []Message) error {
+	for _, m := range msgs {
+		if m.Mass.Dim() != n.mass.Dim() {
+			return fmt.Errorf("histogram: node %d: message bins %d, want %d", n.id, m.Mass.Dim(), n.mass.Dim())
+		}
+		vec.AddInPlace(n.mass, m.Mass)
+		n.w += m.Weight
+	}
+	return nil
+}
+
+// Estimate returns the node's normalized histogram estimate: the
+// estimated fraction of network values in each bin (sums to 1).
+func (n *Node) Estimate() (vec.Vector, error) {
+	total := n.mass.Norm1()
+	if total <= 0 {
+		return nil, errors.New("histogram: no mass")
+	}
+	return vec.Scale(1/total, n.mass), nil
+}
+
+// EstimatedMean returns the mean of the estimated distribution using bin
+// centers — the statistic a histogram user would report, which the
+// comparison benches contrast with the GM algorithm's robust mean.
+func (n *Node) EstimatedMean() (float64, error) {
+	est, err := n.Estimate()
+	if err != nil {
+		return 0, err
+	}
+	centers := n.spec.Centers()
+	var mean float64
+	for i, p := range est {
+		mean += p * centers[i]
+	}
+	return mean, nil
+}

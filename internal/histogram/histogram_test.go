@@ -1,0 +1,142 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"distclass/internal/rng"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Lo: 0, Hi: 1, Bins: 4}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Lo: 0, Hi: 1, Bins: 0}).Validate(); err == nil {
+		t.Errorf("zero bins accepted")
+	}
+	if err := (Spec{Lo: 1, Hi: 1, Bins: 4}).Validate(); err == nil {
+		t.Errorf("empty range accepted")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	s := Spec{Lo: 0, Hi: 10, Bins: 5}
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {1.9, 0}, {2, 1}, {9.9, 4}, {-5, 0}, {50, 4},
+	}
+	for _, tt := range tests {
+		if got := s.BinOf(tt.x); got != tt.want {
+			t.Errorf("BinOf(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCenters(t *testing.T) {
+	s := Spec{Lo: 0, Hi: 10, Bins: 5}
+	centers := s.Centers()
+	want := []float64{1, 3, 5, 7, 9}
+	for i := range want {
+		if math.Abs(centers[i]-want[i]) > 1e-12 {
+			t.Errorf("Centers[%d] = %v, want %v", i, centers[i], want[i])
+		}
+	}
+}
+
+func TestNewNode(t *testing.T) {
+	n, err := NewNode(2, 3.5, Spec{Lo: 0, Hi: 10, Bins: 5})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	if n.ID() != 2 || n.Spec().Bins != 5 {
+		t.Errorf("id=%d bins=%d", n.ID(), n.Spec().Bins)
+	}
+	est, err := n.Estimate()
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if est[1] != 1 {
+		t.Errorf("initial estimate = %v, want all mass in bin 1", est)
+	}
+	if _, err := NewNode(0, 1, Spec{Bins: 0, Lo: 0, Hi: 1}); err == nil {
+		t.Errorf("invalid spec accepted")
+	}
+}
+
+func TestSplitReceive(t *testing.T) {
+	s := Spec{Lo: 0, Hi: 10, Bins: 2}
+	a, _ := NewNode(0, 1, s) // bin 0
+	b, _ := NewNode(1, 9, s) // bin 1
+	if err := a.Receive([]Message{b.Split()}); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	est, _ := a.Estimate()
+	// a holds mass (1, 0.5): estimate (2/3, 1/3).
+	if math.Abs(est[0]-2.0/3) > 1e-12 || math.Abs(est[1]-1.0/3) > 1e-12 {
+		t.Errorf("estimate = %v", est)
+	}
+	bad := Message{Mass: make([]float64, 3), Weight: 1}
+	if err := a.Receive([]Message{bad}); err == nil {
+		t.Errorf("bin mismatch should error")
+	}
+}
+
+func TestGossipConvergesToGlobalHistogram(t *testing.T) {
+	const n = 50
+	s := Spec{Lo: 0, Hi: 1, Bins: 4}
+	r := rng.New(17)
+	nodes := make([]*Node, n)
+	counts := make([]float64, s.Bins)
+	for i := range nodes {
+		x := r.Float64()
+		counts[s.BinOf(x)]++
+		node, err := NewNode(i, x, s)
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		nodes[i] = node
+	}
+	for round := 0; round < 60; round++ {
+		inbox := make([][]Message, n)
+		for i, node := range nodes {
+			dst := r.IntN(n - 1)
+			if dst >= i {
+				dst++
+			}
+			inbox[dst] = append(inbox[dst], node.Split())
+		}
+		for i, msgs := range inbox {
+			if err := nodes[i].Receive(msgs); err != nil {
+				t.Fatalf("Receive: %v", err)
+			}
+		}
+	}
+	for _, node := range nodes {
+		est, err := node.Estimate()
+		if err != nil {
+			t.Fatalf("Estimate: %v", err)
+		}
+		for b := range counts {
+			want := counts[b] / n
+			if math.Abs(est[b]-want) > 1e-6 {
+				t.Errorf("node %d bin %d = %v, want %v", node.ID(), b, est[b], want)
+			}
+		}
+	}
+}
+
+func TestEstimatedMeanQuantizationBias(t *testing.T) {
+	// A histogram's mean snaps to bin centers: a node whose value is 0.1
+	// in a [0,1) 2-bin spec reports 0.25, demonstrating the resolution
+	// loss the paper's classification approach avoids.
+	n, _ := NewNode(0, 0.1, Spec{Lo: 0, Hi: 1, Bins: 2})
+	mean, err := n.EstimatedMean()
+	if err != nil {
+		t.Fatalf("EstimatedMean: %v", err)
+	}
+	if math.Abs(mean-0.25) > 1e-12 {
+		t.Errorf("EstimatedMean = %v, want 0.25 (bin center)", mean)
+	}
+}

@@ -1,0 +1,404 @@
+// Package livenet runs the classification protocol as a live
+// deployment: one goroutine pair per node, real duplex connections
+// (in-process net.Pipe by default), wire-encoded messages, and genuine
+// asynchrony — no global scheduler, no rounds. It is the shape the
+// paper targets (asynchronous reliable channels, §3.1), complementing
+// package sim's deterministic drivers: sim answers "does the algorithm
+// behave as the paper says", livenet answers "does this implementation
+// survive real concurrency".
+//
+// Each node runs a sender loop (every Interval: split the
+// classification, encode one half, push it to a random neighbor) and
+// one receiver loop per incoming connection (decode, absorb). Node
+// state is mutex-protected; the convergence guarantees do not depend on
+// timing, only on fairness, which uniform random neighbor choice
+// provides.
+package livenet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distclass/internal/core"
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+	"distclass/internal/wire"
+)
+
+// MaxFrame bounds accepted message frames (1 MiB); a peer announcing a
+// larger frame is treated as faulty.
+const MaxFrame = 1 << 20
+
+// Transport selects how node links are realized.
+type Transport int
+
+// Supported transports.
+const (
+	// TransportPipe links nodes with synchronous in-process pipes
+	// (net.Pipe) — no sockets, no buffering.
+	TransportPipe Transport = iota
+	// TransportTCP links nodes with loopback TCP connections — real
+	// sockets with kernel buffering, the closest in-process stand-in
+	// for a deployed network.
+	TransportTCP
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportPipe:
+		return "pipe"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// Config parameterizes a live cluster.
+type Config struct {
+	// Method is the instantiation. Required.
+	Method core.Method
+	// K bounds collections per classification (default 2).
+	K int
+	// Q is the weight quantum (default core.DefaultQ).
+	Q float64
+	// Interval is each node's gossip tick (default 2ms).
+	Interval time.Duration
+	// Seed drives neighbor selection (default 1). Note that real
+	// concurrency makes runs non-deterministic regardless.
+	Seed uint64
+	// Transport selects pipe (default) or loopback TCP links.
+	Transport Transport
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Cluster is a running live deployment.
+type Cluster struct {
+	peers  []*peer
+	method core.Method
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	sent    atomic.Int64
+	stopped atomic.Bool
+	errOnce sync.Once
+	firstE  atomic.Value // error
+}
+
+type peer struct {
+	id    int
+	mu    sync.Mutex
+	node  *core.Node
+	conns []net.Conn // one per neighbor, same order as Neighbors(id)
+	r     *rng.RNG
+	rmu   sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
+}
+
+// Start launches a live cluster over the graph: values[i] is node i's
+// input. Stop must be called to release the goroutines.
+func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Method == nil {
+		return nil, errors.New("livenet: Config.Method is required")
+	}
+	if g == nil {
+		return nil, errors.New("livenet: nil graph")
+	}
+	if len(values) != g.N() {
+		return nil, fmt.Errorf("livenet: %d values for %d nodes", len(values), g.N())
+	}
+	seedRNG := rng.New(cfg.Seed)
+	peers := make([]*peer, g.N())
+	for i := range peers {
+		node, err := core.NewNode(i, values[i], nil, core.Config{
+			Method: cfg.Method, K: cfg.K, Q: cfg.Q,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
+		}
+		peers[i] = &peer{id: i, node: node, r: seedRNG.Split()}
+	}
+	// One duplex link per undirected edge.
+	dial := pipeLink
+	if cfg.Transport == TransportTCP {
+		closer, tcpDial, err := newTCPLinker()
+		if err != nil {
+			return nil, fmt.Errorf("livenet: tcp transport: %w", err)
+		}
+		defer closer()
+		dial = tcpDial
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v < u {
+				continue
+			}
+			cu, cv, err := dial()
+			if err != nil {
+				for _, p := range peers {
+					for _, conn := range p.conns {
+						_ = conn.Close()
+					}
+				}
+				return nil, fmt.Errorf("livenet: linking %d-%d: %w", u, v, err)
+			}
+			peers[u].conns = append(peers[u].conns, cu)
+			peers[v].conns = append(peers[v].conns, cv)
+		}
+	}
+	// conns order: peers[u].conns appends edges in increasing-neighbor
+	// order for v > u, but edges with v < u were appended when u was the
+	// larger endpoint — the order ends up by edge creation, not by
+	// neighbor id. The sender picks uniformly over conns, which is all
+	// fairness needs.
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{peers: peers, method: cfg.Method, cancel: cancel}
+	for _, p := range peers {
+		p := p
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.sendLoop(ctx, p, cfg.Interval)
+		}()
+		for _, conn := range p.conns {
+			conn := conn
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.recvLoop(p, conn)
+			}()
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if len(p.conns) == 0 {
+			continue
+		}
+		p.rmu.Lock()
+		idx := p.r.IntN(len(p.conns))
+		p.rmu.Unlock()
+
+		p.mu.Lock()
+		out := p.node.Split()
+		p.mu.Unlock()
+		if len(out) == 0 {
+			continue
+		}
+		data, err := wire.MarshalClassification(out)
+		if err != nil {
+			c.fail(fmt.Errorf("livenet: node %d: marshal: %w", p.id, err))
+			return
+		}
+		if err := writeFrame(p.conns[idx], data); err != nil {
+			if c.stopped.Load() {
+				return
+			}
+			c.fail(fmt.Errorf("livenet: node %d: send: %w", p.id, err))
+			return
+		}
+		c.sent.Add(1)
+	}
+}
+
+func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			// EOF / closed pipe is the normal shutdown path.
+			if !c.stopped.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+				c.fail(fmt.Errorf("livenet: node %d: recv: %w", p.id, err))
+			}
+			return
+		}
+		cls, err := wire.UnmarshalClassification(data)
+		if err != nil {
+			c.fail(fmt.Errorf("livenet: node %d: decode: %w", p.id, err))
+			return
+		}
+		p.mu.Lock()
+		err = p.node.Absorb(cls)
+		p.mu.Unlock()
+		if err != nil {
+			c.fail(fmt.Errorf("livenet: node %d: absorb: %w", p.id, err))
+			return
+		}
+	}
+}
+
+func (c *Cluster) fail(err error) {
+	c.errOnce.Do(func() { c.firstE.Store(err) })
+}
+
+// Err returns the first internal error observed, or nil.
+func (c *Cluster) Err() error {
+	if e, ok := c.firstE.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.peers) }
+
+// MessagesSent returns the number of messages sent so far.
+func (c *Cluster) MessagesSent() int64 { return c.sent.Load() }
+
+// Classification returns a copy of node i's current classification.
+func (c *Cluster) Classification(i int) core.Classification {
+	p := c.peers[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node.Classification()
+}
+
+// TotalWeight returns the weight currently held at nodes. The per-node
+// reads are not one atomic snapshot: while the protocol runs, weight
+// split from one node can be counted again at its receiver (or missed
+// in flight), so a live reading may be above or below N. Once the
+// cluster is stopped the value is exact: N minus whatever was in flight
+// when the connections closed.
+func (c *Cluster) TotalWeight() float64 {
+	var total float64
+	for _, p := range c.peers {
+		p.mu.Lock()
+		total += p.node.Weight()
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// Spread returns the maximum pairwise dissimilarity over a sample of
+// node pairs — the convergence diagnostic.
+func (c *Cluster) Spread() (float64, error) {
+	idx := []int{0, c.N() / 3, 2 * c.N() / 3, c.N() - 1}
+	var worst float64
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if idx[i] == idx[j] {
+				continue
+			}
+			d, err := core.Dissimilarity(
+				c.Classification(idx[i]), c.Classification(idx[j]), c.method)
+			if err != nil {
+				return 0, err
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Stop shuts the cluster down: sender loops are cancelled, connections
+// closed (unblocking receiver loops and any in-flight writes), and all
+// goroutines joined. Safe to call more than once.
+func (c *Cluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	c.cancel()
+	for _, p := range c.peers {
+		for _, conn := range p.conns {
+			_ = conn.Close()
+		}
+	}
+	c.wg.Wait()
+}
+
+// pipeLink returns the two ends of an in-process synchronous pipe.
+func pipeLink() (net.Conn, net.Conn, error) {
+	a, b := net.Pipe()
+	return a, b, nil
+}
+
+// newTCPLinker opens a loopback listener and returns a dial function
+// producing connected TCP pairs, plus a closer for the listener.
+func newTCPLinker() (closer func(), dial func() (net.Conn, net.Conn, error), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	dial = func() (net.Conn, net.Conn, error) {
+		type accepted struct {
+			conn net.Conn
+			err  error
+		}
+		ch := make(chan accepted, 1)
+		go func() {
+			conn, err := ln.Accept()
+			ch <- accepted{conn, err}
+		}()
+		client, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := <-ch
+		if srv.err != nil {
+			_ = client.Close()
+			return nil, nil, srv.err
+		}
+		return client, srv.conn, nil
+	}
+	return func() { _ = ln.Close() }, dial, nil
+}
+
+// writeFrame writes a u32 length prefix and the payload.
+func writeFrame(w io.Writer, data []byte) error {
+	if len(data) > MaxFrame {
+		return fmt.Errorf("livenet: frame of %d bytes exceeds limit", len(data))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("livenet: peer announced %d-byte frame", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -1,0 +1,257 @@
+package livenet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/gm"
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+	"distclass/internal/vec"
+)
+
+func bimodalValues(n int, seed uint64) []core.Value {
+	r := rng.New(seed)
+	values := make([]core.Value, n)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4
+		}
+		values[i] = vec.Of(c+r.Normal(0, 1), r.Normal(0, 1))
+	}
+	return values
+}
+
+func TestStartValidation(t *testing.T) {
+	g, err := topology.Full(3)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	values := bimodalValues(3, 1)
+	if _, err := Start(nil, values, Config{Method: gm.Method{}}); err == nil {
+		t.Errorf("nil graph accepted")
+	}
+	if _, err := Start(g, values, Config{}); err == nil {
+		t.Errorf("missing method accepted")
+	}
+	if _, err := Start(g, values[:2], Config{Method: gm.Method{}}); err == nil {
+		t.Errorf("value count mismatch accepted")
+	}
+	if _, err := Start(g, []core.Value{nil, nil, nil}, Config{Method: gm.Method{}}); err == nil {
+		t.Errorf("empty values accepted")
+	}
+}
+
+// TestLiveConvergence runs a real goroutine deployment until the nodes
+// agree on the classification, for both methods.
+func TestLiveConvergence(t *testing.T) {
+	methods := []core.Method{gm.Method{}, centroids.Method{}}
+	for _, method := range methods {
+		t.Run(method.Name(), func(t *testing.T) {
+			const n = 16
+			g, err := topology.Full(n)
+			if err != nil {
+				t.Fatalf("Full: %v", err)
+			}
+			cluster, err := Start(g, bimodalValues(n, 2), Config{
+				Method:   method,
+				K:        2,
+				Interval: time.Millisecond,
+				Seed:     3,
+			})
+			if err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			defer cluster.Stop()
+			deadline := time.After(15 * time.Second)
+			for {
+				select {
+				case <-deadline:
+					spread, _ := cluster.Spread()
+					t.Fatalf("no convergence before deadline (spread %v, err %v)", spread, cluster.Err())
+				case <-time.After(20 * time.Millisecond):
+				}
+				if err := cluster.Err(); err != nil {
+					t.Fatalf("cluster error: %v", err)
+				}
+				spread, err := cluster.Spread()
+				if err != nil {
+					t.Fatalf("Spread: %v", err)
+				}
+				if spread < 0.2 {
+					break
+				}
+			}
+			// Node 0 sees both clusters.
+			var sawLow, sawHigh bool
+			for _, c := range cluster.Classification(0) {
+				var mean vec.Vector
+				switch s := c.Summary.(type) {
+				case centroids.Centroid:
+					mean = s.Point
+				case gm.Summary:
+					mean = s.G.Mean
+				}
+				switch {
+				case math.Abs(mean[0]+4) < 1.5:
+					sawLow = true
+				case math.Abs(mean[0]-4) < 1.5:
+					sawHigh = true
+				}
+			}
+			if !sawLow || !sawHigh {
+				t.Errorf("node 0 missing a cluster: %v", cluster.Classification(0))
+			}
+			if cluster.MessagesSent() == 0 {
+				t.Errorf("no messages sent")
+			}
+			if cluster.N() != n {
+				t.Errorf("N = %d", cluster.N())
+			}
+		})
+	}
+}
+
+// TestLiveWeightConservation checks the conservation bound where it is
+// well-defined: concurrent TotalWeight readings are non-atomic and may
+// wobble around n, but after Stop (no concurrency, in-flight frames
+// dropped at the closed pipes) the node-held weight is exact and can
+// only be at or below n.
+func TestLiveWeightConservation(t *testing.T) {
+	const n = 8
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	cluster, err := Start(g, bimodalValues(n, 4), Config{
+		Method:   gm.Method{},
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		// Live readings stay in a sane band even though they are not an
+		// atomic snapshot (each node is off by at most its in-flight
+		// halves).
+		if got := cluster.TotalWeight(); got < float64(n)/2 || got > 2*float64(n) {
+			cluster.Stop()
+			t.Fatalf("live weight reading %v wildly off from %d", got, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cluster.Stop()
+	got := cluster.TotalWeight()
+	if got > float64(n)+1e-9 {
+		t.Errorf("post-stop weight %v exceeds %d", got, n)
+	}
+	if got < float64(n)/2 {
+		t.Errorf("post-stop weight %v lost more than half the mass", got)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	g, err := topology.Full(4)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	cluster, err := Start(g, bimodalValues(4, 5), Config{Method: gm.Method{}})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cluster.Stop()
+	cluster.Stop() // must not panic or hang
+	if err := cluster.Err(); err != nil {
+		t.Errorf("Err after clean stop: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("frame = %v, want %v", got, payload)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Errorf("oversized frame accepted by writer")
+	}
+	// Reader rejects announced oversize.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "frame") {
+		t.Errorf("oversized announcement error = %v", err)
+	}
+	// Truncated payload.
+	var short bytes.Buffer
+	if err := writeFrame(&short, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	data := short.Bytes()[:5]
+	if _, err := readFrame(bytes.NewReader(data)); err == nil {
+		t.Errorf("truncated frame accepted")
+	}
+}
+
+// TestLiveTCPTransport runs the same convergence check over real
+// loopback TCP sockets.
+func TestLiveTCPTransport(t *testing.T) {
+	const n = 10
+	g, err := topology.Full(n)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	cluster, err := Start(g, bimodalValues(n, 6), Config{
+		Method:    gm.Method{},
+		K:         2,
+		Interval:  time.Millisecond,
+		Transport: TransportTCP,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer cluster.Stop()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			spread, _ := cluster.Spread()
+			t.Fatalf("no convergence over TCP (spread %v, err %v)", spread, cluster.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+		if err := cluster.Err(); err != nil {
+			t.Fatalf("cluster error: %v", err)
+		}
+		spread, err := cluster.Spread()
+		if err != nil {
+			t.Fatalf("Spread: %v", err)
+		}
+		if spread < 0.2 {
+			return
+		}
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if TransportPipe.String() != "pipe" || TransportTCP.String() != "tcp" {
+		t.Errorf("transport strings: %q %q", TransportPipe, TransportTCP)
+	}
+	if Transport(9).String() == "" {
+		t.Errorf("unknown transport should render")
+	}
+}

@@ -1,0 +1,158 @@
+// Package plot renders 2-D scatter data and Gaussian equidensity
+// ellipses as ASCII art, so cmd/experiments can print the same pictures
+// the paper's Figure 2 shows — the generating mixture, the sampled
+// values and the estimated mixture — without any graphics dependency.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"distclass/internal/gauss"
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+// Canvas is a character raster over a rectangular data window.
+type Canvas struct {
+	w, h                   int
+	xmin, xmax, ymin, ymax float64
+	cells                  [][]rune
+}
+
+// NewCanvas builds a w x h canvas over the window [xmin, xmax] x
+// [ymin, ymax].
+func NewCanvas(w, h int, xmin, xmax, ymin, ymax float64) (*Canvas, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("plot: canvas %dx%d too small", w, h)
+	}
+	if !(xmin < xmax) || !(ymin < ymax) {
+		return nil, fmt.Errorf("plot: empty window [%v, %v] x [%v, %v]", xmin, xmax, ymin, ymax)
+	}
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Canvas{w: w, h: h, xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax, cells: cells}, nil
+}
+
+// Point plots one data point; points outside the window are dropped.
+// Later marks overwrite earlier ones, so draw scatter first and
+// overlays (ellipses, centers) after.
+func (c *Canvas) Point(x, y float64, mark rune) {
+	col := int(math.Round((x - c.xmin) / (c.xmax - c.xmin) * float64(c.w-1)))
+	row := int(math.Round((c.ymax - y) / (c.ymax - c.ymin) * float64(c.h-1)))
+	if col < 0 || col >= c.w || row < 0 || row >= c.h {
+		return
+	}
+	c.cells[row][col] = mark
+}
+
+// Ellipse draws the nsigma equidensity contour of N(mean, cov): the
+// image of the unit circle under mean + nsigma * L, with L the Cholesky
+// factor of the (floored) covariance.
+func (c *Canvas) Ellipse(mean vec.Vector, cov *mat.Matrix, nsigma float64, mark rune) error {
+	if mean.Dim() != 2 || cov.Dim() != 2 {
+		return errors.New("plot: ellipses need 2-D Gaussians")
+	}
+	floored := cov.Clone()
+	for i := 0; i < 2; i++ {
+		floored.Set(i, i, floored.At(i, i)+gauss.DefaultVarianceFloor)
+	}
+	chol, err := mat.NewCholesky(floored)
+	if err != nil {
+		return fmt.Errorf("plot: %w", err)
+	}
+	l := chol.L()
+	const steps = 180
+	for s := 0; s < steps; s++ {
+		t := 2 * math.Pi * float64(s) / steps
+		ux, uy := math.Cos(t), math.Sin(t)
+		x := mean[0] + nsigma*(l.At(0, 0)*ux+l.At(0, 1)*uy)
+		y := mean[1] + nsigma*(l.At(1, 0)*ux+l.At(1, 1)*uy)
+		c.Point(x, y, mark)
+	}
+	return nil
+}
+
+// String renders the canvas with a simple frame.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", c.w))
+	b.WriteString("+\n")
+	for _, row := range c.cells {
+		b.WriteByte('|')
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", c.w))
+	b.WriteByte('+')
+	return b.String()
+}
+
+// Bounds computes a window covering the points with a margin fraction.
+func Bounds(points []vec.Vector, margin float64) (xmin, xmax, ymin, ymax float64, err error) {
+	if len(points) == 0 {
+		return 0, 0, 0, 0, errors.New("plot: no points")
+	}
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		if p.Dim() != 2 {
+			return 0, 0, 0, 0, errors.New("plot: points must be 2-D")
+		}
+		xmin = math.Min(xmin, p[0])
+		xmax = math.Max(xmax, p[0])
+		ymin = math.Min(ymin, p[1])
+		ymax = math.Max(ymax, p[1])
+	}
+	dx, dy := xmax-xmin, ymax-ymin
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	return xmin - margin*dx, xmax + margin*dx, ymin - margin*dy, ymax + margin*dy, nil
+}
+
+// MixtureScene renders values as dots and each mixture component as a
+// 2-sigma ellipse ('o' for the first mixture, '*' for the second),
+// reproducing the look of the paper's Figure 2 panels.
+func MixtureScene(w, h int, values []vec.Vector, mixtures ...gauss.Mixture) (string, error) {
+	xmin, xmax, ymin, ymax, err := Bounds(values, 0.1)
+	if err != nil {
+		return "", err
+	}
+	canvas, err := NewCanvas(w, h, xmin, xmax, ymin, ymax)
+	if err != nil {
+		return "", err
+	}
+	for _, v := range values {
+		canvas.Point(v[0], v[1], '.')
+	}
+	marks := []rune{'o', '*', '#'}
+	for mi, mix := range mixtures {
+		mark := marks[mi%len(marks)]
+		total := mix.TotalWeight()
+		for _, comp := range mix {
+			// Negligible slivers (the paper's singleton x's) are drawn as
+			// single x marks rather than ellipses.
+			if comp.Weight < 1e-3*total {
+				canvas.Point(comp.Mean[0], comp.Mean[1], 'x')
+				continue
+			}
+			if err := canvas.Ellipse(comp.Mean, comp.Cov, 2, mark); err != nil {
+				return "", err
+			}
+		}
+	}
+	return canvas.String(), nil
+}

@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"distclass/internal/gauss"
+	"distclass/internal/mat"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+func TestNewCanvasValidation(t *testing.T) {
+	if _, err := NewCanvas(1, 10, 0, 1, 0, 1); err == nil {
+		t.Errorf("tiny width accepted")
+	}
+	if _, err := NewCanvas(10, 10, 1, 1, 0, 1); err == nil {
+		t.Errorf("empty x window accepted")
+	}
+	if _, err := NewCanvas(10, 10, 0, 1, 2, 1); err == nil {
+		t.Errorf("inverted y window accepted")
+	}
+}
+
+func TestPointPlacement(t *testing.T) {
+	c, err := NewCanvas(11, 11, -1, 1, -1, 1)
+	if err != nil {
+		t.Fatalf("NewCanvas: %v", err)
+	}
+	c.Point(0, 0, 'M')   // center
+	c.Point(-1, 1, 'A')  // top-left corner
+	c.Point(1, -1, 'Z')  // bottom-right corner
+	c.Point(50, 50, 'Q') // clipped
+	c.Point(-50, 0, 'Q') // clipped
+	s := c.String()
+	lines := strings.Split(s, "\n")
+	// Frame adds one line on top; row 0 of the canvas is lines[1].
+	if lines[1][1] != 'A' {
+		t.Errorf("top-left = %q", lines[1][1])
+	}
+	if lines[6][6] != 'M' {
+		t.Errorf("center = %q; canvas:\n%s", lines[6][6], s)
+	}
+	if lines[11][11] != 'Z' {
+		t.Errorf("bottom-right = %q", lines[11][11])
+	}
+	if strings.ContainsRune(s, 'Q') {
+		t.Errorf("clipped point was drawn:\n%s", s)
+	}
+}
+
+func TestEllipse(t *testing.T) {
+	c, err := NewCanvas(41, 21, -3, 3, -3, 3)
+	if err != nil {
+		t.Fatalf("NewCanvas: %v", err)
+	}
+	if err := c.Ellipse(vec.Of(0, 0), mat.Diagonal(1, 0.25), 2, 'o'); err != nil {
+		t.Fatalf("Ellipse: %v", err)
+	}
+	s := c.String()
+	count := strings.Count(s, "o")
+	if count < 20 {
+		t.Errorf("ellipse drew only %d marks:\n%s", count, s)
+	}
+	// The 2-sigma contour of sd (1, 0.5) spans x in [-2, 2], y in [-1, 1]:
+	// the topmost canvas row (y ~ 3) must stay empty.
+	lines := strings.Split(s, "\n")
+	if strings.ContainsRune(lines[1], 'o') {
+		t.Errorf("ellipse leaked to the window top:\n%s", s)
+	}
+	if err := c.Ellipse(vec.Of(0), mat.Diagonal(1), 2, 'o'); err == nil {
+		t.Errorf("1-D ellipse accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(10, 20)}
+	xmin, xmax, ymin, ymax, err := Bounds(pts, 0.1)
+	if err != nil {
+		t.Fatalf("Bounds: %v", err)
+	}
+	if xmin != -1 || xmax != 11 || ymin != -2 || ymax != 22 {
+		t.Errorf("bounds = %v %v %v %v", xmin, xmax, ymin, ymax)
+	}
+	if _, _, _, _, err := Bounds(nil, 0.1); err == nil {
+		t.Errorf("empty points accepted")
+	}
+	if _, _, _, _, err := Bounds([]vec.Vector{vec.Of(1)}, 0.1); err == nil {
+		t.Errorf("1-D points accepted")
+	}
+	// Degenerate (single point) windows stay non-empty.
+	xa, xb, _, _, err := Bounds([]vec.Vector{vec.Of(5, 5)}, 0.1)
+	if err != nil || !(xa < xb) {
+		t.Errorf("degenerate bounds: %v %v (%v)", xa, xb, err)
+	}
+}
+
+func TestMixtureScene(t *testing.T) {
+	r := rng.New(3)
+	g1, _ := gauss.New(vec.Of(-3, 0), mat.Diagonal(1, 1))
+	g2, _ := gauss.New(vec.Of(3, 0), mat.Diagonal(1, 1))
+	mix := gauss.Mixture{
+		{Gaussian: g1, Weight: 1},
+		{Gaussian: g2, Weight: 1},
+	}
+	values, err := mix.Sample(r, 200, 0)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	scene, err := MixtureScene(60, 20, values, mix)
+	if err != nil {
+		t.Fatalf("MixtureScene: %v", err)
+	}
+	if !strings.Contains(scene, ".") || !strings.Contains(scene, "o") {
+		t.Errorf("scene missing points or ellipses:\n%s", scene)
+	}
+	// A negligible sliver component renders as an x, not an ellipse.
+	sliver := gauss.Mixture{
+		{Gaussian: g1, Weight: 1},
+		{Gaussian: g2, Weight: 1e-7},
+	}
+	scene2, err := MixtureScene(60, 20, values, sliver)
+	if err != nil {
+		t.Fatalf("MixtureScene: %v", err)
+	}
+	if !strings.Contains(scene2, "x") {
+		t.Errorf("sliver not marked with x:\n%s", scene2)
+	}
+	if _, err := MixtureScene(60, 20, nil, mix); err == nil {
+		t.Errorf("no values accepted")
+	}
+}

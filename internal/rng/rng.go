@@ -1,0 +1,158 @@
+// Package rng provides the repository's single source of randomness: a
+// deterministic, explicitly seeded generator plus the samplers the
+// experiments need (uniform, normal, multivariate normal, categorical,
+// permutations).
+//
+// Every stochastic component in the repository (dataset generation,
+// gossip peer selection, crash injection, EM initialization) draws from
+// an *RNG passed in explicitly, never from a global source, so any run
+// is reproducible from its seed. Child generators derived with Split
+// are independent streams, which lets concurrent simulations stay
+// deterministic regardless of goroutine scheduling.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+// RNG is a deterministic random number generator.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns a generator seeded with the given seed.
+func New(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent child generator. The i'th Split of a
+// given generator is a fixed function of the parent's current state, so
+// per-node or per-trial streams are reproducible.
+func (r *RNG) Split() *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64(), r.src.Uint64()))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand/v2.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Normal returns a sample from N(mu, sigma^2).
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*r.src.NormFloat64()
+}
+
+// UniformRange returns a uniform value in [lo, hi).
+func (r *RNG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Categorical returns an index sampled with probability proportional to
+// the given non-negative weights. It returns an error if the weights are
+// empty, contain a negative or non-finite entry, or sum to zero.
+func (r *RNG) Categorical(weights []float64) (int, error) {
+	if len(weights) == 0 {
+		return 0, fmt.Errorf("rng: Categorical with no weights")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("rng: Categorical weight %d is %v", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("rng: Categorical weights sum to %v", total)
+	}
+	u := r.src.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	// Rounding can push u past the last boundary; return the last
+	// positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}
+
+// MultivariateNormal draws samples from N(mu, sigma). The covariance is
+// factored once per call; callers drawing many samples from the same
+// distribution should use NewMVN.
+func (r *RNG) MultivariateNormal(mu vec.Vector, sigma *mat.Matrix, n int) ([]vec.Vector, error) {
+	mvn, err := NewMVN(mu, sigma)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vec.Vector, n)
+	for i := range out {
+		out[i] = mvn.Sample(r)
+	}
+	return out, nil
+}
+
+// MVN is a multivariate normal sampler with a pre-factored covariance.
+type MVN struct {
+	mu vec.Vector
+	l  *mat.Matrix // lower Cholesky factor of sigma
+}
+
+// NewMVN prepares a sampler for N(mu, sigma). Sigma must be symmetric
+// positive definite and match mu's dimension.
+func NewMVN(mu vec.Vector, sigma *mat.Matrix) (*MVN, error) {
+	if mu.Dim() != sigma.Dim() {
+		return nil, fmt.Errorf("rng: mean dim %d vs covariance dim %d: %w",
+			mu.Dim(), sigma.Dim(), mat.ErrDimMismatch)
+	}
+	c, err := mat.NewCholesky(sigma)
+	if err != nil {
+		return nil, fmt.Errorf("rng: covariance: %w", err)
+	}
+	return &MVN{mu: mu.Clone(), l: c.L()}, nil
+}
+
+// Dim returns the dimension of the distribution.
+func (m *MVN) Dim() int { return m.mu.Dim() }
+
+// Sample draws one sample: mu + L z with z standard normal.
+func (m *MVN) Sample(r *RNG) vec.Vector {
+	d := m.mu.Dim()
+	z := vec.New(d)
+	for i := range z {
+		z[i] = r.src.NormFloat64()
+	}
+	out := m.mu.Clone()
+	for i := 0; i < d; i++ {
+		var s float64
+		for j := 0; j <= i; j++ {
+			s += m.l.At(i, j) * z[j]
+		}
+		out[i] += s
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	a, b := New(7), New(7)
+	ca, cb := a.Split(), b.Split()
+	for i := 0; i < 50; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("Split not deterministic at draw %d", i)
+		}
+	}
+	// Parent stream continues deterministically after Split.
+	if a.Uint64() != b.Uint64() {
+		t.Errorf("parent streams diverged after Split")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %v", x)
+		}
+	}
+}
+
+func TestIntN(t *testing.T) {
+	r := New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		x := r.IntN(5)
+		if x < 0 || x >= 5 {
+			t.Fatalf("IntN out of range: %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("IntN(5) hit %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(3)
+	count := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			count++
+		}
+	}
+	p := float64(count) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+	if r.Bool(0) {
+		t.Errorf("Bool(0) returned true")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("Normal variance = %v, want ~9", variance)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		x := r.UniformRange(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("UniformRange out of range: %v", x)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(6)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, i := range p {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[i] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(7)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 28 {
+		t.Errorf("Shuffle lost elements: %v (orig %v)", xs, orig)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		idx, err := r.Categorical([]float64{1, 2, 7})
+		if err != nil {
+			t.Fatalf("Categorical: %v", err)
+		}
+		counts[idx]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		p := float64(c) / n
+		if math.Abs(p-want[i]) > 0.02 {
+			t.Errorf("Categorical freq[%d] = %v, want ~%v", i, p, want[i])
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverChosen(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		idx, err := r.Categorical([]float64{0, 1, 0})
+		if err != nil {
+			t.Fatalf("Categorical: %v", err)
+		}
+		if idx != 1 {
+			t.Fatalf("Categorical chose zero-weight index %d", idx)
+		}
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	r := New(10)
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{math.Inf(1)}},
+		{"all zero", []float64{0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := r.Categorical(tt.weights); err == nil {
+				t.Errorf("Categorical(%v) should error", tt.weights)
+			}
+		})
+	}
+}
+
+func TestMVNMoments(t *testing.T) {
+	mu := vec.Of(1, -2)
+	sigma, _ := mat.FromRows([][]float64{{4, 1}, {1, 2}})
+	mvn, err := NewMVN(mu, sigma)
+	if err != nil {
+		t.Fatalf("NewMVN: %v", err)
+	}
+	if mvn.Dim() != 2 {
+		t.Fatalf("Dim = %d", mvn.Dim())
+	}
+	r := New(11)
+	const n = 100000
+	sum := vec.New(2)
+	cov := mat.New(2)
+	samples := make([]vec.Vector, n)
+	for i := 0; i < n; i++ {
+		s := mvn.Sample(r)
+		samples[i] = s
+		vec.AddInPlace(sum, s)
+	}
+	mean := vec.Scale(1.0/n, sum)
+	if !mean.ApproxEqual(mu, 0.05) {
+		t.Errorf("MVN sample mean = %v, want ~%v", mean, mu)
+	}
+	for _, s := range samples {
+		d, _ := vec.Sub(s, mean)
+		mat.AddOuterInPlace(cov, 1.0/n, d)
+	}
+	if !cov.ApproxEqual(sigma, 0.1) {
+		t.Errorf("MVN sample covariance = %v, want ~%v", cov, sigma)
+	}
+}
+
+func TestMVNErrors(t *testing.T) {
+	if _, err := NewMVN(vec.Of(1), mat.Identity(2)); err == nil {
+		t.Errorf("NewMVN should reject dim mismatch")
+	}
+	if _, err := NewMVN(vec.Of(1, 2), mat.Diagonal(1, -1)); err == nil {
+		t.Errorf("NewMVN should reject non-SPD covariance")
+	}
+}
+
+func TestMultivariateNormalBatch(t *testing.T) {
+	r := New(12)
+	samples, err := r.MultivariateNormal(vec.Of(0, 0), mat.Identity(2), 10)
+	if err != nil {
+		t.Fatalf("MultivariateNormal: %v", err)
+	}
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	for _, s := range samples {
+		if s.Dim() != 2 || !s.IsFinite() {
+			t.Errorf("bad sample %v", s)
+		}
+	}
+	if _, err := r.MultivariateNormal(vec.Of(0), mat.Identity(2), 1); err == nil {
+		t.Errorf("MultivariateNormal should propagate NewMVN errors")
+	}
+}
+
+func BenchmarkMVNSample(b *testing.B) {
+	sigma, _ := mat.FromRows([][]float64{{4, 1}, {1, 2}})
+	mvn, err := NewMVN(vec.Of(0, 0), sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(13)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = mvn.Sample(r)
+	}
+}

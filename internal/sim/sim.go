@@ -1,0 +1,496 @@
+// Package sim simulates the paper's network model (§3.1): n nodes on a
+// static connected topology, linked by reliable asynchronous channels.
+// It offers two drivers:
+//
+//   - Network.Round — the synchronous round model the evaluation uses
+//     (§5.3): in each round every alive node sends one message to one
+//     neighbor, and every node that received messages processes its
+//     whole inbox as one batch. Optional crash injection (Figure 4)
+//     kills each node with a fixed probability after every round.
+//   - Async — a fully asynchronous event driver with per-channel FIFO
+//     queues: each step either delivers the head of a random non-empty
+//     channel or lets a random node send. Uniform random choice gives
+//     probabilistic fairness, exercising the §6 convergence claims
+//     under arbitrary interleavings.
+//
+// The drivers are generic over the message type M; any protocol that can
+// emit and receive Ms (the classification algorithm, push-sum,
+// histogram gossip) plugs in through the Agent interface.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+)
+
+// Agent is a protocol participant.
+type Agent[M any] interface {
+	// Emit produces the message for one send opportunity. ok reports
+	// whether there is anything to send (a false skips the send without
+	// consuming the opportunity's effects).
+	Emit() (msg M, ok bool)
+	// Receive consumes a batch of delivered messages. The round driver
+	// passes a node's entire inbox at once; the async driver passes
+	// single messages.
+	Receive(batch []M) error
+}
+
+// Policy selects the neighbor a node sends to.
+type Policy int
+
+// Supported gossip policies.
+const (
+	// PushRandom sends to a uniformly random neighbor each opportunity.
+	PushRandom Policy = iota
+	// RoundRobin cycles deterministically through the neighbor list,
+	// the paper's example of a fair selection rule.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PushRandom:
+		return "push-random"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Mode selects the gossip communication pattern (§4.1: a node "may
+// choose a random neighbor and send data to it (push), or ask it for
+// data (pull), or perform a bilateral exchange (push-pull)").
+type Mode int
+
+// Supported gossip modes.
+const (
+	// ModePush sends the node's split half to the chosen neighbor.
+	ModePush Mode = iota
+	// ModePull asks the chosen neighbor, which splits and sends back.
+	ModePull
+	// ModePushPull performs a bilateral exchange: both halves cross.
+	ModePushPull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePush:
+		return "push"
+	case ModePull:
+		return "pull"
+	case ModePushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configure a driver.
+type Options[M any] struct {
+	// Policy selects neighbor choice (default PushRandom).
+	Policy Policy
+	// Mode selects the gossip pattern (default ModePush).
+	Mode Mode
+	// CrashProb is the per-node probability of crashing after each
+	// round (round driver only). Zero disables crashes.
+	CrashProb float64
+	// DropProb is the probability that any sent message is silently
+	// lost (round driver only). The paper's model assumes reliable
+	// channels; this knob deliberately violates that assumption so the
+	// loss ablation can measure how much the algorithm degrades — lost
+	// messages destroy weight exactly like crashed receivers.
+	DropProb float64
+	// SizeFunc, when set, measures each sent message; the driver
+	// accumulates the total in Stats.PayloadSize.
+	SizeFunc func(M) int
+}
+
+// Stats accumulates traffic counters.
+type Stats struct {
+	// Rounds is the number of completed rounds (round driver) .
+	Rounds int
+	// Steps is the number of executed events (async driver).
+	Steps int
+	// MessagesSent counts sent messages, including those dropped at
+	// crashed destinations.
+	MessagesSent int
+	// MessagesDropped counts messages addressed to crashed nodes.
+	MessagesDropped int
+	// PayloadSize accumulates SizeFunc over sent messages.
+	PayloadSize int
+}
+
+// Network is the synchronous round driver.
+type Network[M any] struct {
+	graph  *topology.Graph
+	agents []Agent[M]
+	r      *rng.RNG
+	opts   Options[M]
+	alive  []bool
+	rr     []int // round-robin cursor per node
+	stats  Stats
+}
+
+// NewNetwork builds a round driver over the graph; agents[i] runs on
+// graph node i.
+func NewNetwork[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Options[M]) (*Network[M], error) {
+	if g == nil {
+		return nil, errors.New("sim: nil graph")
+	}
+	if len(agents) != g.N() {
+		return nil, fmt.Errorf("sim: %d agents for %d nodes", len(agents), g.N())
+	}
+	for i, a := range agents {
+		if a == nil {
+			return nil, fmt.Errorf("sim: agent %d is nil", i)
+		}
+	}
+	if r == nil {
+		return nil, errors.New("sim: nil rng")
+	}
+	if opts.CrashProb < 0 || opts.CrashProb >= 1 {
+		return nil, fmt.Errorf("sim: crash probability %v outside [0, 1)", opts.CrashProb)
+	}
+	if opts.DropProb < 0 || opts.DropProb >= 1 {
+		return nil, fmt.Errorf("sim: drop probability %v outside [0, 1)", opts.DropProb)
+	}
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Network[M]{
+		graph:  g,
+		agents: agents,
+		r:      r,
+		opts:   opts,
+		alive:  alive,
+		rr:     make([]int, g.N()),
+	}, nil
+}
+
+// Alive reports whether node i is alive.
+func (n *Network[M]) Alive(i int) bool { return n.alive[i] }
+
+// AliveCount returns the number of alive nodes.
+func (n *Network[M]) AliveCount() int {
+	c := 0
+	for _, a := range n.alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Stats returns the accumulated counters.
+func (n *Network[M]) Stats() Stats { return n.stats }
+
+// pickNeighbor chooses the destination for node i under the policy.
+func pickNeighbor(g *topology.Graph, i int, policy Policy, rr []int, r *rng.RNG) (int, bool) {
+	nbrs := g.Neighbors(i)
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	switch policy {
+	case RoundRobin:
+		dst := nbrs[rr[i]%len(nbrs)]
+		rr[i]++
+		return dst, true
+	default:
+		return nbrs[r.IntN(len(nbrs))], true
+	}
+}
+
+// Round executes one synchronous round: every alive node takes one
+// gossip action with one neighbor — a push, a pull, or a bilateral
+// exchange per Options.Mode; every alive node then processes its inbox
+// as a single batch; finally crash injection runs. Messages to crashed
+// nodes are dropped, and pulls from crashed nodes return nothing
+// (their weight is lost — exactly the failure mode Figure 4 studies).
+func (n *Network[M]) Round() error {
+	inbox := make([][]M, n.graph.N())
+	// transfer moves one split half from src to dst.
+	transfer := func(src, dst int) {
+		msg, ok := n.agents[src].Emit()
+		if !ok {
+			return
+		}
+		n.stats.MessagesSent++
+		if n.opts.SizeFunc != nil {
+			n.stats.PayloadSize += n.opts.SizeFunc(msg)
+		}
+		if !n.alive[dst] || (n.opts.DropProb > 0 && n.r.Bool(n.opts.DropProb)) {
+			n.stats.MessagesDropped++
+			return
+		}
+		inbox[dst] = append(inbox[dst], msg)
+	}
+	for i := range n.agents {
+		if !n.alive[i] {
+			continue
+		}
+		peer, ok := pickNeighbor(n.graph, i, n.opts.Policy, n.rr, n.r)
+		if !ok {
+			continue
+		}
+		switch n.opts.Mode {
+		case ModePull:
+			if n.alive[peer] {
+				transfer(peer, i)
+			}
+		case ModePushPull:
+			transfer(i, peer)
+			if n.alive[peer] {
+				transfer(peer, i)
+			}
+		default: // ModePush
+			transfer(i, peer)
+		}
+	}
+	for i, batch := range inbox {
+		if len(batch) == 0 || !n.alive[i] {
+			continue
+		}
+		if err := n.agents[i].Receive(batch); err != nil {
+			return fmt.Errorf("sim: node %d receive: %w", i, err)
+		}
+	}
+	if n.opts.CrashProb > 0 {
+		for i := range n.alive {
+			if n.alive[i] && n.r.Bool(n.opts.CrashProb) {
+				n.alive[i] = false
+			}
+		}
+	}
+	n.stats.Rounds++
+	return nil
+}
+
+// RunRounds executes the given number of rounds, invoking after (when
+// non-nil) at the end of each; returning a non-nil error from after
+// stops the run early and is returned unless it is ErrStop.
+func (n *Network[M]) RunRounds(rounds int, after func(round int) error) error {
+	for round := 0; round < rounds; round++ {
+		if err := n.Round(); err != nil {
+			return err
+		}
+		if after != nil {
+			if err := after(round); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrStop tells RunRounds/RunSteps to halt early without error.
+var ErrStop = errors.New("sim: stop")
+
+// Async is the fully asynchronous event driver.
+type Async[M any] struct {
+	graph  *topology.Graph
+	agents []Agent[M]
+	r      *rng.RNG
+	opts   Options[M]
+	queues map[[2]int][]M // FIFO per directed edge (src, dst)
+	edges  [][2]int       // directed edges with non-empty queues (keys of queues, maintained lazily)
+	rr     []int
+	stats  Stats
+}
+
+// NewAsync builds an async driver over the graph.
+func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Options[M]) (*Async[M], error) {
+	if g == nil {
+		return nil, errors.New("sim: nil graph")
+	}
+	if len(agents) != g.N() {
+		return nil, fmt.Errorf("sim: %d agents for %d nodes", len(agents), g.N())
+	}
+	for i, a := range agents {
+		if a == nil {
+			return nil, fmt.Errorf("sim: agent %d is nil", i)
+		}
+	}
+	if r == nil {
+		return nil, errors.New("sim: nil rng")
+	}
+	return &Async[M]{
+		graph:  g,
+		agents: agents,
+		r:      r,
+		opts:   opts,
+		queues: make(map[[2]int][]M),
+		rr:     make([]int, g.N()),
+	}, nil
+}
+
+// Stats returns the accumulated counters.
+func (a *Async[M]) Stats() Stats { return a.stats }
+
+// InFlight returns the number of queued (sent, undelivered) messages.
+func (a *Async[M]) InFlight() int {
+	c := 0
+	for _, q := range a.queues {
+		c += len(q)
+	}
+	return c
+}
+
+// Step executes one event. With probability proportional to the number
+// of enabled actions it either delivers the head of a random non-empty
+// channel (preserving per-channel FIFO order, as the model's reliable
+// links require) or gives a random node a send opportunity.
+func (a *Async[M]) Step() error {
+	nonEmpty := a.edges[:0]
+	for e, q := range a.queues {
+		if len(q) > 0 {
+			nonEmpty = append(nonEmpty, e)
+		}
+	}
+	a.edges = nonEmpty
+	sends := a.graph.N()
+	total := sends + len(nonEmpty)
+	choice := a.r.IntN(total)
+	a.stats.Steps++
+	if choice < sends {
+		self := choice
+		peer, ok := pickNeighbor(a.graph, self, a.opts.Policy, a.rr, a.r)
+		if !ok {
+			return nil
+		}
+		enqueue := func(src, dst int) {
+			msg, ok := a.agents[src].Emit()
+			if !ok {
+				return
+			}
+			a.stats.MessagesSent++
+			if a.opts.SizeFunc != nil {
+				a.stats.PayloadSize += a.opts.SizeFunc(msg)
+			}
+			key := [2]int{src, dst}
+			a.queues[key] = append(a.queues[key], msg)
+		}
+		switch a.opts.Mode {
+		case ModePull:
+			enqueue(peer, self)
+		case ModePushPull:
+			enqueue(self, peer)
+			enqueue(peer, self)
+		default:
+			enqueue(self, peer)
+		}
+		return nil
+	}
+	// Deterministic order within the map iteration is not guaranteed,
+	// but the edge list was rebuilt this step and indexed by the RNG, so
+	// runs are reproducible only per (seed, map order). Sort-free
+	// determinism matters for tests, so pick by stable order.
+	e := pickStableEdge(nonEmpty, choice-sends)
+	q := a.queues[e]
+	msg := q[0]
+	a.queues[e] = q[1:]
+	if err := a.agents[e[1]].Receive([]M{msg}); err != nil {
+		return fmt.Errorf("sim: node %d receive: %w", e[1], err)
+	}
+	return nil
+}
+
+// pickStableEdge selects the idx'th edge under a canonical ordering so
+// that runs are reproducible regardless of map iteration order.
+func pickStableEdge(edges [][2]int, idx int) [2]int {
+	best := 0
+	for i := 1; i < len(edges); i++ {
+		if edgeLess(edges[i], edges[best]) {
+			best = i
+		}
+	}
+	// Selection by repeated min extraction: O(len^2) worst case, but
+	// edge counts here are small. Copy to avoid mutating caller slice.
+	sorted := make([][2]int, len(edges))
+	copy(sorted, edges)
+	for i := 0; i < len(sorted); i++ {
+		min := i
+		for j := i + 1; j < len(sorted); j++ {
+			if edgeLess(sorted[j], sorted[min]) {
+				min = j
+			}
+		}
+		sorted[i], sorted[min] = sorted[min], sorted[i]
+	}
+	return sorted[idx]
+}
+
+func edgeLess(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// RunSteps executes the given number of events, invoking after (when
+// non-nil) at the end of each; ErrStop halts early without error.
+func (a *Async[M]) RunSteps(steps int, after func(step int) error) error {
+	for step := 0; step < steps; step++ {
+		if err := a.Step(); err != nil {
+			return err
+		}
+		if after != nil {
+			if err := after(step); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Drain delivers all in-flight messages (in stable channel order) until
+// every queue is empty. It is used by tests to reach quiescence.
+func (a *Async[M]) Drain() error {
+	for {
+		delivered := false
+		var keys [][2]int
+		for e, q := range a.queues {
+			if len(q) > 0 {
+				keys = append(keys, e)
+			}
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		// Stable order for reproducibility.
+		for i := 0; i < len(keys); i++ {
+			min := i
+			for j := i + 1; j < len(keys); j++ {
+				if edgeLess(keys[j], keys[min]) {
+					min = j
+				}
+			}
+			keys[i], keys[min] = keys[min], keys[i]
+		}
+		for _, e := range keys {
+			q := a.queues[e]
+			for len(q) > 0 {
+				msg := q[0]
+				q = q[1:]
+				if err := a.agents[e[1]].Receive([]M{msg}); err != nil {
+					return fmt.Errorf("sim: node %d receive: %w", e[1], err)
+				}
+				delivered = true
+			}
+			a.queues[e] = q
+		}
+		if !delivered {
+			return nil
+		}
+	}
+}

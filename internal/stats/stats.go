@@ -1,0 +1,193 @@
+// Package stats provides the descriptive statistics the experiments
+// report: weighted means and covariances of vector data, scalar running
+// statistics, and the error metrics of the paper's evaluation (mean
+// estimation error, outlier miss rates).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+// ErrEmpty reports a statistic requested over no data.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// Mean returns the arithmetic mean of the vectors.
+func Mean(xs []vec.Vector) (vec.Vector, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	ws := make([]float64, len(xs))
+	for i := range ws {
+		ws[i] = 1
+	}
+	return vec.WeightedMean(xs, ws)
+}
+
+// WeightedMeanCov returns the weighted mean and the weighted covariance
+// (normalized by total weight, i.e. the population covariance of the
+// weighted empirical distribution) of the vectors.
+func WeightedMeanCov(xs []vec.Vector, ws []float64) (vec.Vector, *mat.Matrix, error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if len(xs) != len(ws) {
+		return nil, nil, fmt.Errorf("stats: %d vectors but %d weights", len(xs), len(ws))
+	}
+	mu, err := vec.WeightedMean(xs, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := mu.Dim()
+	cov := mat.New(d)
+	var total float64
+	for i, x := range xs {
+		if x.Dim() != d {
+			return nil, nil, fmt.Errorf("stats: vector %d has dim %d, want %d", i, x.Dim(), d)
+		}
+		diff, err := vec.Sub(x, mu)
+		if err != nil {
+			return nil, nil, err
+		}
+		mat.AddOuterInPlace(cov, ws[i], diff)
+		total += ws[i]
+	}
+	return mu, mat.Scale(1/total, cov), nil
+}
+
+// MeanCov returns the unweighted mean and population covariance.
+func MeanCov(xs []vec.Vector) (vec.Vector, *mat.Matrix, error) {
+	ws := make([]float64, len(xs))
+	for i := range ws {
+		ws[i] = 1
+	}
+	return WeightedMeanCov(xs, ws)
+}
+
+// Running accumulates scalar observations and reports moments.
+// The zero value is ready to use.
+type Running struct {
+	n        int
+	mean, m2 float64 // Welford accumulators
+	min, max float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the mean of the observations (0 for none).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (0 for fewer than 2 values).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 for none).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 for none).
+func (r *Running) Max() float64 { return r.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the data using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0, 1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram counts values into nbins equal-width bins over [lo, hi).
+// Values outside the range are clamped into the first or last bin.
+func Histogram(xs []float64, lo, hi float64, nbins int) ([]int, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: nbins %d must be positive", nbins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid range [%v, %v)", lo, hi)
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		} else if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, nil
+}
+
+// MeanError returns the average Euclidean distance between each estimate
+// and the truth — the per-round error metric of Figures 3 and 4.
+func MeanError(estimates []vec.Vector, truth vec.Vector) (float64, error) {
+	if len(estimates) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, e := range estimates {
+		d, err := vec.Dist(e, truth)
+		if err != nil {
+			return 0, err
+		}
+		sum += d
+	}
+	return sum / float64(len(estimates)), nil
+}
+
+// MissRate returns missed/total, the fraction of ground-truth-outlier
+// weight that was assigned to the good collection (Figure 3's dotted
+// line). It returns 0 when total is 0.
+func MissRate(missed, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return missed / total
+}

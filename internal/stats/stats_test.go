@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/mat"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]vec.Vector{vec.Of(0, 0), vec.Of(2, 4)})
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if !got.ApproxEqual(vec.Of(1, 2), 1e-12) {
+		t.Errorf("Mean = %v, want (1,2)", got)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestWeightedMeanCov(t *testing.T) {
+	xs := []vec.Vector{vec.Of(-1, 0), vec.Of(1, 0)}
+	ws := []float64{1, 1}
+	mu, cov, err := WeightedMeanCov(xs, ws)
+	if err != nil {
+		t.Fatalf("WeightedMeanCov: %v", err)
+	}
+	if !mu.ApproxEqual(vec.Of(0, 0), 1e-12) {
+		t.Errorf("mean = %v", mu)
+	}
+	want := mat.Diagonal(1, 0)
+	if !cov.ApproxEqual(want, 1e-12) {
+		t.Errorf("cov = %v, want %v", cov, want)
+	}
+}
+
+func TestWeightedMeanCovWeighting(t *testing.T) {
+	// Value (3,0) with weight 3 and (0,0) with weight 1: mean (2.25, 0).
+	xs := []vec.Vector{vec.Of(3, 0), vec.Of(0, 0)}
+	mu, cov, err := WeightedMeanCov(xs, []float64{3, 1})
+	if err != nil {
+		t.Fatalf("WeightedMeanCov: %v", err)
+	}
+	if !mu.ApproxEqual(vec.Of(2.25, 0), 1e-12) {
+		t.Errorf("mean = %v, want (2.25, 0)", mu)
+	}
+	// Var = (3*(0.75)^2 + 1*(2.25)^2)/4 = (1.6875 + 5.0625)/4 = 1.6875.
+	if math.Abs(cov.At(0, 0)-1.6875) > 1e-12 {
+		t.Errorf("cov[0][0] = %v, want 1.6875", cov.At(0, 0))
+	}
+}
+
+func TestWeightedMeanCovErrors(t *testing.T) {
+	if _, _, err := WeightedMeanCov(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, _, err := WeightedMeanCov([]vec.Vector{vec.Of(1)}, []float64{1, 2}); err == nil {
+		t.Errorf("length mismatch should error")
+	}
+	if _, _, err := WeightedMeanCov([]vec.Vector{vec.Of(1), vec.Of(1, 2)}, []float64{1, 1}); err == nil {
+		t.Errorf("dim mismatch should error")
+	}
+}
+
+func TestMeanCovRecoversSampled(t *testing.T) {
+	r := rng.New(99)
+	sigma, _ := mat.FromRows([][]float64{{2, 0.5}, {0.5, 1}})
+	samples, err := r.MultivariateNormal(vec.Of(3, -1), sigma, 50000)
+	if err != nil {
+		t.Fatalf("sampling: %v", err)
+	}
+	mu, cov, err := MeanCov(samples)
+	if err != nil {
+		t.Fatalf("MeanCov: %v", err)
+	}
+	if !mu.ApproxEqual(vec.Of(3, -1), 0.05) {
+		t.Errorf("mean = %v, want ~(3,-1)", mu)
+	}
+	if !cov.ApproxEqual(sigma, 0.1) {
+		t.Errorf("cov = %v, want ~%v", cov, sigma)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Errorf("zero Running should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", r.Variance())
+	}
+	if math.Abs(r.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Variance() != 0 {
+		t.Errorf("Variance of single value = %v", r.Variance())
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 3 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil) error = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Errorf("Quantile(1.5) should error")
+	}
+	one, err := Quantile([]float64{7}, 0.3)
+	if err != nil || one != 7 {
+		t.Errorf("Quantile single = %v, %v", one, err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0.1, 0.2, 0.9, 1.5, -3, 99}, 0, 1, 2)
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	// 0.1, 0.2, -3(clamped) in bin 0; 0.9, 1.5(clamped), 99(clamped) in bin 1.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", counts)
+	}
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Errorf("nbins=0 should error")
+	}
+	if _, err := Histogram(nil, 1, 1, 2); err == nil {
+		t.Errorf("empty range should error")
+	}
+}
+
+func TestMeanError(t *testing.T) {
+	est := []vec.Vector{vec.Of(3, 4), vec.Of(0, 0)}
+	got, err := MeanError(est, vec.Of(0, 0))
+	if err != nil {
+		t.Fatalf("MeanError: %v", err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("MeanError = %v, want 2.5", got)
+	}
+	if _, err := MeanError(nil, vec.Of(0)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := MeanError([]vec.Vector{vec.Of(1)}, vec.Of(0, 0)); err == nil {
+		t.Errorf("dim mismatch should error")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if got := MissRate(5, 50); got != 0.1 {
+		t.Errorf("MissRate = %v, want 0.1", got)
+	}
+	if got := MissRate(5, 0); got != 0 {
+		t.Errorf("MissRate with zero total = %v, want 0", got)
+	}
+}
+
+func TestPropertyRunningMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(50)
+		var run Running
+		var sum float64
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.UniformRange(-100, 100)
+			run.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Abs(run.Mean()-mean) < 1e-9 &&
+			math.Abs(run.Variance()-m2/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.UniformRange(-10, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"non-positive n", 0, nil},
+		{"out of range", 2, [][2]int{{0, 2}}},
+		{"negative node", 2, [][2]int{{-1, 0}}},
+		{"self loop", 2, [][2]int{{1, 1}}},
+		{"duplicate", 3, [][2]int{{0, 1}, {1, 0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.n, tt.edges); err == nil {
+				t.Errorf("New(%d, %v) should error", tt.n, tt.edges)
+			}
+		})
+	}
+}
+
+func TestNewBasics(t *testing.T) {
+	g, err := New(4, [][2]int{{0, 1}, {2, 1}, {2, 3}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("EdgeCount = %d", g.EdgeCount())
+	}
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", nbrs)
+	}
+	if g.Degree(3) != 1 {
+		t.Errorf("Degree(3) = %d", g.Degree(3))
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	path, _ := New(3, [][2]int{{0, 1}, {1, 2}})
+	if !path.IsConnected() {
+		t.Errorf("path should be connected")
+	}
+	split, _ := New(4, [][2]int{{0, 1}, {2, 3}})
+	if split.IsConnected() {
+		t.Errorf("two components should not be connected")
+	}
+	single, _ := New(1, nil)
+	if !single.IsConnected() {
+		t.Errorf("singleton should be connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    func() (*Graph, error)
+		want int
+	}{
+		{"full 5", func() (*Graph, error) { return Full(5) }, 1},
+		{"ring 6", func() (*Graph, error) { return Ring(6) }, 3},
+		{"path 4", func() (*Graph, error) { return New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}) }, 3},
+		{"star 7", func() (*Graph, error) { return Star(7) }, 2},
+		{"singleton", func() (*Graph, error) { return New(1, nil) }, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.g()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			got, err := g.Diameter()
+			if err != nil {
+				t.Fatalf("Diameter: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Diameter = %d, want %d", got, tt.want)
+			}
+		})
+	}
+	split, _ := New(2, nil)
+	if _, err := split.Diameter(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("Diameter of disconnected = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestFull(t *testing.T) {
+	g, err := Full(6)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	if g.EdgeCount() != 15 {
+		t.Errorf("EdgeCount = %d, want 15", g.EdgeCount())
+	}
+	for i := 0; i < 6; i++ {
+		if g.Degree(i) != 5 {
+			t.Errorf("Degree(%d) = %d, want 5", i, g.Degree(i))
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 10} {
+		g, err := Ring(n)
+		if err != nil {
+			t.Fatalf("Ring(%d): %v", n, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("Ring(%d) not connected", n)
+		}
+		if n >= 3 {
+			for i := 0; i < n; i++ {
+				if g.Degree(i) != 2 {
+					t.Errorf("Ring(%d) degree(%d) = %d", n, i, g.Degree(i))
+				}
+			}
+		}
+	}
+	if _, err := Ring(0); err == nil {
+		t.Errorf("Ring(0) should error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if g.N() != 12 || !g.IsConnected() {
+		t.Errorf("Grid(3,4): N=%d connected=%v", g.N(), g.IsConnected())
+	}
+	// Edges: 3*3 horizontal rows (3 rows x 3) + 2*4 vertical = 9 + 8 = 17.
+	if g.EdgeCount() != 17 {
+		t.Errorf("Grid(3,4) edges = %d, want 17", g.EdgeCount())
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d", g.Degree(0))
+	}
+	if g.Degree(5) != 4 {
+		t.Errorf("interior degree = %d", g.Degree(5))
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Errorf("Grid(0,3) should error")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(3, 4)
+	if err != nil {
+		t.Fatalf("Torus: %v", err)
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.Degree(i) != 4 {
+			t.Errorf("Torus degree(%d) = %d, want 4", i, g.Degree(i))
+		}
+	}
+	if _, err := Torus(2, 4); err == nil {
+		t.Errorf("Torus(2,4) should error")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if g.Degree(0) != 4 {
+		t.Errorf("center degree = %d", g.Degree(0))
+	}
+	for i := 1; i < 5; i++ {
+		if g.Degree(i) != 1 {
+			t.Errorf("leaf degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if _, err := Star(1); err == nil {
+		t.Errorf("Star(1) should error")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, err := Tree(7)
+	if err != nil {
+		t.Fatalf("Tree: %v", err)
+	}
+	if !g.IsConnected() || g.EdgeCount() != 6 {
+		t.Errorf("Tree(7): connected=%v edges=%d", g.IsConnected(), g.EdgeCount())
+	}
+	// Root has children 1 and 2.
+	nbrs := g.Neighbors(0)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Errorf("root neighbors = %v", nbrs)
+	}
+	if _, err := Tree(0); err == nil {
+		t.Errorf("Tree(0) should error")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rng.New(5)
+	g, err := ErdosRenyi(50, 0.2, r, 100)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Errorf("ER graph not connected")
+	}
+	// Zero probability on n >= 2 can never connect.
+	if _, err := ErdosRenyi(5, 0, r, 3); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("ER(p=0) error = %v, want ErrDisconnected", err)
+	}
+	if _, err := ErdosRenyi(0, 0.5, r, 1); err == nil {
+		t.Errorf("ER(n=0) should error")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := rng.New(6)
+	g, err := Geometric(60, 0.35, r, 100)
+	if err != nil {
+		t.Fatalf("Geometric: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Errorf("geometric graph not connected")
+	}
+	if _, err := Geometric(30, 0.001, r, 2); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("tiny radius error = %v, want ErrDisconnected", err)
+	}
+	if _, err := Geometric(5, 0, r, 1); err == nil {
+		t.Errorf("radius 0 should error")
+	}
+	if _, err := Geometric(0, 0.5, r, 1); err == nil {
+		t.Errorf("n=0 should error")
+	}
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	kinds := []Kind{KindFull, KindRing, KindGrid, KindTorus, KindStar, KindTree, KindER, KindGeometric}
+	for _, kind := range kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			r := rng.New(7)
+			g, err := Build(kind, 16, r)
+			if err != nil {
+				t.Fatalf("Build(%s, 16): %v", kind, err)
+			}
+			if g.N() != 16 {
+				t.Errorf("N = %d, want 16", g.N())
+			}
+			if !g.IsConnected() {
+				t.Errorf("Build(%s) not connected", kind)
+			}
+		})
+	}
+	if _, err := Build("nope", 4, rng.New(1)); err == nil {
+		t.Errorf("unknown kind should error")
+	}
+	if _, err := Build(KindTorus, 6, rng.New(1)); err == nil {
+		t.Errorf("torus with n=6 should error (sides < 3)")
+	}
+}
+
+func TestBuildSingletons(t *testing.T) {
+	for _, kind := range []Kind{KindER, KindGeometric} {
+		g, err := Build(kind, 1, rng.New(2))
+		if err != nil {
+			t.Fatalf("Build(%s, 1): %v", kind, err)
+		}
+		if g.N() != 1 || !g.IsConnected() {
+			t.Errorf("Build(%s, 1) bad graph", kind)
+		}
+	}
+}
+
+func TestNearSquare(t *testing.T) {
+	tests := []struct {
+		n, rows, cols int
+	}{
+		{16, 4, 4}, {12, 3, 4}, {7, 1, 7}, {1, 1, 1}, {100, 10, 10},
+	}
+	for _, tt := range tests {
+		rows, cols := nearSquare(tt.n)
+		if rows != tt.rows || cols != tt.cols {
+			t.Errorf("nearSquare(%d) = (%d, %d), want (%d, %d)", tt.n, rows, cols, tt.rows, tt.cols)
+		}
+		if rows*cols != tt.n {
+			t.Errorf("nearSquare(%d) does not factor n", tt.n)
+		}
+	}
+}
+
+func TestPropertyHandshake(t *testing.T) {
+	// Sum of degrees equals twice the edge count for random ER graphs.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(30)
+		g, err := ErdosRenyi(n, 0.5, r, 50)
+		if err != nil {
+			// p=0.5 might fail to connect for tiny n; treat as vacuous.
+			return errors.Is(err, ErrDisconnected)
+		}
+		var sum int
+		for i := 0; i < n; i++ {
+			sum += g.Degree(i)
+		}
+		return sum == 2*g.EdgeCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNeighborsSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.IntN(20)
+		g, err := ErdosRenyi(n, 0.4, r, 50)
+		if err != nil {
+			return errors.Is(err, ErrDisconnected)
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				found := false
+				for _, w := range g.Neighbors(v) {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiameterTorusAndGeometric(t *testing.T) {
+	torus, err := Torus(4, 4)
+	if err != nil {
+		t.Fatalf("Torus: %v", err)
+	}
+	d, err := torus.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	// 4x4 torus: max wrap distance 2+2.
+	if d != 4 {
+		t.Errorf("torus diameter = %d, want 4", d)
+	}
+	r := rng.New(71)
+	geo, err := Geometric(40, 0.45, r, 50)
+	if err != nil {
+		t.Fatalf("Geometric: %v", err)
+	}
+	gd, err := geo.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if gd < 1 || gd > 39 {
+		t.Errorf("geometric diameter = %d", gd)
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace records structured simulation events as JSON Lines —
+// one JSON object per line — so runs can be archived, diffed and
+// post-processed by external tools. The recorder is synchronous and
+// single-writer: the simulation drivers are single-goroutine, so no
+// locking is needed; livenet callers must serialize externally.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"distclass/internal/core"
+)
+
+// Event is one recorded observation.
+type Event struct {
+	// Round is the simulation round (or step) of the observation.
+	Round int `json:"round"`
+	// Node is the observed node's id (-1 for network-wide events).
+	Node int `json:"node"`
+	// Kind labels the event ("classification", "spread", "crash", ...).
+	Kind string `json:"kind"`
+	// Collections summarizes the node's classification at the time.
+	Collections []CollectionRecord `json:"collections,omitempty"`
+	// Value carries scalar observations (spread, error, ...).
+	Value float64 `json:"value,omitempty"`
+}
+
+// CollectionRecord is one collection's snapshot.
+type CollectionRecord struct {
+	Weight float64   `json:"weight"`
+	Mean   []float64 `json:"mean,omitempty"`
+	// Summary is the collection's rendered summary, for human reading.
+	Summary string `json:"summary"`
+}
+
+// Recorder writes events as JSONL.
+type Recorder struct {
+	enc   *json.Encoder
+	count int
+}
+
+// NewRecorder writes events to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Count returns the number of events recorded so far.
+func (r *Recorder) Count() int { return r.count }
+
+// Record writes one event.
+func (r *Recorder) Record(e Event) error {
+	if err := r.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	r.count++
+	return nil
+}
+
+// Scalar records a named scalar observation.
+func (r *Recorder) Scalar(round, node int, kind string, value float64) error {
+	return r.Record(Event{Round: round, Node: node, Kind: kind, Value: value})
+}
+
+// Classification records a node's classification snapshot. meanOf
+// extracts a representative point from a summary; a nil meanOf records
+// only weights and rendered summaries.
+func (r *Recorder) Classification(round, node int, cls core.Classification, meanOf func(core.Summary) ([]float64, error)) error {
+	records := make([]CollectionRecord, len(cls))
+	for i, c := range cls {
+		rec := CollectionRecord{Weight: c.Weight, Summary: c.Summary.String()}
+		if meanOf != nil {
+			mean, err := meanOf(c.Summary)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			rec.Mean = mean
+		}
+		records[i] = rec
+	}
+	return r.Record(Event{Round: round, Node: node, Kind: "classification", Collections: records})
+}
+
+// Read decodes all events from r — the inverse of a Recorder run, used
+// by tests and post-processing.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/vec"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	var b strings.Builder
+	rec := NewRecorder(&b)
+	if err := rec.Scalar(3, 7, "spread", 0.25); err != nil {
+		t.Fatalf("Scalar: %v", err)
+	}
+	if err := rec.Scalar(4, -1, "weight", 16); err != nil {
+		t.Fatalf("Scalar: %v", err)
+	}
+	if rec.Count() != 2 {
+		t.Errorf("Count = %d", rec.Count())
+	}
+	events, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Round != 3 || events[0].Node != 7 || events[0].Kind != "spread" || events[0].Value != 0.25 {
+		t.Errorf("event[0] = %+v", events[0])
+	}
+	if events[1].Value != 16 {
+		t.Errorf("event[1] = %+v", events[1])
+	}
+}
+
+func TestClassificationSnapshot(t *testing.T) {
+	s, err := centroids.Method{}.Summarize(vec.Of(1, 2))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	cls := core.Classification{{Summary: s, Weight: 0.5}}
+	var b strings.Builder
+	rec := NewRecorder(&b)
+	meanOf := func(sum core.Summary) ([]float64, error) {
+		return sum.(centroids.Centroid).Point, nil
+	}
+	if err := rec.Classification(9, 2, cls, meanOf); err != nil {
+		t.Fatalf("Classification: %v", err)
+	}
+	events, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[0]
+	if e.Kind != "classification" || len(e.Collections) != 1 {
+		t.Fatalf("event = %+v", e)
+	}
+	c := e.Collections[0]
+	if c.Weight != 0.5 || len(c.Mean) != 2 || c.Mean[0] != 1 || c.Mean[1] != 2 {
+		t.Errorf("collection = %+v", c)
+	}
+	if !strings.Contains(c.Summary, "(1, 2)") {
+		t.Errorf("summary = %q", c.Summary)
+	}
+	// Without meanOf, means are omitted.
+	var b2 strings.Builder
+	rec2 := NewRecorder(&b2)
+	if err := rec2.Classification(0, 0, cls, nil); err != nil {
+		t.Fatalf("Classification: %v", err)
+	}
+	events2, err := Read(strings.NewReader(b2.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if events2[0].Collections[0].Mean != nil {
+		t.Errorf("mean recorded without meanOf")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	events, err := Read(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Errorf("empty input: %v, %v", events, err)
+	}
+}

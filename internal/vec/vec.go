@@ -1,0 +1,318 @@
+// Package vec provides dense vectors in R^d and the small set of
+// operations the classification algorithms need: arithmetic, norms,
+// distances and weighted accumulation.
+//
+// All operations either return fresh vectors or mutate an explicit
+// destination; no function retains references to its arguments. Functions
+// that combine two vectors require equal dimensions and report a
+// dimension mismatch through ErrDimMismatch (returned by the checked
+// variants) or panic in the unchecked in-place kernels, which are
+// documented as such and intended for inner loops where dimensions were
+// validated at the boundary.
+package vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrDimMismatch reports that two vectors of different dimensions were
+// combined.
+var ErrDimMismatch = errors.New("vec: dimension mismatch")
+
+// Vector is a point in R^d. The zero value is the empty vector (d = 0).
+type Vector []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector {
+	return make(Vector, d)
+}
+
+// Of returns a vector holding a copy of the given components.
+func Of(xs ...float64) Vector {
+	v := make(Vector, len(xs))
+	copy(v, xs)
+	return v
+}
+
+// Dim returns the dimension of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports whether v and w have the same dimension and identical
+// components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether v and w have the same dimension and all
+// components within tol of each other.
+func (v Vector) ApproxEqual(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns v + w.
+func Add(v, w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Sub returns v - w.
+func Sub(v, w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(v), len(w))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Scale returns a*v.
+func Scale(a float64, v Vector) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// AddInPlace sets dst = dst + v. It panics if dimensions differ; callers
+// validate dimensions at package boundaries.
+func AddInPlace(dst, v Vector) {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("vec: AddInPlace dimension mismatch: %d vs %d", len(dst), len(v)))
+	}
+	for i := range dst {
+		dst[i] += v[i]
+	}
+}
+
+// Axpy sets dst = dst + a*v. It panics if dimensions differ.
+func Axpy(dst Vector, a float64, v Vector) {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("vec: Axpy dimension mismatch: %d vs %d", len(dst), len(v)))
+	}
+	for i := range dst {
+		dst[i] += a * v[i]
+	}
+}
+
+// ScaleInPlace sets v = a*v.
+func ScaleInPlace(a float64, v Vector) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Dot returns the inner product of v and w.
+func Dot(v, w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(v), len(w))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s, nil
+}
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v. It avoids overflow for large
+// components by scaling, matching the contract of math.Hypot.
+func (v Vector) Norm2() float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-abs norm of v.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dist returns the Euclidean distance between v and w.
+func Dist(v, w Vector) (float64, error) {
+	d, err := Sub(v, w)
+	if err != nil {
+		return 0, err
+	}
+	return d.Norm2(), nil
+}
+
+// DistSq returns the squared Euclidean distance between v and w. It
+// panics on dimension mismatch; it is the inner-loop kernel used by the
+// partition functions after boundary validation.
+func DistSq(v, w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: DistSq dimension mismatch: %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Angle returns the angle in radians between v and w, in [0, pi].
+// The angle with a zero vector is defined as 0.
+func Angle(v, w Vector) (float64, error) {
+	dot, err := Dot(v, w)
+	if err != nil {
+		return 0, err
+	}
+	nv, nw := v.Norm2(), w.Norm2()
+	if nv == 0 || nw == 0 {
+		return 0, nil
+	}
+	c := dot / (nv * nw)
+	// Clamp against rounding outside [-1, 1].
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c), nil
+}
+
+// Normalize returns v scaled to unit L2 norm. A zero vector is returned
+// unchanged.
+func Normalize(v Vector) Vector {
+	n := v.Norm2()
+	if n == 0 {
+		return v.Clone()
+	}
+	return Scale(1/n, v)
+}
+
+// Sum returns the component-wise sum of the given vectors. All vectors
+// must share the dimension of the first; Sum of no vectors is nil.
+func Sum(vs ...Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(out), len(v))
+		}
+		AddInPlace(out, v)
+	}
+	return out, nil
+}
+
+// WeightedMean returns sum(w_i * v_i) / sum(w_i). It returns an error if
+// the slices differ in length, dimensions mismatch, or the total weight
+// is not positive.
+func WeightedMean(vs []Vector, ws []float64) (Vector, error) {
+	if len(vs) != len(ws) {
+		return nil, fmt.Errorf("vec: WeightedMean got %d vectors and %d weights", len(vs), len(ws))
+	}
+	if len(vs) == 0 {
+		return nil, errors.New("vec: WeightedMean of empty set")
+	}
+	out := New(len(vs[0]))
+	var total float64
+	for i, v := range vs {
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(out), len(v))
+		}
+		Axpy(out, ws[i], v)
+		total += ws[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("vec: WeightedMean total weight %v is not positive", total)
+	}
+	ScaleInPlace(1/total, out)
+	return out, nil
+}
+
+// IsFinite reports whether every component of v is finite (no NaN/Inf).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders v as "(x1, x2, ...)" with compact float formatting.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

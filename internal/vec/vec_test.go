@@ -1,0 +1,381 @@
+package vec
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndOf(t *testing.T) {
+	v := New(3)
+	if v.Dim() != 3 {
+		t.Fatalf("New(3).Dim() = %d, want 3", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("New(3)[%d] = %v, want 0", i, x)
+		}
+	}
+	src := []float64{1, 2, 3}
+	w := Of(src...)
+	src[0] = 99
+	if w[0] != 1 {
+		t.Errorf("Of did not copy its input: w[0] = %v after mutating source", w[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Of(1, 2, 3)
+	w := v.Clone()
+	w[1] = 42
+	if v[1] != 2 {
+		t.Errorf("Clone aliases the original: v[1] = %v", v[1])
+	}
+	var nilv Vector
+	if nilv.Clone() != nil {
+		t.Errorf("Clone of nil should be nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want bool
+	}{
+		{"identical", Of(1, 2), Of(1, 2), true},
+		{"different value", Of(1, 2), Of(1, 3), false},
+		{"different dim", Of(1, 2), Of(1, 2, 3), false},
+		{"both empty", Of(), Of(), true},
+		{"nil vs empty", nil, Of(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := Of(1, 2, 3)
+	b := Of(1.0005, 2, 3)
+	if !a.ApproxEqual(b, 1e-3) {
+		t.Errorf("ApproxEqual with tol 1e-3 should accept diff 5e-4")
+	}
+	if a.ApproxEqual(b, 1e-5) {
+		t.Errorf("ApproxEqual with tol 1e-5 should reject diff 5e-4")
+	}
+	if a.ApproxEqual(Of(1, 2), 1) {
+		t.Errorf("ApproxEqual should reject dimension mismatch")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := Of(1, 2, 3), Of(10, 20, 30)
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !sum.Equal(Of(11, 22, 33)) {
+		t.Errorf("Add = %v, want (11,22,33)", sum)
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if !diff.Equal(Of(9, 18, 27)) {
+		t.Errorf("Sub = %v, want (9,18,27)", diff)
+	}
+	if _, err := Add(a, Of(1)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Add dim mismatch error = %v, want ErrDimMismatch", err)
+	}
+	if _, err := Sub(a, Of(1)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Sub dim mismatch error = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Of(1, -2, 3)
+	got := Scale(2, v)
+	if !got.Equal(Of(2, -4, 6)) {
+		t.Errorf("Scale(2, %v) = %v", v, got)
+	}
+	if !v.Equal(Of(1, -2, 3)) {
+		t.Errorf("Scale mutated its input: %v", v)
+	}
+	ScaleInPlace(0.5, v)
+	if !v.Equal(Of(0.5, -1, 1.5)) {
+		t.Errorf("ScaleInPlace = %v", v)
+	}
+}
+
+func TestAddInPlaceAndAxpy(t *testing.T) {
+	dst := Of(1, 1)
+	AddInPlace(dst, Of(2, 3))
+	if !dst.Equal(Of(3, 4)) {
+		t.Errorf("AddInPlace = %v", dst)
+	}
+	Axpy(dst, 10, Of(1, 2))
+	if !dst.Equal(Of(13, 24)) {
+		t.Errorf("Axpy = %v", dst)
+	}
+}
+
+func TestInPlacePanicsOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddInPlace": func() { AddInPlace(Of(1), Of(1, 2)) },
+		"Axpy":       func() { Axpy(Of(1), 2, Of(1, 2)) },
+		"DistSq":     func() { DistSq(Of(1), Of(1, 2)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic on dimension mismatch", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot(Of(1, 2, 3), Of(4, 5, 6))
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if _, err := Dot(Of(1), Of(1, 2)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Dot mismatch error = %v", err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Of(3, -4)
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	var zero Vector = New(4)
+	if zero.Norm2() != 0 {
+		t.Errorf("Norm2 of zero = %v", zero.Norm2())
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	big := Of(1e200, 1e200)
+	want := math.Sqrt2 * 1e200
+	if got := big.Norm2(); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm2 overflowed: got %v, want %v", got, want)
+	}
+}
+
+func TestDist(t *testing.T) {
+	d, err := Dist(Of(0, 0), Of(3, 4))
+	if err != nil {
+		t.Fatalf("Dist: %v", err)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if got := DistSq(Of(0, 0), Of(3, 4)); got != 25 {
+		t.Errorf("DistSq = %v, want 25", got)
+	}
+	if _, err := Dist(Of(0), Of(1, 2)); err == nil {
+		t.Errorf("Dist should reject dimension mismatch")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want float64
+	}{
+		{"orthogonal", Of(1, 0), Of(0, 1), math.Pi / 2},
+		{"parallel", Of(1, 1), Of(2, 2), 0},
+		{"opposite", Of(1, 0), Of(-1, 0), math.Pi},
+		{"zero vector", Of(0, 0), Of(1, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Angle(tt.a, tt.b)
+			if err != nil {
+				t.Fatalf("Angle: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-7 {
+				t.Errorf("Angle(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+	if _, err := Angle(Of(1), Of(1, 2)); err == nil {
+		t.Errorf("Angle should reject dimension mismatch")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Of(3, 4)
+	u := Normalize(v)
+	if math.Abs(u.Norm2()-1) > 1e-12 {
+		t.Errorf("Normalize norm = %v, want 1", u.Norm2())
+	}
+	if !v.Equal(Of(3, 4)) {
+		t.Errorf("Normalize mutated input")
+	}
+	z := Normalize(New(2))
+	if !z.Equal(New(2)) {
+		t.Errorf("Normalize of zero = %v, want zero", z)
+	}
+}
+
+func TestSum(t *testing.T) {
+	got, err := Sum(Of(1, 2), Of(3, 4), Of(5, 6))
+	if err != nil {
+		t.Fatalf("Sum: %v", err)
+	}
+	if !got.Equal(Of(9, 12)) {
+		t.Errorf("Sum = %v, want (9,12)", got)
+	}
+	empty, err := Sum()
+	if err != nil || empty != nil {
+		t.Errorf("Sum() = %v, %v; want nil, nil", empty, err)
+	}
+	if _, err := Sum(Of(1, 2), Of(1)); err == nil {
+		t.Errorf("Sum should reject dimension mismatch")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]Vector{Of(0, 0), Of(10, 10)}, []float64{1, 3})
+	if err != nil {
+		t.Fatalf("WeightedMean: %v", err)
+	}
+	if !got.ApproxEqual(Of(7.5, 7.5), 1e-12) {
+		t.Errorf("WeightedMean = %v, want (7.5,7.5)", got)
+	}
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Errorf("WeightedMean of empty set should error")
+	}
+	if _, err := WeightedMean([]Vector{Of(1)}, []float64{1, 2}); err == nil {
+		t.Errorf("WeightedMean should reject length mismatch")
+	}
+	if _, err := WeightedMean([]Vector{Of(1), Of(2)}, []float64{1, -1}); err == nil {
+		t.Errorf("WeightedMean should reject non-positive total weight")
+	}
+	if _, err := WeightedMean([]Vector{Of(1), Of(1, 2)}, []float64{1, 1}); err == nil {
+		t.Errorf("WeightedMean should reject dim mismatch")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Of(1, 2, 3).IsFinite() {
+		t.Errorf("finite vector reported non-finite")
+	}
+	if Of(1, math.NaN()).IsFinite() {
+		t.Errorf("NaN vector reported finite")
+	}
+	if Of(math.Inf(1)).IsFinite() {
+		t.Errorf("Inf vector reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Of(1, 2.5).String()
+	if got != "(1, 2.5)" {
+		t.Errorf("String = %q, want %q", got, "(1, 2.5)")
+	}
+}
+
+// randVec produces a random vector with components in [-10, 10].
+func randVec(r *rand.Rand, d int) Vector {
+	v := New(d)
+	for i := range v {
+		v[i] = r.Float64()*20 - 10
+	}
+	return v
+}
+
+func TestPropertyAddCommutes(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 0))
+		d := 1 + rr.IntN(6)
+		a, b := randVec(r, d), randVec(r, d)
+		ab, _ := Add(a, b)
+		ba, _ := Add(b, a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 1))
+		d := 1 + rr.IntN(6)
+		a, b, c := randVec(rr, d), randVec(rr, d), randVec(rr, d)
+		ab, _ := Dist(a, b)
+		bc, _ := Dist(b, c)
+		ac, _ := Dist(a, c)
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCauchySchwarz(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 2))
+		d := 1 + rr.IntN(6)
+		a, b := randVec(rr, d), randVec(rr, d)
+		dot, _ := Dot(a, b)
+		return math.Abs(dot) <= a.Norm2()*b.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := rand.New(rand.NewPCG(seed, 3))
+		d := 1 + rr.IntN(6)
+		v := randVec(rr, d)
+		u := Normalize(v)
+		uu := Normalize(u)
+		return uu.ApproxEqual(u, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDistSq(b *testing.B) {
+	r := rand.New(rand.NewPCG(7, 7))
+	v, w := randVec(r, 16), randVec(r, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DistSq(v, w)
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	r := rand.New(rand.NewPCG(7, 8))
+	dst, v := randVec(r, 16), randVec(r, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(dst, 0.5, v)
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+// FuzzUnmarshalClassification feeds arbitrary bytes to the decoder: it
+// must return an error or a classification it can re-encode, never
+// panic. Run with `go test -fuzz FuzzUnmarshal ./internal/wire`;
+// without -fuzz the seed corpus below runs as a regular test.
+func FuzzUnmarshalClassification(f *testing.F) {
+	// Seed corpus: valid centroids and GM messages plus mutations.
+	cCls := core.Classification{}
+	for _, x := range []float64{1, -2, 3} {
+		s, err := centroids.Method{}.Summarize(vec.Of(x, x*2))
+		if err != nil {
+			f.Fatal(err)
+		}
+		cCls = append(cCls, core.Collection{Summary: s, Weight: 0.5})
+	}
+	cData, err := MarshalClassification(cCls)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cData)
+
+	gCls := gmCls(f, rng.New(1), 2, 2)
+	gData, err := MarshalClassification(gCls)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gData)
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, tagGM, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cls, err := UnmarshalClassification(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode (empty classifications have no
+		// method tag and re-encode trivially).
+		if _, err := MarshalClassification(cls); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package wire defines the binary encoding of classifications for
+// transmission between nodes — the message format of a deployed
+// network (package livenet) as opposed to the in-process simulator,
+// which passes values directly.
+//
+// Layout (little-endian):
+//
+//	u8  format version (1)
+//	u8  method tag (1 = centroids, 2 = gm)
+//	u16 number of collections
+//	u16 value dimension d
+//	per collection:
+//	  f64 weight
+//	  centroids: d x f64 (the centroid point)
+//	  gm:        d x f64 (mean) + d(d+1)/2 x f64 (upper-triangular
+//	             covariance, row-major)
+//
+// The covariance is packed as its upper triangle — the paper's
+// message-size argument in §2 relies on payloads depending only on k
+// and d, and symmetric storage keeps the constant minimal. Auxiliary
+// vectors are verification instrumentation and are never transmitted.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/gauss"
+	"distclass/internal/gm"
+	"distclass/internal/mat"
+	"distclass/internal/vec"
+)
+
+// Version is the current format version.
+const Version = 1
+
+// Method tags.
+const (
+	tagCentroids = 1
+	tagGM        = 2
+)
+
+// ErrFormat reports malformed wire data.
+var ErrFormat = errors.New("wire: malformed message")
+
+// MarshalClassification encodes a classification produced by one of the
+// built-in methods. All collections must carry the same summary type
+// and dimension. An empty classification encodes to a valid empty
+// message with a zero method tag.
+func MarshalClassification(cls core.Classification) ([]byte, error) {
+	if len(cls) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: %d collections exceed the format limit", len(cls))
+	}
+	var tag byte
+	d := 0
+	if len(cls) > 0 {
+		switch s := cls[0].Summary.(type) {
+		case centroids.Centroid:
+			tag = tagCentroids
+			d = s.Dim()
+		case gm.Summary:
+			tag = tagGM
+			d = s.Dim()
+		default:
+			return nil, fmt.Errorf("wire: unsupported summary type %T", cls[0].Summary)
+		}
+	}
+	if d > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: dimension %d exceeds the format limit", d)
+	}
+	buf := make([]byte, 0, 6+len(cls)*(8+8*d+8*d*(d+1)/2))
+	buf = append(buf, Version, tag)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(cls)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(d))
+	appendF64 := func(x float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for i, c := range cls {
+		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return nil, fmt.Errorf("wire: collection %d has invalid weight %v", i, c.Weight)
+		}
+		appendF64(c.Weight)
+		switch s := c.Summary.(type) {
+		case centroids.Centroid:
+			if tag != tagCentroids || s.Dim() != d {
+				return nil, fmt.Errorf("wire: collection %d is inconsistent with the first", i)
+			}
+			for _, x := range s.Point {
+				appendF64(x)
+			}
+		case gm.Summary:
+			if tag != tagGM || s.Dim() != d {
+				return nil, fmt.Errorf("wire: collection %d is inconsistent with the first", i)
+			}
+			for _, x := range s.G.Mean {
+				appendF64(x)
+			}
+			for r := 0; r < d; r++ {
+				for col := r; col < d; col++ {
+					appendF64(s.G.Cov.At(r, col))
+				}
+			}
+		default:
+			return nil, fmt.Errorf("wire: unsupported summary type %T", c.Summary)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalClassification decodes a message produced by
+// MarshalClassification.
+func UnmarshalClassification(data []byte) (core.Classification, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrFormat, len(data))
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, data[0], Version)
+	}
+	tag := data[1]
+	count := int(binary.LittleEndian.Uint16(data[2:4]))
+	d := int(binary.LittleEndian.Uint16(data[4:6]))
+	pos := 6
+	readF64 := func() (float64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("%w: truncated at byte %d", ErrFormat, pos)
+		}
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[pos : pos+8]))
+		pos += 8
+		return x, nil
+	}
+	if count == 0 {
+		if pos != len(data) {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(data)-pos)
+		}
+		return core.Classification{}, nil
+	}
+	if tag != tagCentroids && tag != tagGM {
+		return nil, fmt.Errorf("%w: unknown method tag %d", ErrFormat, tag)
+	}
+	cls := make(core.Classification, 0, count)
+	for i := 0; i < count; i++ {
+		w, err := readF64()
+		if err != nil {
+			return nil, err
+		}
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: collection %d has invalid weight %v", ErrFormat, i, w)
+		}
+		switch tag {
+		case tagCentroids:
+			point := vec.New(d)
+			for j := range point {
+				if point[j], err = readF64(); err != nil {
+					return nil, err
+				}
+			}
+			cls = append(cls, core.Collection{Summary: centroids.Centroid{Point: point}, Weight: w})
+		case tagGM:
+			mean := vec.New(d)
+			for j := range mean {
+				if mean[j], err = readF64(); err != nil {
+					return nil, err
+				}
+			}
+			cov := mat.New(d)
+			for r := 0; r < d; r++ {
+				for col := r; col < d; col++ {
+					x, err := readF64()
+					if err != nil {
+						return nil, err
+					}
+					cov.Set(r, col, x)
+					cov.Set(col, r, x)
+				}
+			}
+			g, err := gauss.New(mean, cov)
+			if err != nil {
+				return nil, fmt.Errorf("%w: collection %d: %v", ErrFormat, i, err)
+			}
+			cls = append(cls, core.Collection{Summary: gm.Summary{G: g}, Weight: w})
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(data)-pos)
+	}
+	return cls, nil
+}
+
+// MessageSize returns the encoded size in bytes of a classification
+// with the given method tag parameters — the quantity the paper's
+// message-size discussion bounds by a function of k and d only.
+func MessageSize(method core.Method, k, d int) int {
+	per := 8 + 8*d // weight + mean/point
+	if method.Name() == "gm" {
+		per += 8 * d * (d + 1) / 2
+	}
+	return 6 + k*per
+}

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/gm"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+func centroidCls(t testing.TB, weights []float64, points ...vec.Vector) core.Classification {
+	t.Helper()
+	cls := make(core.Classification, len(points))
+	for i, p := range points {
+		s, err := centroids.Method{}.Summarize(p)
+		if err != nil {
+			t.Fatalf("Summarize: %v", err)
+		}
+		cls[i] = core.Collection{Summary: s, Weight: weights[i]}
+	}
+	return cls
+}
+
+func gmCls(t testing.TB, r *rng.RNG, n, d int) core.Classification {
+	t.Helper()
+	method := gm.Method{}
+	cls := make(core.Classification, 0, n)
+	// Build non-trivial covariances by merging random point pairs.
+	for i := 0; i < n; i++ {
+		mk := func() core.Collection {
+			v := vec.New(d)
+			for j := range v {
+				v[j] = r.UniformRange(-5, 5)
+			}
+			s, err := method.Summarize(v)
+			if err != nil {
+				t.Fatalf("Summarize: %v", err)
+			}
+			return core.Collection{Summary: s, Weight: r.UniformRange(0.1, 2)}
+		}
+		a, b := mk(), mk()
+		s, err := method.Merge([]core.Collection{a, b})
+		if err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		cls = append(cls, core.Collection{Summary: s, Weight: a.Weight + b.Weight})
+	}
+	return cls
+}
+
+func TestRoundTripCentroids(t *testing.T) {
+	cls := centroidCls(t, []float64{0.5, 1.25}, vec.Of(1, 2, 3), vec.Of(-4, 5, -6))
+	data, err := MarshalClassification(cls)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalClassification(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range cls {
+		if got[i].Weight != cls[i].Weight {
+			t.Errorf("weight[%d] = %v, want %v", i, got[i].Weight, cls[i].Weight)
+		}
+		a := cls[i].Summary.(centroids.Centroid).Point
+		b := got[i].Summary.(centroids.Centroid).Point
+		if !a.Equal(b) {
+			t.Errorf("point[%d] = %v, want %v", i, b, a)
+		}
+	}
+}
+
+func TestRoundTripGM(t *testing.T) {
+	r := rng.New(5)
+	cls := gmCls(t, r, 3, 2)
+	data, err := MarshalClassification(cls)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalClassification(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got) != len(cls) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range cls {
+		want := cls[i].Summary.(gm.Summary)
+		have := got[i].Summary.(gm.Summary)
+		if !want.G.Mean.Equal(have.G.Mean) {
+			t.Errorf("mean[%d] = %v, want %v", i, have.G.Mean, want.G.Mean)
+		}
+		if !want.G.Cov.Equal(have.G.Cov) {
+			t.Errorf("cov[%d] = %v, want %v", i, have.G.Cov, want.G.Cov)
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	data, err := MarshalClassification(core.Classification{})
+	if err != nil {
+		t.Fatalf("Marshal empty: %v", err)
+	}
+	got, err := UnmarshalClassification(data)
+	if err != nil {
+		t.Fatalf("Unmarshal empty: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("len = %d, want 0", len(got))
+	}
+}
+
+func TestMarshalRejects(t *testing.T) {
+	badWeight := centroidCls(t, []float64{1}, vec.Of(1))
+	badWeight[0].Weight = -1
+	nanWeight := centroidCls(t, []float64{1}, vec.Of(1))
+	nanWeight[0].Weight = math.NaN()
+	mixed := centroidCls(t, []float64{1}, vec.Of(1))
+	gmOne := gmCls(t, rng.New(1), 1, 1)
+	mixed = append(mixed, gmOne[0])
+	mismatchDim := centroidCls(t, []float64{1, 1}, vec.Of(1), vec.Of(1))
+	s2, _ := centroids.Method{}.Summarize(vec.Of(1, 2))
+	mismatchDim[1].Summary = s2
+	foreign := core.Classification{{Summary: fakeSummary{}, Weight: 1}}
+
+	tests := []struct {
+		name string
+		cls  core.Classification
+	}{
+		{"negative weight", badWeight},
+		{"nan weight", nanWeight},
+		{"mixed types", mixed},
+		{"dim mismatch", mismatchDim},
+		{"foreign summary", foreign},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := MarshalClassification(tt.cls); err == nil {
+				t.Errorf("Marshal should reject %s", tt.name)
+			}
+		})
+	}
+}
+
+type fakeSummary struct{}
+
+func (fakeSummary) Dim() int       { return 1 }
+func (fakeSummary) String() string { return "fake" }
+
+func TestUnmarshalRejects(t *testing.T) {
+	valid, err := MarshalClassification(centroidCls(t, []float64{1}, vec.Of(1, 2)))
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	badVersion := append([]byte{}, valid...)
+	badVersion[0] = 99
+	badTag := append([]byte{}, valid...)
+	badTag[1] = 77
+	truncated := valid[:len(valid)-3]
+	trailing := append(append([]byte{}, valid...), 0)
+	tooShort := valid[:4]
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"bad version", badVersion},
+		{"bad tag", badTag},
+		{"truncated", truncated},
+		{"trailing bytes", trailing},
+		{"short header", tooShort},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalClassification(tt.data); !errors.Is(err, ErrFormat) {
+				t.Errorf("error = %v, want ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsBadWeightAndCov(t *testing.T) {
+	// Weight zero on the wire.
+	data, err := MarshalClassification(centroidCls(t, []float64{1}, vec.Of(1)))
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Overwrite the weight field (offset 6) with 0.
+	for i := 0; i < 8; i++ {
+		data[6+i] = 0
+	}
+	if _, err := UnmarshalClassification(data); !errors.Is(err, ErrFormat) {
+		t.Errorf("zero weight error = %v, want ErrFormat", err)
+	}
+}
+
+func TestMessageSize(t *testing.T) {
+	// The encoded length must match the predicted size, and must depend
+	// only on k and d (the paper's message-size claim).
+	r := rng.New(9)
+	cls := gmCls(t, r, 4, 3)
+	data, err := MarshalClassification(cls)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if want := MessageSize(gm.Method{}, 4, 3); len(data) != want {
+		t.Errorf("encoded %d bytes, MessageSize predicts %d", len(data), want)
+	}
+	ccls := centroidCls(t, []float64{1, 1}, vec.Of(1, 2), vec.Of(3, 4))
+	cdata, err := MarshalClassification(ccls)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if want := MessageSize(centroids.Method{}, 2, 2); len(cdata) != want {
+		t.Errorf("encoded %d bytes, MessageSize predicts %d", len(cdata), want)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(6)
+		d := 1 + r.IntN(4)
+		cls := make(core.Classification, 0, n)
+		method := centroids.Method{}
+		for i := 0; i < n; i++ {
+			v := vec.New(d)
+			for j := range v {
+				v[j] = r.UniformRange(-100, 100)
+			}
+			s, err := method.Summarize(v)
+			if err != nil {
+				return false
+			}
+			cls = append(cls, core.Collection{Summary: s, Weight: r.UniformRange(0.01, 5)})
+		}
+		data, err := MarshalClassification(cls)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalClassification(data)
+		if err != nil || len(got) != len(cls) {
+			return false
+		}
+		for i := range cls {
+			if got[i].Weight != cls[i].Weight {
+				return false
+			}
+			if !got[i].Summary.(centroids.Centroid).Point.Equal(cls[i].Summary.(centroids.Centroid).Point) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnmarshalNeverPanics(t *testing.T) {
+	// Arbitrary bytes must produce an error or a valid classification,
+	// never a panic.
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("panic on input %v", data)
+			}
+		}()
+		cls, err := UnmarshalClassification(data)
+		return err != nil || cls != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshalGM(b *testing.B) {
+	r := rng.New(11)
+	cls := gmCls(b, r, 7, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalClassification(cls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalGM(b *testing.B) {
+	r := rng.New(12)
+	data, err := MarshalClassification(gmCls(b, r, 7, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalClassification(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
