@@ -1,0 +1,28 @@
+# Tier-2 checks for this repo: formatting, vet, and the full test
+# suite under the race detector. Tier-1 stays `go build ./... &&
+# go test ./...` (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: check build test vet fmt race
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs reformatting, printing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...

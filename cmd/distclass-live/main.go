@@ -4,9 +4,14 @@
 // to distclass-sim's deterministic simulator. It prints the spread as
 // the cluster converges, then the final classification.
 //
+// With -metrics it serves the run's counters, latency histograms, run
+// manifest and pprof profiles over HTTP while the cluster runs; with
+// -trace it writes every protocol event (split, merge, send, receive,
+// decode error) as JSONL.
+//
 // Example:
 //
-//	distclass-live -n 32 -k 2 -topology geometric -duration 2s
+//	distclass-live -n 32 -k 2 -topology geometric -duration 2s -metrics :8080
 package main
 
 import (
@@ -14,13 +19,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"time"
 
 	"distclass/internal/core"
 	"distclass/internal/gm"
 	"distclass/internal/livenet"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 
 	"distclass/internal/centroids"
@@ -30,50 +38,84 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("distclass-live: ")
 
-	var (
-		n        = flag.Int("n", 32, "number of nodes")
-		k        = flag.Int("k", 2, "max collections per classification")
-		method   = flag.String("method", "gm", "classification method: gm or centroids")
-		topo     = flag.String("topology", "full", "topology kind")
-		seed     = flag.Uint64("seed", 1, "random seed (data and neighbor choice)")
-		duration = flag.Duration("duration", 2*time.Second, "how long to run")
-		interval = flag.Duration("interval", 2*time.Millisecond, "per-node gossip tick")
-		tol      = flag.Float64("tol", 0.05, "spread below which the run stops early")
-		trans    = flag.String("transport", "pipe", "node links: pipe or tcp")
-	)
+	var cfg runConfig
+	flag.IntVar(&cfg.n, "n", 32, "number of nodes")
+	flag.IntVar(&cfg.k, "k", 2, "max collections per classification")
+	flag.StringVar(&cfg.method, "method", "gm", "classification method: gm or centroids")
+	flag.StringVar(&cfg.topo, "topology", "full", "topology kind")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (data and neighbor choice)")
+	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "how long to run")
+	flag.DurationVar(&cfg.interval, "interval", 2*time.Millisecond, "per-node gossip tick")
+	flag.Float64Var(&cfg.tol, "tol", 0.05, "spread below which the run stops early")
+	flag.StringVar(&cfg.trans, "transport", "pipe", "node links: pipe or tcp")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
+	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
 	flag.Parse()
 
-	if err := run(*n, *k, *method, *topo, *trans, *seed, *duration, *interval, *tol); err != nil {
+	if err := run(cfg); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(n, k int, method, topo, trans string, seed uint64, duration, interval time.Duration, tol float64) error {
+// runConfig carries the command's flags into run.
+type runConfig struct {
+	n, k        int
+	method      string
+	topo        string
+	trans       string
+	seed        uint64
+	duration    time.Duration
+	interval    time.Duration
+	tol         float64
+	traceFile   string
+	metricsAddr string
+
+	// onServe, when set, is called with the bound metrics address once
+	// the endpoint is up and the cluster is running. Tests use it to
+	// probe the endpoints mid-run.
+	onServe func(addr string) error
+}
+
+// manifestConfig renders the effective flag values for the run manifest.
+func (c runConfig) manifestConfig() map[string]string {
+	return map[string]string{
+		"n":         strconv.Itoa(c.n),
+		"k":         strconv.Itoa(c.k),
+		"method":    c.method,
+		"topology":  c.topo,
+		"transport": c.trans,
+		"duration":  c.duration.String(),
+		"interval":  c.interval.String(),
+		"tol":       strconv.FormatFloat(c.tol, 'g', -1, 64),
+	}
+}
+
+func run(cfg runConfig) error {
 	var transport livenet.Transport
-	switch trans {
+	switch cfg.trans {
 	case "pipe":
 		transport = livenet.TransportPipe
 	case "tcp":
 		transport = livenet.TransportTCP
 	default:
-		return fmt.Errorf("unknown transport %q", trans)
+		return fmt.Errorf("unknown transport %q", cfg.trans)
 	}
 	var m core.Method
-	switch method {
+	switch cfg.method {
 	case "gm":
 		m = gm.Method{}
 	case "centroids":
 		m = centroids.Method{}
 	default:
-		return fmt.Errorf("unknown method %q", method)
+		return fmt.Errorf("unknown method %q", cfg.method)
 	}
-	r := rng.New(seed)
-	graph, err := topology.Build(topology.Kind(topo), n, r.Split())
+	r := rng.New(cfg.seed)
+	graph, err := topology.Build(topology.Kind(cfg.topo), cfg.n, r.Split())
 	if err != nil {
 		return err
 	}
-	values := make([]core.Value, n)
+	values := make([]core.Value, cfg.n)
 	for i := range values {
 		c := -4.0
 		if i%2 == 1 {
@@ -81,23 +123,52 @@ func run(n, k int, method, topo, trans string, seed uint64, duration, interval t
 		}
 		values[i] = vec.Of(c+r.Normal(0, 1), r.Normal(0, 1))
 	}
+
+	reg := metrics.NewRegistry()
+	var sink trace.Sink
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = trace.NewRecorder(f)
+	}
+
 	cluster, err := livenet.Start(graph, values, livenet.Config{
 		Method:    m,
-		K:         k,
-		Interval:  interval,
-		Seed:      seed,
+		K:         cfg.k,
+		Interval:  cfg.interval,
+		Seed:      cfg.seed,
 		Transport: transport,
+		Metrics:   reg,
+		Trace:     sink,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Stop()
 
+	if cfg.metricsAddr != "" {
+		man := metrics.NewManifest("distclass-live", cfg.seed, cfg.manifestConfig())
+		srv, err := metrics.Serve(cfg.metricsAddr, reg, man)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
+		if cfg.onServe != nil {
+			if err := cfg.onServe(srv.Addr()); err != nil {
+				return err
+			}
+		}
+	}
+
 	start := time.Now()
-	deadline := time.After(duration)
-	tick := time.NewTicker(duration / 10)
+	deadline := time.After(cfg.duration)
+	tick := time.NewTicker(cfg.duration / 10)
 	defer tick.Stop()
-	fmt.Printf("live cluster: %d goroutine nodes on %s topology\n", n, topo)
+	fmt.Printf("live cluster: %d goroutine nodes on %s topology\n", cfg.n, cfg.topo)
 loop:
 	for {
 		select {
@@ -114,7 +185,7 @@ loop:
 		}
 		fmt.Printf("t=%-8s spread=%.4g messages=%d\n",
 			time.Since(start).Round(time.Millisecond), spread, cluster.MessagesSent())
-		if spread < tol {
+		if spread < cfg.tol {
 			fmt.Println("converged")
 			break loop
 		}
@@ -124,7 +195,8 @@ loop:
 		return err
 	}
 	fmt.Printf("\nnode 0 classification:\n%s\n", cluster.Classification(0))
-	fmt.Printf("\nmessages sent: %d   weight at nodes: %.4f/%d\n",
-		cluster.MessagesSent(), cluster.TotalWeight(), n)
+	fmt.Printf("\nmessages sent: %d received: %d decode errors: %d   weight at nodes: %.4f/%d\n",
+		cluster.MessagesSent(), cluster.MessagesReceived(), cluster.DecodeErrors(),
+		cluster.TotalWeight(), cfg.n)
 	return nil
 }

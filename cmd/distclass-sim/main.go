@@ -25,30 +25,31 @@ func main() {
 	log.SetPrefix("distclass-sim: ")
 
 	var (
-		n         = flag.Int("n", 100, "number of nodes")
-		k         = flag.Int("k", 2, "max collections per classification")
-		method    = flag.String("method", "gm", "classification method: gm or centroids")
-		topo      = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric")
-		policy    = flag.String("policy", "push", "gossip policy: push or roundrobin")
-		mode      = flag.String("mode", "push", "gossip mode: push, pull or pushpull")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		rounds    = flag.Int("rounds", 0, "fixed number of rounds (0 = run until converged)")
-		maxRounds = flag.Int("max-rounds", 500, "round budget for convergence detection")
-		crash     = flag.Float64("crash", 0, "per-round node crash probability")
-		clusters  = flag.Int("clusters", 2, "number of synthetic data clusters")
-		spreadStd = flag.Float64("std", 1.0, "cluster standard deviation")
-		plotOut   = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
-		traceFile = flag.String("trace", "", "write per-round JSONL trace of node 0's classification to this file")
+		n          = flag.Int("n", 100, "number of nodes")
+		k          = flag.Int("k", 2, "max collections per classification")
+		method     = flag.String("method", "gm", "classification method: gm or centroids")
+		topo       = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric")
+		policy     = flag.String("policy", "push", "gossip policy: push or roundrobin")
+		mode       = flag.String("mode", "push", "gossip mode: push, pull or pushpull")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		rounds     = flag.Int("rounds", 0, "fixed number of rounds (0 = run until converged)")
+		maxRounds  = flag.Int("max-rounds", 500, "round budget for convergence detection")
+		crash      = flag.Float64("crash", 0, "per-round node crash probability")
+		clusters   = flag.Int("clusters", 2, "number of synthetic data clusters")
+		spreadStd  = flag.Float64("std", 1.0, "cluster standard deviation")
+		plotOut    = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
+		traceFile  = flag.String("trace", "", "write a JSONL event trace (splits, merges, sends, per-round spread, node 0's classification) to this file")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot after the run to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile); err != nil {
+	if err := run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile string) error {
+func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut string) error {
 	var m distclass.Method
 	switch method {
 	case "gm":
@@ -91,7 +92,8 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 		values[i] = distclass.Value{cx + r.Normal(0, std), r.Normal(0, std)}
 	}
 
-	sys, err := distclass.New(values, m,
+	reg := distclass.NewRegistry()
+	opts := []distclass.Option{
 		distclass.WithK(k),
 		distclass.WithSeed(seed),
 		distclass.WithTopology(distclass.Topology(topo)),
@@ -99,11 +101,8 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 		distclass.WithMode(gmode),
 		distclass.WithCrashProb(crash),
 		distclass.WithMaxRounds(maxRounds),
-	)
-	if err != nil {
-		return err
+		distclass.WithMetrics(reg),
 	}
-
 	var rec *trace.Recorder
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
@@ -112,25 +111,25 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 		}
 		defer f.Close()
 		rec = trace.NewRecorder(f)
+		// The system itself records protocol events and per-round
+		// spread through the sink; the observe callback below only adds
+		// node 0's classification snapshots.
+		opts = append(opts, distclass.WithTrace(rec))
 	}
+	sys, err := distclass.New(values, m, opts...)
+	if err != nil {
+		return err
+	}
+
 	observe := func(round int) error {
 		if rec == nil {
 			return nil
 		}
-		spread, err := sys.Spread()
+		records, err := distclass.TraceRecords(sys.Classification(0))
 		if err != nil {
 			return err
 		}
-		if err := rec.Scalar(round, -1, "spread", spread); err != nil {
-			return err
-		}
-		return rec.Classification(round, 0, sys.Classification(0), func(s distclass.Summary) ([]float64, error) {
-			mean, err := distclass.MeanOf(s)
-			if err != nil {
-				return nil, err
-			}
-			return mean, nil
-		})
+		return rec.Classification(round, 0, records)
 	}
 	if rounds > 0 {
 		if err := sys.RunObserved(rounds, observe); err != nil {
@@ -167,11 +166,28 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 	if st.MessagesSent > 0 {
 		fmt.Printf("avg collections/message: %.2f\n", float64(st.PayloadSize)/float64(st.MessagesSent))
 	}
+	snap := reg.Snapshot()
+	fmt.Printf("protocol:       %d splits, %d merges, %d quantize drops\n",
+		snap.Counters["core.splits"], snap.Counters["core.merges"], snap.Counters["core.quantize_drops"])
 	spread, err := sys.Spread()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("final spread:   %.3g\n", spread)
+	if metricsOut != "" {
+		w := os.Stdout
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteJSON(w); err != nil {
+			return err
+		}
+	}
 	if plotOut {
 		if method != "gm" {
 			return fmt.Errorf("-plot requires the gm method")

@@ -14,27 +14,27 @@ func TestRunValidation(t *testing.T) {
 	}{
 		{
 			"unknown method",
-			func() error { return run(10, 2, "bogus", "full", "push", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			func() error { return run(10, 2, "bogus", "full", "push", "push", 1, 5, 10, 0, 2, 1, false, "", "") },
 			"unknown method",
 		},
 		{
 			"unknown policy",
-			func() error { return run(10, 2, "gm", "full", "bogus", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			func() error { return run(10, 2, "gm", "full", "bogus", "push", 1, 5, 10, 0, 2, 1, false, "", "") },
 			"unknown policy",
 		},
 		{
 			"unknown mode",
-			func() error { return run(10, 2, "gm", "full", "push", "bogus", 1, 5, 10, 0, 2, 1, false, "") },
+			func() error { return run(10, 2, "gm", "full", "push", "bogus", 1, 5, 10, 0, 2, 1, false, "", "") },
 			"unknown mode",
 		},
 		{
 			"bad clusters",
-			func() error { return run(10, 2, "gm", "full", "push", "push", 1, 5, 10, 0, 0, 1, false, "") },
+			func() error { return run(10, 2, "gm", "full", "push", "push", 1, 5, 10, 0, 0, 1, false, "", "") },
 			"clusters",
 		},
 		{
 			"bad topology",
-			func() error { return run(10, 2, "gm", "nope", "push", "push", 1, 5, 10, 0, 2, 1, false, "") },
+			func() error { return run(10, 2, "gm", "nope", "push", "push", 1, 5, 10, 0, 2, 1, false, "", "") },
 			"unknown kind",
 		},
 	}
@@ -52,26 +52,28 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestRunFixedRounds(t *testing.T) {
-	if err := run(12, 2, "centroids", "ring", "roundrobin", "pushpull", 3, 8, 10, 0, 2, 0.5, false, ""); err != nil {
+	if err := run(12, 2, "centroids", "ring", "roundrobin", "pushpull", 3, 8, 10, 0, 2, 0.5, false, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUntilConverged(t *testing.T) {
-	if err := run(16, 2, "gm", "full", "push", "pull", 5, 0, 120, 0, 2, 0.5, true, ""); err != nil {
+	if err := run(16, 2, "gm", "full", "push", "pull", 5, 0, 120, 0, 2, 0.5, true, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithCrashes(t *testing.T) {
-	if err := run(20, 2, "gm", "full", "push", "push", 7, 10, 10, 0.1, 2, 1, false, ""); err != nil {
+	if err := run(20, 2, "gm", "full", "push", "push", 7, 10, 10, 0.1, 2, 1, false, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithTraceAndPlot(t *testing.T) {
-	traceFile := t.TempDir() + "/trace.jsonl"
-	if err := run(10, 2, "gm", "full", "push", "push", 9, 6, 10, 0, 2, 0.5, true, traceFile); err != nil {
+	dir := t.TempDir()
+	traceFile := dir + "/trace.jsonl"
+	metricsFile := dir + "/metrics.json"
+	if err := run(10, 2, "gm", "full", "push", "push", 9, 6, 10, 0, 2, 0.5, true, traceFile, metricsFile); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(traceFile)
@@ -84,10 +86,22 @@ func TestRunWithTraceAndPlot(t *testing.T) {
 	if !strings.Contains(string(data), "\"kind\":\"spread\"") {
 		t.Errorf("trace missing spread events")
 	}
+	if !strings.Contains(string(data), "\"kind\":\"split\"") {
+		t.Errorf("trace missing split events")
+	}
+	snap, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for _, name := range []string{"core.splits", "sim.messages_sent", "sim.spread"} {
+		if !strings.Contains(string(snap), name) {
+			t.Errorf("metrics snapshot missing %s:\n%s", name, snap)
+		}
+	}
 }
 
 func TestRunPlotRequiresGM(t *testing.T) {
-	err := run(8, 2, "centroids", "full", "push", "push", 1, 3, 10, 0, 2, 1, true, "")
+	err := run(8, 2, "centroids", "full", "push", "push", 1, 3, 10, 0, 2, 1, true, "", "")
 	if err == nil || !strings.Contains(err.Error(), "-plot requires") {
 		t.Errorf("error = %v", err)
 	}

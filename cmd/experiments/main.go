@@ -22,10 +22,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"distclass/internal/experiments"
+	"distclass/internal/metrics"
 	"distclass/internal/plot"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 )
 
 // writeCSVFile writes one CSV artifact under dir.
@@ -54,12 +57,14 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		fig      = flag.Int("fig", 0, "figure to reproduce (1-4)")
-		ablation = flag.String("ablation", "", "ablation to run: topology, k, q, policy, mode, methods, reducer, relatedwork, histogram")
-		all      = flag.Bool("all", false, "run every figure and ablation")
-		quick    = flag.Bool("quick", false, "smaller networks for a fast smoke run")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		csvDir   = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		fig         = flag.Int("fig", 0, "figure to reproduce (1-4)")
+		ablation    = flag.String("ablation", "", "ablation to run: topology, k, q, policy, mode, methods, reducer, relatedwork, histogram")
+		all         = flag.Bool("all", false, "run every figure and ablation")
+		quick       = flag.Bool("quick", false, "smaller networks for a fast smoke run")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		traceFile   = flag.String("trace", "", "write a JSONL trace of protocol events and per-round probes to this file")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /manifest and /debug/pprof on this address while the experiments run (\":0\" picks a port)")
 	)
 	flag.Parse()
 
@@ -67,13 +72,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*fig, *ablation, *all, *quick, *seed, *csvDir); err != nil {
+	if err := realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string) error {
+// obs bundles the shared observability backends threaded through every
+// experiment of one invocation.
+type obs struct {
+	reg  *metrics.Registry
+	sink trace.Sink
+}
+
+// realMain sets up the trace recorder and metrics endpoint (so their
+// cleanup runs before os.Exit) and dispatches to run.
+func realMain(fig int, ablation string, all, quick bool, seed uint64, csvDir, traceFile, metricsAddr string) error {
+	o := obs{reg: metrics.NewRegistry()}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.sink = trace.NewRecorder(f)
+	}
+	if metricsAddr != "" {
+		man := metrics.NewManifest("experiments", seed, map[string]string{
+			"fig":      strconv.Itoa(fig),
+			"ablation": ablation,
+			"all":      strconv.FormatBool(all),
+			"quick":    strconv.FormatBool(quick),
+		})
+		srv, err := metrics.Serve(metricsAddr, o.reg, man)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
+	}
+	return run(fig, ablation, all, quick, seed, csvDir, o)
+}
+
+func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, o obs) error {
 	figs := []int{fig}
 	ablations := []string{ablation}
 	if all {
@@ -84,7 +125,7 @@ func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string) 
 		if f == 0 {
 			continue
 		}
-		if err := runFigure(f, quick, seed, csvDir); err != nil {
+		if err := runFigure(f, quick, seed, csvDir, o); err != nil {
 			return err
 		}
 	}
@@ -92,14 +133,14 @@ func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string) 
 		if a == "" {
 			continue
 		}
-		if err := runAblation(a, quick, seed); err != nil {
+		if err := runAblation(a, quick, seed, o); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runFigure(fig int, quick bool, seed uint64, csvDir string) error {
+func runFigure(fig int, quick bool, seed uint64, csvDir string, o obs) error {
 	switch fig {
 	case 1:
 		fmt.Println("=== Figure 1: value association, centroids vs Gaussians ===")
@@ -155,7 +196,7 @@ func runFigure(fig int, quick bool, seed uint64, csvDir string) error {
 		}
 	case 4:
 		fmt.Println("=== Figure 4: crash robustness and convergence speed ===")
-		cfg := experiments.Fig4Config{Seed: seed}
+		cfg := experiments.Fig4Config{Seed: seed, Metrics: o.reg, Trace: o.sink}
 		if quick {
 			cfg.NGood, cfg.NOut = 190, 10
 			cfg.Rounds = 30
@@ -178,8 +219,8 @@ func runFigure(fig int, quick bool, seed uint64, csvDir string) error {
 	return nil
 }
 
-func runAblation(name string, quick bool, seed uint64) error {
-	cfg := experiments.AblationConfig{Seed: seed}
+func runAblation(name string, quick bool, seed uint64, o obs) error {
+	cfg := experiments.AblationConfig{Seed: seed, Metrics: o.reg, Trace: o.sink}
 	if quick {
 		cfg.N = 36
 	}
@@ -272,7 +313,7 @@ func runAblation(name string, quick bool, seed uint64) error {
 		}
 		rows, err := experiments.RunCrashSweep(
 			[]float64{0, 0.01, 0.02, 0.05, 0.1, 0.15},
-			experiments.Fig4Config{NGood: n * 19 / 20, NOut: n / 20, Seed: seed},
+			experiments.Fig4Config{NGood: n * 19 / 20, NOut: n / 20, Seed: seed, Metrics: o.reg, Trace: o.sink},
 		)
 		if err != nil {
 			return err

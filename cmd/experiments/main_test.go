@@ -1,26 +1,33 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"distclass/internal/metrics"
+	"distclass/internal/trace"
 )
 
+func testObs() obs { return obs{reg: metrics.NewRegistry()} }
+
 func TestRunFigureValidation(t *testing.T) {
-	err := runFigure(9, true, 1, "")
+	err := runFigure(9, true, 1, "", testObs())
 	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Errorf("error = %v, want unknown figure", err)
 	}
 }
 
 func TestRunAblationValidation(t *testing.T) {
-	err := runAblation("bogus", true, 1)
+	err := runAblation("bogus", true, 1, testObs())
 	if err == nil || !strings.Contains(err.Error(), "unknown ablation") {
 		t.Errorf("error = %v, want unknown ablation", err)
 	}
 }
 
 func TestRunFigure1(t *testing.T) {
-	if err := runFigure(1, true, 1, ""); err != nil {
+	if err := runFigure(1, true, 1, "", testObs()); err != nil {
 		t.Fatalf("runFigure(1): %v", err)
 	}
 }
@@ -30,7 +37,7 @@ func TestRunQuickFigures(t *testing.T) {
 		t.Skip("quick figures still run full sweeps")
 	}
 	for _, fig := range []int{2, 3, 4} {
-		if err := runFigure(fig, true, 1, t.TempDir()); err != nil {
+		if err := runFigure(fig, true, 1, t.TempDir(), testObs()); err != nil {
 			t.Fatalf("runFigure(%d): %v", fig, err)
 		}
 	}
@@ -41,7 +48,7 @@ func TestRunQuickAblations(t *testing.T) {
 		t.Skip("ablation sweeps are slow")
 	}
 	for _, name := range []string{"q", "policy", "mode", "methods", "relatedwork", "histogram", "loss", "scalability", "outliermethods"} {
-		if err := runAblation(name, true, 1); err != nil {
+		if err := runAblation(name, true, 1, testObs()); err != nil {
 			t.Fatalf("runAblation(%s): %v", name, err)
 		}
 	}
@@ -49,10 +56,41 @@ func TestRunQuickAblations(t *testing.T) {
 
 func TestRunDispatch(t *testing.T) {
 	// fig=0 and empty ablation entries are skipped without error.
-	if err := run(0, "", false, true, 1, ""); err != nil {
+	if err := run(0, "", false, true, 1, "", testObs()); err != nil {
 		t.Fatalf("run noop: %v", err)
 	}
-	if err := run(1, "", false, true, 1, ""); err != nil {
+	if err := run(1, "", false, true, 1, "", testObs()); err != nil {
 		t.Fatalf("run fig1: %v", err)
+	}
+}
+
+// TestRealMainObservability runs one quick ablation through realMain
+// with -trace and -metrics set, then checks the trace file carries
+// protocol events and spread probes.
+func TestRealMainObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full ablation")
+	}
+	traceFile := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := realMain(0, "methods", false, true, 1, "", traceFile, "127.0.0.1:0"); err != nil {
+		t.Fatalf("realMain: %v", err)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("trace.Read: %v", err)
+	}
+	if trace.CountKind(events, trace.KindSpread) == 0 {
+		t.Errorf("no spread probes recorded")
+	}
+	if trace.CountKind(events, trace.KindSend) == 0 {
+		t.Errorf("no send events recorded")
+	}
+	if trace.CountKind(events, trace.KindSplit) == 0 {
+		t.Errorf("no split events recorded")
 	}
 }

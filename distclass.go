@@ -46,9 +46,11 @@ import (
 	"distclass/internal/gauss"
 	"distclass/internal/gm"
 	"distclass/internal/livenet"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/sim"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
 
@@ -80,7 +82,18 @@ type (
 	// Mode selects the gossip communication pattern (push, pull,
 	// push-pull).
 	Mode = sim.Mode
+	// Registry is a metrics namespace: counters, gauges and
+	// fixed-bucket histograms with a deterministic snapshot export.
+	Registry = metrics.Registry
+	// TraceSink consumes structured protocol events (trace.Recorder
+	// writes them as JSONL).
+	TraceSink = trace.Sink
+	// TraceEvent is one recorded observation delivered to a TraceSink.
+	TraceEvent = trace.Event
 )
+
+// NewRegistry returns an empty metrics registry for WithMetrics.
+func NewRegistry() *Registry { return metrics.NewRegistry() }
 
 // Supported topologies.
 const (
@@ -132,6 +145,19 @@ func MeanOf(s Summary) (Value, error) {
 	}
 }
 
+// TraceRecords converts a classification to the flat per-collection
+// records (weight, mean, summary string) that
+// trace.Recorder.Classification serializes.
+func TraceRecords(cls Classification) ([]trace.CollectionRecord, error) {
+	return core.TraceRecords(cls, func(s Summary) ([]float64, error) {
+		mean, err := MeanOf(s)
+		if err != nil {
+			return nil, err
+		}
+		return mean, nil
+	})
+}
+
 // Assign associates a value with one collection of a classification and
 // returns its index: nearest centroid for the Centroids method,
 // highest-posterior component for the GaussianMixture method (the
@@ -175,6 +201,8 @@ type options struct {
 	crashProb float64
 	tol       float64
 	maxRounds int
+	reg       *metrics.Registry
+	sink      trace.Sink
 }
 
 // Option configures a System.
@@ -209,6 +237,18 @@ func WithTolerance(tol float64) Option { return func(o *options) { o.tol = tol }
 
 // WithMaxRounds bounds RunUntilConverged (default 500).
 func WithMaxRounds(n int) Option { return func(o *options) { o.maxRounds = n } }
+
+// WithMetrics backs the system's instrumentation with the given
+// registry: the core protocol counters of every node (splits, merges,
+// quantization drops, collection counts), the driver's traffic
+// counters, and a per-round sim.spread gauge. Layers sharing the
+// registry aggregate into one namespace.
+func WithMetrics(reg *Registry) Option { return func(o *options) { o.reg = reg } }
+
+// WithTrace records typed protocol and driver events (split, merge,
+// send, receive, crash, plus per-round spread probes) through the given
+// sink. trace.NewRecorder writes them as JSONL.
+func WithTrace(sink TraceSink) Option { return func(o *options) { o.sink = sink } }
 
 // System is a simulated network running the distributed classification
 // algorithm.
@@ -248,9 +288,11 @@ func New(values []Value, method Method, opts ...Option) (*System, error) {
 	agents := make([]sim.Agent[core.Classification], len(values))
 	for i, v := range values {
 		node, err := core.NewNode(i, vec.Vector(v).Clone(), nil, core.Config{
-			Method: method,
-			K:      o.k,
-			Q:      o.q,
+			Method:  method,
+			K:       o.k,
+			Q:       o.q,
+			Metrics: o.reg,
+			Trace:   o.sink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("distclass: %w", err)
@@ -263,6 +305,8 @@ func New(values []Value, method Method, opts ...Option) (*System, error) {
 		Mode:      o.mode,
 		CrashProb: o.crashProb,
 		SizeFunc:  experiments.ClassificationSize,
+		Metrics:   o.reg,
+		Trace:     o.sink,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distclass: %w", err)
@@ -295,7 +339,42 @@ func (s *System) Step() error { return s.net.Round() }
 
 // Run executes the given number of rounds.
 func (s *System) Run(rounds int) error {
-	return s.net.RunRounds(rounds, nil)
+	return s.net.RunRounds(rounds, s.withProbe(nil))
+}
+
+// recordSpread emits a spread observation as a gauge and a trace event.
+func (s *System) recordSpread(round int, spread float64) error {
+	if s.opts.reg != nil {
+		s.opts.reg.Gauge("sim.spread").Set(spread)
+	}
+	if s.opts.sink != nil {
+		return s.opts.sink.Record(trace.Event{
+			Round: round, Node: -1, Kind: trace.KindSpread, Value: spread,
+		})
+	}
+	return nil
+}
+
+// withProbe wraps an after-round callback with the per-round
+// convergence probe. With no observability configured it returns the
+// callback unchanged (nil stays nil: no per-round spread cost).
+func (s *System) withProbe(after func(round int) error) func(round int) error {
+	if s.opts.reg == nil && s.opts.sink == nil {
+		return after
+	}
+	return func(round int) error {
+		spread, err := s.Spread()
+		if err != nil {
+			return err
+		}
+		if err := s.recordSpread(round, spread); err != nil {
+			return err
+		}
+		if after != nil {
+			return after(round)
+		}
+		return nil
+	}
 }
 
 // ErrStop, returned from a RunObserved callback, halts the run early
@@ -306,7 +385,7 @@ var ErrStop = sim.ErrStop
 // callback may inspect classifications, record traces, or return
 // ErrStop to halt early.
 func (s *System) RunObserved(rounds int, after func(round int) error) error {
-	return s.net.RunRounds(rounds, after)
+	return s.net.RunRounds(rounds, s.withProbe(after))
 }
 
 // RunUntilConverged runs rounds until the sampled inter-node
@@ -320,6 +399,9 @@ func (s *System) RunUntilConverged() (rounds int, converged bool, err error) {
 		rounds = round + 1
 		spread, err := s.Spread()
 		if err != nil {
+			return err
+		}
+		if err := s.recordSpread(round, spread); err != nil {
 			return err
 		}
 		if spread < s.opts.tol {
@@ -390,8 +472,9 @@ type LiveCluster struct {
 
 // StartLive launches a live cluster with one node per value. Callers
 // must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
-// WithTolerance (used by WaitConverged); the simulator-only options
-// (policy, mode, crashes, round budget) do not apply.
+// WithTolerance (used by WaitConverged), WithMetrics, and WithTrace;
+// the simulator-only options (policy, mode, crashes, round budget) do
+// not apply.
 func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {
 	if method == nil {
 		return nil, errors.New("distclass: nil method")
@@ -410,10 +493,12 @@ func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, err
 		vals[i] = vec.Vector(v).Clone()
 	}
 	inner, err := livenet.Start(graph, vals, livenet.Config{
-		Method: method,
-		K:      o.k,
-		Q:      o.q,
-		Seed:   o.seed,
+		Method:  method,
+		K:       o.k,
+		Q:       o.q,
+		Seed:    o.seed,
+		Metrics: o.reg,
+		Trace:   o.sink,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("distclass: %w", err)

@@ -2,6 +2,7 @@ package distclass_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -350,3 +351,76 @@ type badSummary struct{}
 
 func (badSummary) Dim() int       { return 1 }
 func (badSummary) String() string { return "bad" }
+
+// TestObservabilityOptions runs both the simulator and a live cluster
+// with a shared registry and trace sink through the public facade, and
+// checks protocol events and per-round probes arrive.
+func TestObservabilityOptions(t *testing.T) {
+	reg := distclass.NewRegistry()
+	var events eventCounter
+	sys, err := distclass.New(twoClusters(20), distclass.Centroids(),
+		distclass.WithK(2), distclass.WithSeed(3),
+		distclass.WithMetrics(reg), distclass.WithTrace(&events))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, _, err := sys.RunUntilConverged(); err != nil {
+		t.Fatalf("RunUntilConverged: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim.messages_sent"] == 0 || snap.Counters["core.splits"] == 0 {
+		t.Errorf("registry missing simulator/protocol counters: %+v", snap.Counters)
+	}
+	if _, ok := snap.Gauges["sim.spread"]; !ok {
+		t.Errorf("registry missing sim.spread gauge")
+	}
+	if events.spreads == 0 || events.splits == 0 {
+		t.Errorf("trace sink missed events: %d spreads, %d splits", events.spreads, events.splits)
+	}
+
+	// Same options drive the live deployment.
+	liveReg := distclass.NewRegistry()
+	var liveEvents eventCounter
+	cluster, err := distclass.StartLive(twoClusters(6), distclass.Centroids(),
+		distclass.WithK(2), distclass.WithSeed(5),
+		distclass.WithMetrics(liveReg), distclass.WithTrace(&liveEvents))
+	if err != nil {
+		t.Fatalf("StartLive: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for liveReg.SumCounters("livenet.node.", ".sent") < 10 {
+		select {
+		case <-deadline:
+			t.Fatalf("live cluster sent no messages")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cluster.Stop()
+	if err := cluster.Err(); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if liveEvents.sends == 0 || liveEvents.splits == 0 {
+		t.Errorf("live trace sink missed events: %d sends, %d splits", liveEvents.sends, liveEvents.splits)
+	}
+}
+
+// eventCounter is a TraceSink that tallies event kinds. The livenet
+// nodes record concurrently; the mutex mirrors what trace.Recorder does.
+type eventCounter struct {
+	mu                     sync.Mutex
+	splits, spreads, sends int
+}
+
+func (c *eventCounter) Record(e distclass.TraceEvent) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case "split":
+		c.splits++
+	case "spread":
+		c.spreads++
+	case "send":
+		c.sends++
+	}
+	return nil
+}

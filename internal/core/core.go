@@ -30,6 +30,8 @@ import (
 	"math"
 	"strings"
 
+	"distclass/internal/metrics"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
 
@@ -148,6 +150,14 @@ type Config struct {
 	// Q is the weight quantum (the paper's q). If zero, DefaultQ is
 	// used. Initial weights (1.0) must be integer multiples of Q.
 	Q float64
+	// Metrics, when non-nil, receives the node's protocol counters:
+	// core.splits, core.merges, core.quantize_drops and the
+	// core.collections histogram (post-absorb collection counts).
+	// Nodes sharing a registry aggregate into the same counters.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives split/merge events. Protocol
+	// events are not tied to a driver round; they carry Round -1.
+	Trace trace.Sink
 }
 
 func (cfg *Config) validate() error {
@@ -180,7 +190,19 @@ type Node struct {
 	id  int
 	cfg Config
 	cls Classification
+
+	// Cached instruments (nil without Config.Metrics); looked up once
+	// so the protocol hot path never touches the registry lock.
+	splits      *metrics.Counter
+	merges      *metrics.Counter
+	qdrops      *metrics.Counter
+	collections *metrics.Histogram
 }
+
+// CollectionsBuckets are the bucket bounds of the core.collections
+// histogram: classification sizes are small (<= k), so unit-ish buckets
+// resolve the whole interesting range.
+var CollectionsBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
 
 // NewNode creates a node holding input value val. aux is the node's
 // initial auxiliary vector (e_i for full mixture-space tracking, a label
@@ -196,11 +218,21 @@ func NewNode(id int, val Value, aux vec.Vector, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: node %d: summarize: %w", id, err)
 	}
-	return &Node{
+	n := &Node{
 		id:  id,
 		cfg: cfg,
 		cls: Classification{{Summary: s, Weight: 1, Aux: aux.Clone()}},
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		n.splits = reg.Counter("core.splits")
+		n.merges = reg.Counter("core.merges")
+		n.qdrops = reg.Counter("core.quantize_drops")
+		n.collections, err = reg.Histogram("core.collections", CollectionsBuckets)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", id, err)
+		}
+	}
+	return n, nil
 }
 
 // ID returns the node's identifier.
@@ -244,6 +276,11 @@ func (n *Node) Split() Classification {
 			keepW, sendW = c.Weight, 0
 		}
 		if sendW <= 0 {
+			// Quantization retained the whole collection: its outgoing
+			// half would round to zero weight.
+			if n.qdrops != nil {
+				n.qdrops.Inc()
+			}
 			kept = append(kept, c)
 			continue
 		}
@@ -258,6 +295,17 @@ func (n *Node) Split() Classification {
 		sent = append(sent, sendC)
 	}
 	n.cls = kept
+	if len(sent) > 0 {
+		if n.splits != nil {
+			n.splits.Inc()
+		}
+		if n.cfg.Trace != nil {
+			_ = n.cfg.Trace.Record(trace.Event{
+				Round: -1, Node: n.id, Kind: trace.KindSplit,
+				Value: float64(len(sent)),
+			})
+		}
+	}
 	return sent
 }
 
@@ -306,9 +354,21 @@ func (n *Node) Absorb(incoming ...Classification) error {
 		if err != nil {
 			return fmt.Errorf("core: node %d: merge: %w", n.id, err)
 		}
+		if n.merges != nil {
+			n.merges.Inc()
+		}
+		if n.cfg.Trace != nil {
+			_ = n.cfg.Trace.Record(trace.Event{
+				Round: -1, Node: n.id, Kind: trace.KindMerge,
+				Value: float64(len(g)),
+			})
+		}
 		next = append(next, Collection{Summary: s, Weight: weight, Aux: aux})
 	}
 	n.cls = next
+	if n.collections != nil {
+		n.collections.Observe(float64(len(next)))
+	}
 	return nil
 }
 
@@ -387,6 +447,26 @@ func Dissimilarity(a, b Classification, m Method) (float64, error) {
 		return 0, err
 	}
 	return math.Max(ab, ba), nil
+}
+
+// TraceRecords converts a classification into trace collection records
+// for a KindClassification event. meanOf extracts a representative
+// point from a summary; a nil meanOf records only weights and rendered
+// summaries.
+func TraceRecords(cls Classification, meanOf func(Summary) ([]float64, error)) ([]trace.CollectionRecord, error) {
+	records := make([]trace.CollectionRecord, len(cls))
+	for i, c := range cls {
+		rec := trace.CollectionRecord{Weight: c.Weight, Summary: c.Summary.String()}
+		if meanOf != nil {
+			mean, err := meanOf(c.Summary)
+			if err != nil {
+				return nil, fmt.Errorf("core: trace records: %w", err)
+			}
+			rec.Mean = mean
+		}
+		records[i] = rec
+	}
+	return records, nil
 }
 
 // MaxReferenceAngles returns, for each coordinate i of the mixture

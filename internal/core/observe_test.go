@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/metrics"
+	"distclass/internal/trace"
+	"distclass/internal/vec"
+)
+
+// TestNodeInstrumentation checks that nodes sharing a registry and a
+// trace sink report splits, merges, quantization drops and collection
+// counts through them.
+func TestNodeInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	mk := func(id int, v core.Value) *core.Node {
+		n, err := core.NewNode(id, v, nil, core.Config{
+			Method: centroids.Method{}, K: 1, Q: 0.5,
+			Metrics: reg, Trace: rec,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		return n
+	}
+	a := mk(0, vec.Of(0))
+	b := mk(1, vec.Of(10))
+
+	// First split halves the unit weight: one split, no drop.
+	out := a.Split()
+	if len(out) != 1 {
+		t.Fatalf("Split sent %d collections", len(out))
+	}
+	// Second split: a's remaining weight equals q, so quantization
+	// retains the whole collection — a quantize drop, not a split.
+	if got := a.Split(); len(got) != 0 {
+		t.Fatalf("split of quantum-weight collection sent %v", got)
+	}
+	// b absorbs a's half; with K=1 the two collections merge into one.
+	if err := b.Absorb(out); err != nil {
+		t.Fatalf("Absorb: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.splits"]; got != 1 {
+		t.Errorf("core.splits = %d, want 1", got)
+	}
+	if got := snap.Counters["core.quantize_drops"]; got != 1 {
+		t.Errorf("core.quantize_drops = %d, want 1", got)
+	}
+	if got := snap.Counters["core.merges"]; got != 1 {
+		t.Errorf("core.merges = %d, want 1", got)
+	}
+	h := snap.Histograms["core.collections"]
+	if h.Count != 1 || h.Sum != 1 {
+		t.Errorf("core.collections = %+v, want one observation of 1", h)
+	}
+
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := trace.CountKind(events, trace.KindSplit); got != 1 {
+		t.Errorf("split events = %d, want 1", got)
+	}
+	if got := trace.CountKind(events, trace.KindMerge); got != 1 {
+		t.Errorf("merge events = %d, want 1", got)
+	}
+	for _, e := range events {
+		if e.Round != -1 {
+			t.Errorf("protocol event carries round %d, want -1: %+v", e.Round, e)
+		}
+	}
+	if events[len(events)-1].Kind != trace.KindMerge || events[len(events)-1].Value != 2 {
+		t.Errorf("merge event should record group size 2: %+v", events[len(events)-1])
+	}
+}
+
+// TestTraceRecords covers the classification-to-record conversion used
+// by the JSONL classification snapshots.
+func TestTraceRecords(t *testing.T) {
+	s, err := centroids.Method{}.Summarize(vec.Of(1, 2))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	cls := core.Classification{{Summary: s, Weight: 0.5}}
+	meanOf := func(sum core.Summary) ([]float64, error) {
+		return sum.(centroids.Centroid).Point, nil
+	}
+	records, err := core.TraceRecords(cls, meanOf)
+	if err != nil {
+		t.Fatalf("TraceRecords: %v", err)
+	}
+	if len(records) != 1 || records[0].Weight != 0.5 {
+		t.Fatalf("records = %+v", records)
+	}
+	if len(records[0].Mean) != 2 || records[0].Mean[0] != 1 {
+		t.Errorf("mean = %v", records[0].Mean)
+	}
+	if !strings.Contains(records[0].Summary, "(1, 2)") {
+		t.Errorf("summary = %q", records[0].Summary)
+	}
+	// Without meanOf, means are omitted.
+	records, err = core.TraceRecords(cls, nil)
+	if err != nil || records[0].Mean != nil {
+		t.Errorf("nil meanOf: %v %+v", err, records)
+	}
+}

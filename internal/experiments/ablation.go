@@ -8,10 +8,12 @@ import (
 	"distclass/internal/core"
 	"distclass/internal/gm"
 	"distclass/internal/histogram"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/sim"
 	"distclass/internal/stats"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
 
@@ -30,6 +32,12 @@ type AblationConfig struct {
 	Tol float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Metrics, when set, aggregates protocol and simulator counters
+	// across every run sharing this config.
+	Metrics *metrics.Registry
+	// Trace, when set, receives protocol events plus a per-round
+	// spread probe from every run sharing this config.
+	Trace trace.Sink
 }
 
 func (c AblationConfig) withDefaults() AblationConfig {
@@ -87,7 +95,10 @@ func runConvergence(label string, graph *topology.Graph, values []vec.Vector, me
 	nodes := make([]*core.Node, n)
 	agents := make([]sim.Agent[core.Classification], n)
 	for i := range nodes {
-		node, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: cfg.K, Q: q})
+		node, err := core.NewNode(i, values[i], nil, core.Config{
+			Method: method, K: cfg.K, Q: q,
+			Metrics: cfg.Metrics, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return ConvergenceRun{}, err
 		}
@@ -98,6 +109,8 @@ func runConvergence(label string, graph *topology.Graph, values []vec.Vector, me
 		Policy:   policy,
 		Mode:     mode,
 		SizeFunc: ClassificationSize,
+		Metrics:  cfg.Metrics,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return ConvergenceRun{}, err
@@ -110,6 +123,16 @@ func runConvergence(label string, graph *topology.Graph, values []vec.Vector, me
 			return err
 		}
 		run.FinalSpread = spread
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("experiments.spread").Set(spread)
+		}
+		if cfg.Trace != nil {
+			if err := cfg.Trace.Record(trace.Event{
+				Round: round, Node: -1, Kind: trace.KindSpread, Value: spread,
+			}); err != nil {
+				return err
+			}
+		}
 		if spread < cfg.Tol {
 			stable++
 			if stable >= 3 {

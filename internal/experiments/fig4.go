@@ -6,10 +6,12 @@ import (
 
 	"distclass/internal/core"
 	"distclass/internal/gm"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/sim"
 	"distclass/internal/stats"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
 
@@ -31,6 +33,12 @@ type Fig4Config struct {
 	CrashProb float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Metrics, when set, aggregates protocol and simulator counters
+	// across every trace sharing this config.
+	Metrics *metrics.Registry
+	// Trace, when set, receives protocol events plus a per-round
+	// estimation-error probe from every trace sharing this config.
+	Trace trace.Sink
 }
 
 func (c Fig4Config) withDefaults() Fig4Config {
@@ -216,14 +224,21 @@ func runRobustTraceCount(graph *topology.Graph, values []vec.Vector, outlier []b
 		} else {
 			aux[0] = 1
 		}
-		node, err := core.NewNode(i, values[i], aux, core.Config{Method: method, K: cfg.K})
+		node, err := core.NewNode(i, values[i], aux, core.Config{
+			Method: method, K: cfg.K,
+			Metrics: cfg.Metrics, Trace: cfg.Trace,
+		})
 		if err != nil {
 			return err
 		}
 		nodes[i] = node
 		agents[i] = &ClassifierAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r, sim.Options[core.Classification]{CrashProb: crashProb})
+	net, err := sim.NewNetwork(graph, agents, r, sim.Options[core.Classification]{
+		CrashProb: crashProb,
+		Metrics:   cfg.Metrics,
+		Trace:     cfg.Trace,
+	})
 	if err != nil {
 		return err
 	}
@@ -246,6 +261,16 @@ func runRobustTraceCount(graph *topology.Graph, values []vec.Vector, outlier []b
 		e, err := stats.MeanError(ests, truth)
 		if err != nil {
 			return err
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.Gauge("experiments.error").Set(e)
+		}
+		if cfg.Trace != nil {
+			if err := cfg.Trace.Record(trace.Event{
+				Round: round, Node: -1, Kind: trace.KindError, Value: e,
+			}); err != nil {
+				return err
+			}
 		}
 		sink(round, e, len(ests))
 		return nil

@@ -27,10 +27,17 @@ import (
 	"time"
 
 	"distclass/internal/core"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/wire"
 )
+
+// LatencyBuckets are the bucket bounds (seconds) of the livenet frame
+// latency histograms: 1µs to ~4s, exponential — in-process pipes sit at
+// the bottom, loopback TCP in the middle, stalls at the top.
+var LatencyBuckets = metrics.ExponentialBuckets(1e-6, 4, 12)
 
 // MaxFrame bounds accepted message frames (1 MiB); a peer announcing a
 // larger frame is treated as faulty.
@@ -76,6 +83,18 @@ type Config struct {
 	Seed uint64
 	// Transport selects pipe (default) or loopback TCP links.
 	Transport Transport
+	// Metrics, when non-nil, backs the cluster's counters: aggregate
+	// livenet.sent / livenet.received / livenet.decode_errors, the
+	// per-node livenet.node.<id>.{sent,received,decode_errors}
+	// counters, the livenet.{send,absorb}_seconds latency histograms,
+	// and the core protocol instruments of every node. When nil the
+	// cluster uses a private registry (see Cluster.Metrics).
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives send/receive/decode-error events
+	// (and the nodes' split/merge events). Live events are not tied to
+	// rounds; they carry Round -1. The sink must be safe for
+	// concurrent writers (trace.Recorder is).
+	Trace trace.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -98,7 +117,14 @@ type Cluster struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	sent    atomic.Int64
+	reg     *metrics.Registry
+	sink    trace.Sink // nil when tracing is off
+	sent    *metrics.Counter
+	recv    *metrics.Counter
+	decErr  *metrics.Counter
+	hSend   *metrics.Histogram
+	hAbsorb *metrics.Histogram
+
 	stopped atomic.Bool
 	errOnce sync.Once
 	firstE  atomic.Value // error
@@ -111,6 +137,11 @@ type peer struct {
 	conns []net.Conn // one per neighbor, same order as Neighbors(id)
 	r     *rng.RNG
 	rmu   sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
+
+	// Per-node counters, cached off the registry.
+	sent   *metrics.Counter
+	recv   *metrics.Counter
+	decErr *metrics.Counter
 }
 
 // Start launches a live cluster over the graph: values[i] is node i's
@@ -126,16 +157,26 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 	if len(values) != g.N() {
 		return nil, fmt.Errorf("livenet: %d values for %d nodes", len(values), g.N())
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	seedRNG := rng.New(cfg.Seed)
 	peers := make([]*peer, g.N())
 	for i := range peers {
 		node, err := core.NewNode(i, values[i], nil, core.Config{
 			Method: cfg.Method, K: cfg.K, Q: cfg.Q,
+			Metrics: reg, Trace: cfg.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
 		}
-		peers[i] = &peer{id: i, node: node, r: seedRNG.Split()}
+		peers[i] = &peer{
+			id: i, node: node, r: seedRNG.Split(),
+			sent:   reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
+			recv:   reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
+			decErr: reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
+		}
 	}
 	// One duplex link per undirected edge.
 	dial := pipeLink
@@ -171,7 +212,16 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 	// neighbor id. The sender picks uniformly over conns, which is all
 	// fairness needs.
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &Cluster{peers: peers, method: cfg.Method, cancel: cancel}
+	c := &Cluster{
+		peers: peers, method: cfg.Method, cancel: cancel,
+		reg:     reg,
+		sink:    cfg.Trace,
+		sent:    reg.Counter("livenet.sent"),
+		recv:    reg.Counter("livenet.received"),
+		decErr:  reg.Counter("livenet.decode_errors"),
+		hSend:   reg.MustHistogram("livenet.send_seconds", LatencyBuckets),
+		hAbsorb: reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets),
+	}
 	for _, p := range peers {
 		p := p
 		c.wg.Add(1)
@@ -218,6 +268,7 @@ func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration)
 			c.fail(fmt.Errorf("livenet: node %d: marshal: %w", p.id, err))
 			return
 		}
+		start := time.Now()
 		if err := writeFrame(p.conns[idx], data); err != nil {
 			if c.stopped.Load() {
 				return
@@ -225,7 +276,15 @@ func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration)
 			c.fail(fmt.Errorf("livenet: node %d: send: %w", p.id, err))
 			return
 		}
-		c.sent.Add(1)
+		c.hSend.Observe(time.Since(start).Seconds())
+		c.sent.Inc()
+		p.sent.Inc()
+		if c.sink != nil {
+			_ = c.sink.Record(trace.Event{
+				Round: -1, Node: p.id, Kind: trace.KindSend,
+				Value: float64(len(data)),
+			})
+		}
 	}
 }
 
@@ -241,15 +300,30 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
 		}
 		cls, err := wire.UnmarshalClassification(data)
 		if err != nil {
+			c.decErr.Inc()
+			p.decErr.Inc()
+			if c.sink != nil {
+				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindDecodeError})
+			}
 			c.fail(fmt.Errorf("livenet: node %d: decode: %w", p.id, err))
 			return
 		}
+		start := time.Now()
 		p.mu.Lock()
 		err = p.node.Absorb(cls)
 		p.mu.Unlock()
 		if err != nil {
 			c.fail(fmt.Errorf("livenet: node %d: absorb: %w", p.id, err))
 			return
+		}
+		c.hAbsorb.Observe(time.Since(start).Seconds())
+		c.recv.Inc()
+		p.recv.Inc()
+		if c.sink != nil {
+			_ = c.sink.Record(trace.Event{
+				Round: -1, Node: p.id, Kind: trace.KindReceive,
+				Value: float64(len(data)),
+			})
 		}
 	}
 }
@@ -270,7 +344,19 @@ func (c *Cluster) Err() error {
 func (c *Cluster) N() int { return len(c.peers) }
 
 // MessagesSent returns the number of messages sent so far.
-func (c *Cluster) MessagesSent() int64 { return c.sent.Load() }
+func (c *Cluster) MessagesSent() int64 { return c.sent.Value() }
+
+// MessagesReceived returns the number of messages decoded and absorbed
+// so far. After Stop on pipe transport it equals MessagesSent: the
+// synchronous pipes hand every fully written frame to the receiver.
+func (c *Cluster) MessagesReceived() int64 { return c.recv.Value() }
+
+// DecodeErrors returns the number of frames that failed to decode.
+func (c *Cluster) DecodeErrors() int64 { return c.decErr.Value() }
+
+// Metrics returns the cluster's registry — the one passed in
+// Config.Metrics, or the private registry created in its absence.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // Classification returns a copy of node i's current classification.
 func (c *Cluster) Classification(i int) core.Classification {

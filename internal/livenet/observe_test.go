@@ -1,0 +1,138 @@
+package livenet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"distclass/internal/gm"
+	"distclass/internal/metrics"
+	"distclass/internal/topology"
+	"distclass/internal/trace"
+)
+
+// TestCounterBalance runs a pipe cluster, stops it, and checks the
+// books: on synchronous pipes every fully written frame is handed to
+// its receiver, so after quiescence the send and receive counters
+// balance exactly, per node sums match aggregates, and the latency
+// histograms saw every frame.
+func TestCounterBalance(t *testing.T) {
+	const n = 8
+	g, err := topology.Full(n)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	cluster, err := Start(g, bimodalValues(n, 7), Config{
+		Method:   gm.Method{},
+		Interval: time.Millisecond,
+		Metrics:  reg,
+		Trace:    rec,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Let traffic flow, then quiesce.
+	for cluster.MessagesSent() < 50 {
+		time.Sleep(2 * time.Millisecond)
+		if err := cluster.Err(); err != nil {
+			t.Fatalf("cluster error: %v", err)
+		}
+	}
+	cluster.Stop()
+	if err := cluster.Err(); err != nil {
+		t.Fatalf("cluster error: %v", err)
+	}
+
+	sent, recv := cluster.MessagesSent(), cluster.MessagesReceived()
+	if sent == 0 {
+		t.Fatalf("no messages sent")
+	}
+	if sent != recv {
+		t.Errorf("counters unbalanced after quiesced pipe run: sent %d, received %d", sent, recv)
+	}
+	if cluster.DecodeErrors() != 0 {
+		t.Errorf("decode errors = %d", cluster.DecodeErrors())
+	}
+	// Per-node counters sum to the aggregates.
+	if got := reg.SumCounters("livenet.node.", ".sent"); got != sent {
+		t.Errorf("per-node sent sum = %d, aggregate = %d", got, sent)
+	}
+	if got := reg.SumCounters("livenet.node.", ".received"); got != recv {
+		t.Errorf("per-node received sum = %d, aggregate = %d", got, recv)
+	}
+	// Latency histograms observed every frame.
+	snap := reg.Snapshot()
+	if h := snap.Histograms["livenet.send_seconds"]; h.Count != sent {
+		t.Errorf("send histogram count = %d, sent = %d", h.Count, sent)
+	}
+	if h := snap.Histograms["livenet.absorb_seconds"]; h.Count != recv {
+		t.Errorf("absorb histogram count = %d, received = %d", h.Count, recv)
+	}
+	// The shared registry also carries the nodes' core protocol
+	// counters. Every sent frame needed a split; splits whose write
+	// was cut off by Stop never became sends, so splits >= sent.
+	if got := snap.Counters["core.splits"]; got < sent {
+		t.Errorf("core.splits = %d < sent = %d", got, sent)
+	}
+	// Trace events match the counters.
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := trace.CountKind(events, trace.KindSend); int64(got) != sent {
+		t.Errorf("send events = %d, sent = %d", got, sent)
+	}
+	if got := trace.CountKind(events, trace.KindReceive); int64(got) != recv {
+		t.Errorf("receive events = %d, received = %d", got, recv)
+	}
+	if got := trace.CountKind(events, trace.KindSplit); int64(got) < sent {
+		t.Errorf("split events = %d < sent = %d", got, sent)
+	}
+	for _, e := range events {
+		if e.Round != -1 {
+			t.Fatalf("live event carries a round: %+v", e)
+		}
+	}
+}
+
+// TestDecodeErrorCounted injects a corrupt frame into a node's
+// connection and checks it lands in the decode-error counters.
+func TestDecodeErrorCounted(t *testing.T) {
+	const n = 2
+	g, err := topology.Full(n)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	cluster, err := Start(g, bimodalValues(n, 9), Config{
+		Method:   gm.Method{},
+		Interval: time.Hour, // senders stay idle; we inject by hand
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer cluster.Stop()
+	// Write garbage down node 0's side of the link; node 1's receiver
+	// decodes it and fails.
+	if err := writeFrame(cluster.peers[0].conns[0], []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for cluster.DecodeErrors() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("decode error never counted (err=%v)", cluster.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if cluster.Err() == nil {
+		t.Errorf("decode error did not fail the cluster")
+	}
+	if got := reg.SumCounters("livenet.node.", ".decode_errors"); got != 1 {
+		t.Errorf("per-node decode errors = %d, want 1", got)
+	}
+}

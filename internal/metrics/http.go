@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest identifies one run so that exported metrics are a diffable
+// artifact: which binary, which configuration, which code revision,
+// started when.
+type Manifest struct {
+	// Command is the binary name ("distclass-live", ...).
+	Command string `json:"command"`
+	// Config maps flag/option names to their effective values.
+	Config map[string]string `json:"config"`
+	// Seed is the run's random seed.
+	Seed uint64 `json:"seed"`
+	// Revision is the VCS revision baked into the binary ("unknown"
+	// when built without VCS stamping).
+	Revision string `json:"revision"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Start is the run's start time.
+	Start time.Time `json:"start"`
+}
+
+// NewManifest fills in revision, toolchain and start time for a run.
+func NewManifest(command string, seed uint64, config map[string]string) Manifest {
+	return Manifest{
+		Command:   command,
+		Config:    config,
+		Seed:      seed,
+		Revision:  BuildRevision(),
+		GoVersion: runtime.Version(),
+		Start:     time.Now(),
+	}
+}
+
+// BuildRevision returns the VCS revision recorded in the build info
+// (suffixed "+dirty" for modified trees), or "unknown".
+func BuildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Handler serves the registry snapshot: expvar-style text by default,
+// JSON with ?format=json.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// NewMux builds the observability mux: /metrics (registry snapshot),
+// /manifest (run identity JSON) and /debug/pprof/* (live profiling).
+func NewMux(r *Registry, man Manifest) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/manifest", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(man)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (":0" picks a free
+// port). The caller must Close it.
+func Serve(addr string, r *Registry, man Manifest) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r, man)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43571".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live.sent").Add(42)
+	r.Gauge("live.spread").Set(0.5)
+	man := NewManifest("metrics-test", 7, map[string]string{"n": "8"})
+	srv, err := Serve("127.0.0.1:0", r, man)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// /metrics: text by default.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "live.sent 42") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	// /metrics?format=json: a decodable Snapshot.
+	code, body = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counters["live.sent"] != 42 || snap.Gauges["live.spread"] != 0.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// /manifest: run identity.
+	code, body = get(t, base+"/manifest")
+	if code != http.StatusOK {
+		t.Fatalf("/manifest = %d", code)
+	}
+	var gotMan Manifest
+	if err := json.Unmarshal([]byte(body), &gotMan); err != nil {
+		t.Fatalf("manifest JSON: %v", err)
+	}
+	if gotMan.Command != "metrics-test" || gotMan.Seed != 7 || gotMan.Config["n"] != "8" {
+		t.Errorf("manifest = %+v", gotMan)
+	}
+	if gotMan.Revision == "" || gotMan.GoVersion == "" || gotMan.Start.IsZero() {
+		t.Errorf("manifest identity incomplete: %+v", gotMan)
+	}
+	// /debug/pprof/: index page and a cheap profile endpoint.
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d %q", code, body)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bogus", NewRegistry(), Manifest{}); err == nil {
+		t.Errorf("bogus address accepted")
+	}
+}
+
+func TestBuildRevision(t *testing.T) {
+	if BuildRevision() == "" {
+		t.Errorf("BuildRevision returned empty string")
+	}
+}

@@ -1,0 +1,323 @@
+// Package metrics is a small, stdlib-only instrumentation subsystem:
+// counters, gauges and fixed-bucket histograms behind a Registry, with
+// atomic hot paths and a deterministic snapshot/export API (JSON and
+// expvar-style text).
+//
+// Instruments are get-or-create by name: the first call registers, every
+// later call with the same name returns the same instrument, so layers
+// that share a Registry (core protocol, sim driver, livenet cluster)
+// aggregate into one namespace. Hot-path operations (Add, Set, Observe)
+// are lock-free; only instrument creation and snapshotting take the
+// registry lock. Callers on hot paths should look an instrument up once
+// and keep the pointer.
+//
+// Naming convention: dotted lowercase paths, coarse-to-fine
+// ("core.splits", "livenet.node.3.sent"). Snapshots render names in
+// sorted order, so runs of the same configuration produce byte-identical
+// exports — live runs become diffable artifacts.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and > Bounds[i-1]); one implicit
+// overflow bucket catches everything above the last bound.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds not strictly increasing at %d", i)
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns the histogram's exportable state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// LinearBuckets returns n strictly increasing bounds start, start+width,
+// start+2*width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start*factor,
+// start*factor^2, ... — the usual shape for latencies.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return []float64{start}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry is a namespace of instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Later calls ignore bounds and return the
+// existing histogram; invalid bounds on first use return an error.
+func (r *Registry) Histogram(name string, bounds []float64) (*Histogram, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h, nil
+	}
+	h, err := newHistogram(bounds)
+	if err != nil {
+		return nil, fmt.Errorf("%w (histogram %q)", err, name)
+	}
+	r.histograms[name] = h
+	return h, nil
+}
+
+// MustHistogram is Histogram for static, known-good bounds; it panics on
+// invalid bounds.
+func (r *Registry) MustHistogram(name string, bounds []float64) *Histogram {
+	h, err := r.Histogram(name, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HistogramSnapshot is a histogram's exportable state. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time copy of every instrument. Map keys
+// marshal in sorted order (encoding/json), so the JSON form is
+// deterministic for a given registry state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current state of every instrument. Individual
+// reads are atomic; the snapshot as a whole is not a consistent cut
+// across concurrently updated instruments.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// WriteText writes the snapshot as expvar-style text: one sorted
+// "name value" line per counter and gauge, and per-bucket
+// "name{le=bound} count" lines plus _count and _sum for histograms.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, h := range s.Histograms {
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			lines = append(lines, fmt.Sprintf("%s{le=%g} %d", name, b, cum))
+		}
+		lines = append(lines, fmt.Sprintf("%s{le=+Inf} %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum %g", name, h.Sum))
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// SumCounters returns the sum of all counters whose name starts with
+// prefix and ends with suffix — e.g. SumCounters("livenet.node.",
+// ".sent") checks per-node counters against the aggregate.
+func (r *Registry) SumCounters(prefix, suffix string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for name, c := range r.counters {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) {
+			total += c.Value()
+		}
+	}
+	return total
+}

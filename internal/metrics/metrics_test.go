@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Errorf("Counter not get-or-create")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("x")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("Value = %v, want 1.5", got)
+	}
+	if r.Gauge("x") != g {
+		t.Errorf("Gauge not get-or-create")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("lat", []float64{1, 2, 4})
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	s := h.snapshot()
+	want := []int64{2, 1, 1, 1} // (<=1)=0.5,1; (<=2)=1.5; (<=4)=3; overflow=100
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	// Existing histogram wins; bounds are ignored on re-registration.
+	h2, err := r.Histogram("lat", []float64{9})
+	if err != nil || h2 != h {
+		t.Errorf("re-registration: %v, same=%v", err, h2 == h)
+	}
+}
+
+func TestHistogramInvalidBounds(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Histogram("bad", nil); err == nil {
+		t.Errorf("empty bounds accepted")
+	}
+	if _, err := r.Histogram("bad2", []float64{1, 1}); err == nil {
+		t.Errorf("non-increasing bounds accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustHistogram did not panic on invalid bounds")
+		}
+	}()
+	r.MustHistogram("bad3", nil)
+}
+
+func TestMustHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("ok", []float64{1})
+	if h == nil {
+		t.Fatalf("nil histogram")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 3)
+	if len(lin) != 3 || lin[0] != 0 || lin[1] != 2 || lin[2] != 4 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if len(exp) != 3 || exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("ExponentialBuckets = %v", exp)
+	}
+	// Degenerate parameters fall back to a single bound.
+	if got := LinearBuckets(5, -1, 3); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate LinearBuckets = %v", got)
+	}
+	if got := ExponentialBuckets(0, 2, 3); len(got) != 1 {
+		t.Errorf("degenerate ExponentialBuckets = %v", got)
+	}
+}
+
+// TestSnapshotDeterminism checks that two registries populated the same
+// way export byte-identical JSON and text, and that repeated snapshots
+// of an idle registry are identical — the property that makes run
+// artifacts diffable.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in different orders on purpose.
+		names := []string{"z.last", "a.first", "m.mid"}
+		for _, n := range names {
+			r.Counter(n).Add(3)
+			r.Gauge(n + ".g").Set(0.25)
+		}
+		h := r.MustHistogram("h", []float64{1, 2})
+		h.Observe(0.5)
+		h.Observe(5)
+		return r
+	}
+	exportJSON := func(r *Registry) string {
+		var b strings.Builder
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.String()
+	}
+	exportText := func(r *Registry) string {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		return b.String()
+	}
+	r1, r2 := build(), build()
+	if exportJSON(r1) != exportJSON(r2) {
+		t.Errorf("JSON export not deterministic:\n%s\nvs\n%s", exportJSON(r1), exportJSON(r2))
+	}
+	if exportText(r1) != exportText(r2) {
+		t.Errorf("text export not deterministic")
+	}
+	if exportJSON(r1) != exportJSON(r1) {
+		t.Errorf("repeated JSON snapshots differ")
+	}
+	// JSON round-trips into the same snapshot shape.
+	var s Snapshot
+	if err := json.Unmarshal([]byte(exportJSON(r1)), &s); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if s.Counters["a.first"] != 3 || s.Gauges["m.mid.g"] != 0.25 {
+		t.Errorf("snapshot content = %+v", s)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 2 || hs.Sum != 5.5 || len(hs.Counts) != 3 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestWriteTextShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1.5)
+	r.MustHistogram("h", []float64{1}).Observe(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"c 1\n", "g 1.5\n", "h{le=1} 0\n", "h{le=+Inf} 1\n", "h_count 1\n", "h_sum 2\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines; run under -race this is the atomic hot-path check.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.MustHistogram("shared.hist", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.Counter("shared.counter").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != float64(total) {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	h := r.MustHistogram("shared.hist", nil)
+	if h.Count() != total || math.Abs(h.Sum()-float64(total)) > 1e-9 {
+		t.Errorf("hist count=%d sum=%v, want %d", h.Count(), h.Sum(), total)
+	}
+}
+
+func TestSumCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("livenet.node.0.sent").Add(2)
+	r.Counter("livenet.node.1.sent").Add(3)
+	r.Counter("livenet.node.0.received").Add(7)
+	r.Counter("other.sent").Add(100)
+	if got := r.SumCounters("livenet.node.", ".sent"); got != 5 {
+		t.Errorf("SumCounters = %d, want 5", got)
+	}
+	if got := r.SumCounters("livenet.node.", ".received"); got != 7 {
+		t.Errorf("SumCounters received = %d, want 7", got)
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"distclass/internal/aggregate"
+	"distclass/internal/metrics"
+	"distclass/internal/rng"
+	"distclass/internal/trace"
+)
+
+func seqValues(n int) []float64 {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	return values
+}
+
+// TestRoundDriverObservability runs the round driver with a shared
+// registry and trace sink, and checks the registry counters agree with
+// Stats and with the recorded send/receive/crash events.
+func TestRoundDriverObservability(t *testing.T) {
+	const n = 8
+	reg := metrics.NewRegistry()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	net, err := NewNetwork(fullGraph(t, n), newMassAgents(t, n, seqValues(n)), rng.New(3),
+		Options[aggregate.Message]{CrashProb: 0.2, Metrics: reg, Trace: rec})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	const rounds = 10
+	if err := net.RunRounds(rounds, nil); err != nil {
+		t.Fatalf("RunRounds: %v", err)
+	}
+	st := net.Stats()
+	snap := reg.Snapshot()
+	if int64(st.Rounds) != snap.Counters["sim.rounds"] || st.Rounds != rounds {
+		t.Errorf("rounds: stats=%d registry=%d", st.Rounds, snap.Counters["sim.rounds"])
+	}
+	if int64(st.MessagesSent) != snap.Counters["sim.messages_sent"] {
+		t.Errorf("sent: stats=%d registry=%d", st.MessagesSent, snap.Counters["sim.messages_sent"])
+	}
+	if int64(st.MessagesDropped) != snap.Counters["sim.messages_dropped"] {
+		t.Errorf("dropped: stats=%d registry=%d", st.MessagesDropped, snap.Counters["sim.messages_dropped"])
+	}
+	if int64(st.Crashes) != snap.Counters["sim.crashes"] {
+		t.Errorf("crashes: stats=%d registry=%d", st.Crashes, snap.Counters["sim.crashes"])
+	}
+	if st.Crashes == 0 {
+		t.Fatalf("crash injection never fired (prob 0.2, %d rounds)", rounds)
+	}
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := trace.CountKind(events, trace.KindSend); got != st.MessagesSent {
+		t.Errorf("send events = %d, stats sent = %d", got, st.MessagesSent)
+	}
+	if got := trace.CountKind(events, trace.KindCrash); got != st.Crashes {
+		t.Errorf("crash events = %d, stats crashes = %d", got, st.Crashes)
+	}
+	// Every delivered batch is one receive event; batches are bounded
+	// by sends.
+	recv := trace.CountKind(events, trace.KindReceive)
+	if recv == 0 || recv > st.MessagesSent {
+		t.Errorf("receive events = %d with %d sends", recv, st.MessagesSent)
+	}
+	for _, e := range events {
+		if e.Round < 0 || e.Round >= rounds {
+			t.Errorf("driver event carries bad round: %+v", e)
+		}
+	}
+}
+
+// TestAsyncDriverObservability checks the async driver's step counters
+// and events against the registry.
+func TestAsyncDriverObservability(t *testing.T) {
+	const n = 6
+	reg := metrics.NewRegistry()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	a, err := NewAsync(fullGraph(t, n), newMassAgents(t, n, seqValues(n)), rng.New(5),
+		Options[aggregate.Message]{Metrics: reg, Trace: rec})
+	if err != nil {
+		t.Fatalf("NewAsync: %v", err)
+	}
+	const steps = 200
+	if err := a.RunSteps(steps, nil); err != nil {
+		t.Fatalf("RunSteps: %v", err)
+	}
+	st := a.Stats()
+	snap := reg.Snapshot()
+	if st.Steps != steps || int64(st.Steps) != snap.Counters["sim.steps"] {
+		t.Errorf("steps: stats=%d registry=%d", st.Steps, snap.Counters["sim.steps"])
+	}
+	if int64(st.MessagesSent) != snap.Counters["sim.messages_sent"] || st.MessagesSent == 0 {
+		t.Errorf("sent: stats=%d registry=%d", st.MessagesSent, snap.Counters["sim.messages_sent"])
+	}
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := trace.CountKind(events, trace.KindSend); got != st.MessagesSent {
+		t.Errorf("send events = %d, stats sent = %d", got, st.MessagesSent)
+	}
+	if got := trace.CountKind(events, trace.KindReceive); got == 0 {
+		t.Errorf("no receive events after %d steps", steps)
+	}
+}

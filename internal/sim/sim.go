@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 )
 
 // Agent is a protocol participant.
@@ -107,9 +109,20 @@ type Options[M any] struct {
 	// SizeFunc, when set, measures each sent message; the driver
 	// accumulates the total in Stats.PayloadSize.
 	SizeFunc func(M) int
+	// Metrics, when non-nil, backs the driver's traffic counters
+	// (sim.rounds, sim.steps, sim.messages_sent, sim.messages_dropped,
+	// sim.payload, sim.crashes). When nil the driver uses a private
+	// registry; Stats reads the counters either way.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives typed driver events: send/receive
+	// per message and crash per killed node, all with real round (or
+	// step) numbers.
+	Trace trace.Sink
 }
 
-// Stats accumulates traffic counters.
+// Stats is a point-in-time view of the driver's traffic counters. The
+// counters live in a metrics registry (Options.Metrics or a private
+// one); Stats is the stable snapshot the reporting paths consume.
 type Stats struct {
 	// Rounds is the number of completed rounds (round driver) .
 	Rounds int
@@ -118,10 +131,44 @@ type Stats struct {
 	// MessagesSent counts sent messages, including those dropped at
 	// crashed destinations.
 	MessagesSent int
-	// MessagesDropped counts messages addressed to crashed nodes.
+	// MessagesDropped counts messages addressed to crashed nodes or
+	// lost to DropProb.
 	MessagesDropped int
 	// PayloadSize accumulates SizeFunc over sent messages.
 	PayloadSize int
+	// Crashes counts nodes killed by crash injection.
+	Crashes int
+}
+
+// counters caches the registry-backed driver counters so the per-round
+// hot path never touches the registry lock.
+type counters struct {
+	rounds, steps, sent, dropped, payload, crashes *metrics.Counter
+}
+
+func newCounters(reg *metrics.Registry) counters {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return counters{
+		rounds:  reg.Counter("sim.rounds"),
+		steps:   reg.Counter("sim.steps"),
+		sent:    reg.Counter("sim.messages_sent"),
+		dropped: reg.Counter("sim.messages_dropped"),
+		payload: reg.Counter("sim.payload"),
+		crashes: reg.Counter("sim.crashes"),
+	}
+}
+
+func (c counters) stats() Stats {
+	return Stats{
+		Rounds:          int(c.rounds.Value()),
+		Steps:           int(c.steps.Value()),
+		MessagesSent:    int(c.sent.Value()),
+		MessagesDropped: int(c.dropped.Value()),
+		PayloadSize:     int(c.payload.Value()),
+		Crashes:         int(c.crashes.Value()),
+	}
 }
 
 // Network is the synchronous round driver.
@@ -132,7 +179,7 @@ type Network[M any] struct {
 	opts   Options[M]
 	alive  []bool
 	rr     []int // round-robin cursor per node
-	stats  Stats
+	c      counters
 }
 
 // NewNetwork builds a round driver over the graph; agents[i] runs on
@@ -169,6 +216,7 @@ func NewNetwork[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Op
 		opts:   opts,
 		alive:  alive,
 		rr:     make([]int, g.N()),
+		c:      newCounters(opts.Metrics),
 	}, nil
 }
 
@@ -186,8 +234,8 @@ func (n *Network[M]) AliveCount() int {
 	return c
 }
 
-// Stats returns the accumulated counters.
-func (n *Network[M]) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the accumulated counters.
+func (n *Network[M]) Stats() Stats { return n.c.stats() }
 
 // pickNeighbor chooses the destination for node i under the policy.
 func pickNeighbor(g *topology.Graph, i int, policy Policy, rr []int, r *rng.RNG) (int, bool) {
@@ -212,6 +260,7 @@ func pickNeighbor(g *topology.Graph, i int, policy Policy, rr []int, r *rng.RNG)
 // nodes are dropped, and pulls from crashed nodes return nothing
 // (their weight is lost — exactly the failure mode Figure 4 studies).
 func (n *Network[M]) Round() error {
+	round := int(n.c.rounds.Value())
 	inbox := make([][]M, n.graph.N())
 	// transfer moves one split half from src to dst.
 	transfer := func(src, dst int) {
@@ -219,12 +268,15 @@ func (n *Network[M]) Round() error {
 		if !ok {
 			return
 		}
-		n.stats.MessagesSent++
+		n.c.sent.Inc()
 		if n.opts.SizeFunc != nil {
-			n.stats.PayloadSize += n.opts.SizeFunc(msg)
+			n.c.payload.Add(int64(n.opts.SizeFunc(msg)))
+		}
+		if n.opts.Trace != nil {
+			_ = n.opts.Trace.Record(trace.Event{Round: round, Node: src, Kind: trace.KindSend})
 		}
 		if !n.alive[dst] || (n.opts.DropProb > 0 && n.r.Bool(n.opts.DropProb)) {
-			n.stats.MessagesDropped++
+			n.c.dropped.Inc()
 			return
 		}
 		inbox[dst] = append(inbox[dst], msg)
@@ -258,15 +310,25 @@ func (n *Network[M]) Round() error {
 		if err := n.agents[i].Receive(batch); err != nil {
 			return fmt.Errorf("sim: node %d receive: %w", i, err)
 		}
+		if n.opts.Trace != nil {
+			_ = n.opts.Trace.Record(trace.Event{
+				Round: round, Node: i, Kind: trace.KindReceive,
+				Value: float64(len(batch)),
+			})
+		}
 	}
 	if n.opts.CrashProb > 0 {
 		for i := range n.alive {
 			if n.alive[i] && n.r.Bool(n.opts.CrashProb) {
 				n.alive[i] = false
+				n.c.crashes.Inc()
+				if n.opts.Trace != nil {
+					_ = n.opts.Trace.Record(trace.Event{Round: round, Node: i, Kind: trace.KindCrash})
+				}
 			}
 		}
 	}
-	n.stats.Rounds++
+	n.c.rounds.Inc()
 	return nil
 }
 
@@ -302,7 +364,7 @@ type Async[M any] struct {
 	queues map[[2]int][]M // FIFO per directed edge (src, dst)
 	edges  [][2]int       // directed edges with non-empty queues (keys of queues, maintained lazily)
 	rr     []int
-	stats  Stats
+	c      counters
 }
 
 // NewAsync builds an async driver over the graph.
@@ -328,11 +390,12 @@ func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Opti
 		opts:   opts,
 		queues: make(map[[2]int][]M),
 		rr:     make([]int, g.N()),
+		c:      newCounters(opts.Metrics),
 	}, nil
 }
 
-// Stats returns the accumulated counters.
-func (a *Async[M]) Stats() Stats { return a.stats }
+// Stats returns a snapshot of the accumulated counters.
+func (a *Async[M]) Stats() Stats { return a.c.stats() }
 
 // InFlight returns the number of queued (sent, undelivered) messages.
 func (a *Async[M]) InFlight() int {
@@ -358,7 +421,8 @@ func (a *Async[M]) Step() error {
 	sends := a.graph.N()
 	total := sends + len(nonEmpty)
 	choice := a.r.IntN(total)
-	a.stats.Steps++
+	step := int(a.c.steps.Value())
+	a.c.steps.Inc()
 	if choice < sends {
 		self := choice
 		peer, ok := pickNeighbor(a.graph, self, a.opts.Policy, a.rr, a.r)
@@ -370,9 +434,12 @@ func (a *Async[M]) Step() error {
 			if !ok {
 				return
 			}
-			a.stats.MessagesSent++
+			a.c.sent.Inc()
 			if a.opts.SizeFunc != nil {
-				a.stats.PayloadSize += a.opts.SizeFunc(msg)
+				a.c.payload.Add(int64(a.opts.SizeFunc(msg)))
+			}
+			if a.opts.Trace != nil {
+				_ = a.opts.Trace.Record(trace.Event{Round: step, Node: src, Kind: trace.KindSend})
 			}
 			key := [2]int{src, dst}
 			a.queues[key] = append(a.queues[key], msg)
@@ -398,6 +465,9 @@ func (a *Async[M]) Step() error {
 	a.queues[e] = q[1:]
 	if err := a.agents[e[1]].Receive([]M{msg}); err != nil {
 		return fmt.Errorf("sim: node %d receive: %w", e[1], err)
+	}
+	if a.opts.Trace != nil {
+		_ = a.opts.Trace.Record(trace.Event{Round: step, Node: e[1], Kind: trace.KindReceive, Value: 1})
 	}
 	return nil
 }

@@ -1,30 +1,69 @@
-// Package trace records structured simulation events as JSON Lines —
-// one JSON object per line — so runs can be archived, diffed and
-// post-processed by external tools. The recorder is synchronous and
-// single-writer: the simulation drivers are single-goroutine, so no
-// locking is needed; livenet callers must serialize externally.
+// Package trace is the event backbone of the observability layer: it
+// records structured protocol events as JSON Lines — one JSON object
+// per line — so runs can be archived, diffed and post-processed by
+// external tools. The simulation drivers, the live deployment and the
+// experiments harness all record through the Sink interface; Recorder
+// is the standard JSONL sink and is safe for concurrent writers.
 package trace
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
+)
 
-	"distclass/internal/core"
+// Kind labels an event. The typed constants below cover the protocol
+// and driver events; ad-hoc kinds are allowed for experiment-specific
+// probes.
+type Kind string
+
+// Typed event kinds.
+const (
+	// KindSplit: a node split its classification and produced an
+	// outgoing half (protocol, Algorithm 1 lines 3-7).
+	KindSplit Kind = "split"
+	// KindMerge: a node merged a group of collections during absorb
+	// (protocol, Algorithm 1 lines 8-11). Value is the group size.
+	KindMerge Kind = "merge"
+	// KindCrash: the driver killed a node (Figure 4 churn model).
+	KindCrash Kind = "crash"
+	// KindRecover: the driver brought a node back.
+	KindRecover Kind = "recover"
+	// KindSend: a driver delivered a send opportunity and a message
+	// left the node.
+	KindSend Kind = "send"
+	// KindReceive: a node received and absorbed a message batch.
+	// Value is the batch size.
+	KindReceive Kind = "receive"
+	// KindDecodeError: an incoming frame failed to decode.
+	KindDecodeError Kind = "decode-error"
+	// KindSpread: a per-round convergence probe; Value is the sampled
+	// maximum pairwise dissimilarity.
+	KindSpread Kind = "spread"
+	// KindError: a per-round estimation-error probe; Value is the
+	// error against ground truth.
+	KindError Kind = "error"
+	// KindClassification: a node's classification snapshot.
+	KindClassification Kind = "classification"
 )
 
 // Event is one recorded observation.
 type Event struct {
-	// Round is the simulation round (or step) of the observation.
+	// Round is the simulation round (or step) of the observation; -1
+	// for events not tied to a driver round (live deployments, node-
+	// internal protocol events).
 	Round int `json:"round"`
 	// Node is the observed node's id (-1 for network-wide events).
 	Node int `json:"node"`
-	// Kind labels the event ("classification", "spread", "crash", ...).
-	Kind string `json:"kind"`
+	// Kind labels the event.
+	Kind Kind `json:"kind"`
 	// Collections summarizes the node's classification at the time.
 	Collections []CollectionRecord `json:"collections,omitempty"`
-	// Value carries scalar observations (spread, error, ...).
-	Value float64 `json:"value,omitempty"`
+	// Value carries scalar observations (spread, error, batch size,
+	// ...). It is always serialized: a scalar observation of 0 (e.g.
+	// spread at convergence) is a legitimate reading, not an absence.
+	Value float64 `json:"value"`
 }
 
 // CollectionRecord is one collection's snapshot.
@@ -35,11 +74,30 @@ type CollectionRecord struct {
 	Summary string `json:"summary"`
 }
 
-// Recorder writes events as JSONL.
+// Sink consumes events. Implementations must be safe for concurrent
+// Record calls: sim drivers are single-goroutine, but livenet nodes
+// record from one goroutine per node.
+type Sink interface {
+	Record(e Event) error
+}
+
+// Nop is a Sink that discards every event.
+var Nop Sink = nopSink{}
+
+type nopSink struct{}
+
+func (nopSink) Record(Event) error { return nil }
+
+// Recorder is the standard Sink: it writes events as JSONL. It is safe
+// for concurrent writers; an internal mutex serializes encoding, so
+// lines never interleave.
 type Recorder struct {
+	mu    sync.Mutex
 	enc   *json.Encoder
 	count int
 }
+
+var _ Sink = (*Recorder)(nil)
 
 // NewRecorder writes events to w.
 func NewRecorder(w io.Writer) *Recorder {
@@ -47,10 +105,16 @@ func NewRecorder(w io.Writer) *Recorder {
 }
 
 // Count returns the number of events recorded so far.
-func (r *Recorder) Count() int { return r.count }
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
 
 // Record writes one event.
 func (r *Recorder) Record(e Event) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err := r.enc.Encode(e); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
@@ -59,27 +123,14 @@ func (r *Recorder) Record(e Event) error {
 }
 
 // Scalar records a named scalar observation.
-func (r *Recorder) Scalar(round, node int, kind string, value float64) error {
+func (r *Recorder) Scalar(round, node int, kind Kind, value float64) error {
 	return r.Record(Event{Round: round, Node: node, Kind: kind, Value: value})
 }
 
-// Classification records a node's classification snapshot. meanOf
-// extracts a representative point from a summary; a nil meanOf records
-// only weights and rendered summaries.
-func (r *Recorder) Classification(round, node int, cls core.Classification, meanOf func(core.Summary) ([]float64, error)) error {
-	records := make([]CollectionRecord, len(cls))
-	for i, c := range cls {
-		rec := CollectionRecord{Weight: c.Weight, Summary: c.Summary.String()}
-		if meanOf != nil {
-			mean, err := meanOf(c.Summary)
-			if err != nil {
-				return fmt.Errorf("trace: %w", err)
-			}
-			rec.Mean = mean
-		}
-		records[i] = rec
-	}
-	return r.Record(Event{Round: round, Node: node, Kind: "classification", Collections: records})
+// Classification records a node's classification snapshot from
+// prepared collection records (see e.g. core.TraceRecords).
+func (r *Recorder) Classification(round, node int, records []CollectionRecord) error {
+	return r.Record(Event{Round: round, Node: node, Kind: KindClassification, Collections: records})
 }
 
 // Read decodes all events from r — the inverse of a Recorder run, used
@@ -97,4 +148,16 @@ func Read(r io.Reader) ([]Event, error) {
 		}
 		out = append(out, e)
 	}
+}
+
+// CountKind returns how many events carry the given kind — a common
+// post-processing reduction.
+func CountKind(events []Event, kind Kind) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
 }

@@ -2,17 +2,14 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
-
-	"distclass/internal/centroids"
-	"distclass/internal/core"
-	"distclass/internal/vec"
 )
 
 func TestScalarRoundTrip(t *testing.T) {
 	var b strings.Builder
 	rec := NewRecorder(&b)
-	if err := rec.Scalar(3, 7, "spread", 0.25); err != nil {
+	if err := rec.Scalar(3, 7, KindSpread, 0.25); err != nil {
 		t.Fatalf("Scalar: %v", err)
 	}
 	if err := rec.Scalar(4, -1, "weight", 16); err != nil {
@@ -28,26 +25,48 @@ func TestScalarRoundTrip(t *testing.T) {
 	if len(events) != 2 {
 		t.Fatalf("events = %d", len(events))
 	}
-	if events[0].Round != 3 || events[0].Node != 7 || events[0].Kind != "spread" || events[0].Value != 0.25 {
+	if events[0].Round != 3 || events[0].Node != 7 || events[0].Kind != KindSpread || events[0].Value != 0.25 {
 		t.Errorf("event[0] = %+v", events[0])
 	}
 	if events[1].Value != 16 {
 		t.Errorf("event[1] = %+v", events[1])
 	}
+	if CountKind(events, KindSpread) != 1 || CountKind(events, KindCrash) != 0 {
+		t.Errorf("CountKind miscounts")
+	}
+}
+
+// TestZeroValueSerialized is the regression test for the omitempty bug:
+// a scalar observation of exactly 0 (e.g. spread at convergence) must
+// appear in the JSON — dropping it made converged rounds look like
+// missing data.
+func TestZeroValueSerialized(t *testing.T) {
+	var b strings.Builder
+	rec := NewRecorder(&b)
+	if err := rec.Scalar(10, -1, KindSpread, 0); err != nil {
+		t.Fatalf("Scalar: %v", err)
+	}
+	line := b.String()
+	if !strings.Contains(line, `"value":0`) {
+		t.Fatalf("zero value dropped from JSON: %s", line)
+	}
+	events, err := Read(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 1 || events[0].Value != 0 {
+		t.Errorf("round-trip lost the zero observation: %+v", events)
+	}
 }
 
 func TestClassificationSnapshot(t *testing.T) {
-	s, err := centroids.Method{}.Summarize(vec.Of(1, 2))
-	if err != nil {
-		t.Fatalf("Summarize: %v", err)
+	records := []CollectionRecord{
+		{Weight: 0.5, Mean: []float64{1, 2}, Summary: "(1, 2)"},
+		{Weight: 0.25, Summary: "(3)"},
 	}
-	cls := core.Classification{{Summary: s, Weight: 0.5}}
 	var b strings.Builder
 	rec := NewRecorder(&b)
-	meanOf := func(sum core.Summary) ([]float64, error) {
-		return sum.(centroids.Centroid).Point, nil
-	}
-	if err := rec.Classification(9, 2, cls, meanOf); err != nil {
+	if err := rec.Classification(9, 2, records); err != nil {
 		t.Fatalf("Classification: %v", err)
 	}
 	events, err := Read(strings.NewReader(b.String()))
@@ -58,7 +77,7 @@ func TestClassificationSnapshot(t *testing.T) {
 		t.Fatalf("events = %d", len(events))
 	}
 	e := events[0]
-	if e.Kind != "classification" || len(e.Collections) != 1 {
+	if e.Kind != KindClassification || len(e.Collections) != 2 {
 		t.Fatalf("event = %+v", e)
 	}
 	c := e.Collections[0]
@@ -68,18 +87,62 @@ func TestClassificationSnapshot(t *testing.T) {
 	if !strings.Contains(c.Summary, "(1, 2)") {
 		t.Errorf("summary = %q", c.Summary)
 	}
-	// Without meanOf, means are omitted.
-	var b2 strings.Builder
-	rec2 := NewRecorder(&b2)
-	if err := rec2.Classification(0, 0, cls, nil); err != nil {
-		t.Fatalf("Classification: %v", err)
+	if e.Collections[1].Mean != nil {
+		t.Errorf("mean invented for record without one")
 	}
-	events2, err := Read(strings.NewReader(b2.String()))
+}
+
+// TestConcurrentRecorderRoundTrip writes from many goroutines at once
+// (the livenet shape: one recorder shared by every node's goroutines)
+// and checks every event arrives intact on its own line. The underlying
+// strings.Builder is not itself concurrency-safe, so under -race this
+// also proves the recorder's mutex covers the writer.
+func TestConcurrentRecorderRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	rec := NewRecorder(&buf)
+	const writers, perWriter = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := rec.Scalar(i, w, KindSend, float64(w)); err != nil {
+					t.Errorf("Scalar: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Count() != writers*perWriter {
+		t.Errorf("Count = %d, want %d", rec.Count(), writers*perWriter)
+	}
+	events, err := Read(strings.NewReader(buf.String()))
 	if err != nil {
-		t.Fatalf("Read: %v", err)
+		t.Fatalf("Read (interleaved lines?): %v", err)
 	}
-	if events2[0].Collections[0].Mean != nil {
-		t.Errorf("mean recorded without meanOf")
+	if len(events) != writers*perWriter {
+		t.Fatalf("events = %d, want %d", len(events), writers*perWriter)
+	}
+	perNode := make(map[int]int)
+	for _, e := range events {
+		if e.Kind != KindSend || float64(e.Node) != e.Value {
+			t.Fatalf("corrupted event: %+v", e)
+		}
+		perNode[e.Node]++
+	}
+	for w := 0; w < writers; w++ {
+		if perNode[w] != perWriter {
+			t.Errorf("writer %d recorded %d events, want %d", w, perNode[w], perWriter)
+		}
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	if err := Nop.Record(Event{Kind: KindCrash}); err != nil {
+		t.Errorf("Nop.Record: %v", err)
 	}
 }
 
