@@ -322,7 +322,7 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
 		if c.sink != nil {
 			_ = c.sink.Record(trace.Event{
 				Round: -1, Node: p.id, Kind: trace.KindReceive,
-				Value: float64(len(data)),
+				Value: float64(len(cls)),
 			})
 		}
 	}

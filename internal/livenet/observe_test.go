@@ -95,6 +95,12 @@ func TestCounterBalance(t *testing.T) {
 		if e.Round != -1 {
 			t.Fatalf("live event carries a round: %+v", e)
 		}
+		// Receive events carry the decoded collection count (same unit
+		// as sim's batch size), never the frame byte length — any wire
+		// frame here is far larger than a k-bounded classification.
+		if e.Kind == trace.KindReceive && (e.Value < 1 || e.Value > 16 || e.Value != float64(int(e.Value))) {
+			t.Fatalf("receive event Value %v is not a small collection count: %+v", e.Value, e)
+		}
 	}
 }
 

@@ -276,32 +276,53 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// WriteText writes the snapshot as expvar-style text: one sorted
-// "name value" line per counter and gauge, and per-bucket
+// WriteText writes the snapshot as expvar-style text: one
+// "name value" line per counter and gauge, and per-bucket cumulative
 // "name{le=bound} count" lines plus _count and _sum for histograms.
+// Instruments are sorted by name, but each histogram's lines stay
+// together in ascending bound order (le=2 before le=10, then +Inf,
+// _count, _sum) so the cumulative buckets read naturally.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	var lines []string
+	// One block per instrument; blocks sort by name (ties broken by
+	// instrument type so the output is deterministic even if a counter
+	// and a gauge share a name), lines within a block keep their order.
+	type block struct {
+		name  string
+		typ   int
+		lines []string
+	}
+	var blocks []block
 	for name, v := range s.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+		blocks = append(blocks, block{name, 0, []string{fmt.Sprintf("%s %d", name, v)}})
 	}
 	for name, v := range s.Gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+		blocks = append(blocks, block{name, 1, []string{fmt.Sprintf("%s %g", name, v)}})
 	}
 	for name, h := range s.Histograms {
+		lines := make([]string, 0, len(h.Bounds)+3)
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
 			lines = append(lines, fmt.Sprintf("%s{le=%g} %d", name, b, cum))
 		}
-		lines = append(lines, fmt.Sprintf("%s{le=+Inf} %d", name, h.Count))
-		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
-		lines = append(lines, fmt.Sprintf("%s_sum %g", name, h.Sum))
+		lines = append(lines,
+			fmt.Sprintf("%s{le=+Inf} %d", name, h.Count),
+			fmt.Sprintf("%s_count %d", name, h.Count),
+			fmt.Sprintf("%s_sum %g", name, h.Sum))
+		blocks = append(blocks, block{name, 2, lines})
 	}
-	sort.Strings(lines)
-	for _, line := range lines {
-		if _, err := fmt.Fprintln(w, line); err != nil {
-			return fmt.Errorf("metrics: %w", err)
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].name != blocks[j].name {
+			return blocks[i].name < blocks[j].name
+		}
+		return blocks[i].typ < blocks[j].typ
+	})
+	for _, b := range blocks {
+		for _, line := range b.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
 		}
 	}
 	return nil

@@ -179,6 +179,26 @@ func TestWriteTextShape(t *testing.T) {
 	}
 }
 
+// TestWriteTextHistogramOrder checks that histogram lines come out as
+// one block in ascending bound order (le=2 before le=10 despite "10"
+// sorting lexically before "2"), followed by +Inf, _count and _sum.
+func TestWriteTextHistogramOrder(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("h", []float64{2, 10})
+	h.Observe(1)
+	h.Observe(5)
+	r.Counter("a").Inc()
+	r.Counter("z").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := "a 1\nh{le=2} 1\nh{le=10} 2\nh{le=+Inf} 2\nh_count 2\nh_sum 6\nz 1\n"
+	if got := b.String(); got != want {
+		t.Errorf("text export order:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestConcurrentInstruments hammers every instrument type from many
 // goroutines; run under -race this is the atomic hot-path check.
 func TestConcurrentInstruments(t *testing.T) {

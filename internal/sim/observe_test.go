@@ -75,6 +75,57 @@ func TestRoundDriverObservability(t *testing.T) {
 	}
 }
 
+// TestSharedRegistryScoping runs two sequential networks over one
+// registry — the experiments-harness setup — and checks that Stats and
+// trace round numbers stay scoped to each driver while the registry
+// aggregates across both.
+func TestSharedRegistryScoping(t *testing.T) {
+	const n, rounds = 6, 5
+	reg := metrics.NewRegistry()
+	run := func() (Stats, []trace.Event) {
+		var buf strings.Builder
+		rec := trace.NewRecorder(&buf)
+		net, err := NewNetwork(fullGraph(t, n), newMassAgents(t, n, seqValues(n)), rng.New(11),
+			Options[aggregate.Message]{Metrics: reg, Trace: rec})
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		if err := net.RunRounds(rounds, nil); err != nil {
+			t.Fatalf("RunRounds: %v", err)
+		}
+		events, err := trace.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		return net.Stats(), events
+	}
+	st1, _ := run()
+	st2, events2 := run()
+	// Identical seed and config: the second run's stats must equal the
+	// first run's, not the cumulative registry totals.
+	if st2 != st1 {
+		t.Errorf("second run's Stats not scoped to its driver:\nrun 1: %+v\nrun 2: %+v", st1, st2)
+	}
+	if st2.Rounds != rounds {
+		t.Errorf("second run reports %d rounds, want %d", st2.Rounds, rounds)
+	}
+	// The second run's trace rounds restart at 0 rather than continuing
+	// the registry's cumulative round clock.
+	for _, e := range events2 {
+		if e.Round < 0 || e.Round >= rounds {
+			t.Errorf("second run's event carries cumulative round: %+v", e)
+		}
+	}
+	// The shared registry aggregates both runs.
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.rounds"]; got != 2*rounds {
+		t.Errorf("registry sim.rounds = %d, want %d", got, 2*rounds)
+	}
+	if got := snap.Counters["sim.messages_sent"]; got != int64(st1.MessagesSent+st2.MessagesSent) {
+		t.Errorf("registry sim.messages_sent = %d, want %d", got, st1.MessagesSent+st2.MessagesSent)
+	}
+}
+
 // TestAsyncDriverObservability checks the async driver's step counters
 // and events against the registry.
 func TestAsyncDriverObservability(t *testing.T) {

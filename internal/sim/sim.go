@@ -109,10 +109,11 @@ type Options[M any] struct {
 	// SizeFunc, when set, measures each sent message; the driver
 	// accumulates the total in Stats.PayloadSize.
 	SizeFunc func(M) int
-	// Metrics, when non-nil, backs the driver's traffic counters
+	// Metrics, when non-nil, receives the driver's traffic counters
 	// (sim.rounds, sim.steps, sim.messages_sent, sim.messages_dropped,
-	// sim.payload, sim.crashes). When nil the driver uses a private
-	// registry; Stats reads the counters either way.
+	// sim.payload, sim.crashes). The registry aggregates: drivers
+	// sharing one registry add into the same counters, while each
+	// driver's Stats stays scoped to that driver alone.
 	Metrics *metrics.Registry
 	// Trace, when non-nil, receives typed driver events: send/receive
 	// per message and crash per killed node, all with real round (or
@@ -120,9 +121,9 @@ type Options[M any] struct {
 	Trace trace.Sink
 }
 
-// Stats is a point-in-time view of the driver's traffic counters. The
-// counters live in a metrics registry (Options.Metrics or a private
-// one); Stats is the stable snapshot the reporting paths consume.
+// Stats is a point-in-time view of this driver's traffic counters.
+// The counts are per-driver even when Options.Metrics is shared across
+// drivers: the registry aggregates, Stats does not.
 type Stats struct {
 	// Rounds is the number of completed rounds (round driver) .
 	Rounds int
@@ -140,9 +141,15 @@ type Stats struct {
 	Crashes int
 }
 
-// counters caches the registry-backed driver counters so the per-round
-// hot path never touches the registry lock.
+// counters holds the driver's own Stats and mirrors every increment
+// into the (possibly shared) registry. The local fields keep Stats and
+// trace round numbers scoped to one driver — a registry shared across
+// sequential runs (the experiments harness does this) aggregates
+// without bleeding one run's totals into the next. Caching the
+// registry counters also keeps the per-round hot path off the registry
+// lock.
 type counters struct {
+	local                                          Stats
 	rounds, steps, sent, dropped, payload, crashes *metrics.Counter
 }
 
@@ -160,16 +167,14 @@ func newCounters(reg *metrics.Registry) counters {
 	}
 }
 
-func (c counters) stats() Stats {
-	return Stats{
-		Rounds:          int(c.rounds.Value()),
-		Steps:           int(c.steps.Value()),
-		MessagesSent:    int(c.sent.Value()),
-		MessagesDropped: int(c.dropped.Value()),
-		PayloadSize:     int(c.payload.Value()),
-		Crashes:         int(c.crashes.Value()),
-	}
-}
+func (c *counters) incRound()        { c.local.Rounds++; c.rounds.Inc() }
+func (c *counters) incStep()         { c.local.Steps++; c.steps.Inc() }
+func (c *counters) incSent()         { c.local.MessagesSent++; c.sent.Inc() }
+func (c *counters) incDropped()      { c.local.MessagesDropped++; c.dropped.Inc() }
+func (c *counters) incCrash()        { c.local.Crashes++; c.crashes.Inc() }
+func (c *counters) addPayload(n int) { c.local.PayloadSize += n; c.payload.Add(int64(n)) }
+
+func (c *counters) stats() Stats { return c.local }
 
 // Network is the synchronous round driver.
 type Network[M any] struct {
@@ -260,7 +265,7 @@ func pickNeighbor(g *topology.Graph, i int, policy Policy, rr []int, r *rng.RNG)
 // nodes are dropped, and pulls from crashed nodes return nothing
 // (their weight is lost — exactly the failure mode Figure 4 studies).
 func (n *Network[M]) Round() error {
-	round := int(n.c.rounds.Value())
+	round := n.c.local.Rounds
 	inbox := make([][]M, n.graph.N())
 	// transfer moves one split half from src to dst.
 	transfer := func(src, dst int) {
@@ -268,15 +273,15 @@ func (n *Network[M]) Round() error {
 		if !ok {
 			return
 		}
-		n.c.sent.Inc()
+		n.c.incSent()
 		if n.opts.SizeFunc != nil {
-			n.c.payload.Add(int64(n.opts.SizeFunc(msg)))
+			n.c.addPayload(n.opts.SizeFunc(msg))
 		}
 		if n.opts.Trace != nil {
 			_ = n.opts.Trace.Record(trace.Event{Round: round, Node: src, Kind: trace.KindSend})
 		}
 		if !n.alive[dst] || (n.opts.DropProb > 0 && n.r.Bool(n.opts.DropProb)) {
-			n.c.dropped.Inc()
+			n.c.incDropped()
 			return
 		}
 		inbox[dst] = append(inbox[dst], msg)
@@ -321,14 +326,14 @@ func (n *Network[M]) Round() error {
 		for i := range n.alive {
 			if n.alive[i] && n.r.Bool(n.opts.CrashProb) {
 				n.alive[i] = false
-				n.c.crashes.Inc()
+				n.c.incCrash()
 				if n.opts.Trace != nil {
 					_ = n.opts.Trace.Record(trace.Event{Round: round, Node: i, Kind: trace.KindCrash})
 				}
 			}
 		}
 	}
-	n.c.rounds.Inc()
+	n.c.incRound()
 	return nil
 }
 
@@ -421,8 +426,8 @@ func (a *Async[M]) Step() error {
 	sends := a.graph.N()
 	total := sends + len(nonEmpty)
 	choice := a.r.IntN(total)
-	step := int(a.c.steps.Value())
-	a.c.steps.Inc()
+	step := a.c.local.Steps
+	a.c.incStep()
 	if choice < sends {
 		self := choice
 		peer, ok := pickNeighbor(a.graph, self, a.opts.Policy, a.rr, a.r)
@@ -434,9 +439,9 @@ func (a *Async[M]) Step() error {
 			if !ok {
 				return
 			}
-			a.c.sent.Inc()
+			a.c.incSent()
 			if a.opts.SizeFunc != nil {
-				a.c.payload.Add(int64(a.opts.SizeFunc(msg)))
+				a.c.addPayload(a.opts.SizeFunc(msg))
 			}
 			if a.opts.Trace != nil {
 				_ = a.opts.Trace.Record(trace.Event{Round: step, Node: src, Kind: trace.KindSend})

@@ -31,10 +31,13 @@ const (
 	// KindRecover: the driver brought a node back.
 	KindRecover Kind = "recover"
 	// KindSend: a driver delivered a send opportunity and a message
-	// left the node.
+	// left the node. In live deployments Value, when non-zero, is the
+	// encoded frame size in bytes.
 	KindSend Kind = "send"
 	// KindReceive: a node received and absorbed a message batch.
-	// Value is the batch size.
+	// Value is the batch size — the number of messages in the inbox
+	// batch (sim drivers) or of collections in the decoded message
+	// (live deployments) — never a byte count.
 	KindReceive Kind = "receive"
 	// KindDecodeError: an incoming frame failed to decode.
 	KindDecodeError Kind = "decode-error"
