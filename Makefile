@@ -1,12 +1,13 @@
-# Tier-2 checks for this repo: formatting, vet, and the full test
-# suite under the race detector. Tier-1 stays `go build ./... &&
-# go test ./...` (see ROADMAP.md).
+# Tier-2 checks for this repo: formatting, vet, the custom
+# determinism/numerics lint suite, and the full test suite under the
+# race detector. Tier-1 stays `go build ./... && go test ./...` (see
+# ROADMAP.md).
 
 GO ?= go
 
-.PHONY: check build test vet fmt race
+.PHONY: check build test vet fmt lint race
 
-check: fmt vet race
+check: fmt vet lint race
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,13 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Custom static analysis (internal/lint): norand, nowallclock,
+# floatcmp, mapiter, globalstate. Exits nonzero with file:line:col
+# diagnostics on any unannotated finding; see DESIGN.md for the rules
+# and the //lint:allow escape hatch.
+lint:
+	$(GO) run ./cmd/distclass-lint ./...
 
 race:
 	$(GO) test -race ./...

@@ -167,6 +167,7 @@ func (cfg *Config) validate() error {
 	if cfg.K < 1 {
 		return fmt.Errorf("core: Config.K = %d must be at least 1", cfg.K)
 	}
+	//lint:allow floatcmp zero value selects the default, an exact-representation check
 	if cfg.Q == 0 {
 		cfg.Q = DefaultQ
 	}
@@ -199,10 +200,13 @@ type Node struct {
 	collections *metrics.Histogram
 }
 
-// CollectionsBuckets are the bucket bounds of the core.collections
+// CollectionsBuckets returns the bucket bounds of the core.collections
 // histogram: classification sizes are small (<= k), so unit-ish buckets
-// resolve the whole interesting range.
-var CollectionsBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
+// resolve the whole interesting range. A fresh slice is returned so no
+// caller can mutate another's bounds.
+func CollectionsBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16}
+}
 
 // NewNode creates a node holding input value val. aux is the node's
 // initial auxiliary vector (e_i for full mixture-space tracking, a label
@@ -227,7 +231,7 @@ func NewNode(id int, val Value, aux vec.Vector, cfg Config) (*Node, error) {
 		n.splits = reg.Counter("core.splits")
 		n.merges = reg.Counter("core.merges")
 		n.qdrops = reg.Counter("core.quantize_drops")
-		n.collections, err = reg.Histogram("core.collections", CollectionsBuckets)
+		n.collections, err = reg.Histogram("core.collections", CollectionsBuckets())
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d: %w", id, err)
 		}
@@ -433,6 +437,7 @@ func Dissimilarity(a, b Classification, m Method) (float64, error) {
 			sum += c.Weight * best
 			weight += c.Weight
 		}
+		//lint:allow floatcmp exact zero guard before dividing; any nonzero weight is fine
 		if weight == 0 {
 			return 0, nil
 		}

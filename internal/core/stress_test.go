@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/metrics"
+	"distclass/internal/trace"
+	"distclass/internal/vec"
+)
+
+// TestConcurrentGossipStress runs one goroutine per node, all gossiping
+// through a single shared metrics registry and trace recorder. Under
+// `make race` this exercises the concurrent observability paths added
+// in the unified metrics/tracing layer: counter and histogram updates
+// from many nodes at once, and interleaved recorder writes.
+//
+// Each node repeatedly splits and ships the outgoing half onto a shared
+// exchange channel, then absorbs whatever batch is available. The test
+// then checks the invariants that survive any interleaving: total
+// weight is conserved, the shared counters agree with locally counted
+// events, and every trace line decodes.
+func TestConcurrentGossipStress(t *testing.T) {
+	const (
+		nodes = 16
+		iters = 60
+	)
+	reg := metrics.NewRegistry()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+
+	all := make([]*core.Node, nodes)
+	for i := range all {
+		n, err := core.NewNode(i, vec.Of(float64(i%4), float64(i%3)), nil, core.Config{
+			Method: centroids.Method{}, K: 2, Q: 0.25,
+			Metrics: reg, Trace: rec,
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+		all[i] = n
+	}
+
+	// exchange carries outgoing halves between node goroutines. The
+	// buffer holds every message that could ever be in flight, so no
+	// send blocks and the goroutines never deadlock.
+	exchange := make(chan core.Classification, nodes*iters)
+	var splits, merges atomic.Int64
+	var wg sync.WaitGroup
+	for _, n := range all {
+		wg.Add(1)
+		go func(n *core.Node) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				if out := n.Split(); len(out) > 0 {
+					splits.Add(1)
+					exchange <- out
+				}
+				select {
+				case batch := <-exchange:
+					before := n.Len()
+					if err := n.Absorb(batch); err != nil {
+						t.Errorf("node %d: Absorb: %v", n.ID(), err)
+						return
+					}
+					if n.Len() < before+len(batch) {
+						merges.Add(1)
+					}
+				default:
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	// Park the still-in-flight batches back at node 0 so every gram of
+	// weight is at some node again.
+	close(exchange)
+	for batch := range exchange {
+		if err := all[0].Absorb(batch); err != nil {
+			t.Fatalf("final Absorb: %v", err)
+		}
+	}
+
+	var total float64
+	for _, n := range all {
+		total += n.Weight()
+	}
+	if math.Abs(total-nodes) > 1e-6 {
+		t.Errorf("total weight = %v, want %v (weight must be conserved)", total, float64(nodes))
+	}
+
+	snap := reg.Snapshot()
+	if got, want := snap.Counters["core.splits"], splits.Load(); got != want {
+		t.Errorf("core.splits = %d, want %d (locally counted)", got, want)
+	}
+	if snap.Counters["core.merges"] == 0 {
+		t.Error("core.merges = 0; the stress run should force merges (K=2 with many batches)")
+	}
+	h := snap.Histograms["core.collections"]
+	if h.Count == 0 {
+		t.Error("core.collections histogram recorded nothing")
+	}
+
+	events, err := trace.Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("trace corrupted by concurrent writes: %v", err)
+	}
+	if got, want := int64(trace.CountKind(events, trace.KindSplit)), splits.Load(); got != want {
+		t.Errorf("split trace events = %d, want %d", got, want)
+	}
+	if trace.CountKind(events, trace.KindMerge) == 0 {
+		t.Error("no merge trace events recorded")
+	}
+}

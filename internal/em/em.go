@@ -228,6 +228,7 @@ func farthestFirst(cs []gauss.Component, k int) []int {
 	for len(seeds) < k {
 		far := -1
 		for i := range cs {
+			//lint:allow floatcmp DistSq is exactly zero iff the mean coincides with a seed
 			if minDist[i] == 0 {
 				continue
 			}

@@ -50,6 +50,7 @@ func (c AblationConfig) withDefaults() AblationConfig {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 200
 	}
+	//lint:allow floatcmp zero value selects the default
 	if c.Tol == 0 {
 		c.Tol = 1e-3
 	}

@@ -41,6 +41,7 @@ func (c Fig2Config) withDefaults() Fig2Config {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 60
 	}
+	//lint:allow floatcmp zero value selects the default
 	if c.Tol == 0 {
 		c.Tol = 1e-3
 	}

@@ -48,6 +48,7 @@ func (c Fig4Config) withDefaults() Fig4Config {
 	if c.NOut == 0 {
 		c.NOut = 50
 	}
+	//lint:allow floatcmp zero value selects the default
 	if c.Delta == 0 {
 		c.Delta = 10
 	}
@@ -57,6 +58,7 @@ func (c Fig4Config) withDefaults() Fig4Config {
 	if c.Rounds == 0 {
 		c.Rounds = 50
 	}
+	//lint:allow floatcmp zero value selects the default
 	if c.CrashProb == 0 {
 		c.CrashProb = 0.05
 	}

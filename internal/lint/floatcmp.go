@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// epsilonDirs are the packages that implement the approved comparison
+// helpers (vec.Equal/ApproxEqual, mat.Equal/ApproxEqual, the stats
+// accumulators); exact float comparison is their job.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var epsilonDirs = map[string]bool{
+	"internal/vec":   true,
+	"internal/mat":   true,
+	"internal/stats": true,
+}
+
+// FloatCmp reports == and != between floating-point operands outside
+// the epsilon-helper packages. Exact float equality is almost never what
+// a numerics codepath means (summation order, fused multiply-add and
+// parallel reduction all perturb low bits); go through
+// vec/mat.ApproxEqual or an explicit tolerance.
+//
+// Test files are exempt: determinism tests assert bit-exact equality on
+// purpose (same seed must mean the same bits), and table tests compare
+// against exact literals.
+type FloatCmp struct{}
+
+// Name implements Analyzer.
+func (FloatCmp) Name() string { return "floatcmp" }
+
+// Doc implements Analyzer.
+func (FloatCmp) Doc() string {
+	return "no ==/!= on floating-point operands outside the epsilon helpers in vec, mat and stats"
+}
+
+// Check implements Analyzer.
+func (FloatCmp) Check(u *Unit) []Diagnostic {
+	if epsilonDirs[u.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		if u.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			x, xok := u.Info.Types[cmp.X]
+			y, yok := u.Info.Types[cmp.Y]
+			if !xok || !yok {
+				return true // type info incomplete; the build gate owns this
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // constant expression, evaluated exactly at compile time
+			}
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     u.Fset.Position(cmp.OpPos),
+				Rule:    "floatcmp",
+				Message: "floating-point " + cmp.Op.String() + "; use an epsilon helper (vec/mat ApproxEqual) or an explicit tolerance",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isFloat reports whether t's core type is a floating-point or complex
+// scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

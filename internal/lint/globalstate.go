@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// metricsDir is the one package allowed to hold package-level mutable
+// state: its registry exists precisely to be the process-wide sink, and
+// it is concurrency-safe by construction.
+const metricsDir = "internal/metrics"
+
+// GlobalState reports package-level var declarations outside
+// internal/metrics. Hidden package state couples runs to process
+// history — the opposite of "reproducible from the seed" — and is the
+// usual source of data races once nodes become goroutines. Sentinel
+// errors are exempt (the ErrFoo convention is de-facto immutable), as
+// are blank-identifier interface-compliance assertions.
+//
+// Test files are exempt: per-test fixtures in _test.go files don't ship,
+// and the race gate covers their concurrency.
+type GlobalState struct{}
+
+// Name implements Analyzer.
+func (GlobalState) Name() string { return "globalstate" }
+
+// Doc implements Analyzer.
+func (GlobalState) Doc() string {
+	return "no package-level mutable state outside the internal/metrics registry; inject dependencies explicitly"
+}
+
+// Check implements Analyzer.
+func (GlobalState) Check(u *Unit) []Diagnostic {
+	if u.InDir(metricsDir) {
+		return nil
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		if u.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := u.Info.Defs[name]
+					if obj != nil && types.Implements(obj.Type(), errIface) {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     u.Fset.Position(name.Pos()),
+						Rule:    "globalstate",
+						Message: "package-level var " + name.Name + " outside internal/metrics; pass state through constructors or config",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

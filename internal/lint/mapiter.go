@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter reports `range` over a map whose body leaks the iteration
+// order: appending to a slice, sending on a channel, or writing output.
+// Go randomizes map iteration order per run, so any of these turns into
+// nondeterministic gossip fan-out, snapshot export or log output — the
+// classic reproducibility bug in this codebase's domain.
+//
+// Appends are not reported when a later statement in the same block
+// sorts the destination slice (the collect-then-sort idiom); sends and
+// writes have no such repair and must be restructured or annotated.
+type MapIter struct{}
+
+// Name implements Analyzer.
+func (MapIter) Name() string { return "mapiter" }
+
+// Doc implements Analyzer.
+func (MapIter) Doc() string {
+	return "map iteration must not leak its order into slices, channels or output without a sort"
+}
+
+// leak is one order-dependent effect found in a range-over-map body.
+type leak struct {
+	pos  ast.Node
+	what string
+	// target is the destination slice identifier for append leaks; nil
+	// when the destination is not a plain identifier or the leak is
+	// not an append.
+	target *ast.Ident
+}
+
+// Check implements Analyzer.
+func (MapIter) Check(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		inspectStmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !u.isMap(rs.X) {
+					continue
+				}
+				for _, l := range u.findLeaks(rs.Body) {
+					if l.target != nil && u.loopLocal(rs.Body, l.target) {
+						continue // fresh slice per iteration; no order leak
+					}
+					if l.target != nil && sortedLater(u, list[i+1:], l.target.Name) {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:     u.Fset.Position(l.pos.Pos()),
+						Rule:    "mapiter",
+						Message: l.what + " inside range over map leaks iteration order; collect keys and sort, or sort the result",
+					})
+				}
+			}
+		})
+	}
+	return diags
+}
+
+// isMap reports whether expr has map type.
+func (u *Unit) isMap(expr ast.Expr) bool {
+	tv, ok := u.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// findLeaks scans a range body for order-dependent effects.
+func (u *Unit) findLeaks(body *ast.BlockStmt) []leak {
+	var leaks []leak
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			leaks = append(leaks, leak{pos: n, what: "channel send"})
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !u.isBuiltinAppend(call.Fun) {
+					continue
+				}
+				l := leak{pos: n, what: "append"}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						l.target = id
+					}
+				}
+				leaks = append(leaks, l)
+			}
+		case *ast.CallExpr:
+			if what, ok := u.isOutputCall(n); ok {
+				leaks = append(leaks, leak{pos: n, what: what})
+			}
+		}
+		return true
+	})
+	return leaks
+}
+
+// loopLocal reports whether the identifier's variable is declared
+// inside the range body: a slice created fresh each iteration cannot
+// accumulate the map's order.
+func (u *Unit) loopLocal(body *ast.BlockStmt, id *ast.Ident) bool {
+	obj := u.Info.Uses[id]
+	if obj == nil {
+		obj = u.Info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+// isBuiltinAppend reports whether fun is the append builtin.
+func (u *Unit) isBuiltinAppend(fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := u.Info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isOutputCall recognizes calls that emit bytes in call order: the fmt
+// printers and Write-family methods (io.Writer, strings.Builder,
+// bytes.Buffer, bufio.Writer, ...).
+func (u *Unit) isOutputCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := u.Info.Uses[id].(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				return "fmt." + name, true
+			}
+			return "", false // other package-level calls are not output
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "." + name, true
+	}
+	return "", false
+}
+
+// sortedLater reports whether a subsequent statement in the same block
+// passes the named slice to a sort or slices call.
+func sortedLater(u *Unit, rest []ast.Stmt, target string) bool {
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pkg, ok := u.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		if mentions(call, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentions reports whether the expression references an identifier with
+// the given name.
+func mentions(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectStmtLists calls fn on every statement list in the file: block
+// bodies, switch cases and select clauses.
+func inspectStmtLists(f *ast.File, fn func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,55 @@
+package lint
+
+import "strconv"
+
+// rngDir is the one directory allowed to import the standard library's
+// random number generators: it wraps them behind the explicitly seeded
+// RNG every stochastic component receives.
+const rngDir = "internal/rng"
+
+// randImports are the import paths NoRand bans. crypto/rand is included
+// deliberately: even "harmless" nonce generation makes a run
+// irreproducible from its seed.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var randImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// NoRand reports imports of math/rand, math/rand/v2 or crypto/rand
+// anywhere outside internal/rng. Randomness must flow through an
+// explicitly seeded *rng.RNG so every run is reproducible from its seed
+// (DESIGN.md, determinism contract).
+type NoRand struct{}
+
+// Name implements Analyzer.
+func (NoRand) Name() string { return "norand" }
+
+// Doc implements Analyzer.
+func (NoRand) Doc() string {
+	return "stdlib randomness may only be imported by internal/rng; everything else seeds through *rng.RNG"
+}
+
+// Check implements Analyzer.
+func (NoRand) Check(u *Unit) []Diagnostic {
+	if u.InDir(rngDir) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !randImports[path] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     u.Fset.Position(imp.Pos()),
+				Rule:    "norand",
+				Message: "import of " + path + " outside internal/rng; draw from an explicitly seeded *rng.RNG instead",
+			})
+		}
+	}
+	return diags
+}

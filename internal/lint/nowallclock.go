@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicDirs are the packages that must be reproducible from a
+// seed alone: the protocol core and everything the paper's figures are
+// computed from. They run on the simulator's virtual clock; reading the
+// wall clock there makes schedules (and therefore gossip outcomes)
+// machine-dependent. livenet and metrics are real-time by design and
+// deliberately not listed.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var deterministicDirs = map[string]bool{
+	"internal/core":        true,
+	"internal/sim":         true,
+	"internal/experiments": true,
+	"internal/em":          true,
+	"internal/centroids":   true,
+	"internal/gm":          true,
+}
+
+// wallClockFuncs are the time package entry points that observe or wait
+// on the wall clock. Pure constructors like time.Duration arithmetic
+// remain fine.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// NoWallClock reports wall-clock reads (time.Now, time.Sleep,
+// time.Since, ...) inside the deterministic packages, where all timing
+// must come from the simulator's virtual clock.
+type NoWallClock struct{}
+
+// Name implements Analyzer.
+func (NoWallClock) Name() string { return "nowallclock" }
+
+// Doc implements Analyzer.
+func (NoWallClock) Doc() string {
+	return "deterministic packages (core, sim, experiments, em, centroids, gm) use virtual time, never the wall clock"
+}
+
+// Check implements Analyzer.
+func (NoWallClock) Check(u *Unit) []Diagnostic {
+	if !deterministicDirs[u.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := u.Info.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     u.Fset.Position(sel.Pos()),
+				Rule:    "nowallclock",
+				Message: "time." + sel.Sel.Name + " in deterministic package " + u.Rel + "; use the simulator's virtual clock",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,8 @@
+package gossip
+
+// Malformed suppression: missing the mandatory reason, reported as a
+// "directive" finding and suppressing nothing.
+func Malformed(a, b float64) bool {
+	//lint:allow floatcmp
+	return a == b // want floatcmp
+}

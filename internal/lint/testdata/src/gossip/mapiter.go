@@ -1,0 +1,75 @@
+package gossip
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Fanout leaks map order three ways: append without a sort, a channel
+// send, and direct output.
+func Fanout(peers map[int]float64, ch chan<- int, w io.Writer) []int {
+	var ids []int
+	for id, weight := range peers {
+		ids = append(ids, id)                 // want mapiter
+		ch <- id                              // want mapiter
+		fmt.Fprintf(w, "%d %v\n", id, weight) // want mapiter
+	}
+	return ids
+}
+
+// Export appends map keys but sorts before returning: the
+// collect-then-sort idiom, not a finding.
+func Export(peers map[int]float64) []int {
+	var ids []int
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Sum ranges over a map without leaking order: accumulation is
+// order-independent, not a finding.
+func Sum(peers map[int]float64) float64 {
+	var total float64
+	for _, w := range peers {
+		total += w
+	}
+	return total
+}
+
+// FromSlice appends while ranging over a slice: iteration order is
+// deterministic, not a finding.
+func FromSlice(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// PerKey appends to a slice declared inside the loop body: a fresh
+// local per iteration cannot accumulate map order, not a finding.
+func PerKey(peers map[int][]int, out map[int][]int) {
+	for id, vs := range peers {
+		var local []int
+		local = append(local, vs...)
+		out[id] = local
+	}
+}
+
+// Broadcast sends in map order but is explicitly waived.
+func Broadcast(peers map[int]float64, ch chan<- int) {
+	for id := range peers {
+		//lint:allow mapiter receiver treats peers as an unordered set
+		ch <- id
+	}
+}
+
+// Builder writes through a Write-family method in map order.
+func Builder(peers map[int]float64, w io.StringWriter) {
+	for id := range peers {
+		_, _ = w.WriteString(fmt.Sprint(id)) // want mapiter
+	}
+}

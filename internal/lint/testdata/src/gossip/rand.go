@@ -1,0 +1,16 @@
+// Package gossip is the fixture stand-in for ordinary protocol code:
+// every rule applies here in full.
+package gossip
+
+import (
+	crand "crypto/rand"   //lint:allow norand nonce generation for the wire fixture is not part of a seeded run
+	"math/rand"           // want norand
+	randv2 "math/rand/v2" // want norand
+)
+
+// Draw uses the banned generators so the imports are used.
+func Draw() float64 {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Float64() + randv2.Float64() + float64(b[0])
+}

@@ -1,0 +1,27 @@
+// Package core mirrors the real internal/core: a deterministic package
+// where wall-clock reads are banned.
+package core
+
+import "time"
+
+// Tick is a wall-clock read in a deterministic package.
+func Tick() time.Time {
+	return time.Now() // want nowallclock
+}
+
+// Wait sleeps and waits on real timers.
+func Wait(d time.Duration) {
+	time.Sleep(d)   // want nowallclock
+	<-time.After(d) // want nowallclock
+}
+
+// Elapsed measures with the wall clock but is explicitly waived.
+func Elapsed(start time.Time) time.Duration {
+	//lint:allow nowallclock benchmark helper measures real host time on purpose
+	return time.Since(start)
+}
+
+// Scale is pure duration arithmetic: no clock read, not a finding.
+func Scale(d time.Duration) time.Duration {
+	return 3 * d / 2
+}

@@ -1,0 +1,10 @@
+// Package metrics mirrors the real internal/metrics: the one package
+// allowed to hold package-level mutable state (globalstate true
+// negative).
+package metrics
+
+// registry is the process-wide default registry.
+var registry = map[string]float64{}
+
+// Set records a value in the default registry.
+func Set(name string, v float64) { registry[name] = v }

@@ -1,0 +1,10 @@
+// Package rng mirrors the real internal/rng: the one place allowed to
+// import stdlib randomness (norand true negative).
+package rng
+
+import "math/rand/v2"
+
+// New returns a seeded generator.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}

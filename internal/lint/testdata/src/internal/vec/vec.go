@@ -1,0 +1,17 @@
+// Package vec mirrors the real internal/vec: an epsilon-helper package
+// where exact float comparison is the implementation (floatcmp true
+// negative).
+package vec
+
+// Equal reports exact element-wise equality.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -34,10 +34,13 @@ import (
 	"distclass/internal/wire"
 )
 
-// LatencyBuckets are the bucket bounds (seconds) of the livenet frame
-// latency histograms: 1µs to ~4s, exponential — in-process pipes sit at
-// the bottom, loopback TCP in the middle, stalls at the top.
-var LatencyBuckets = metrics.ExponentialBuckets(1e-6, 4, 12)
+// LatencyBuckets returns the bucket bounds (seconds) of the livenet
+// frame latency histograms: 1µs to ~4s, exponential — in-process pipes
+// sit at the bottom, loopback TCP in the middle, stalls at the top. A
+// fresh slice is returned so no caller can mutate another's bounds.
+func LatencyBuckets() []float64 {
+	return metrics.ExponentialBuckets(1e-6, 4, 12)
+}
 
 // MaxFrame bounds accepted message frames (1 MiB); a peer announcing a
 // larger frame is treated as faulty.
@@ -219,8 +222,8 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 		sent:    reg.Counter("livenet.sent"),
 		recv:    reg.Counter("livenet.received"),
 		decErr:  reg.Counter("livenet.decode_errors"),
-		hSend:   reg.MustHistogram("livenet.send_seconds", LatencyBuckets),
-		hAbsorb: reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets),
+		hSend:   reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
+		hAbsorb: reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
 	}
 	for _, p := range peers {
 		p := p

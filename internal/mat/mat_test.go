@@ -3,7 +3,6 @@ package mat
 import (
 	"errors"
 	"math"
-	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -206,7 +205,7 @@ func TestIsFinite(t *testing.T) {
 }
 
 // randSPD builds a random SPD matrix A = B B^T + d*I.
-func randSPD(r *rand.Rand, d int) *Matrix {
+func randSPD(r *testRand, d int) *Matrix {
 	b := New(d)
 	for i := 0; i < d; i++ {
 		for j := 0; j < d; j++ {
@@ -219,7 +218,7 @@ func randSPD(r *rand.Rand, d int) *Matrix {
 }
 
 func TestCholeskyReconstruction(t *testing.T) {
-	r := rand.New(rand.NewPCG(11, 13))
+	r := newTestRand(11, 13)
 	for d := 1; d <= 8; d++ {
 		a := randSPD(r, d)
 		c, err := NewCholesky(a)
@@ -265,7 +264,7 @@ func mustFromRows(t *testing.T, rows [][]float64) *Matrix {
 }
 
 func TestCholeskySolve(t *testing.T) {
-	r := rand.New(rand.NewPCG(17, 19))
+	r := newTestRand(17, 19)
 	for d := 1; d <= 8; d++ {
 		a := randSPD(r, d)
 		c, err := NewCholesky(a)
@@ -306,7 +305,7 @@ func TestCholeskyLogDet(t *testing.T) {
 }
 
 func TestCholeskyInverse(t *testing.T) {
-	r := rand.New(rand.NewPCG(23, 29))
+	r := newTestRand(23, 29)
 	for d := 1; d <= 6; d++ {
 		a := randSPD(r, d)
 		c, err := NewCholesky(a)
@@ -357,7 +356,7 @@ func TestSolveSPD(t *testing.T) {
 
 func TestPropertyCholeskySolveResidual(t *testing.T) {
 	f := func(seed uint64) bool {
-		r := rand.New(rand.NewPCG(seed, 31))
+		r := newTestRand(seed, 31)
 		d := 1 + r.IntN(6)
 		a := randSPD(r, d)
 		c, err := NewCholesky(a)
@@ -382,7 +381,7 @@ func TestPropertyCholeskySolveResidual(t *testing.T) {
 
 func TestPropertyQuadFormPositive(t *testing.T) {
 	f := func(seed uint64) bool {
-		r := rand.New(rand.NewPCG(seed, 37))
+		r := newTestRand(seed, 37)
 		d := 1 + r.IntN(6)
 		a := randSPD(r, d)
 		c, err := NewCholesky(a)
@@ -413,7 +412,7 @@ func TestString(t *testing.T) {
 }
 
 func BenchmarkCholesky(b *testing.B) {
-	r := rand.New(rand.NewPCG(41, 43))
+	r := newTestRand(41, 43)
 	a := randSPD(r, 8)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -424,7 +423,7 @@ func BenchmarkCholesky(b *testing.B) {
 }
 
 func BenchmarkSolve(b *testing.B) {
-	r := rand.New(rand.NewPCG(47, 53))
+	r := newTestRand(47, 53)
 	a := randSPD(r, 8)
 	c, err := NewCholesky(a)
 	if err != nil {
@@ -441,3 +440,26 @@ func BenchmarkSolve(b *testing.B) {
 		}
 	}
 }
+
+// testRand is a tiny deterministic generator (SplitMix64) for test
+// data. It is local to the package because importing internal/rng here
+// would be an import cycle: rng builds on mat.
+type testRand struct{ s uint64 }
+
+func newTestRand(a, b uint64) *testRand {
+	return &testRand{s: a*0x9e3779b97f4a7c15 + b}
+}
+
+func (r *testRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *testRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// IntN returns a uniform-enough value in [0, n) for test sizing.
+func (r *testRand) IntN(n int) int { return int(r.next() % uint64(n)) }

@@ -114,9 +114,11 @@ func Bounds(points []vec.Vector, margin float64) (xmin, xmax, ymin, ymax float64
 		ymax = math.Max(ymax, p[1])
 	}
 	dx, dy := xmax-xmin, ymax-ymin
+	//lint:allow floatcmp exact zero guard for a degenerate (single-point) range
 	if dx == 0 {
 		dx = 1
 	}
+	//lint:allow floatcmp exact zero guard for a degenerate (single-point) range
 	if dy == 0 {
 		dy = 1
 	}

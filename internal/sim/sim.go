@@ -419,6 +419,7 @@ func (a *Async[M]) Step() error {
 	nonEmpty := a.edges[:0]
 	for e, q := range a.queues {
 		if len(q) > 0 {
+			//lint:allow mapiter pickStableEdge re-sorts the edge list before any index is used
 			nonEmpty = append(nonEmpty, e)
 		}
 	}
@@ -536,6 +537,7 @@ func (a *Async[M]) Drain() error {
 		var keys [][2]int
 		for e, q := range a.queues {
 			if len(q) > 0 {
+				//lint:allow mapiter keys are selection-sorted below before delivery
 				keys = append(keys, e)
 			}
 		}

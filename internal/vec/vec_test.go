@@ -3,7 +3,6 @@ package vec
 import (
 	"errors"
 	"math"
-	"math/rand/v2"
 	"testing"
 	"testing/quick"
 )
@@ -297,7 +296,7 @@ func TestString(t *testing.T) {
 }
 
 // randVec produces a random vector with components in [-10, 10].
-func randVec(r *rand.Rand, d int) Vector {
+func randVec(r *testRand, d int) Vector {
 	v := New(d)
 	for i := range v {
 		v[i] = r.Float64()*20 - 10
@@ -306,9 +305,9 @@ func randVec(r *rand.Rand, d int) Vector {
 }
 
 func TestPropertyAddCommutes(t *testing.T) {
-	r := rand.New(rand.NewPCG(1, 2))
+	r := newTestRand(1, 2)
 	f := func(seed uint64) bool {
-		rr := rand.New(rand.NewPCG(seed, 0))
+		rr := newTestRand(seed, 0)
 		d := 1 + rr.IntN(6)
 		a, b := randVec(r, d), randVec(r, d)
 		ab, _ := Add(a, b)
@@ -322,7 +321,7 @@ func TestPropertyAddCommutes(t *testing.T) {
 
 func TestPropertyTriangleInequality(t *testing.T) {
 	f := func(seed uint64) bool {
-		rr := rand.New(rand.NewPCG(seed, 1))
+		rr := newTestRand(seed, 1)
 		d := 1 + rr.IntN(6)
 		a, b, c := randVec(rr, d), randVec(rr, d), randVec(rr, d)
 		ab, _ := Dist(a, b)
@@ -337,7 +336,7 @@ func TestPropertyTriangleInequality(t *testing.T) {
 
 func TestPropertyCauchySchwarz(t *testing.T) {
 	f := func(seed uint64) bool {
-		rr := rand.New(rand.NewPCG(seed, 2))
+		rr := newTestRand(seed, 2)
 		d := 1 + rr.IntN(6)
 		a, b := randVec(rr, d), randVec(rr, d)
 		dot, _ := Dot(a, b)
@@ -350,7 +349,7 @@ func TestPropertyCauchySchwarz(t *testing.T) {
 
 func TestPropertyNormalizeIdempotent(t *testing.T) {
 	f := func(seed uint64) bool {
-		rr := rand.New(rand.NewPCG(seed, 3))
+		rr := newTestRand(seed, 3)
 		d := 1 + rr.IntN(6)
 		v := randVec(rr, d)
 		u := Normalize(v)
@@ -363,7 +362,7 @@ func TestPropertyNormalizeIdempotent(t *testing.T) {
 }
 
 func BenchmarkDistSq(b *testing.B) {
-	r := rand.New(rand.NewPCG(7, 7))
+	r := newTestRand(7, 7)
 	v, w := randVec(r, 16), randVec(r, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -372,10 +371,33 @@ func BenchmarkDistSq(b *testing.B) {
 }
 
 func BenchmarkAxpy(b *testing.B) {
-	r := rand.New(rand.NewPCG(7, 8))
+	r := newTestRand(7, 8)
 	dst, v := randVec(r, 16), randVec(r, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Axpy(dst, 0.5, v)
 	}
 }
+
+// testRand is a tiny deterministic generator (SplitMix64) for test
+// data. It is local to the package because importing internal/rng here
+// would be an import cycle: rng builds on vec.
+type testRand struct{ s uint64 }
+
+func newTestRand(a, b uint64) *testRand {
+	return &testRand{s: a*0x9e3779b97f4a7c15 + b}
+}
+
+func (r *testRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *testRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// IntN returns a uniform-enough value in [0, n) for test sizing.
+func (r *testRand) IntN(n int) int { return int(r.next() % uint64(n)) }
