@@ -4,10 +4,11 @@
 # ROADMAP.md).
 
 GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build test vet fmt lint race
+.PHONY: check build test vet fmt lint race bench analyze-smoke
 
-check: fmt vet lint race
+check: fmt vet lint analyze-smoke race
 
 build:
 	$(GO) build ./...
@@ -34,3 +35,20 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Observability smoke gate: a tiny fixed-seed simulation must replay
+# with zero anomalies (no stalled nodes, no decode errors, no round
+# regressions, no post-convergence divergence).
+analyze-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/distclass-sim -n 16 -rounds 25 -seed 1 -trace "$$dir/smoke.trace" >/dev/null && \
+	$(GO) run ./cmd/distclass-analyze -fail-anomalies -format json -o "$$dir/smoke.json" "$$dir/smoke.trace" && \
+	echo "analyze-smoke: 0 anomalies"
+
+# Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
+# wire codec, sim round loop), archived as BENCH_<date>.json with a
+# stable schema: op, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op, extra.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"

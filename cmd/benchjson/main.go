@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a stable JSON schema (stdout), so benchmark runs can be archived and
+// diffed across commits — the `make bench` artifact.
+//
+// Input lines like
+//
+//	BenchmarkGMPartition-8    1234    987654 ns/op    123 B/op    4 allocs/op
+//
+// become
+//
+//	{"op": "internal/gm.GMPartition", "iterations": 1234,
+//	 "ns_per_op": 987654, "bytes_per_op": 123, "allocs_per_op": 4}
+//
+// Ops are qualified by the preceding `pkg:` line (module prefix
+// stripped) and the GOMAXPROCS suffix is dropped, so the op name is
+// stable across machines. Unrecognized metric pairs land in "extra".
+// Entries are sorted by op; the output is deterministic for identical
+// input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed measurements.
+type result struct {
+	Op          string             `json:"op"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test -bench output. Lines that are not benchmark
+// results (pkg/goos headers, PASS, ok) are skipped; `pkg:` headers
+// qualify subsequent op names.
+func parse(sc *bufio.Scanner) ([]result, error) {
+	var results []result
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			// Strip the module path: distclass/internal/vec -> internal/vec.
+			if _, sub, ok := strings.Cut(pkg, "/"); ok {
+				pkg = sub
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Drop the -GOMAXPROCS suffix so op names are machine-stable.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: iterations: %w", line, err)
+		}
+		r := result{Op: name, Iterations: iters}
+		if pkg != "" {
+			r.Op = pkg + "." + name
+		}
+		// The rest is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: value %q: %w", line, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Op < results[j].Op })
+	return results, nil
+}

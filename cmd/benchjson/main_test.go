@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: distclass/internal/vec
+cpu: whatever
+BenchmarkAxpy-8         	12345678	        95.31 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDistSq-16      	 2345678	       512.4 ns/op
+PASS
+ok  	distclass/internal/vec	2.345s
+pkg: distclass/internal/sim
+BenchmarkRoundFullMesh-8	    1000	   1234567 ns/op	  4096 B/op	      32 allocs/op	     3.50 rounds/ms
+ok  	distclass/internal/sim	1.234s
+`
+
+func parseSample(t *testing.T, in string) []result {
+	t.Helper()
+	results, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return results
+}
+
+func TestParse(t *testing.T) {
+	results := parseSample(t, sample)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by qualified op name.
+	wantOps := []string{"internal/sim.RoundFullMesh", "internal/vec.Axpy", "internal/vec.DistSq"}
+	for i, want := range wantOps {
+		if results[i].Op != want {
+			t.Errorf("results[%d].Op = %q, want %q", i, results[i].Op, want)
+		}
+	}
+	sim := results[0]
+	if sim.Iterations != 1000 || sim.NsPerOp != 1234567 || sim.BytesPerOp != 4096 || sim.AllocsPerOp != 32 {
+		t.Errorf("sim result = %+v", sim)
+	}
+	if sim.Extra["rounds/ms"] != 3.5 {
+		t.Errorf("extra metric not captured: %+v", sim.Extra)
+	}
+	axpy := results[1]
+	if axpy.NsPerOp != 95.31 || axpy.AllocsPerOp != 0 || axpy.Extra != nil {
+		t.Errorf("axpy result = %+v", axpy)
+	}
+}
+
+func TestParseMalformedIterations(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX-8 abc 1 ns/op\n"))); err == nil {
+		t.Errorf("malformed iteration count accepted")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if results := parseSample(t, "PASS\nok x 1s\n"); len(results) != 0 {
+		t.Errorf("parsed %d results from benchless input", len(results))
+	}
+}

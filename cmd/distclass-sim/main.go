@@ -15,6 +15,7 @@ import (
 
 	"distclass"
 	"distclass/internal/plot"
+	"distclass/internal/prof"
 	"distclass/internal/rng"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
@@ -40,10 +41,22 @@ func main() {
 		plotOut    = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace (splits, merges, sends, per-round spread, node 0's classification) to this file")
 		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot after the run to this file (\"-\" for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		traceOut   = flag.String("traceout", "", "write a runtime execution trace to this file (inspect with go tool trace)")
 	)
 	flag.Parse()
 
-	if err := run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	err = run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}

@@ -27,6 +27,7 @@ import (
 	"distclass/internal/experiments"
 	"distclass/internal/metrics"
 	"distclass/internal/plot"
+	"distclass/internal/prof"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 )
@@ -65,6 +66,9 @@ func main() {
 		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		traceFile   = flag.String("trace", "", "write a JSONL trace of protocol events and per-round probes to this file")
 		metricsAddr = flag.String("metrics", "", "serve /metrics, /manifest and /debug/pprof on this address while the experiments run (\":0\" picks a port)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		traceOut    = flag.String("traceout", "", "write a runtime execution trace to this file (inspect with go tool trace)")
 	)
 	flag.Parse()
 
@@ -72,7 +76,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	err = realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}

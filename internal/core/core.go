@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"distclass/internal/metrics"
+	"distclass/internal/prof"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
@@ -269,6 +270,12 @@ func (n *Node) Weight() float64 { return n.cls.TotalWeight() }
 // outgoing message. The outgoing classification may therefore be empty;
 // callers should skip sending in that case.
 func (n *Node) Split() Classification {
+	var sent Classification
+	prof.Phase("core.split", func() { sent = n.split() })
+	return sent
+}
+
+func (n *Node) split() Classification {
 	kept := make(Classification, 0, len(n.cls))
 	sent := make(Classification, 0, len(n.cls))
 	for _, c := range n.cls {
@@ -320,6 +327,10 @@ func (n *Node) Split() Classification {
 // simulation methodology (§5.3): a node that received from multiple
 // neighbors in a round runs one partition over the entire set.
 func (n *Node) Absorb(incoming ...Classification) error {
+	return prof.PhaseErr("core.absorb", func() error { return n.absorb(incoming) })
+}
+
+func (n *Node) absorb(incoming []Classification) error {
 	big := n.cls
 	for _, in := range incoming {
 		big = append(big, in...)

@@ -89,9 +89,14 @@ type Config struct {
 	// Metrics, when non-nil, backs the cluster's counters: aggregate
 	// livenet.sent / livenet.received / livenet.decode_errors, the
 	// per-node livenet.node.<id>.{sent,received,decode_errors}
-	// counters, the livenet.{send,absorb}_seconds latency histograms,
-	// and the core protocol instruments of every node. When nil the
-	// cluster uses a private registry (see Cluster.Metrics).
+	// counters, the per-node livenet.node.<id>.last_receive_seq
+	// staleness gauges (the cluster-wide receive sequence number at the
+	// node's last absorb — a node whose gauge lags the cluster total is
+	// stale), per-peer livenet.node.<id>.decode_errors.from.<peer>
+	// counters (created on first error, so a healthy run adds none),
+	// the livenet.{send,absorb}_seconds latency histograms, and the
+	// core protocol instruments of every node. When nil the cluster
+	// uses a private registry (see Cluster.Metrics).
 	Metrics *metrics.Registry
 	// Trace, when non-nil, receives send/receive/decode-error events
 	// (and the nodes' split/merge events). Live events are not tied to
@@ -128,6 +133,8 @@ type Cluster struct {
 	hSend   *metrics.Histogram
 	hAbsorb *metrics.Histogram
 
+	recvSeq atomic.Int64 // cluster-wide receive sequence, drives staleness gauges
+
 	stopped atomic.Bool
 	errOnce sync.Once
 	firstE  atomic.Value // error
@@ -137,7 +144,8 @@ type peer struct {
 	id    int
 	mu    sync.Mutex
 	node  *core.Node
-	conns []net.Conn // one per neighbor, same order as Neighbors(id)
+	conns []net.Conn // one per link, same order as nbrs
+	nbrs  []int      // neighbor id behind each conn
 	r     *rng.RNG
 	rmu   sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
 
@@ -145,6 +153,10 @@ type peer struct {
 	sent   *metrics.Counter
 	recv   *metrics.Counter
 	decErr *metrics.Counter
+	// lastRecv holds the cluster-wide receive sequence number at this
+	// node's most recent absorb; Cluster.recvSeq minus this gauge is the
+	// node's staleness in receives.
+	lastRecv *metrics.Gauge
 }
 
 // Start launches a live cluster over the graph: values[i] is node i's
@@ -176,9 +188,10 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 		}
 		peers[i] = &peer{
 			id: i, node: node, r: seedRNG.Split(),
-			sent:   reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
-			recv:   reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
-			decErr: reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
+			sent:     reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
+			recv:     reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
+			decErr:   reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
+			lastRecv: reg.Gauge(fmt.Sprintf("livenet.node.%d.last_receive_seq", i)),
 		}
 	}
 	// One duplex link per undirected edge.
@@ -206,7 +219,9 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 				return nil, fmt.Errorf("livenet: linking %d-%d: %w", u, v, err)
 			}
 			peers[u].conns = append(peers[u].conns, cu)
+			peers[u].nbrs = append(peers[u].nbrs, v)
 			peers[v].conns = append(peers[v].conns, cv)
+			peers[v].nbrs = append(peers[v].nbrs, u)
 		}
 	}
 	// conns order: peers[u].conns appends edges in increasing-neighbor
@@ -232,12 +247,12 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 			defer c.wg.Done()
 			c.sendLoop(ctx, p, cfg.Interval)
 		}()
-		for _, conn := range p.conns {
-			conn := conn
+		for ci, conn := range p.conns {
+			conn, from := conn, p.nbrs[ci]
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				c.recvLoop(p, conn)
+				c.recvLoop(p, conn, from)
 			}()
 		}
 	}
@@ -291,7 +306,7 @@ func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration)
 	}
 }
 
-func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
+func (c *Cluster) recvLoop(p *peer, conn net.Conn, from int) {
 	for {
 		data, err := readFrame(conn)
 		if err != nil {
@@ -305,10 +320,14 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
 		if err != nil {
 			c.decErr.Inc()
 			p.decErr.Inc()
+			// Per-peer attribution: a single misbehaving sender shows up
+			// as one hot counter rather than a diffuse aggregate. Created
+			// on first error so healthy runs add no registry entries.
+			c.reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors.from.%d", p.id, from)).Inc()
 			if c.sink != nil {
 				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindDecodeError})
 			}
-			c.fail(fmt.Errorf("livenet: node %d: decode: %w", p.id, err))
+			c.fail(fmt.Errorf("livenet: node %d: decode from %d: %w", p.id, from, err))
 			return
 		}
 		start := time.Now()
@@ -322,6 +341,7 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn) {
 		c.hAbsorb.Observe(time.Since(start).Seconds())
 		c.recv.Inc()
 		p.recv.Inc()
+		p.lastRecv.Set(float64(c.recvSeq.Add(1)))
 		if c.sink != nil {
 			_ = c.sink.Record(trace.Event{
 				Round: -1, Node: p.id, Kind: trace.KindReceive,

@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -65,6 +66,24 @@ func TestCounterBalance(t *testing.T) {
 	}
 	// Latency histograms observed every frame.
 	snap := reg.Snapshot()
+	// Staleness gauges: each node's last_receive_seq holds the
+	// cluster-wide receive sequence at its latest absorb, so every gauge
+	// lies in [1, recv] and the most recently fed node sits exactly at
+	// recv. On a full graph with the send/receive books balanced, every
+	// node received at least once.
+	var maxSeq float64
+	for i := 0; i < n; i++ {
+		seq := snap.Gauges[gaugeName(i)]
+		if seq < 1 || seq > float64(recv) {
+			t.Errorf("node %d last_receive_seq = %v outside [1, %d]", i, seq, recv)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if int64(maxSeq) != recv {
+		t.Errorf("max last_receive_seq = %v, want %d (the final receive)", maxSeq, recv)
+	}
 	if h := snap.Histograms["livenet.send_seconds"]; h.Count != sent {
 		t.Errorf("send histogram count = %d, sent = %d", h.Count, sent)
 	}
@@ -141,4 +160,14 @@ func TestDecodeErrorCounted(t *testing.T) {
 	if got := reg.SumCounters("livenet.node.", ".decode_errors"); got != 1 {
 		t.Errorf("per-node decode errors = %d, want 1", got)
 	}
+	// The corrupt frame came down node 0's side of the 0-1 link, so the
+	// per-peer attribution counter names node 0 as the sender.
+	if got := reg.Counter("livenet.node.1.decode_errors.from.0").Value(); got != 1 {
+		t.Errorf("per-peer decode errors from node 0 = %d, want 1", got)
+	}
+}
+
+// gaugeName is the staleness gauge of node i.
+func gaugeName(i int) string {
+	return fmt.Sprintf("livenet.node.%d.last_receive_seq", i)
 }

@@ -125,6 +125,94 @@ func Bounds(points []vec.Vector, margin float64) (xmin, xmax, ymin, ymax float64
 	return xmin - margin*dx, xmax + margin*dx, ymin - margin*dy, ymax + margin*dy, nil
 }
 
+// Series is one named line of a Curves chart: Y[i] is the value of the
+// i'th sample, X is implicit (the sample index). A zero Mark picks a
+// default from the series position.
+type Series struct {
+	Name string
+	Mark rune
+	Y    []float64
+}
+
+// Curves renders one or more per-round series (spread, error, ...) as
+// an ASCII chart with a legend, the replay analyzer's convergence-curve
+// picture. The y-window covers all finite samples; when every sample is
+// positive and the dynamic range exceeds three decades the y-axis
+// switches to log10 (gossip convergence is exponential, so a linear
+// axis would flatten everything after the first rounds into the bottom
+// row) — the legend states which scale is in use. Output is
+// deterministic for identical inputs.
+func Curves(w, h int, series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	maxLen, finite := 0, 0
+	for _, s := range series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			finite++
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if finite == 0 {
+		return "", errors.New("plot: no finite samples")
+	}
+	logY := ymin > 0 && ymax/ymin > 1e3
+	scale := func(y float64) float64 {
+		if logY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := scale(ymin), scale(ymax)
+	if !(lo < hi) {
+		lo, hi = lo-1, hi+1
+	}
+	xmax := float64(maxLen - 1)
+	if maxLen < 2 {
+		xmax = 1
+	}
+	canvas, err := NewCanvas(w, h, 0, xmax, lo, hi)
+	if err != nil {
+		return "", err
+	}
+	marks := []rune{'o', '*', '#', '+'}
+	var legend strings.Builder
+	for si, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = marks[si%len(marks)]
+		}
+		smin, smax := math.Inf(1), math.Inf(-1)
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			smin = math.Min(smin, y)
+			smax = math.Max(smax, y)
+			canvas.Point(float64(i), scale(y), mark)
+		}
+		fmt.Fprintf(&legend, "  %c %s", mark, s.Name)
+		if smin <= smax {
+			fmt.Fprintf(&legend, "  [min %.4g, max %.4g, n=%d]", smin, smax, len(s.Y))
+		}
+		legend.WriteByte('\n')
+	}
+	axis := "linear"
+	if logY {
+		axis = "log10"
+	}
+	fmt.Fprintf(&legend, "  x: sample 0..%d, y: %s", maxLen-1, axis)
+	return canvas.String() + "\n" + legend.String(), nil
+}
+
 // MixtureScene renders values as dots and each mixture component as a
 // 2-sigma ellipse ('o' for the first mixture, '*' for the second),
 // reproducing the look of the paper's Figure 2 panels.

@@ -1,0 +1,100 @@
+// Cross-checks between the offline replay analysis and the online
+// observability paths: a replayed trace must agree with what the live
+// run computed while it ran. These tests live in package replay_test
+// because they drive the full system (root package and experiments
+// harness), which the replay package itself must not import.
+package replay_test
+
+import (
+	"strings"
+	"testing"
+
+	"distclass"
+	"distclass/internal/experiments"
+	"distclass/internal/replay"
+	"distclass/internal/rng"
+	"distclass/internal/trace"
+)
+
+// TestConvergenceMatchesOnline runs a traced fixed-seed system to
+// convergence and replays its trace: the offline detector must report
+// the exact round count and final spread the online detector saw.
+func TestConvergenceMatchesOnline(t *testing.T) {
+	const n = 32
+	r := rng.New(11)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		cx := float64(i%2) * 10
+		values[i] = distclass.Value{cx + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	sys, err := distclass.New(values, distclass.GaussianMixture(),
+		distclass.WithSeed(11), distclass.WithTrace(rec))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rounds, converged, err := sys.RunUntilConverged()
+	if err != nil {
+		t.Fatalf("RunUntilConverged: %v", err)
+	}
+	if !converged {
+		t.Fatalf("online run did not converge in %d rounds", rounds)
+	}
+	onlineSpread, err := sys.Spread()
+	if err != nil {
+		t.Fatalf("Spread: %v", err)
+	}
+
+	rep, err := replay.Analyze(strings.NewReader(buf.String()), replay.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	c := rep.Convergence
+	if c.Converged != converged {
+		t.Errorf("replay converged = %v, online = %v", c.Converged, converged)
+	}
+	if c.RoundsToConverge != rounds {
+		t.Errorf("replay rounds to converge = %d, online = %d", c.RoundsToConverge, rounds)
+	}
+	// The run stopped the round it converged, so the last recorded
+	// spread probe is the value the online detector last computed — and
+	// recomputing it on the quiesced system gives the same number.
+	if c.FinalSpread != onlineSpread {
+		t.Errorf("replay final spread = %v, online = %v", c.FinalSpread, onlineSpread)
+	}
+	if rep.Anomalies.Count != 0 {
+		t.Errorf("healthy run reports %d anomalies: %v", rep.Anomalies.Count, rep.Anomalies.Notes)
+	}
+}
+
+// TestFinalErrorMatchesOnline replays a Figure 4 trace: the last
+// error probe must equal the final error of the last traced run (the
+// robust crash run), exactly as the harness computed it online. The
+// trace holds two sequential runs, which the analyzer must surface as
+// round regressions rather than silently misreading.
+func TestFinalErrorMatchesOnline(t *testing.T) {
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	cfg := experiments.Fig4Config{NGood: 57, NOut: 3, Rounds: 15, Seed: 3, Trace: rec}
+	rows, err := experiments.RunFigure4(cfg)
+	if err != nil {
+		t.Fatalf("RunFigure4: %v", err)
+	}
+	online := rows[len(rows)-1].RobustCrash
+
+	rep, err := replay.Analyze(strings.NewReader(buf.String()), replay.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if rep.Convergence.FinalError != online {
+		t.Errorf("replay final error = %v, online robust-crash error = %v", rep.Convergence.FinalError, online)
+	}
+	// Both robust runs probe error every round.
+	if want := 2 * cfg.Rounds; rep.Convergence.ErrorSamples != want {
+		t.Errorf("error samples = %d, want %d (two traced runs)", rep.Convergence.ErrorSamples, want)
+	}
+	if rep.Anomalies.RoundRegressions == 0 {
+		t.Errorf("two sequential runs in one file produced no round regressions")
+	}
+}

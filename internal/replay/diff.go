@@ -1,0 +1,77 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MetricDelta is one compared metric of a run diff. Integer metrics are
+// carried as float64 so the schema is uniform; Delta is always B - A.
+type MetricDelta struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+}
+
+// Diff is a metric-by-metric comparison of two runs — the ablation
+// A-vs-B view: did the change converge faster, send fewer messages,
+// end at a lower error?
+type Diff struct {
+	FileA   string        `json:"file_a"`
+	FileB   string        `json:"file_b"`
+	Metrics []MetricDelta `json:"metrics"`
+}
+
+// NewDiff compares two reports. The metric list and order are fixed, so
+// diff output is deterministic and diffable itself.
+func NewDiff(a, b *RunReport) *Diff {
+	d := &Diff{FileA: a.File, FileB: b.File}
+	add := func(name string, av, bv float64) {
+		d.Metrics = append(d.Metrics, MetricDelta{Name: name, A: av, B: bv, Delta: bv - av})
+	}
+	addi := func(name string, av, bv int) { add(name, float64(av), float64(bv)) }
+
+	addi("events", a.Events, b.Events)
+	addi("rounds", a.Rounds, b.Rounds)
+	addi("nodes", a.Nodes, b.Nodes)
+	addi("converged_round", a.Convergence.ConvergedRound, b.Convergence.ConvergedRound)
+	addi("rounds_to_converge", a.Convergence.RoundsToConverge, b.Convergence.RoundsToConverge)
+	add("final_spread", a.Convergence.FinalSpread, b.Convergence.FinalSpread)
+	add("min_spread", a.Convergence.MinSpread, b.Convergence.MinSpread)
+	add("final_error", a.Convergence.FinalError, b.Convergence.FinalError)
+	addi("sends", a.Messaging.Sends, b.Messaging.Sends)
+	addi("receives", a.Messaging.Receives, b.Messaging.Receives)
+	add("sent_bytes", a.Messaging.SentBytes, b.Messaging.SentBytes)
+	add("received_collections", a.Messaging.ReceivedCollections, b.Messaging.ReceivedCollections)
+	addi("splits", a.Messaging.Splits, b.Messaging.Splits)
+	addi("merges", a.Messaging.Merges, b.Messaging.Merges)
+	addi("crashes", a.Messaging.Crashes, b.Messaging.Crashes)
+	addi("recovers", a.Messaging.Recovers, b.Messaging.Recovers)
+	addi("decode_errors", a.Messaging.DecodeErrors, b.Messaging.DecodeErrors)
+	addi("stalled_nodes", len(a.Anomalies.StalledNodes), len(b.Anomalies.StalledNodes))
+	addi("anomalies", a.Anomalies.Count, b.Anomalies.Count)
+	return d
+}
+
+// WriteJSON writes the diff as indented JSON.
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	return nil
+}
+
+// WriteText writes the diff as an aligned table.
+func (d *Diff) WriteText(w io.Writer) error {
+	p := &printer{w: w}
+	p.f("== diff: %s vs %s ==\n", d.FileA, d.FileB)
+	p.f("%-22s %14s %14s %14s\n", "metric", "a", "b", "delta")
+	for _, m := range d.Metrics {
+		p.f("%-22s %14s %14s %14s\n", m.Name, fnum(m.A), fnum(m.B), fnum(m.Delta))
+	}
+	return p.err
+}

@@ -1,0 +1,124 @@
+package replay
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report files from the fixture trace")
+
+// analyzeFixture replays the committed fixed-seed sim trace
+// (distclass-sim -n 24 -rounds 30 -seed 7).
+func analyzeFixture(t *testing.T) *RunReport {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "fixture.trace"))
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer f.Close()
+	rep, err := Analyze(f, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// A stable label rather than an OS-dependent path, so the golden
+	// bytes are identical everywhere.
+	rep.File = "fixture.trace"
+	return rep
+}
+
+// TestGoldenReports renders the fixture report in every format and
+// compares byte-for-byte against the committed golden files. Run with
+// -update after an intentional output change.
+func TestGoldenReports(t *testing.T) {
+	rep := analyzeFixture(t)
+	renders := []struct {
+		name   string
+		render func(rep *RunReport) ([]byte, error)
+	}{
+		{"fixture.txt", func(rep *RunReport) ([]byte, error) {
+			var buf bytes.Buffer
+			err := rep.WriteText(&buf)
+			return buf.Bytes(), err
+		}},
+		{"fixture.csv", func(rep *RunReport) ([]byte, error) {
+			var buf bytes.Buffer
+			err := rep.WriteCSV(&buf, true)
+			return buf.Bytes(), err
+		}},
+		{"fixture.json", func(rep *RunReport) ([]byte, error) {
+			var buf bytes.Buffer
+			err := rep.WriteJSON(&buf)
+			return buf.Bytes(), err
+		}},
+	}
+	for _, r := range renders {
+		t.Run(r.name, func(t *testing.T) {
+			got, err := r.render(rep)
+			if err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			// Determinism: the same report must render to the same bytes
+			// on a second pass.
+			again, err := r.render(rep)
+			if err != nil {
+				t.Fatalf("second render: %v", err)
+			}
+			if !bytes.Equal(got, again) {
+				t.Fatalf("two renders of the same report differ")
+			}
+			path := filepath.Join("testdata", r.name)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run `go test ./internal/replay -update` to create it): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s diverges from the golden file; run with -update if the change is intentional\ngot:\n%s", r.name, got)
+			}
+		})
+	}
+}
+
+// TestFixtureAnalysisIsDeterministic replays the fixture twice and
+// requires identical JSON reports — the analyzer itself must be free of
+// map-order leaks, not just the renderers.
+func TestFixtureAnalysisIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := analyzeFixture(t).WriteJSON(&a); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := analyzeFixture(t).WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two analyses of the same trace produced different reports")
+	}
+}
+
+// TestFixtureIsHealthy pins the fixture's headline numbers: a healthy
+// fixed-seed run with zero anomalies (the same gate make check's
+// analyze-smoke applies to a freshly generated trace).
+func TestFixtureIsHealthy(t *testing.T) {
+	rep := analyzeFixture(t)
+	if rep.Anomalies.Count != 0 {
+		t.Errorf("fixture reports %d anomalies: %v", rep.Anomalies.Count, rep.Anomalies.Notes)
+	}
+	if !rep.Convergence.Converged {
+		t.Errorf("fixture did not converge")
+	}
+	if rep.Nodes != 24 || rep.Rounds != 30 {
+		t.Errorf("fixture shape: %d nodes, %d rounds, want 24 and 30", rep.Nodes, rep.Rounds)
+	}
+	if rep.Messaging.Sends != rep.Nodes*rep.Rounds {
+		t.Errorf("sends = %d, want n*rounds = %d (one push per alive node per round)",
+			rep.Messaging.Sends, rep.Nodes*rep.Rounds)
+	}
+}

@@ -1,0 +1,537 @@
+// Package replay turns raw trace JSONL streams into the paper's
+// evaluation diagnostics, offline. The recording side (internal/trace)
+// is deliberately dumb — every layer appends typed events — and this
+// package is the consuming half: it streams a trace of any size
+// through a constant-memory state machine (per-node and per-round
+// aggregates, never the raw events) and produces a structured
+// RunReport with the quantities §6 and Figures 1-4 reason about:
+//
+//   - convergence-round detection on the per-round spread probe, with
+//     the same threshold/window semantics as the online detector
+//     (distclass.RunUntilConverged), so a replayed trace and the live
+//     run agree on when the network converged;
+//   - the full per-round spread/error curves plus message-complexity
+//     accounting (sends, receives, received-collection counts, split
+//     and merge churn, crash/recover totals);
+//   - per-node health (activity staleness, decode errors, crash state);
+//   - anomaly detection: stalled nodes, divergence after convergence,
+//     and round-monotonicity violations (a round number moving
+//     backwards means either trace corruption or several runs
+//     interleaved into one file).
+//
+// Reports render as deterministic text, CSV and JSON (report.go) and
+// two reports diff metric-by-metric (diff.go); cmd/distclass-analyze
+// is the command-line front end.
+package replay
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"distclass/internal/trace"
+)
+
+// Options parameterize an analysis.
+type Options struct {
+	// Threshold is the spread value below which a round counts toward
+	// convergence (default 1e-3, matching distclass.WithTolerance).
+	Threshold float64
+	// Window is the number of consecutive sub-threshold spread samples
+	// required to declare convergence (default 3, matching
+	// distclass.RunUntilConverged).
+	Window int
+	// StallSlack is the number of trailing rounds a node may be
+	// inactive before it counts as stalled. Zero selects
+	// max(10, rounds/5). Negative disables stall detection.
+	StallSlack int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 1e-3
+	}
+	if o.Window <= 0 {
+		o.Window = 3
+	}
+	return o
+}
+
+// Sample is one scalar probe observation (spread or error) in trace
+// order.
+type Sample struct {
+	Round int     `json:"round"`
+	Value float64 `json:"value"`
+}
+
+// KindCount is one event kind's tally.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// Convergence is the replayed convergence analysis of one run.
+type Convergence struct {
+	// Threshold and Window echo the detection parameters used.
+	Threshold float64 `json:"threshold"`
+	Window    int     `json:"window"`
+	// Converged reports whether Window consecutive spread samples fell
+	// below Threshold.
+	Converged bool `json:"converged"`
+	// ConvergedRound is the round of the sample that completed the
+	// stable window (-1 when the run never converged). This is 0-based:
+	// an online RunUntilConverged that stopped after R rounds converged
+	// at round R-1.
+	ConvergedRound int `json:"converged_round"`
+	// RoundsToConverge is ConvergedRound+1 — directly comparable to the
+	// round count distclass.RunUntilConverged returns. 0 when the run
+	// never converged.
+	RoundsToConverge int `json:"rounds_to_converge"`
+	// FirstStableRound is the round of the first spread sample after
+	// which no sample reaches Threshold again (-1 if the final sample
+	// is still at or above it).
+	FirstStableRound int `json:"first_stable_round"`
+	// FinalSpread and MinSpread summarize the spread curve; they are
+	// meaningful only when SpreadSamples > 0.
+	FinalSpread   float64 `json:"final_spread"`
+	MinSpread     float64 `json:"min_spread"`
+	SpreadSamples int     `json:"spread_samples"`
+	// FinalError and MinError summarize the estimation-error curve
+	// (experiments traces); meaningful only when ErrorSamples > 0.
+	FinalError   float64 `json:"final_error"`
+	MinError     float64 `json:"min_error"`
+	ErrorSamples int     `json:"error_samples"`
+}
+
+// Messaging is the run's message-complexity accounting.
+type Messaging struct {
+	// Sends and Receives count driver-delivered messages.
+	Sends    int `json:"sends"`
+	Receives int `json:"receives"`
+	// SentBytes sums the send events' values — encoded frame bytes in
+	// live traces, always 0 in sim traces (sim sends carry no size).
+	SentBytes float64 `json:"sent_bytes"`
+	// ReceivedCollections sums the receive events' values: inbox batch
+	// sizes (sim) or decoded collection counts (livenet) — the paper's
+	// "collections on the wire" complexity measure.
+	ReceivedCollections float64 `json:"received_collections"`
+	// Splits/Merges count protocol churn; SplitCollections and
+	// MergedCollections sum the per-event collection counts.
+	Splits            int     `json:"splits"`
+	SplitCollections  float64 `json:"split_collections"`
+	Merges            int     `json:"merges"`
+	MergedCollections float64 `json:"merged_collections"`
+	// Crashes, Recovers and DecodeErrors are network-wide totals.
+	Crashes      int `json:"crashes"`
+	Recovers     int `json:"recovers"`
+	DecodeErrors int `json:"decode_errors"`
+}
+
+// RoundStat is one driver round's aggregate. Spread and Error are nil
+// when the round carried no probe of that kind.
+type RoundStat struct {
+	Round       int      `json:"round"`
+	Spread      *float64 `json:"spread,omitempty"`
+	Error       *float64 `json:"error,omitempty"`
+	Sends       int      `json:"sends"`
+	Receives    int      `json:"receives"`
+	Collections float64  `json:"collections"`
+	Crashes     int      `json:"crashes"`
+	Recovers    int      `json:"recovers"`
+}
+
+// NodeHealth is one node's replayed health record.
+type NodeHealth struct {
+	Node         int `json:"node"`
+	Sends        int `json:"sends"`
+	Receives     int `json:"receives"`
+	Splits       int `json:"splits"`
+	Merges       int `json:"merges"`
+	Crashes      int `json:"crashes"`
+	Recovers     int `json:"recovers"`
+	DecodeErrors int `json:"decode_errors"`
+	// LastActivityRound is the last driver round with a send or receive
+	// from this node (-1 when the node only appears in round-less
+	// events, e.g. live traces).
+	LastActivityRound int `json:"last_activity_round"`
+	// Staleness is rounds-1 - LastActivityRound: how many trailing
+	// rounds the node was silent for (0 when active in the last round;
+	// -1 when LastActivityRound is -1).
+	Staleness int `json:"staleness"`
+	// Crashed reports a crash event without a later recover.
+	Crashed bool `json:"crashed"`
+	// Stalled marks a never-crashed node whose staleness exceeded the
+	// stall slack — an anomaly.
+	Stalled bool `json:"stalled"`
+}
+
+// Anomalies is the run's anomaly summary. Count is the total the
+// analyzer gates on (make check fails a smoke run on Count > 0).
+type Anomalies struct {
+	Count int `json:"count"`
+	// StalledNodes lists never-crashed nodes inactive for longer than
+	// the stall slack.
+	StalledNodes []int `json:"stalled_nodes,omitempty"`
+	// DivergentRounds counts spread samples at or above the threshold
+	// after the convergence window completed.
+	DivergentRounds int `json:"divergent_rounds"`
+	// RoundRegressions counts events whose round number is lower than
+	// their predecessor's — trace corruption, or several sequential
+	// runs recorded into one file.
+	RoundRegressions int `json:"round_regressions"`
+	// DecodeErrors mirrors Messaging.DecodeErrors: any failed frame
+	// decode is anomalous.
+	DecodeErrors int `json:"decode_errors"`
+	// Notes are human-readable one-liners, one per anomaly class found.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// RunReport is the complete replayed analysis of one trace.
+type RunReport struct {
+	// File labels the report (set by callers; empty for readers).
+	File string `json:"file,omitempty"`
+	// Events is the total number of trace events consumed.
+	Events int `json:"events"`
+	// Rounds is the number of driver rounds observed (max round + 1);
+	// 0 for round-less traces (live deployments).
+	Rounds int `json:"rounds"`
+	// Nodes is the number of distinct node ids observed.
+	Nodes int `json:"nodes"`
+	// Kinds tallies events by kind, sorted by kind name.
+	Kinds []KindCount `json:"kinds"`
+
+	Convergence Convergence `json:"convergence"`
+	Messaging   Messaging   `json:"messaging"`
+	// PerRound has one entry per observed round, in round order.
+	PerRound []RoundStat `json:"per_round"`
+	// NodeHealth has one entry per observed node, sorted by id.
+	NodeHealth []NodeHealth `json:"node_health"`
+	Anomalies  Anomalies    `json:"anomalies"`
+
+	// SpreadCurve and ErrorCurve are the probe samples in trace order
+	// (PerRound keeps only the last sample per round; these keep all,
+	// which is what convergence detection and curve rendering use).
+	SpreadCurve []Sample `json:"spread_curve,omitempty"`
+	ErrorCurve  []Sample `json:"error_curve,omitempty"`
+}
+
+// nodeState accumulates one node's tallies while streaming.
+type nodeState struct {
+	sends, receives, splits, merges int
+	crashes, recovers, decodeErrors int
+	lastActivityRound               int
+	crashed                         bool
+}
+
+// analyzer is the streaming state machine: O(nodes + rounds + probes)
+// memory regardless of trace length.
+type analyzer struct {
+	opts        Options
+	events      int
+	kinds       map[trace.Kind]int
+	rounds      []RoundStat
+	spread      []Sample
+	errs        []Sample
+	nodes       map[int]*nodeState
+	msg         Messaging
+	prevRound   int
+	regressions int
+}
+
+// Analyze streams the trace from r and computes its RunReport. The
+// reader is consumed once; memory use is proportional to the number of
+// nodes, rounds and probe samples, never to the number of events.
+func Analyze(r io.Reader, opts Options) (*RunReport, error) {
+	opts = opts.withDefaults()
+	a := &analyzer{
+		opts:      opts,
+		kinds:     make(map[trace.Kind]int),
+		nodes:     make(map[int]*nodeState),
+		prevRound: -1,
+	}
+	if err := trace.Stream(r, a.observe); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return a.finish(), nil
+}
+
+// roundAt returns the aggregate for the given round, growing the dense
+// per-round slice as needed.
+func (a *analyzer) roundAt(round int) *RoundStat {
+	for len(a.rounds) <= round {
+		a.rounds = append(a.rounds, RoundStat{Round: len(a.rounds)})
+	}
+	return &a.rounds[round]
+}
+
+// nodeAt returns the state for the given node id, creating it on first
+// sight.
+func (a *analyzer) nodeAt(id int) *nodeState {
+	ns, ok := a.nodes[id]
+	if !ok {
+		ns = &nodeState{lastActivityRound: -1}
+		a.nodes[id] = ns
+	}
+	return ns
+}
+
+func (a *analyzer) observe(e trace.Event) error {
+	a.events++
+	a.kinds[e.Kind]++
+	if e.Round >= 0 {
+		if e.Round < a.prevRound {
+			a.regressions++
+		}
+		a.prevRound = e.Round
+	}
+	var ns *nodeState
+	if e.Node >= 0 {
+		ns = a.nodeAt(e.Node)
+	}
+	switch e.Kind {
+	case trace.KindSend:
+		a.msg.Sends++
+		a.msg.SentBytes += e.Value
+		if ns != nil {
+			ns.sends++
+			if e.Round >= 0 && e.Round > ns.lastActivityRound {
+				ns.lastActivityRound = e.Round
+			}
+		}
+		if e.Round >= 0 {
+			a.roundAt(e.Round).Sends++
+		}
+	case trace.KindReceive:
+		a.msg.Receives++
+		a.msg.ReceivedCollections += e.Value
+		if ns != nil {
+			ns.receives++
+			if e.Round >= 0 && e.Round > ns.lastActivityRound {
+				ns.lastActivityRound = e.Round
+			}
+		}
+		if e.Round >= 0 {
+			rs := a.roundAt(e.Round)
+			rs.Receives++
+			rs.Collections += e.Value
+		}
+	case trace.KindSplit:
+		a.msg.Splits++
+		a.msg.SplitCollections += e.Value
+		if ns != nil {
+			ns.splits++
+		}
+	case trace.KindMerge:
+		a.msg.Merges++
+		a.msg.MergedCollections += e.Value
+		if ns != nil {
+			ns.merges++
+		}
+	case trace.KindCrash:
+		a.msg.Crashes++
+		if ns != nil {
+			ns.crashes++
+			ns.crashed = true
+		}
+		if e.Round >= 0 {
+			a.roundAt(e.Round).Crashes++
+		}
+	case trace.KindRecover:
+		a.msg.Recovers++
+		if ns != nil {
+			ns.recovers++
+			ns.crashed = false
+		}
+		if e.Round >= 0 {
+			a.roundAt(e.Round).Recovers++
+		}
+	case trace.KindDecodeError:
+		a.msg.DecodeErrors++
+		if ns != nil {
+			ns.decodeErrors++
+		}
+	case trace.KindSpread:
+		a.spread = append(a.spread, Sample{Round: e.Round, Value: e.Value})
+		if e.Round >= 0 {
+			v := e.Value
+			a.roundAt(e.Round).Spread = &v
+		}
+	case trace.KindError:
+		a.errs = append(a.errs, Sample{Round: e.Round, Value: e.Value})
+		if e.Round >= 0 {
+			v := e.Value
+			a.roundAt(e.Round).Error = &v
+		}
+	}
+	return nil
+}
+
+// finish runs the post-stream passes (convergence detection, health and
+// anomaly classification) and assembles the report.
+func (a *analyzer) finish() *RunReport {
+	rep := &RunReport{
+		Events:      a.events,
+		Rounds:      len(a.rounds),
+		Nodes:       len(a.nodes),
+		Messaging:   a.msg,
+		PerRound:    a.rounds,
+		SpreadCurve: a.spread,
+		ErrorCurve:  a.errs,
+	}
+
+	for kind, count := range a.kinds {
+		//lint:allow mapiter collected and sorted below
+		rep.Kinds = append(rep.Kinds, KindCount{Kind: string(kind), Count: count})
+	}
+	sort.Slice(rep.Kinds, func(i, j int) bool { return rep.Kinds[i].Kind < rep.Kinds[j].Kind })
+
+	rep.Convergence = a.detectConvergence()
+
+	// Node health, sorted by id.
+	ids := make([]int, 0, len(a.nodes))
+	for id := range a.nodes {
+		//lint:allow mapiter collected and sorted below
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	slack := a.opts.StallSlack
+	if slack == 0 {
+		slack = len(a.rounds) / 5
+		if slack < 10 {
+			slack = 10
+		}
+	}
+	for _, id := range ids {
+		ns := a.nodes[id]
+		h := NodeHealth{
+			Node: id, Sends: ns.sends, Receives: ns.receives,
+			Splits: ns.splits, Merges: ns.merges,
+			Crashes: ns.crashes, Recovers: ns.recovers,
+			DecodeErrors:      ns.decodeErrors,
+			LastActivityRound: ns.lastActivityRound,
+			Staleness:         -1,
+			Crashed:           ns.crashed,
+		}
+		if ns.lastActivityRound >= 0 {
+			h.Staleness = (len(a.rounds) - 1) - ns.lastActivityRound
+			if slack >= 0 && !ns.crashed && h.Staleness > slack {
+				h.Stalled = true
+				rep.Anomalies.StalledNodes = append(rep.Anomalies.StalledNodes, id)
+			}
+		}
+		rep.NodeHealth = append(rep.NodeHealth, h)
+	}
+
+	rep.Anomalies.RoundRegressions = a.regressions
+	rep.Anomalies.DecodeErrors = a.msg.DecodeErrors
+	rep.Anomalies.DivergentRounds = a.divergentRounds(rep.Convergence)
+	rep.Anomalies.Count = len(rep.Anomalies.StalledNodes) +
+		rep.Anomalies.DivergentRounds +
+		rep.Anomalies.RoundRegressions +
+		rep.Anomalies.DecodeErrors
+
+	if n := len(rep.Anomalies.StalledNodes); n > 0 {
+		rep.Anomalies.Notes = append(rep.Anomalies.Notes,
+			fmt.Sprintf("%d node(s) stalled: no activity for more than %d trailing rounds", n, slack))
+	}
+	if rep.Anomalies.DivergentRounds > 0 {
+		rep.Anomalies.Notes = append(rep.Anomalies.Notes,
+			fmt.Sprintf("spread re-crossed the %g threshold %d time(s) after convergence", a.opts.Threshold, rep.Anomalies.DivergentRounds))
+	}
+	if rep.Anomalies.RoundRegressions > 0 {
+		rep.Anomalies.Notes = append(rep.Anomalies.Notes,
+			fmt.Sprintf("round numbers moved backwards %d time(s): trace corruption or multiple runs in one file", rep.Anomalies.RoundRegressions))
+	}
+	if rep.Anomalies.DecodeErrors > 0 {
+		rep.Anomalies.Notes = append(rep.Anomalies.Notes,
+			fmt.Sprintf("%d frame(s) failed to decode", rep.Anomalies.DecodeErrors))
+	}
+	return rep
+}
+
+// detectConvergence mirrors the online detector: a counter of
+// consecutive sub-threshold samples, reset on any sample at or above
+// the threshold, convergence declared when the counter reaches the
+// window size.
+func (a *analyzer) detectConvergence() Convergence {
+	c := Convergence{
+		Threshold:        a.opts.Threshold,
+		Window:           a.opts.Window,
+		ConvergedRound:   -1,
+		FirstStableRound: -1,
+		SpreadSamples:    len(a.spread),
+		ErrorSamples:     len(a.errs),
+		MinSpread:        math.Inf(1),
+		MinError:         math.Inf(1),
+	}
+	stable := 0
+	lastAbove := -1 // index of the last sample at or above the threshold
+	for i, s := range a.spread {
+		if s.Value < a.opts.Threshold {
+			stable++
+			if stable >= a.opts.Window && !c.Converged {
+				c.Converged = true
+				c.ConvergedRound = s.Round
+				c.RoundsToConverge = s.Round + 1
+			}
+		} else {
+			stable = 0
+			lastAbove = i
+		}
+		if s.Value < c.MinSpread {
+			c.MinSpread = s.Value
+		}
+	}
+	if len(a.spread) > 0 {
+		c.FinalSpread = a.spread[len(a.spread)-1].Value
+		if lastAbove < len(a.spread)-1 {
+			c.FirstStableRound = a.spread[lastAbove+1].Round
+		}
+	} else {
+		c.MinSpread = 0
+	}
+	for _, s := range a.errs {
+		if s.Value < c.MinError {
+			c.MinError = s.Value
+		}
+	}
+	if len(a.errs) > 0 {
+		c.FinalError = a.errs[len(a.errs)-1].Value
+	} else {
+		c.MinError = 0
+	}
+	return c
+}
+
+// divergentRounds counts spread samples at or above the threshold after
+// the sample that completed the convergence window.
+func (a *analyzer) divergentRounds(c Convergence) int {
+	if !c.Converged {
+		return 0
+	}
+	// Find the window-completing sample again (first index where the
+	// counter reached the window).
+	stable, start := 0, -1
+	for i, s := range a.spread {
+		if s.Value < c.Threshold {
+			stable++
+			if stable >= c.Window {
+				start = i
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	if start < 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range a.spread[start+1:] {
+		if s.Value >= c.Threshold {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"distclass/internal/trace"
+)
+
+// record builds a JSONL trace from events.
+func record(t *testing.T, events ...trace.Event) string {
+	t.Helper()
+	var buf strings.Builder
+	rec := trace.NewRecorder(&buf)
+	for _, e := range events {
+		if err := rec.Record(e); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	return buf.String()
+}
+
+// spreadAt is shorthand for a spread probe event.
+func spreadAt(round int, v float64) trace.Event {
+	return trace.Event{Round: round, Node: -1, Kind: trace.KindSpread, Value: v}
+}
+
+func analyzeString(t *testing.T, s string, opts Options) *RunReport {
+	t.Helper()
+	rep, err := Analyze(strings.NewReader(s), opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return rep
+}
+
+func TestNeverConverges(t *testing.T) {
+	s := record(t, spreadAt(0, 0.5), spreadAt(1, 0.4), spreadAt(2, 0.3))
+	rep := analyzeString(t, s, Options{})
+	c := rep.Convergence
+	if c.Converged {
+		t.Errorf("converged on an always-above-threshold trace")
+	}
+	if c.ConvergedRound != -1 || c.RoundsToConverge != 0 {
+		t.Errorf("ConvergedRound = %d, RoundsToConverge = %d, want -1 and 0", c.ConvergedRound, c.RoundsToConverge)
+	}
+	if c.FirstStableRound != -1 {
+		t.Errorf("FirstStableRound = %d, want -1 (final sample above threshold)", c.FirstStableRound)
+	}
+	if c.FinalSpread != 0.3 || c.MinSpread != 0.3 {
+		t.Errorf("FinalSpread = %v, MinSpread = %v, want 0.3 and 0.3", c.FinalSpread, c.MinSpread)
+	}
+	if rep.Anomalies.DivergentRounds != 0 {
+		t.Errorf("DivergentRounds = %d on a never-converged run", rep.Anomalies.DivergentRounds)
+	}
+}
+
+func TestConvergesAtRoundZero(t *testing.T) {
+	s := record(t, spreadAt(0, 1e-6))
+	rep := analyzeString(t, s, Options{Window: 1})
+	c := rep.Convergence
+	if !c.Converged || c.ConvergedRound != 0 || c.RoundsToConverge != 1 {
+		t.Errorf("got converged=%v round=%d rounds=%d, want true/0/1", c.Converged, c.ConvergedRound, c.RoundsToConverge)
+	}
+	if c.FirstStableRound != 0 {
+		t.Errorf("FirstStableRound = %d, want 0", c.FirstStableRound)
+	}
+}
+
+func TestRediverges(t *testing.T) {
+	s := record(t,
+		spreadAt(0, 1e-4), spreadAt(1, 1e-4), spreadAt(2, 1e-4),
+		spreadAt(3, 0.5), spreadAt(4, 1e-4),
+	)
+	rep := analyzeString(t, s, Options{})
+	c := rep.Convergence
+	if !c.Converged || c.ConvergedRound != 2 {
+		t.Fatalf("got converged=%v round=%d, want true/2", c.Converged, c.ConvergedRound)
+	}
+	if rep.Anomalies.DivergentRounds != 1 {
+		t.Errorf("DivergentRounds = %d, want 1", rep.Anomalies.DivergentRounds)
+	}
+	if c.FirstStableRound != 4 {
+		t.Errorf("FirstStableRound = %d, want 4 (the sample after the re-divergence)", c.FirstStableRound)
+	}
+	if rep.Anomalies.Count != 1 {
+		t.Errorf("anomaly count = %d, want 1 (the divergent round)", rep.Anomalies.Count)
+	}
+}
+
+func TestStalledNodeDetected(t *testing.T) {
+	var events []trace.Event
+	for round := 0; round < 10; round++ {
+		events = append(events, trace.Event{Round: round, Node: 0, Kind: trace.KindSend})
+		if round < 3 {
+			events = append(events, trace.Event{Round: round, Node: 1, Kind: trace.KindSend})
+		}
+	}
+	rep := analyzeString(t, record(t, events...), Options{StallSlack: 2})
+	if len(rep.NodeHealth) != 2 {
+		t.Fatalf("NodeHealth has %d entries, want 2", len(rep.NodeHealth))
+	}
+	h0, h1 := rep.NodeHealth[0], rep.NodeHealth[1]
+	if h0.Stalled || h0.Staleness != 0 {
+		t.Errorf("node 0: stalled=%v staleness=%d, want active", h0.Stalled, h0.Staleness)
+	}
+	if !h1.Stalled || h1.Staleness != 7 {
+		t.Errorf("node 1: stalled=%v staleness=%d, want stalled with staleness 7", h1.Stalled, h1.Staleness)
+	}
+	if len(rep.Anomalies.StalledNodes) != 1 || rep.Anomalies.StalledNodes[0] != 1 {
+		t.Errorf("StalledNodes = %v, want [1]", rep.Anomalies.StalledNodes)
+	}
+}
+
+func TestCrashedNodeNotStalled(t *testing.T) {
+	var events []trace.Event
+	for round := 0; round < 10; round++ {
+		events = append(events, trace.Event{Round: round, Node: 0, Kind: trace.KindSend})
+		if round == 0 {
+			events = append(events, trace.Event{Round: round, Node: 1, Kind: trace.KindSend})
+		}
+		if round == 1 {
+			events = append(events, trace.Event{Round: round, Node: 1, Kind: trace.KindCrash})
+		}
+	}
+	rep := analyzeString(t, record(t, events...), Options{StallSlack: 2})
+	h1 := rep.NodeHealth[1]
+	if !h1.Crashed {
+		t.Errorf("node 1 not marked crashed")
+	}
+	if h1.Stalled {
+		t.Errorf("crashed node 1 counted as stalled")
+	}
+	if rep.Anomalies.Count != 0 {
+		t.Errorf("anomaly count = %d, want 0 (crashes are expected events)", rep.Anomalies.Count)
+	}
+}
+
+func TestRoundRegressionCounted(t *testing.T) {
+	s := record(t,
+		spreadAt(5, 0.5),
+		trace.Event{Round: 2, Node: 0, Kind: trace.KindSend},
+	)
+	rep := analyzeString(t, s, Options{})
+	if rep.Anomalies.RoundRegressions != 1 {
+		t.Errorf("RoundRegressions = %d, want 1", rep.Anomalies.RoundRegressions)
+	}
+	if rep.Anomalies.Count != 1 {
+		t.Errorf("anomaly count = %d, want 1", rep.Anomalies.Count)
+	}
+}
+
+func TestRoundlessEventsDoNotRegress(t *testing.T) {
+	// Live traces carry Round -1 everywhere; that must not count as the
+	// round moving backwards, nor create per-round rows.
+	s := record(t,
+		trace.Event{Round: -1, Node: 0, Kind: trace.KindSend, Value: 100},
+		trace.Event{Round: -1, Node: 1, Kind: trace.KindReceive, Value: 2},
+		trace.Event{Round: -1, Node: 0, Kind: trace.KindSend, Value: 90},
+	)
+	rep := analyzeString(t, s, Options{})
+	if rep.Anomalies.RoundRegressions != 0 {
+		t.Errorf("RoundRegressions = %d on a round-less trace", rep.Anomalies.RoundRegressions)
+	}
+	if rep.Rounds != 0 || len(rep.PerRound) != 0 {
+		t.Errorf("rounds = %d, per-round rows = %d, want 0 and 0", rep.Rounds, len(rep.PerRound))
+	}
+	if rep.Messaging.SentBytes != 190 {
+		t.Errorf("SentBytes = %v, want 190", rep.Messaging.SentBytes)
+	}
+	if h := rep.NodeHealth[0]; h.LastActivityRound != -1 || h.Staleness != -1 {
+		t.Errorf("round-less node health = %+v, want last-activity -1, staleness -1", h)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rep := analyzeString(t, "", Options{})
+	if rep.Events != 0 || rep.Rounds != 0 || rep.Nodes != 0 {
+		t.Errorf("empty trace report: %+v", rep)
+	}
+	if rep.Convergence.Converged {
+		t.Errorf("empty trace converged")
+	}
+	if rep.Anomalies.Count != 0 {
+		t.Errorf("empty trace has %d anomalies", rep.Anomalies.Count)
+	}
+}

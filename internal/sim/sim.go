@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"distclass/internal/metrics"
+	"distclass/internal/prof"
 	"distclass/internal/rng"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
@@ -286,52 +287,62 @@ func (n *Network[M]) Round() error {
 		}
 		inbox[dst] = append(inbox[dst], msg)
 	}
-	for i := range n.agents {
-		if !n.alive[i] {
-			continue
-		}
-		peer, ok := pickNeighbor(n.graph, i, n.opts.Policy, n.rr, n.r)
-		if !ok {
-			continue
-		}
-		switch n.opts.Mode {
-		case ModePull:
-			if n.alive[peer] {
-				transfer(peer, i)
+	prof.Phase("sim.send", func() {
+		for i := range n.agents {
+			if !n.alive[i] {
+				continue
 			}
-		case ModePushPull:
-			transfer(i, peer)
-			if n.alive[peer] {
-				transfer(peer, i)
+			peer, ok := pickNeighbor(n.graph, i, n.opts.Policy, n.rr, n.r)
+			if !ok {
+				continue
 			}
-		default: // ModePush
-			transfer(i, peer)
+			switch n.opts.Mode {
+			case ModePull:
+				if n.alive[peer] {
+					transfer(peer, i)
+				}
+			case ModePushPull:
+				transfer(i, peer)
+				if n.alive[peer] {
+					transfer(peer, i)
+				}
+			default: // ModePush
+				transfer(i, peer)
+			}
 		}
-	}
-	for i, batch := range inbox {
-		if len(batch) == 0 || !n.alive[i] {
-			continue
+	})
+	err := prof.PhaseErr("sim.deliver", func() error {
+		for i, batch := range inbox {
+			if len(batch) == 0 || !n.alive[i] {
+				continue
+			}
+			if err := n.agents[i].Receive(batch); err != nil {
+				return fmt.Errorf("sim: node %d receive: %w", i, err)
+			}
+			if n.opts.Trace != nil {
+				_ = n.opts.Trace.Record(trace.Event{
+					Round: round, Node: i, Kind: trace.KindReceive,
+					Value: float64(len(batch)),
+				})
+			}
 		}
-		if err := n.agents[i].Receive(batch); err != nil {
-			return fmt.Errorf("sim: node %d receive: %w", i, err)
-		}
-		if n.opts.Trace != nil {
-			_ = n.opts.Trace.Record(trace.Event{
-				Round: round, Node: i, Kind: trace.KindReceive,
-				Value: float64(len(batch)),
-			})
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if n.opts.CrashProb > 0 {
-		for i := range n.alive {
-			if n.alive[i] && n.r.Bool(n.opts.CrashProb) {
-				n.alive[i] = false
-				n.c.incCrash()
-				if n.opts.Trace != nil {
-					_ = n.opts.Trace.Record(trace.Event{Round: round, Node: i, Kind: trace.KindCrash})
+		prof.Phase("sim.crash", func() {
+			for i := range n.alive {
+				if n.alive[i] && n.r.Bool(n.opts.CrashProb) {
+					n.alive[i] = false
+					n.c.incCrash()
+					if n.opts.Trace != nil {
+						_ = n.opts.Trace.Record(trace.Event{Round: round, Node: i, Kind: trace.KindCrash})
+					}
 				}
 			}
-		}
+		})
 	}
 	n.c.incRound()
 	return nil

@@ -7,9 +7,11 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 )
 
@@ -138,21 +140,92 @@ func (r *Recorder) Classification(round, node int, records []CollectionRecord) e
 	return r.Record(Event{Round: round, Node: node, Kind: KindClassification, Collections: records})
 }
 
-// Read decodes all events from r — the inverse of a Recorder run, used
-// by tests and post-processing.
-func Read(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
-	var out []Event
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("trace: event %d: %w", len(out), err)
-		}
-		out = append(out, e)
+// maxLine bounds a single trace line (16 MiB). Classification snapshots
+// of large networks are long lines, but anything beyond this is a
+// corrupt file, not a trace.
+const maxLine = 16 << 20
+
+// Cursor steps through a JSONL trace one event at a time without ever
+// holding more than one line in memory — the streaming counterpart of
+// Read, sized for multi-gigabyte traces. A Cursor tracks its position,
+// so consumers (and errors) can name the exact line of an observation.
+type Cursor struct {
+	sc   *bufio.Scanner
+	line int // 1-based line number of the event last returned by Next
+	err  error
+}
+
+// NewCursor returns a cursor over the JSONL stream r.
+func NewCursor(r io.Reader) *Cursor {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	return &Cursor{sc: sc}
+}
+
+// Line returns the 1-based line number of the event most recently
+// returned by Next (0 before the first call).
+func (c *Cursor) Line() int { return c.line }
+
+// Next decodes the next event. It returns io.EOF at the end of the
+// stream; any other error names the offending line. Blank lines are
+// skipped (a trailing newline is not an event).
+func (c *Cursor) Next() (Event, error) {
+	if c.err != nil {
+		return Event{}, c.err
 	}
+	for c.sc.Scan() {
+		c.line++
+		text := c.sc.Bytes()
+		if len(strings.TrimSpace(string(text))) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			c.err = fmt.Errorf("trace: line %d: %w", c.line, err)
+			return Event{}, c.err
+		}
+		return e, nil
+	}
+	if err := c.sc.Err(); err != nil {
+		c.err = fmt.Errorf("trace: line %d: %w", c.line+1, err)
+		return Event{}, c.err
+	}
+	c.err = io.EOF
+	return Event{}, io.EOF
+}
+
+// Stream decodes events from r one line at a time and hands each to fn,
+// never holding more than one line in memory. A decode failure reports
+// the 1-based line number of the malformed line; a non-nil error from
+// fn stops the stream and is returned as-is.
+func Stream(r io.Reader, fn func(Event) error) error {
+	c := NewCursor(r)
+	for {
+		e, err := c.Next()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}
+
+// Read decodes all events from r — the inverse of a Recorder run, used
+// by tests and post-processing. It is Stream with an accumulator; use
+// Stream (or a Cursor) directly when the trace may not fit in memory.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	if err := Stream(r, func(e Event) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CountKind returns how many events carry the given kind — a common

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -153,5 +154,82 @@ func TestReadRejectsGarbage(t *testing.T) {
 	events, err := Read(strings.NewReader(""))
 	if err != nil || len(events) != 0 {
 		t.Errorf("empty input: %v, %v", events, err)
+	}
+}
+
+// TestReadReportsLineNumber is the regression test for the error-
+// position fix: a malformed line must be named by its 1-based line
+// number, including a truncated trailing line.
+func TestReadReportsLineNumber(t *testing.T) {
+	good := `{"round":0,"node":1,"kind":"send","value":0}`
+	in := good + "\n" + good + "\n" + `{"round":3,"node":` + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatalf("truncated trailing line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error does not name line 3: %v", err)
+	}
+}
+
+func TestStreamDeliversInOrderAndStops(t *testing.T) {
+	var b strings.Builder
+	rec := NewRecorder(&b)
+	for i := 0; i < 5; i++ {
+		if err := rec.Scalar(i, i, KindSpread, float64(i)); err != nil {
+			t.Fatalf("Scalar: %v", err)
+		}
+	}
+	var rounds []int
+	if err := Stream(strings.NewReader(b.String()), func(e Event) error {
+		rounds = append(rounds, e.Round)
+		return nil
+	}); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if len(rounds) != 5 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Errorf("rounds[%d] = %d", i, r)
+		}
+	}
+	// A callback error stops the stream and propagates unchanged.
+	sentinel := io.ErrUnexpectedEOF
+	n := 0
+	err := Stream(strings.NewReader(b.String()), func(Event) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || n != 2 {
+		t.Errorf("callback error: n=%d err=%v", n, err)
+	}
+}
+
+func TestCursorSkipsBlankLinesAndTracksPosition(t *testing.T) {
+	in := "\n" + `{"round":7,"node":0,"kind":"send","value":0}` + "\n\n" +
+		`{"round":8,"node":1,"kind":"receive","value":2}` + "\n"
+	c := NewCursor(strings.NewReader(in))
+	e, err := c.Next()
+	if err != nil || e.Round != 7 {
+		t.Fatalf("first event: %+v, %v", e, err)
+	}
+	if c.Line() != 2 {
+		t.Errorf("Line = %d, want 2", c.Line())
+	}
+	e, err = c.Next()
+	if err != nil || e.Round != 8 || c.Line() != 4 {
+		t.Fatalf("second event: %+v at line %d, %v", e, c.Line(), err)
+	}
+	if _, err := c.Next(); err != io.EOF {
+		t.Errorf("end: %v", err)
+	}
+	// The cursor is sticky after EOF.
+	if _, err := c.Next(); err != io.EOF {
+		t.Errorf("repeat end: %v", err)
 	}
 }
