@@ -6,9 +6,9 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build test vet fmt lint race bench analyze-smoke
+.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke
 
-check: fmt vet lint analyze-smoke race
+check: fmt vet lint analyze-smoke churn-smoke race
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ analyze-smoke:
 	$(GO) run ./cmd/distclass-sim -n 16 -rounds 25 -seed 1 -trace "$$dir/smoke.trace" >/dev/null && \
 	$(GO) run ./cmd/distclass-analyze -fail-anomalies -format json -o "$$dir/smoke.json" "$$dir/smoke.trace" && \
 	echo "analyze-smoke: 0 anomalies"
+
+# Fault-tolerance smoke gate: a live cluster with 20% of its nodes
+# killed mid-run must converge, conserve weight (strict audit inside
+# the harness), and produce a trace that replays with zero anomalies.
+churn-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiments -live-churn -churn-fracs 0.2 -strict -quick -trace "$$dir/churn.trace" >/dev/null && \
+	$(GO) run ./cmd/distclass-analyze -fail-anomalies -format json -o "$$dir/churn.json" "$$dir/churn.trace" && \
+	echo "churn-smoke: converged, weight conserved, 0 anomalies"
 
 # Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
 # wire codec, sim round loop), archived as BENCH_<date>.json with a

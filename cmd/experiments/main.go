@@ -10,9 +10,12 @@
 //	experiments -fig 3            # Figure 3 outlier sweep (delta 0..25)
 //	experiments -fig 4            # Figure 4 crash/convergence traces
 //	experiments -ablation topology|k|q|policy|methods|histogram
+//	experiments -live-churn       # live Figure 4: kill real cluster nodes mid-run
 //	experiments -all              # everything (long)
 //
-// Use -quick for reduced network sizes (fast smoke runs).
+// Use -quick for reduced network sizes (fast smoke runs). The live
+// churn ablation takes -churn-fracs (comma-separated kill fractions)
+// and -strict (fail on non-convergence or conservation violations).
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"distclass/internal/experiments"
+	"distclass/internal/experiments/live"
 	"distclass/internal/metrics"
 	"distclass/internal/plot"
 	"distclass/internal/prof"
@@ -69,10 +74,13 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		traceOut    = flag.String("traceout", "", "write a runtime execution trace to this file (inspect with go tool trace)")
+		liveChurn   = flag.Bool("live-churn", false, "run the live churn ablation: kill a fraction of real cluster nodes mid-run (livenet, not sim)")
+		churnFracs  = flag.String("churn-fracs", "0,0.1,0.2,0.3", "comma-separated kill fractions for -live-churn")
+		strict      = flag.Bool("strict", false, "with -live-churn: fail on non-convergence, cluster errors or broken weight conservation")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *ablation == "" {
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,7 +89,8 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	err = realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr)
+	churn := churnOpts{enabled: *liveChurn, fracs: *churnFracs, strict: *strict}
+	err = realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr, churn)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -98,9 +107,16 @@ type obs struct {
 	sink trace.Sink
 }
 
+// churnOpts carries the -live-churn flag group.
+type churnOpts struct {
+	enabled bool
+	fracs   string // comma-separated kill fractions
+	strict  bool
+}
+
 // realMain sets up the trace recorder and metrics endpoint (so their
 // cleanup runs before os.Exit) and dispatches to run.
-func realMain(fig int, ablation string, all, quick bool, seed uint64, csvDir, traceFile, metricsAddr string) error {
+func realMain(fig int, ablation string, all, quick bool, seed uint64, csvDir, traceFile, metricsAddr string, churn churnOpts) error {
 	o := obs{reg: metrics.NewRegistry()}
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
@@ -124,15 +140,16 @@ func realMain(fig int, ablation string, all, quick bool, seed uint64, csvDir, tr
 		defer srv.Close()
 		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
 	}
-	return run(fig, ablation, all, quick, seed, csvDir, o)
+	return run(fig, ablation, all, quick, seed, csvDir, o, churn)
 }
 
-func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, o obs) error {
+func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, o obs, churn churnOpts) error {
 	figs := []int{fig}
 	ablations := []string{ablation}
 	if all {
 		figs = []int{1, 2, 3, 4}
 		ablations = []string{"topology", "k", "q", "policy", "mode", "methods", "reducer", "crash", "loss", "outliermethods", "scalability", "dimension", "relatedwork", "histogram"}
+		churn.enabled = true
 	}
 	for _, f := range figs {
 		if f == 0 {
@@ -150,6 +167,57 @@ func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, 
 			return err
 		}
 	}
+	if churn.enabled {
+		if err := runLiveChurn(churn, quick, seed, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFracs parses the -churn-fracs comma-separated list.
+func parseFracs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad kill fraction %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no kill fractions in %q", s)
+	}
+	return out, nil
+}
+
+// runLiveChurn runs the live crash ablation: real livenet clusters,
+// real kills, Figure 4's weight-destroyed vs. error readout.
+func runLiveChurn(churn churnOpts, quick bool, seed uint64, o obs) error {
+	fracs, err := parseFracs(churn.fracs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Live churn: killing real cluster nodes mid-run (Figure 4, deployed) ===")
+	cfg := live.ChurnConfig{
+		KillFracs: fracs,
+		Seed:      seed,
+		Strict:    churn.strict,
+		Metrics:   o.reg,
+		Trace:     o.sink,
+	}
+	if quick {
+		cfg.N = 20
+	}
+	rows, err := live.RunLiveChurn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(live.ChurnTable(rows))
 	return nil
 }
 

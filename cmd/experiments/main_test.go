@@ -56,11 +56,36 @@ func TestRunQuickAblations(t *testing.T) {
 
 func TestRunDispatch(t *testing.T) {
 	// fig=0 and empty ablation entries are skipped without error.
-	if err := run(0, "", false, true, 1, "", testObs()); err != nil {
+	if err := run(0, "", false, true, 1, "", testObs(), churnOpts{}); err != nil {
 		t.Fatalf("run noop: %v", err)
 	}
-	if err := run(1, "", false, true, 1, "", testObs()); err != nil {
+	if err := run(1, "", false, true, 1, "", testObs(), churnOpts{}); err != nil {
 		t.Fatalf("run fig1: %v", err)
+	}
+}
+
+func TestParseFracs(t *testing.T) {
+	got, err := parseFracs(" 0, 0.1,0.2 ")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[1] != 0.1 || got[2] != 0.2 {
+		t.Errorf("parseFracs = %v, %v", got, err)
+	}
+	if _, err := parseFracs("0.1,zap"); err == nil {
+		t.Errorf("bad fraction accepted")
+	}
+	if _, err := parseFracs(" , "); err == nil {
+		t.Errorf("empty fraction list accepted")
+	}
+}
+
+// TestRunLiveChurnQuick runs the live crash ablation end to end in
+// strict mode — the same gate make check's churn-smoke applies.
+func TestRunLiveChurnQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a live cluster")
+	}
+	churn := churnOpts{enabled: true, fracs: "0.2", strict: true}
+	if err := runLiveChurn(churn, true, 1, testObs()); err != nil {
+		t.Fatalf("runLiveChurn: %v", err)
 	}
 }
 
@@ -72,7 +97,7 @@ func TestRealMainObservability(t *testing.T) {
 		t.Skip("runs a full ablation")
 	}
 	traceFile := filepath.Join(t.TempDir(), "events.jsonl")
-	if err := realMain(0, "methods", false, true, 1, "", traceFile, "127.0.0.1:0"); err != nil {
+	if err := realMain(0, "methods", false, true, 1, "", traceFile, "127.0.0.1:0", churnOpts{}); err != nil {
 		t.Fatalf("realMain: %v", err)
 	}
 	f, err := os.Open(traceFile)

@@ -544,6 +544,27 @@ func (c *LiveCluster) WaitConverged(timeout time.Duration, tol float64) (bool, e
 	return false, nil
 }
 
+// Kill crashes node i fail-stop (§3.1): its goroutines stop, its links
+// drop, and the weight it held is destroyed. It returns that destroyed
+// weight. Killing an already-dead or out-of-range node is an error.
+func (c *LiveCluster) Kill(i int) (float64, error) { return c.inner.Kill(i) }
+
+// Restart revives a killed node with a fresh value (weight 1) and
+// re-dials its surviving neighbors; the node rejoins the gossip.
+func (c *LiveCluster) Restart(i int, value Value) error {
+	return c.inner.Restart(i, vec.Vector(value).Clone())
+}
+
+// Alive reports whether node i is currently running.
+func (c *LiveCluster) Alive(i int) bool { return c.inner.Alive(i) }
+
+// AliveCount returns the number of currently running nodes.
+func (c *LiveCluster) AliveCount() int { return c.inner.AliveCount() }
+
+// TotalWeight sums the weight currently held at alive nodes — the
+// conservation audit for churn experiments.
+func (c *LiveCluster) TotalWeight() float64 { return c.inner.TotalWeight() }
+
 // Stop shuts the cluster down and joins all goroutines. Safe to call
 // more than once.
 func (c *LiveCluster) Stop() { c.inner.Stop() }

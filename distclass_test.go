@@ -274,6 +274,51 @@ func TestStartLive(t *testing.T) {
 	}
 }
 
+// TestStartLiveChurn drives the churn surface through the facade:
+// kill, alive bookkeeping, restart with a fresh value, and the weight
+// conservation the fail-stop model promises.
+func TestStartLiveChurn(t *testing.T) {
+	const n = 8
+	cluster, err := distclass.StartLive(twoClusters(n), distclass.GaussianMixture(),
+		distclass.WithSeed(43))
+	if err != nil {
+		t.Fatalf("StartLive: %v", err)
+	}
+	defer cluster.Stop()
+	destroyed, err := cluster.Kill(2)
+	if err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	if destroyed <= 0 {
+		t.Errorf("Kill destroyed %v weight, want > 0", destroyed)
+	}
+	if cluster.Alive(2) || cluster.AliveCount() != n-1 {
+		t.Errorf("Alive(2) = %v, AliveCount = %d after kill", cluster.Alive(2), cluster.AliveCount())
+	}
+	if _, err := cluster.Kill(2); err == nil {
+		t.Errorf("double kill accepted")
+	}
+	value := distclass.Value{0, 0}
+	if err := cluster.Restart(2, value); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if value[0] != 0 || value[1] != 0 {
+		t.Errorf("Restart mutated the caller's value: %v", value)
+	}
+	if !cluster.Alive(2) || cluster.AliveCount() != n {
+		t.Errorf("Alive(2) = %v, AliveCount = %d after restart", cluster.Alive(2), cluster.AliveCount())
+	}
+	cluster.Stop()
+	if err := cluster.Err(); err != nil {
+		t.Fatalf("Err after churn: %v", err)
+	}
+	total := cluster.TotalWeight()
+	want := float64(n) - destroyed + 1
+	if total > want+1e-9 || total < want/2 {
+		t.Errorf("TotalWeight = %v after stop, want in (%v/2, %v]", total, want, want)
+	}
+}
+
 func TestStartLiveValidation(t *testing.T) {
 	if _, err := distclass.StartLive(twoClusters(4), nil); err == nil {
 		t.Errorf("nil method accepted")

@@ -214,7 +214,12 @@ func runPushSum(graph *topology.Graph, values []vec.Vector, rounds int, r *rng.R
 // of its heaviest collection (with K = 2, hopefully the good one). It
 // works for both built-in summary types.
 func RobustEstimate(n *core.Node) (vec.Vector, error) {
-	cls := n.Classification()
+	return RobustEstimateOf(n.Classification())
+}
+
+// RobustEstimateOf is RobustEstimate over a bare classification — the
+// form live deployments hand out, where there is no *core.Node to ask.
+func RobustEstimateOf(cls core.Classification) (vec.Vector, error) {
 	if len(cls) == 0 {
 		return nil, errors.New("experiments: node holds no collections")
 	}

@@ -1,0 +1,308 @@
+// Package live runs experiments against the livenet deployment — real
+// goroutines, real connections, real time — rather than the
+// deterministic sim drivers. Its headline study is the live churn
+// ablation: the paper's Figure 4 crash model (fail-stop nodes whose
+// weight is destroyed, §3.1) reproduced by actually killing cluster
+// nodes mid-run and measuring what the survivors still agree on.
+//
+// The package deliberately lives outside the deterministic core: it
+// needs wall-clock pacing and deadlines (time.Sleep, time.Now) that
+// the nowallclock lint rule bans from the protocol and sim packages.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"distclass/internal/core"
+	"distclass/internal/experiments"
+	"distclass/internal/gm"
+	"distclass/internal/livenet"
+	"distclass/internal/metrics"
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+	"distclass/internal/trace"
+	"distclass/internal/vec"
+)
+
+// ChurnConfig parameterizes the live churn ablation.
+type ChurnConfig struct {
+	// N is the cluster size (default 50).
+	N int
+	// KillFracs are the node fractions to kill, one live cluster per
+	// entry (default 0, 0.1, 0.2, 0.3 — the Figure 4 regime).
+	KillFracs []float64
+	// K bounds collections per classification (default 2).
+	K int
+	// Interval is the per-node gossip tick (default 1ms).
+	Interval time.Duration
+	// Seed drives the dataset, victim choice and neighbor selection
+	// (default 1). Live runs are not bit-reproducible regardless.
+	Seed uint64
+	// Tol is the spread below which a cluster counts as converged
+	// (default 0.05 — intentionally far above the replay analyzer's
+	// 1e-3 convergence threshold, so churn traces never trip its
+	// post-convergence divergence anomaly).
+	Tol float64
+	// MaxWait bounds each phase: warmup, post-kill convergence
+	// (default 30s).
+	MaxWait time.Duration
+	// Strict makes degradation fatal: a run that does not converge,
+	// fails internally, or breaks the weight-conservation band returns
+	// an error instead of a row. The churn-smoke CI gate runs strict.
+	Strict bool
+	// Transport selects the livenet transport (default pipes).
+	Transport livenet.Transport
+	// Metrics and Trace are handed to every cluster; spread and error
+	// probes are recorded to Trace with Round and Node -1 (live events
+	// are not tied to rounds).
+	Metrics *metrics.Registry
+	Trace   trace.Sink
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.N == 0 {
+		c.N = 50
+	}
+	if c.KillFracs == nil {
+		c.KillFracs = []float64{0, 0.1, 0.2, 0.3}
+	}
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 0.05
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	return c
+}
+
+// ChurnRow is one kill fraction's outcome.
+type ChurnRow struct {
+	// KillFrac is the requested kill fraction; Killed the node count it
+	// rounded to; Survivors what remained alive.
+	KillFrac  float64
+	Killed    int
+	Survivors int
+	// WeightDestroyed is the exact weight the kills removed (summed
+	// from Cluster.Kill); WeightAtNodes the weight found at surviving
+	// nodes after Stop — conservation means the two sum back to ~N.
+	WeightDestroyed float64
+	WeightAtNodes   float64
+	// FinalSpread is the last sampled dissimilarity spread and
+	// Converged whether it passed Tol before MaxWait.
+	FinalSpread float64
+	Converged   bool
+	// FinalError is the survivors' mean robust-estimate error against
+	// the ground truth mean (0,0) of the Figure 3 population.
+	FinalError float64
+	// Drops counts sends dropped at full queues during the run —
+	// backpressure, not loss.
+	Drops int64
+}
+
+// RunLiveChurn runs one live cluster per kill fraction: gossip, kill,
+// wait for the survivors to re-converge, stop, audit. It mirrors the
+// sim-side crash sweep (experiments.RunCrashSweep) against the real
+// deployment.
+func RunLiveChurn(cfg ChurnConfig) ([]ChurnRow, error) {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	rows := make([]ChurnRow, 0, len(cfg.KillFracs))
+	for _, frac := range cfg.KillFracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("live: kill fraction %v outside [0, 1)", frac)
+		}
+		row, err := runChurnOnce(frac, cfg, r.Split())
+		if err != nil {
+			return nil, fmt.Errorf("live: kill fraction %v: %w", frac, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runChurnOnce(frac float64, cfg ChurnConfig, r *rng.RNG) (ChurnRow, error) {
+	n := cfg.N
+	values, _, err := experiments.Figure3Dataset(n-n/20, n/20, 10, r)
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	g, err := topology.Full(n)
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	cluster, err := livenet.Start(g, values, livenet.Config{
+		Method:    gm.Method{},
+		K:         cfg.K,
+		Q:         core.DefaultQ,
+		Interval:  cfg.Interval,
+		Seed:      cfg.Seed + 1,
+		Transport: cfg.Transport,
+		Metrics:   cfg.Metrics,
+		Trace:     cfg.Trace,
+	})
+	if err != nil {
+		return ChurnRow{}, err
+	}
+	defer cluster.Stop()
+
+	// Warmup: let real gossip flow before the crashes so the kills land
+	// mid-run, with weight genuinely distributed.
+	warmDeadline := time.Now().Add(cfg.MaxWait)
+	for cluster.MessagesSent() < int64(5*n) {
+		if err := cluster.Err(); err != nil {
+			return ChurnRow{}, err
+		}
+		if time.Now().After(warmDeadline) {
+			return ChurnRow{}, fmt.Errorf("warmup: only %d messages flowed within %v",
+				cluster.MessagesSent(), cfg.MaxWait)
+		}
+		time.Sleep(cfg.Interval)
+	}
+
+	row := ChurnRow{KillFrac: frac, Killed: int(frac * float64(n))}
+	victims := r.Perm(n)[:row.Killed]
+	for _, v := range victims {
+		w, err := cluster.Kill(v)
+		if err != nil {
+			return ChurnRow{}, err
+		}
+		row.WeightDestroyed += w
+	}
+	row.Survivors = cluster.AliveCount()
+
+	// Poll the survivors' spread until they re-converge, mirroring the
+	// per-round probes of the sim experiments (Round -1: live).
+	deadline := time.Now().Add(cfg.MaxWait)
+	for {
+		spread, err := cluster.Spread()
+		if err != nil {
+			return ChurnRow{}, err
+		}
+		row.FinalSpread = spread
+		if cfg.Trace != nil {
+			if err := cfg.Trace.Record(trace.Event{
+				Round: -1, Node: -1, Kind: trace.KindSpread, Value: spread,
+			}); err != nil {
+				return ChurnRow{}, err
+			}
+		}
+		if spread < cfg.Tol {
+			row.Converged = true
+			break
+		}
+		if err := cluster.Err(); err != nil {
+			return ChurnRow{}, err
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * cfg.Interval)
+	}
+
+	cluster.Stop()
+	if err := cluster.Err(); err != nil {
+		return ChurnRow{}, err
+	}
+	row.WeightAtNodes = cluster.TotalWeight()
+	row.Drops = cluster.SendDrops()
+
+	// Survivors' mean robust-estimate error against the ground truth
+	// mean (0, 0) of the Figure 3 population.
+	truth := vec.Of(0, 0)
+	var errSum float64
+	var alive int
+	for i := 0; i < cluster.N(); i++ {
+		if !cluster.Alive(i) {
+			continue
+		}
+		est, err := experiments.RobustEstimateOf(cluster.Classification(i))
+		if err != nil {
+			return ChurnRow{}, fmt.Errorf("node %d: %w", i, err)
+		}
+		d, err := vec.Dist(est, truth)
+		if err != nil {
+			return ChurnRow{}, err
+		}
+		errSum += d
+		alive++
+	}
+	if alive == 0 {
+		return ChurnRow{}, errors.New("no survivors to estimate from")
+	}
+	row.FinalError = errSum / float64(alive)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Record(trace.Event{
+			Round: -1, Node: -1, Kind: trace.KindError, Value: row.FinalError,
+		}); err != nil {
+			return ChurnRow{}, err
+		}
+	}
+
+	if cfg.Strict {
+		if err := auditStrict(row, n); err != nil {
+			return ChurnRow{}, err
+		}
+	}
+	return row, nil
+}
+
+// auditStrict applies the CI gate's pass/fail rules to one row.
+func auditStrict(row ChurnRow, n int) error {
+	if !row.Converged {
+		return fmt.Errorf("survivors did not converge (final spread %v)", row.FinalSpread)
+	}
+	// Conservation's two sides. Upper: nothing duplicates weight, so
+	// destroyed plus surviving weight can never exceed the N the system
+	// started with (victims may die holding more or less than 1, so the
+	// surviving weight alone is not bounded by the survivor count).
+	// Lower: beyond the kills, only frames torn mid-write by a dying
+	// conn may vanish — a handful per kill at worst.
+	survivors := float64(row.Survivors)
+	if row.WeightDestroyed+row.WeightAtNodes > float64(n)+1e-6 {
+		return fmt.Errorf("weight inflated: %v destroyed + %v at nodes > %d started",
+			row.WeightDestroyed, row.WeightAtNodes, n)
+	}
+	if row.WeightAtNodes < survivors/2 {
+		return fmt.Errorf("weight conservation broke: %v at nodes, %v survivors (destroyed %v of %d)",
+			row.WeightAtNodes, survivors, row.WeightDestroyed, n)
+	}
+	return nil
+}
+
+// ChurnTable renders the rows as the Figure-4-style weight-destroyed
+// vs. error table.
+func ChurnTable(rows []ChurnRow) string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		converged := "no"
+		if r.Converged {
+			converged = "yes"
+		}
+		out[i] = []string{
+			experiments.F(r.KillFrac),
+			fmt.Sprintf("%d", r.Killed),
+			fmt.Sprintf("%d", r.Survivors),
+			experiments.F(r.WeightDestroyed),
+			experiments.F(r.WeightAtNodes),
+			experiments.F(r.FinalSpread),
+			converged,
+			experiments.F(r.FinalError),
+			fmt.Sprintf("%d", r.Drops),
+		}
+	}
+	return experiments.FormatTable([]string{
+		"kill frac", "killed", "survivors", "weight destroyed",
+		"weight at nodes", "final spread", "converged", "mean error", "send drops",
+	}, out)
+}

@@ -8,11 +8,19 @@
 // survive real concurrency".
 //
 // Each node runs a sender loop (every Interval: split the
-// classification, encode one half, push it to a random neighbor) and
-// one receiver loop per incoming connection (decode, absorb). Node
-// state is mutex-protected; the convergence guarantees do not depend on
-// timing, only on fairness, which uniform random neighbor choice
-// provides.
+// classification, encode one half, enqueue it to a random live link)
+// and, per link, a writer goroutine draining the link's bounded
+// outbound queue plus a receiver loop (decode, absorb). Node state is
+// mutex-protected; the convergence guarantees do not depend on timing,
+// only on fairness, which uniform random neighbor choice provides.
+//
+// Failure is a measured condition, not a collapse (DESIGN.md §10): a
+// full queue drops the send (counted, lossless — the weight stays at
+// the node), a link error disables only that link, a decode error
+// skips only that frame, and Kill/Restart reproduce the paper's
+// fail-stop crash study (Figure 4) against the real deployment —
+// weight is destroyed exactly when a node or link dies with frames in
+// flight.
 package livenet
 
 import (
@@ -45,6 +53,9 @@ func LatencyBuckets() []float64 {
 // MaxFrame bounds accepted message frames (1 MiB); a peer announcing a
 // larger frame is treated as faulty.
 const MaxFrame = 1 << 20
+
+// DefaultSendQueue is the default per-link outbound queue depth.
+const DefaultSendQueue = 16
 
 // Transport selects how node links are realized.
 type Transport int
@@ -86,22 +97,37 @@ type Config struct {
 	Seed uint64
 	// Transport selects pipe (default) or loopback TCP links.
 	Transport Transport
+	// SendQueue bounds each link's outbound frame queue (default
+	// DefaultSendQueue). A sender never blocks on a slow peer: when the
+	// queue is full the send is dropped and counted (send_drops) before
+	// any state changes, so backpressure costs throughput, never
+	// weight.
+	SendQueue int
+	// FailOnDecodeErrors, when positive, fails the cluster once the
+	// aggregate decode-error count reaches the threshold — the strict
+	// mode for runs that must not tolerate corruption. The default 0
+	// keeps decode errors non-fatal: the frame is skipped, counted and
+	// attributed per peer, and the link stays up.
+	FailOnDecodeErrors int
 	// Metrics, when non-nil, backs the cluster's counters: aggregate
-	// livenet.sent / livenet.received / livenet.decode_errors, the
-	// per-node livenet.node.<id>.{sent,received,decode_errors}
-	// counters, the per-node livenet.node.<id>.last_receive_seq
-	// staleness gauges (the cluster-wide receive sequence number at the
-	// node's last absorb — a node whose gauge lags the cluster total is
-	// stale), per-peer livenet.node.<id>.decode_errors.from.<peer>
-	// counters (created on first error, so a healthy run adds none),
-	// the livenet.{send,absorb}_seconds latency histograms, and the
-	// core protocol instruments of every node. When nil the cluster
-	// uses a private registry (see Cluster.Metrics).
+	// livenet.{sent,received,decode_errors,send_drops,crashes,recovers}
+	// counters and the livenet.links_down gauge (link endpoints
+	// currently disabled by I/O errors or peer death); the per-node
+	// livenet.node.<id>.{sent,received,decode_errors,send_drops}
+	// counters and livenet.node.<id>.alive gauges; the per-node
+	// livenet.node.<id>.last_receive_seq staleness gauges (the
+	// cluster-wide receive sequence number at the node's last absorb —
+	// a node whose gauge lags the cluster total is stale); per-peer
+	// livenet.node.<id>.decode_errors.from.<peer> counters (created on
+	// first error, so a healthy run adds none); the
+	// livenet.{send,absorb}_seconds latency histograms; and the core
+	// protocol instruments of every node. When nil the cluster uses a
+	// private registry (see Cluster.Metrics).
 	Metrics *metrics.Registry
-	// Trace, when non-nil, receives send/receive/decode-error events
-	// (and the nodes' split/merge events). Live events are not tied to
-	// rounds; they carry Round -1. The sink must be safe for
-	// concurrent writers (trace.Recorder is).
+	// Trace, when non-nil, receives send/receive/send-drop/decode-error
+	// and crash/recover events (and the nodes' split/merge events).
+	// Live events are not tied to rounds; they carry Round -1. The sink
+	// must be safe for concurrent writers (trace.Recorder is).
 	Trace trace.Sink
 }
 
@@ -115,23 +141,39 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.SendQueue <= 0 {
+		c.SendQueue = DefaultSendQueue
+	}
 	return c
 }
 
 // Cluster is a running live deployment.
 type Cluster struct {
-	peers  []*peer
-	method core.Method
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	peers   []*peer
+	graph   *topology.Graph
+	cfg     Config      // effective config, defaults applied
+	nodeCfg core.Config // per-node core config, reused by Restart
 
-	reg     *metrics.Registry
-	sink    trace.Sink // nil when tracing is off
-	sent    *metrics.Counter
-	recv    *metrics.Counter
-	decErr  *metrics.Counter
-	hSend   *metrics.Histogram
-	hAbsorb *metrics.Histogram
+	ctx         context.Context
+	cancel      context.CancelFunc
+	dial        func() (net.Conn, net.Conn, error)
+	closeLinker func() // closes the TCP listener; nil on pipes
+
+	// churnMu serializes Kill, Restart and Stop teardown: link and
+	// goroutine bookkeeping is reconfigured only under this lock.
+	churnMu sync.Mutex
+
+	reg       *metrics.Registry
+	sink      trace.Sink // nil when tracing is off
+	sent      *metrics.Counter
+	recv      *metrics.Counter
+	decErr    *metrics.Counter
+	drops     *metrics.Counter
+	crashes   *metrics.Counter
+	recovers  *metrics.Counter
+	linksDown *metrics.Gauge
+	hSend     *metrics.Histogram
+	hAbsorb   *metrics.Histogram
 
 	recvSeq atomic.Int64 // cluster-wide receive sequence, drives staleness gauges
 
@@ -140,23 +182,90 @@ type Cluster struct {
 	firstE  atomic.Value // error
 }
 
-type peer struct {
-	id    int
-	mu    sync.Mutex
-	node  *core.Node
-	conns []net.Conn // one per link, same order as nbrs
-	nbrs  []int      // neighbor id behind each conn
-	r     *rng.RNG
-	rmu   sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
+// outFrame is one queued outbound message: the encoded bytes plus the
+// classification they encode, kept so an undelivered frame can be
+// re-absorbed into its sender when the link dies — queued weight is
+// not yet "on the wire" and must not be destroyed by a transport
+// fault.
+type outFrame struct {
+	data []byte
+	cls  core.Classification
+}
 
-	// Per-node counters, cached off the registry.
+// link is one endpoint of a duplex connection: the bounded outbound
+// queue its writer goroutine drains, and the conn its receiver loop
+// reads. A downed link is skipped by the sender and never revived; a
+// node Restart replaces the dead endpoints with fresh links.
+type link struct {
+	peer     int // neighbor id on the other end
+	conn     net.Conn
+	out      chan outFrame // bounded outbound frame queue
+	done     chan struct{} // closed on shut; unblocks the writer's select
+	down     atomic.Bool
+	shutOnce sync.Once
+	// pending counts frames handed to this link and not yet resolved
+	// (written, re-absorbed, or dropped): queue contents plus the frame
+	// the writer currently holds. Stop waits for pending to hit zero on
+	// live links before closing connections, so a clean shutdown tears
+	// no frame mid-write.
+	pending atomic.Int64
+}
+
+func newLink(peerID int, conn net.Conn, queue int) *link {
+	return &link{peer: peerID, conn: conn, out: make(chan outFrame, queue), done: make(chan struct{})}
+}
+
+// shut closes the link's conn and done channel, idempotently.
+func (l *link) shut() {
+	l.shutOnce.Do(func() { close(l.done) })
+	_ = l.conn.Close()
+}
+
+type peer struct {
+	id   int
+	mu   sync.Mutex
+	node *core.Node
+	r    *rng.RNG
+	rmu  sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
+
+	alive  atomic.Bool
+	ctx    context.Context    // this incarnation's lifetime
+	cancel context.CancelFunc // stops the incarnation's goroutines
+	wg     sync.WaitGroup     // joins the incarnation's goroutines
+	// sendDone closes when this incarnation's sender loop has exited.
+	// Writers wait for it before their shutdown flush: the sender is
+	// the only producer, so after sendDone no frame can arrive behind
+	// the flush and be stranded.
+	sendDone chan struct{}
+
+	linksMu sync.Mutex
+	links   []*link
+
+	// Per-node instruments, cached off the registry. Counters persist
+	// across Kill/Restart incarnations — they account the node id, not
+	// the incarnation.
 	sent   *metrics.Counter
 	recv   *metrics.Counter
 	decErr *metrics.Counter
+	drops  *metrics.Counter
 	// lastRecv holds the cluster-wide receive sequence number at this
 	// node's most recent absorb; Cluster.recvSeq minus this gauge is the
 	// node's staleness in receives.
 	lastRecv *metrics.Gauge
+	aliveG   *metrics.Gauge
+}
+
+// aliveLinks snapshots the peer's currently usable links.
+func (p *peer) aliveLinks() []*link {
+	p.linksMu.Lock()
+	defer p.linksMu.Unlock()
+	out := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		if !l.down.Load() {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // Start launches a live cluster over the graph: values[i] is node i's
@@ -176,13 +285,14 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	nodeCfg := core.Config{
+		Method: cfg.Method, K: cfg.K, Q: cfg.Q,
+		Metrics: reg, Trace: cfg.Trace,
+	}
 	seedRNG := rng.New(cfg.Seed)
 	peers := make([]*peer, g.N())
 	for i := range peers {
-		node, err := core.NewNode(i, values[i], nil, core.Config{
-			Method: cfg.Method, K: cfg.K, Q: cfg.Q,
-			Metrics: reg, Trace: cfg.Trace,
-		})
+		node, err := core.NewNode(i, values[i], nil, nodeCfg)
 		if err != nil {
 			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
 		}
@@ -191,17 +301,24 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 			sent:     reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
 			recv:     reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
 			decErr:   reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
+			drops:    reg.Counter(fmt.Sprintf("livenet.node.%d.send_drops", i)),
 			lastRecv: reg.Gauge(fmt.Sprintf("livenet.node.%d.last_receive_seq", i)),
+			aliveG:   reg.Gauge(fmt.Sprintf("livenet.node.%d.alive", i)),
 		}
+		peers[i].alive.Store(true)
+		peers[i].aliveG.Set(1)
 	}
-	// One duplex link per undirected edge.
+	// One duplex link per undirected edge. The dialer (and, on TCP, its
+	// listener) stays open for the cluster's lifetime so Restart can
+	// re-establish links; Stop closes it.
 	dial := pipeLink
+	var closeLinker func()
 	if cfg.Transport == TransportTCP {
 		closer, tcpDial, err := newTCPLinker()
 		if err != nil {
 			return nil, fmt.Errorf("livenet: tcp transport: %w", err)
 		}
-		defer closer()
+		closeLinker = closer
 		dial = tcpDial
 	}
 	for u := 0; u < g.N(); u++ {
@@ -212,55 +329,103 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 			cu, cv, err := dial()
 			if err != nil {
 				for _, p := range peers {
-					for _, conn := range p.conns {
-						_ = conn.Close()
+					for _, l := range p.links {
+						_ = l.conn.Close()
 					}
+				}
+				if closeLinker != nil {
+					closeLinker()
 				}
 				return nil, fmt.Errorf("livenet: linking %d-%d: %w", u, v, err)
 			}
-			peers[u].conns = append(peers[u].conns, cu)
-			peers[u].nbrs = append(peers[u].nbrs, v)
-			peers[v].conns = append(peers[v].conns, cv)
-			peers[v].nbrs = append(peers[v].nbrs, u)
+			peers[u].links = append(peers[u].links, newLink(v, cu, cfg.SendQueue))
+			peers[v].links = append(peers[v].links, newLink(u, cv, cfg.SendQueue))
 		}
 	}
-	// conns order: peers[u].conns appends edges in increasing-neighbor
+	// links order: peers[u].links appends edges in increasing-neighbor
 	// order for v > u, but edges with v < u were appended when u was the
 	// larger endpoint — the order ends up by edge creation, not by
-	// neighbor id. The sender picks uniformly over conns, which is all
-	// fairness needs.
+	// neighbor id. The sender picks uniformly over live links, which is
+	// all fairness needs.
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{
-		peers: peers, method: cfg.Method, cancel: cancel,
-		reg:     reg,
-		sink:    cfg.Trace,
-		sent:    reg.Counter("livenet.sent"),
-		recv:    reg.Counter("livenet.received"),
-		decErr:  reg.Counter("livenet.decode_errors"),
-		hSend:   reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
-		hAbsorb: reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
+		peers: peers, graph: g, cfg: cfg, nodeCfg: nodeCfg,
+		ctx: ctx, cancel: cancel, dial: dial, closeLinker: closeLinker,
+		reg:       reg,
+		sink:      cfg.Trace,
+		sent:      reg.Counter("livenet.sent"),
+		recv:      reg.Counter("livenet.received"),
+		decErr:    reg.Counter("livenet.decode_errors"),
+		drops:     reg.Counter("livenet.send_drops"),
+		crashes:   reg.Counter("livenet.crashes"),
+		recovers:  reg.Counter("livenet.recovers"),
+		linksDown: reg.Gauge("livenet.links_down"),
+		hSend:     reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
+		hAbsorb:   reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
 	}
 	for _, p := range peers {
-		p := p
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			c.sendLoop(ctx, p, cfg.Interval)
-		}()
-		for ci, conn := range p.conns {
-			conn, from := conn, p.nbrs[ci]
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				c.recvLoop(p, conn, from)
-			}()
-		}
+		p.ctx, p.cancel = context.WithCancel(ctx)
+		c.startPeer(p)
 	}
 	return c, nil
 }
 
-func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration) {
-	ticker := time.NewTicker(interval)
+// startPeer launches the peer's sender loop and the writer/receiver
+// pair of every link it currently holds.
+func (c *Cluster) startPeer(p *peer) {
+	ctx := p.ctx
+	p.sendDone = make(chan struct{})
+	sendDone := p.sendDone
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(sendDone)
+		c.sendLoop(ctx, p)
+	}()
+	p.linksMu.Lock()
+	links := append([]*link(nil), p.links...)
+	p.linksMu.Unlock()
+	for _, l := range links {
+		c.startLink(p, l)
+	}
+}
+
+// startLink launches the writer and receiver goroutines of one link
+// endpoint under the owning peer's lifetime.
+func (c *Cluster) startLink(p *peer, l *link) {
+	ctx := p.ctx
+	p.wg.Add(2)
+	go func() {
+		defer p.wg.Done()
+		c.writeLoop(ctx, p, l)
+	}()
+	go func() {
+		defer p.wg.Done()
+		c.recvLoop(p, l)
+	}()
+}
+
+// downLink disables a link after an I/O fault: the sender stops
+// picking it and the conn is closed so both ends unblock. The
+// links_down gauge counts endpoints currently disabled.
+func (c *Cluster) downLink(l *link) {
+	if !l.down.Swap(true) && !c.stopped.Load() {
+		c.linksDown.Add(1)
+	}
+	l.shut()
+}
+
+// dropLink retires a link from the books entirely (node death or
+// restart replacement), reversing its links_down contribution.
+func (c *Cluster) dropLink(l *link) {
+	if l.down.Swap(true) && !c.stopped.Load() {
+		c.linksDown.Add(-1)
+	}
+	l.shut()
+}
+
+func (c *Cluster) sendLoop(ctx context.Context, p *peer) {
+	ticker := time.NewTicker(c.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -268,13 +433,29 @@ func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration)
 			return
 		case <-ticker.C:
 		}
-		if len(p.conns) == 0 {
+		links := p.aliveLinks()
+		if len(links) == 0 {
 			continue
 		}
 		p.rmu.Lock()
-		idx := p.r.IntN(len(p.conns))
+		idx := p.r.IntN(len(links))
 		p.rmu.Unlock()
-
+		l := links[idx]
+		// Backpressure check before the split: this sender is the only
+		// producer on its queues, so a free slot seen here cannot be
+		// taken by anyone else. Dropping the send before the split makes
+		// backpressure lossless — the weight the frame would have
+		// carried never leaves the node, so a slow peer costs throughput,
+		// not mass. (Weight is destroyed only when a link or node
+		// actually dies; see DESIGN.md §10.)
+		if len(l.out) == cap(l.out) {
+			c.drops.Inc()
+			p.drops.Inc()
+			if c.sink != nil {
+				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindSendDrop})
+			}
+			continue
+		}
 		p.mu.Lock()
 		out := p.node.Split()
 		p.mu.Unlock()
@@ -286,33 +467,137 @@ func (c *Cluster) sendLoop(ctx context.Context, p *peer, interval time.Duration)
 			c.fail(fmt.Errorf("livenet: node %d: marshal: %w", p.id, err))
 			return
 		}
-		start := time.Now()
-		if err := writeFrame(p.conns[idx], data); err != nil {
-			if c.stopped.Load() {
+		l.pending.Add(1)
+		select {
+		case l.out <- outFrame{data: data, cls: out}:
+		default:
+			l.pending.Add(-1)
+			// Unreachable in steady state (single producer, room checked
+			// above); only a link retired by a concurrent Restart could
+			// race here. Put the weight back and count the drop.
+			p.mu.Lock()
+			aerr := p.node.Absorb(out)
+			p.mu.Unlock()
+			if aerr != nil {
+				c.fail(fmt.Errorf("livenet: node %d: reabsorb: %w", p.id, aerr))
 				return
 			}
-			c.fail(fmt.Errorf("livenet: node %d: send: %w", p.id, err))
-			return
-		}
-		c.hSend.Observe(time.Since(start).Seconds())
-		c.sent.Inc()
-		p.sent.Inc()
-		if c.sink != nil {
-			_ = c.sink.Record(trace.Event{
-				Round: -1, Node: p.id, Kind: trace.KindSend,
-				Value: float64(len(data)),
-			})
+			c.drops.Inc()
+			p.drops.Inc()
+			if c.sink != nil {
+				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindSendDrop})
+			}
 		}
 	}
 }
 
-func (c *Cluster) recvLoop(p *peer, conn net.Conn, from int) {
+// writeLoop drains one link's outbound queue onto the wire. A write
+// error disables only this link; the node keeps gossiping over its
+// remaining links. Whenever the loop exits, frames still queued are
+// re-absorbed into the sender — their weight never reached the wire,
+// so it returns to the node instead of vanishing. Only a frame torn
+// mid-write by a dying connection is destroyed (it may be partially
+// delivered, so neither side can safely keep it).
+func (c *Cluster) writeLoop(ctx context.Context, p *peer, l *link) {
+	defer c.reabsorbQueue(p, l)
 	for {
-		data, err := readFrame(conn)
+		select {
+		case <-ctx.Done():
+			// Wait the sender out before flushing: it is the only
+			// producer, so after sendDone closes no frame can slip in
+			// behind the flush and be stranded at Stop.
+			<-p.sendDone
+			c.flushQueue(p, l)
+			return
+		case <-l.done:
+			return
+		case f := <-l.out:
+			if !c.writeOne(p, l, f) {
+				return
+			}
+		}
+	}
+}
+
+// flushQueue writes the link's remaining queued frames until the queue
+// is empty or the link dies — the graceful half of shutdown, giving
+// receivers their in-flight weight instead of bouncing it back.
+func (c *Cluster) flushQueue(p *peer, l *link) {
+	for {
+		select {
+		case <-l.done:
+			return
+		case f := <-l.out:
+			if !c.writeOne(p, l, f) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// reabsorbQueue merges every still-queued frame back into the sending
+// node, conserving the weight an undelivered frame carries.
+func (c *Cluster) reabsorbQueue(p *peer, l *link) {
+	for {
+		select {
+		case f := <-l.out:
+			p.mu.Lock()
+			err := p.node.Absorb(f.cls)
+			p.mu.Unlock()
+			l.pending.Add(-1)
+			if err != nil {
+				c.fail(fmt.Errorf("livenet: node %d: reabsorb: %w", p.id, err))
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// writeOne writes a single frame and does its accounting, reporting
+// whether the link is still usable.
+func (c *Cluster) writeOne(p *peer, l *link, f outFrame) bool {
+	defer l.pending.Add(-1)
+	start := time.Now()
+	if err := writeFrame(l.conn, f.data); err != nil {
+		// A failed write means the receiver saw at most a torn frame it
+		// will discard, so the weight is safe to take back. (Exact on
+		// pipes; on TCP a frame fully buffered by the kernel before the
+		// error could in principle still arrive.)
+		p.mu.Lock()
+		aerr := p.node.Absorb(f.cls)
+		p.mu.Unlock()
+		if aerr != nil {
+			c.fail(fmt.Errorf("livenet: node %d: reabsorb after write error: %w", p.id, aerr))
+		}
+		c.downLink(l)
+		return false
+	}
+	c.hSend.Observe(time.Since(start).Seconds())
+	c.sent.Inc()
+	p.sent.Inc()
+	if c.sink != nil {
+		_ = c.sink.Record(trace.Event{
+			Round: -1, Node: p.id, Kind: trace.KindSend,
+			Value: float64(len(f.data)),
+		})
+	}
+	return true
+}
+
+func (c *Cluster) recvLoop(p *peer, l *link) {
+	for {
+		data, err := readFrame(l.conn)
 		if err != nil {
-			// EOF / closed pipe is the normal shutdown path.
-			if !c.stopped.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
-				c.fail(fmt.Errorf("livenet: node %d: recv: %w", p.id, err))
+			// EOF / closed conn is shutdown, peer death or remote link
+			// teardown; anything else (torn stream, oversize
+			// announcement) is a framing fault. Either way only this
+			// link goes down — the cluster keeps running.
+			if !c.stopped.Load() {
+				c.downLink(l)
 			}
 			return
 		}
@@ -323,12 +608,16 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn, from int) {
 			// Per-peer attribution: a single misbehaving sender shows up
 			// as one hot counter rather than a diffuse aggregate. Created
 			// on first error so healthy runs add no registry entries.
-			c.reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors.from.%d", p.id, from)).Inc()
+			c.reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors.from.%d", p.id, l.peer)).Inc()
 			if c.sink != nil {
 				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindDecodeError})
 			}
-			c.fail(fmt.Errorf("livenet: node %d: decode from %d: %w", p.id, from, err))
-			return
+			if t := c.cfg.FailOnDecodeErrors; t > 0 && c.decErr.Value() >= int64(t) {
+				c.fail(fmt.Errorf("livenet: node %d: decode from %d: %w (strict threshold %d reached)",
+					p.id, l.peer, err, t))
+				return
+			}
+			continue // skip the frame, keep the link
 		}
 		start := time.Now()
 		p.mu.Lock()
@@ -351,11 +640,146 @@ func (c *Cluster) recvLoop(p *peer, conn net.Conn, from int) {
 	}
 }
 
+// Kill crashes node i fail-stop, the live counterpart of the Figure 4
+// churn model: its goroutines stop, its links close (surviving
+// neighbors observe a downed link and route around it), and the weight
+// it held is destroyed. Kill returns that destroyed weight. Killing a
+// dead node or an out-of-range id is an error.
+func (c *Cluster) Kill(i int) (float64, error) {
+	if i < 0 || i >= len(c.peers) {
+		return 0, fmt.Errorf("livenet: Kill(%d): no such node", i)
+	}
+	c.churnMu.Lock()
+	defer c.churnMu.Unlock()
+	if c.stopped.Load() {
+		return 0, errors.New("livenet: Kill on a stopped cluster")
+	}
+	p := c.peers[i]
+	if !p.alive.Load() {
+		return 0, fmt.Errorf("livenet: node %d is already dead", i)
+	}
+	p.alive.Store(false)
+	p.cancel()
+	p.linksMu.Lock()
+	links := p.links
+	p.links = nil
+	p.linksMu.Unlock()
+	for _, l := range links {
+		c.dropLink(l)
+	}
+	p.wg.Wait()
+	p.mu.Lock()
+	destroyed := p.node.Weight()
+	p.mu.Unlock()
+	p.aliveG.Set(0)
+	c.crashes.Inc()
+	if c.sink != nil {
+		_ = c.sink.Record(trace.Event{Round: -1, Node: i, Kind: trace.KindCrash, Value: destroyed})
+	}
+	return destroyed, nil
+}
+
+// Restart brings a killed node back with a fresh value (weight 1, like
+// a sensor rejoining the network): a new protocol node, new links to
+// every currently alive neighbor, new goroutines. The dead endpoints
+// its neighbors still held are retired in the same stroke. Restarting
+// an alive node is an error.
+func (c *Cluster) Restart(i int, value core.Value) error {
+	if i < 0 || i >= len(c.peers) {
+		return fmt.Errorf("livenet: Restart(%d): no such node", i)
+	}
+	c.churnMu.Lock()
+	defer c.churnMu.Unlock()
+	if c.stopped.Load() {
+		return errors.New("livenet: Restart on a stopped cluster")
+	}
+	p := c.peers[i]
+	if p.alive.Load() {
+		return fmt.Errorf("livenet: node %d is already alive", i)
+	}
+	node, err := core.NewNode(i, value, nil, c.nodeCfg)
+	if err != nil {
+		return fmt.Errorf("livenet: restart node %d: %w", i, err)
+	}
+	p.mu.Lock()
+	p.node = node
+	p.mu.Unlock()
+	p.ctx, p.cancel = context.WithCancel(c.ctx)
+	for _, j := range c.graph.Neighbors(i) {
+		q := c.peers[j]
+		if !q.alive.Load() {
+			continue
+		}
+		ci, cj, err := c.dial()
+		if err != nil {
+			// Undo the partial relink: close what this restart created
+			// and leave the node dead. Neighbor endpoints already
+			// attached observe the closed conns and down themselves.
+			p.cancel()
+			p.linksMu.Lock()
+			links := p.links
+			p.links = nil
+			p.linksMu.Unlock()
+			for _, l := range links {
+				c.dropLink(l)
+			}
+			return fmt.Errorf("livenet: relinking %d-%d: %w", i, j, err)
+		}
+		li := newLink(j, ci, c.cfg.SendQueue)
+		p.linksMu.Lock()
+		p.links = append(p.links, li)
+		p.linksMu.Unlock()
+		// Replace the neighbor's dead endpoint (if still held) with the
+		// fresh one.
+		lj := newLink(i, cj, c.cfg.SendQueue)
+		var retired []*link
+		q.linksMu.Lock()
+		kept := q.links[:0]
+		for _, old := range q.links {
+			if old.peer == i {
+				retired = append(retired, old)
+			} else {
+				kept = append(kept, old)
+			}
+		}
+		q.links = append(kept, lj)
+		q.linksMu.Unlock()
+		for _, old := range retired {
+			c.dropLink(old)
+		}
+		c.startLink(q, lj)
+	}
+	c.startPeer(p)
+	p.alive.Store(true)
+	p.aliveG.Set(1)
+	c.recovers.Inc()
+	if c.sink != nil {
+		_ = c.sink.Record(trace.Event{Round: -1, Node: i, Kind: trace.KindRecover, Value: 1})
+	}
+	return nil
+}
+
+// Alive reports whether node i is currently alive.
+func (c *Cluster) Alive(i int) bool { return c.peers[i].alive.Load() }
+
+// AliveCount returns the number of alive nodes.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, p := range c.peers {
+		if p.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 func (c *Cluster) fail(err error) {
 	c.errOnce.Do(func() { c.firstE.Store(err) })
 }
 
-// Err returns the first internal error observed, or nil.
+// Err returns the first internal error observed, or nil. Link faults,
+// dropped frames and (by default) decode errors are not errors — they
+// are counted and traced instead; see DESIGN.md §10.
 func (c *Cluster) Err() error {
 	if e, ok := c.firstE.Load().(error); ok {
 		return e
@@ -366,7 +790,8 @@ func (c *Cluster) Err() error {
 // N returns the number of nodes.
 func (c *Cluster) N() int { return len(c.peers) }
 
-// MessagesSent returns the number of messages sent so far.
+// MessagesSent returns the number of frames fully written to the wire
+// so far. Frames dropped at a full queue (SendDrops) are not sent.
 func (c *Cluster) MessagesSent() int64 { return c.sent.Value() }
 
 // MessagesReceived returns the number of messages decoded and absorbed
@@ -377,11 +802,17 @@ func (c *Cluster) MessagesReceived() int64 { return c.recv.Value() }
 // DecodeErrors returns the number of frames that failed to decode.
 func (c *Cluster) DecodeErrors() int64 { return c.decErr.Value() }
 
+// SendDrops returns the number of sends dropped at full outbound
+// queues — backpressure, not loss: the drop happens before the split,
+// so the weight stays at the node.
+func (c *Cluster) SendDrops() int64 { return c.drops.Value() }
+
 // Metrics returns the cluster's registry — the one passed in
 // Config.Metrics, or the private registry created in its absence.
 func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // Classification returns a copy of node i's current classification.
+// For a killed node it is the state frozen at the crash.
 func (c *Cluster) Classification(i int) core.Classification {
 	p := c.peers[i]
 	p.mu.Lock()
@@ -389,15 +820,20 @@ func (c *Cluster) Classification(i int) core.Classification {
 	return p.node.Classification()
 }
 
-// TotalWeight returns the weight currently held at nodes. The per-node
-// reads are not one atomic snapshot: while the protocol runs, weight
-// split from one node can be counted again at its receiver (or missed
-// in flight), so a live reading may be above or below N. Once the
-// cluster is stopped the value is exact: N minus whatever was in flight
-// when the connections closed.
+// TotalWeight returns the weight currently held at alive nodes; killed
+// nodes' weight is destroyed. The per-node reads are not one atomic
+// snapshot: while the protocol runs, weight split from one node can be
+// counted again at its receiver (or missed in flight), so a live
+// reading may wobble. Once the cluster is stopped the value is exact:
+// the initial N minus destroyed weight (crashes, drops, frames in
+// flight when the connections closed) plus weight re-injected by
+// restarts.
 func (c *Cluster) TotalWeight() float64 {
 	var total float64
 	for _, p := range c.peers {
+		if !p.alive.Load() {
+			continue
+		}
 		p.mu.Lock()
 		total += p.node.Weight()
 		p.mu.Unlock()
@@ -406,17 +842,25 @@ func (c *Cluster) TotalWeight() float64 {
 }
 
 // Spread returns the maximum pairwise dissimilarity over a sample of
-// node pairs — the convergence diagnostic.
+// alive node pairs — the convergence diagnostic. Probe positions are
+// deduplicated, so small clusters compare however many distinct nodes
+// they have; with fewer than two alive nodes the spread is 0.
 func (c *Cluster) Spread() (float64, error) {
-	idx := []int{0, c.N() / 3, 2 * c.N() / 3, c.N() - 1}
+	var alive []int
+	for i, p := range c.peers {
+		if p.alive.Load() {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) < 2 {
+		return 0, nil
+	}
+	idx := probeIndices(len(alive))
 	var worst float64
 	for i := 0; i < len(idx); i++ {
 		for j := i + 1; j < len(idx); j++ {
-			if idx[i] == idx[j] {
-				continue
-			}
 			d, err := core.Dissimilarity(
-				c.Classification(idx[i]), c.Classification(idx[j]), c.method)
+				c.Classification(alive[idx[i]]), c.Classification(alive[idx[j]]), c.cfg.Method)
 			if err != nil {
 				return 0, err
 			}
@@ -428,20 +872,78 @@ func (c *Cluster) Spread() (float64, error) {
 	return worst, nil
 }
 
-// Stop shuts the cluster down: sender loops are cancelled, connections
-// closed (unblocking receiver loops and any in-flight writes), and all
-// goroutines joined. Safe to call more than once.
+// probeIndices returns up to four distinct probe positions spread
+// across [0, n). n must be at least 1.
+func probeIndices(n int) []int {
+	candidates := [4]int{0, n / 3, 2 * n / 3, n - 1}
+	out := candidates[:0]
+	for _, v := range candidates {
+		dup := false
+		for _, u := range out {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// drainTimeout bounds Stop's graceful flush of queued frames: long
+// enough for healthy receivers to absorb everything in flight, short
+// enough that a genuinely stalled peer cannot hold Stop hostage.
+const drainTimeout = 500 * time.Millisecond
+
+// Stop shuts the cluster down: senders are cancelled, writers get a
+// bounded window to flush queued frames into still-open connections
+// (conserving the split weight those frames carry), then connections
+// are closed (unblocking receiver loops and any in-flight writes), the
+// TCP listener (if any) released, and all goroutines joined. Safe to
+// call more than once.
 func (c *Cluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
 	c.cancel()
+	c.churnMu.Lock() // let an in-flight Kill/Restart finish first
+	defer c.churnMu.Unlock()
+	deadline := time.Now().Add(drainTimeout)
+	for !c.queuesEmpty() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	for _, p := range c.peers {
-		for _, conn := range p.conns {
-			_ = conn.Close()
+		p.linksMu.Lock()
+		links := append([]*link(nil), p.links...)
+		p.linksMu.Unlock()
+		for _, l := range links {
+			l.shut()
 		}
 	}
-	c.wg.Wait()
+	if c.closeLinker != nil {
+		c.closeLinker()
+	}
+	for _, p := range c.peers {
+		p.wg.Wait()
+	}
+}
+
+// queuesEmpty reports whether every live link is fully quiescent: no
+// queued frames and none held mid-write by its writer.
+func (c *Cluster) queuesEmpty() bool {
+	for _, p := range c.peers {
+		p.linksMu.Lock()
+		for _, l := range p.links {
+			if !l.down.Load() && l.pending.Load() > 0 {
+				p.linksMu.Unlock()
+				return false
+			}
+		}
+		p.linksMu.Unlock()
+	}
+	return true
 }
 
 // pipeLink returns the two ends of an in-process synchronous pipe.
@@ -481,17 +983,19 @@ func newTCPLinker() (closer func(), dial func() (net.Conn, net.Conn, error), err
 	return func() { _ = ln.Close() }, dial, nil
 }
 
-// writeFrame writes a u32 length prefix and the payload.
+// writeFrame writes a u32 length prefix and the payload as one Write:
+// a single syscall on TCP, and — more importantly — no window where a
+// connection closing between header and payload leaves the peer a torn
+// frame that reads as a confusing mid-frame EOF instead of a clean
+// shutdown.
 func writeFrame(w io.Writer, data []byte) error {
 	if len(data) > MaxFrame {
 		return fmt.Errorf("livenet: frame of %d bytes exceeds limit", len(data))
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
+	buf := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(data)))
+	copy(buf[4:], data)
+	_, err := w.Write(buf)
 	return err
 }
 

@@ -119,10 +119,13 @@ func TestLiveConvergence(t *testing.T) {
 }
 
 // TestLiveWeightConservation checks the conservation bound where it is
-// well-defined: concurrent TotalWeight readings are non-atomic and may
-// wobble around n, but after Stop (no concurrency, in-flight frames
-// dropped at the closed pipes) the node-held weight is exact and can
-// only be at or below n.
+// well-defined: concurrent TotalWeight readings are non-atomic (weight
+// sits in outbound queues and in-flight frames, so a live reading can
+// dip well below n without anything being lost), but after Stop — the
+// writers flush their queues into still-open connections and re-absorb
+// whatever could not be flushed — the node-held weight is exact: at
+// most n, and below it only by the few frames torn mid-write when the
+// connections finally closed.
 func TestLiveWeightConservation(t *testing.T) {
 	const n = 8
 	g, err := topology.Ring(n)
@@ -137,10 +140,10 @@ func TestLiveWeightConservation(t *testing.T) {
 		t.Fatalf("Start: %v", err)
 	}
 	for i := 0; i < 50; i++ {
-		// Live readings stay in a sane band even though they are not an
-		// atomic snapshot (each node is off by at most its in-flight
-		// halves).
-		if got := cluster.TotalWeight(); got < float64(n)/2 || got > 2*float64(n) {
+		// A live reading misses at most the queued and in-flight weight,
+		// and can double-count at most one absorb per node: stay within
+		// [0, 2n], no tighter.
+		if got := cluster.TotalWeight(); got < 0 || got > 2*float64(n) {
 			cluster.Stop()
 			t.Fatalf("live weight reading %v wildly off from %d", got, n)
 		}

@@ -10,6 +10,7 @@ import (
 	"distclass/internal/metrics"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
+	"distclass/internal/wire"
 )
 
 // TestCounterBalance runs a pipe cluster, stops it, and checks the
@@ -124,7 +125,10 @@ func TestCounterBalance(t *testing.T) {
 }
 
 // TestDecodeErrorCounted injects a corrupt frame into a node's
-// connection and checks it lands in the decode-error counters.
+// connection and checks the new default semantics: the frame is
+// skipped and attributed per peer, the cluster does NOT fail, and the
+// link keeps delivering — a valid frame injected afterwards is still
+// absorbed.
 func TestDecodeErrorCounted(t *testing.T) {
 	const n = 2
 	g, err := topology.Full(n)
@@ -142,8 +146,9 @@ func TestDecodeErrorCounted(t *testing.T) {
 	}
 	defer cluster.Stop()
 	// Write garbage down node 0's side of the link; node 1's receiver
-	// decodes it and fails.
-	if err := writeFrame(cluster.peers[0].conns[0], []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+	// fails to decode it, counts it, and moves on.
+	conn := cluster.peers[0].links[0].conn
+	if err := writeFrame(conn, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
 		t.Fatalf("writeFrame: %v", err)
 	}
 	deadline := time.After(5 * time.Second)
@@ -154,8 +159,8 @@ func TestDecodeErrorCounted(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if cluster.Err() == nil {
-		t.Errorf("decode error did not fail the cluster")
+	if err := cluster.Err(); err != nil {
+		t.Errorf("decode error failed the cluster (should be non-fatal by default): %v", err)
 	}
 	if got := reg.SumCounters("livenet.node.", ".decode_errors"); got != 1 {
 		t.Errorf("per-node decode errors = %d, want 1", got)
@@ -165,6 +170,83 @@ func TestDecodeErrorCounted(t *testing.T) {
 	if got := reg.Counter("livenet.node.1.decode_errors.from.0").Value(); got != 1 {
 		t.Errorf("per-peer decode errors from node 0 = %d, want 1", got)
 	}
+	// The link survived: a valid frame sent right after the corrupt one
+	// still gets decoded and absorbed.
+	data, err := marshalFor(cluster, 0)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := writeFrame(conn, data); err != nil {
+		t.Fatalf("writeFrame (valid): %v", err)
+	}
+	for cluster.MessagesReceived() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("valid frame after decode error never absorbed (err=%v)", cluster.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if cluster.Alive(0) != true || cluster.Alive(1) != true {
+		t.Errorf("nodes died over a decode error")
+	}
+}
+
+// TestDecodeErrorStrictThreshold sets FailOnDecodeErrors and checks
+// that reaching the threshold fails the cluster — the strict mode for
+// runs that must not tolerate corruption.
+func TestDecodeErrorStrictThreshold(t *testing.T) {
+	const n = 2
+	g, err := topology.Full(n)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	cluster, err := Start(g, bimodalValues(n, 11), Config{
+		Method:             gm.Method{},
+		Interval:           time.Hour,
+		FailOnDecodeErrors: 2,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer cluster.Stop()
+	conn := cluster.peers[0].links[0].conn
+	deadline := time.After(5 * time.Second)
+	// First corrupt frame: under the threshold, still non-fatal.
+	if err := writeFrame(conn, []byte{0x01}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	for cluster.DecodeErrors() < 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("first decode error never counted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := cluster.Err(); err != nil {
+		t.Fatalf("cluster failed below the strict threshold: %v", err)
+	}
+	// Second corrupt frame reaches the threshold.
+	if err := writeFrame(conn, []byte{0x02}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	for cluster.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatalf("strict threshold reached but cluster never failed (decode errors: %d)",
+				cluster.DecodeErrors())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// marshalFor encodes a split taken from node i — a valid wire frame
+// for injection tests.
+func marshalFor(c *Cluster, i int) ([]byte, error) {
+	p := c.peers[i]
+	p.mu.Lock()
+	out := p.node.Split()
+	p.mu.Unlock()
+	return wire.MarshalClassification(out)
 }
 
 // gaugeName is the staleness gauge of node i.

@@ -50,6 +50,7 @@ func NewDiff(a, b *RunReport) *Diff {
 	addi("crashes", a.Messaging.Crashes, b.Messaging.Crashes)
 	addi("recovers", a.Messaging.Recovers, b.Messaging.Recovers)
 	addi("decode_errors", a.Messaging.DecodeErrors, b.Messaging.DecodeErrors)
+	addi("send_drops", a.Messaging.SendDrops, b.Messaging.SendDrops)
 	addi("stalled_nodes", len(a.Anomalies.StalledNodes), len(b.Anomalies.StalledNodes))
 	addi("anomalies", a.Anomalies.Count, b.Anomalies.Count)
 	return d

@@ -122,10 +122,14 @@ type Messaging struct {
 	SplitCollections  float64 `json:"split_collections"`
 	Merges            int     `json:"merges"`
 	MergedCollections float64 `json:"merged_collections"`
-	// Crashes, Recovers and DecodeErrors are network-wide totals.
+	// Crashes, Recovers, DecodeErrors and SendDrops are network-wide
+	// totals. SendDrops counts frames a live sender discarded at a full
+	// outbound queue — expected degradation under churn or slow peers,
+	// not an anomaly.
 	Crashes      int `json:"crashes"`
 	Recovers     int `json:"recovers"`
 	DecodeErrors int `json:"decode_errors"`
+	SendDrops    int `json:"send_drops"`
 }
 
 // RoundStat is one driver round's aggregate. Spread and Error are nil
@@ -151,6 +155,7 @@ type NodeHealth struct {
 	Crashes      int `json:"crashes"`
 	Recovers     int `json:"recovers"`
 	DecodeErrors int `json:"decode_errors"`
+	SendDrops    int `json:"send_drops"`
 	// LastActivityRound is the last driver round with a send or receive
 	// from this node (-1 when the node only appears in round-less
 	// events, e.g. live traces).
@@ -220,6 +225,7 @@ type RunReport struct {
 type nodeState struct {
 	sends, receives, splits, merges int
 	crashes, recovers, decodeErrors int
+	sendDrops                       int
 	lastActivityRound               int
 	crashed                         bool
 }
@@ -351,6 +357,13 @@ func (a *analyzer) observe(e trace.Event) error {
 		if ns != nil {
 			ns.decodeErrors++
 		}
+	case trace.KindSendDrop:
+		// Budgeted degradation (full outbound queue), not an anomaly:
+		// counted, never added to Anomalies.
+		a.msg.SendDrops++
+		if ns != nil {
+			ns.sendDrops++
+		}
 	case trace.KindSpread:
 		a.spread = append(a.spread, Sample{Round: e.Round, Value: e.Value})
 		if e.Round >= 0 {
@@ -409,6 +422,7 @@ func (a *analyzer) finish() *RunReport {
 			Splits: ns.splits, Merges: ns.merges,
 			Crashes: ns.crashes, Recovers: ns.recovers,
 			DecodeErrors:      ns.decodeErrors,
+			SendDrops:         ns.sendDrops,
 			LastActivityRound: ns.lastActivityRound,
 			Staleness:         -1,
 			Crashed:           ns.crashed,

@@ -112,8 +112,8 @@ func (rep *RunReport) WriteText(w io.Writer) error {
 	p.f("receives: %d (%s collections received)\n", m.Receives, fnum(m.ReceivedCollections))
 	p.f("splits: %d (%s collections out)   merges: %d (%s collections in)\n",
 		m.Splits, fnum(m.SplitCollections), m.Merges, fnum(m.MergedCollections))
-	p.f("crashes: %d   recovers: %d   decode errors: %d\n",
-		m.Crashes, m.Recovers, m.DecodeErrors)
+	p.f("crashes: %d   recovers: %d   decode errors: %d   send drops: %d\n",
+		m.Crashes, m.Recovers, m.DecodeErrors, m.SendDrops)
 	if stats, ok := nodeSpread(rep.NodeHealth, func(h NodeHealth) int { return h.Sends }); ok {
 		p.f("per-node sends:    %s\n", stats)
 	}
@@ -151,7 +151,7 @@ func (rep *RunReport) WriteText(w io.Writer) error {
 		// Full per-node table only for small networks; big runs get the
 		// aggregates above plus every flagged node below.
 		if len(rep.NodeHealth) <= 32 {
-			p.f("node  sends  recvs  splits  merges  crash  recover  decode-err  last-round  stale\n")
+			p.f("node  sends  recvs  splits  merges  crash  recover  decode-err  drops  last-round  stale\n")
 			for _, h := range rep.NodeHealth {
 				p.nodeRow(h)
 			}
@@ -161,7 +161,7 @@ func (rep *RunReport) WriteText(w io.Writer) error {
 				if h.Stalled || h.Crashed || h.DecodeErrors > 0 {
 					if flagged == 0 {
 						p.f("flagged nodes (stalled, crashed or decode errors):\n")
-						p.f("node  sends  recvs  splits  merges  crash  recover  decode-err  last-round  stale\n")
+						p.f("node  sends  recvs  splits  merges  crash  recover  decode-err  drops  last-round  stale\n")
 					}
 					flagged++
 					p.nodeRow(h)
@@ -200,9 +200,9 @@ func (p *printer) f(format string, args ...any) {
 }
 
 func (p *printer) nodeRow(h NodeHealth) {
-	p.f("%4d  %5d  %5d  %6d  %6d  %5d  %7d  %10d  %10d  %5d\n",
+	p.f("%4d  %5d  %5d  %6d  %6d  %5d  %7d  %10d  %5d  %10d  %5d\n",
 		h.Node, h.Sends, h.Receives, h.Splits, h.Merges,
-		h.Crashes, h.Recovers, h.DecodeErrors, h.LastActivityRound, h.Staleness)
+		h.Crashes, h.Recovers, h.DecodeErrors, h.SendDrops, h.LastActivityRound, h.Staleness)
 }
 
 // curves renders the spread/error ASCII charts when samples exist.

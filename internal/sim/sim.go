@@ -21,6 +21,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"distclass/internal/metrics"
 	"distclass/internal/prof"
@@ -492,26 +493,11 @@ func (a *Async[M]) Step() error {
 // pickStableEdge selects the idx'th edge under a canonical ordering so
 // that runs are reproducible regardless of map iteration order.
 func pickStableEdge(edges [][2]int, idx int) [2]int {
-	best := 0
-	for i := 1; i < len(edges); i++ {
-		if edgeLess(edges[i], edges[best]) {
-			best = i
-		}
-	}
-	// Selection by repeated min extraction: O(len^2) worst case, but
-	// edge counts here are small. Copy to avoid mutating caller slice.
-	sorted := make([][2]int, len(edges))
-	copy(sorted, edges)
-	for i := 0; i < len(sorted); i++ {
-		min := i
-		for j := i + 1; j < len(sorted); j++ {
-			if edgeLess(sorted[j], sorted[min]) {
-				min = j
-			}
-		}
-		sorted[i], sorted[min] = sorted[min], sorted[i]
-	}
-	return sorted[idx]
+	// Sorting in place is safe: the caller rebuilds the list from the
+	// queue map every step, and map keys are unique, so the canonical
+	// order (and hence the chosen edge) is independent of input order.
+	sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+	return edges[idx]
 }
 
 func edgeLess(a, b [2]int) bool {

@@ -604,3 +604,81 @@ func BenchmarkRoundFullMesh(b *testing.B) {
 		}
 	}
 }
+
+// referencePickStableEdge is the original selection-sort implementation
+// of pickStableEdge, kept as the oracle: the sort.Slice replacement
+// must choose byte-identical edges for every index and input order.
+func referencePickStableEdge(edges [][2]int, idx int) [2]int {
+	sorted := make([][2]int, len(edges))
+	copy(sorted, edges)
+	for i := 0; i < len(sorted); i++ {
+		min := i
+		for j := i + 1; j < len(sorted); j++ {
+			if edgeLess(sorted[j], sorted[min]) {
+				min = j
+			}
+		}
+		sorted[i], sorted[min] = sorted[min], sorted[i]
+	}
+	return sorted[idx]
+}
+
+// TestPickStableEdgeMatchesReference feeds both implementations the
+// same edge sets in many shuffled orders and requires identical picks —
+// the determinism contract the async driver relies on.
+func TestPickStableEdgeMatchesReference(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.IntN(30)
+		// Unique edges, as the queue map guarantees.
+		seen := map[[2]int]bool{}
+		var edges [][2]int
+		for len(edges) < n {
+			e := [2]int{r.IntN(12), r.IntN(12)}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+		for idx := 0; idx < len(edges); idx++ {
+			ref := make([][2]int, len(edges))
+			copy(ref, edges)
+			want := referencePickStableEdge(ref, idx)
+			shuffled := make([][2]int, len(edges))
+			copy(shuffled, edges)
+			r.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if got := pickStableEdge(shuffled, idx); got != want {
+				t.Fatalf("trial %d idx %d: pickStableEdge = %v, reference = %v", trial, idx, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkAsyncStepDense exercises the async Step hot path on a dense
+// graph with loaded queues — the regime where the old per-step
+// selection sort in pickStableEdge cost O(E^2).
+func BenchmarkAsyncStepDense(b *testing.B) {
+	const n = 64
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	agents := newMassAgents(b, n, values)
+	async, err := NewAsync(fullGraph(b, n), agents, rng.New(57), Options[aggregate.Message]{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Preload: fill per-edge queues so delivery steps dominate.
+	if err := async.RunSteps(20000, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := async.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

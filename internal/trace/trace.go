@@ -43,6 +43,11 @@ const (
 	KindReceive Kind = "receive"
 	// KindDecodeError: an incoming frame failed to decode.
 	KindDecodeError Kind = "decode-error"
+	// KindSendDrop: a live sender dropped a send opportunity at a full
+	// outbound queue (slow or dead receiver). The drop happens before
+	// the node's state changes, so no weight is lost — it measures
+	// backpressure, not damage.
+	KindSendDrop Kind = "send-drop"
 	// KindSpread: a per-round convergence probe; Value is the sampled
 	// maximum pairwise dissimilarity.
 	KindSpread Kind = "spread"
