@@ -6,9 +6,9 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke
+.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke engine-smoke
 
-check: fmt vet lint analyze-smoke churn-smoke race
+check: fmt vet lint analyze-smoke churn-smoke engine-smoke race
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,7 @@ fmt:
 	fi
 
 # Custom static analysis (internal/lint): norand, nowallclock,
-# floatcmp, mapiter, globalstate. Exits nonzero with file:line:col
+# floatcmp, mapiter, globalstate, layering. Exits nonzero with file:line:col
 # diagnostics on any unannotated finding; see DESIGN.md for the rules
 # and the //lint:allow escape hatch.
 lint:
@@ -53,6 +53,13 @@ churn-smoke:
 	$(GO) run ./cmd/experiments -live-churn -churn-fracs 0.2 -strict -quick -trace "$$dir/churn.trace" >/dev/null && \
 	$(GO) run ./cmd/distclass-analyze -fail-anomalies -format json -o "$$dir/churn.json" "$$dir/churn.trace" && \
 	echo "churn-smoke: converged, weight conserved, 0 anomalies"
+
+# Backend-parity smoke gate: the same tiny two-cluster workload must
+# converge with exact weight conservation on every engine backend —
+# deterministic simulators and concurrent transports alike.
+engine-smoke:
+	@$(GO) run ./cmd/experiments -engine-smoke >/dev/null && \
+	echo "engine-smoke: all backends converged, weight conserved"
 
 # Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
 # wire codec, sim round loop), archived as BENCH_<date>.json with a

@@ -1,5 +1,5 @@
 // Command distclass-lint runs the repository's custom static-analysis
-// suite (package internal/lint): five analyzers that machine-check the
+// suite (package internal/lint): six analyzers that machine-check the
 // determinism and numerics contract the paper reproduction depends on.
 //
 // Usage:

@@ -1,13 +1,15 @@
 // Command distclass-live runs the classification protocol as a live
-// in-process deployment: one goroutine pair per node over real duplex
-// connections with wire-encoded messages (package livenet), in contrast
-// to distclass-sim's deterministic simulator. It prints the spread as
-// the cluster converges, then the final classification.
+// in-process deployment: one gossip goroutine per node over a genuinely
+// concurrent backend — in-process channels, synchronous pipes or
+// loopback TCP — in contrast to distclass-sim's deterministic
+// simulator. It prints the spread as the cluster converges, then the
+// final classification.
 //
 // With -metrics it serves the run's counters, latency histograms, run
 // manifest and pprof profiles over HTTP while the cluster runs; with
 // -trace it writes every protocol event (split, merge, send, receive,
-// decode error) as JSONL.
+// decode error) as JSONL, prefixed with a run header naming the
+// backend.
 //
 // Example:
 //
@@ -22,16 +24,10 @@ import (
 	"strconv"
 	"time"
 
-	"distclass/internal/core"
-	"distclass/internal/gm"
-	"distclass/internal/livenet"
+	"distclass"
 	"distclass/internal/metrics"
 	"distclass/internal/rng"
-	"distclass/internal/topology"
 	"distclass/internal/trace"
-	"distclass/internal/vec"
-
-	"distclass/internal/centroids"
 )
 
 func main() {
@@ -43,11 +39,13 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 2, "max collections per classification")
 	flag.StringVar(&cfg.method, "method", "gm", "classification method: gm or centroids")
 	flag.StringVar(&cfg.topo, "topology", "full", "topology kind")
+	flag.StringVar(&cfg.policy, "policy", "push", "gossip policy: push or roundrobin")
+	flag.StringVar(&cfg.mode, "mode", "push", "gossip mode: push, pull or pushpull")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (data and neighbor choice)")
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "how long to run")
 	flag.DurationVar(&cfg.interval, "interval", 2*time.Millisecond, "per-node gossip tick")
 	flag.Float64Var(&cfg.tol, "tol", 0.05, "spread below which the run stops early")
-	flag.StringVar(&cfg.trans, "transport", "pipe", "node links: pipe or tcp")
+	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe or tcp")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
 	flag.Parse()
@@ -63,7 +61,9 @@ type runConfig struct {
 	n, k        int
 	method      string
 	topo        string
-	trans       string
+	policy      string
+	mode        string
+	backend     string
 	seed        uint64
 	duration    time.Duration
 	interval    time.Duration
@@ -80,51 +80,66 @@ type runConfig struct {
 // manifestConfig renders the effective flag values for the run manifest.
 func (c runConfig) manifestConfig() map[string]string {
 	return map[string]string{
-		"n":         strconv.Itoa(c.n),
-		"k":         strconv.Itoa(c.k),
-		"method":    c.method,
-		"topology":  c.topo,
-		"transport": c.trans,
-		"duration":  c.duration.String(),
-		"interval":  c.interval.String(),
-		"tol":       strconv.FormatFloat(c.tol, 'g', -1, 64),
+		"n":        strconv.Itoa(c.n),
+		"k":        strconv.Itoa(c.k),
+		"method":   c.method,
+		"topology": c.topo,
+		"policy":   c.policy,
+		"mode":     c.mode,
+		"backend":  c.backend,
+		"duration": c.duration.String(),
+		"interval": c.interval.String(),
+		"tol":      strconv.FormatFloat(c.tol, 'g', -1, 64),
 	}
 }
 
 func run(cfg runConfig) error {
-	var transport livenet.Transport
-	switch cfg.trans {
-	case "pipe":
-		transport = livenet.TransportPipe
-	case "tcp":
-		transport = livenet.TransportTCP
-	default:
-		return fmt.Errorf("unknown transport %q", cfg.trans)
-	}
-	var m core.Method
-	switch cfg.method {
-	case "gm":
-		m = gm.Method{}
-	case "centroids":
-		m = centroids.Method{}
-	default:
-		return fmt.Errorf("unknown method %q", cfg.method)
-	}
-	r := rng.New(cfg.seed)
-	graph, err := topology.Build(topology.Kind(cfg.topo), cfg.n, r.Split())
+	backend, err := distclass.ParseBackend(cfg.backend)
 	if err != nil {
 		return err
 	}
-	values := make([]core.Value, cfg.n)
+	var m distclass.Method
+	switch cfg.method {
+	case "gm":
+		m = distclass.GaussianMixture()
+	case "centroids":
+		m = distclass.Centroids()
+	default:
+		return fmt.Errorf("unknown method %q", cfg.method)
+	}
+	var policy distclass.Policy
+	switch cfg.policy {
+	case "push":
+		policy = distclass.PushRandom
+	case "roundrobin":
+		policy = distclass.RoundRobin
+	default:
+		return fmt.Errorf("unknown policy %q", cfg.policy)
+	}
+	var mode distclass.Mode
+	switch cfg.mode {
+	case "push":
+		mode = distclass.ModePush
+	case "pull":
+		mode = distclass.ModePull
+	case "pushpull":
+		mode = distclass.ModePushPull
+	default:
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+
+	// Synthetic input: two well-separated 2-D blobs.
+	r := rng.New(cfg.seed)
+	values := make([]distclass.Value, cfg.n)
 	for i := range values {
 		c := -4.0
 		if i%2 == 1 {
 			c = 4
 		}
-		values[i] = vec.Of(c+r.Normal(0, 1), r.Normal(0, 1))
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
 	}
 
-	reg := metrics.NewRegistry()
+	reg := distclass.NewRegistry()
 	var sink trace.Sink
 	if cfg.traceFile != "" {
 		f, err := os.Create(cfg.traceFile)
@@ -135,15 +150,22 @@ func run(cfg runConfig) error {
 		sink = trace.NewRecorder(f)
 	}
 
-	cluster, err := livenet.Start(graph, values, livenet.Config{
-		Method:    m,
-		K:         cfg.k,
-		Interval:  cfg.interval,
-		Seed:      cfg.seed,
-		Transport: transport,
-		Metrics:   reg,
-		Trace:     sink,
-	})
+	opts := []distclass.Option{
+		distclass.WithK(cfg.k),
+		distclass.WithSeed(cfg.seed),
+		distclass.WithTopology(distclass.Topology(cfg.topo)),
+		distclass.WithPolicy(policy),
+		distclass.WithMode(mode),
+		distclass.WithBackend(backend),
+		distclass.WithInterval(cfg.interval),
+		distclass.WithTolerance(cfg.tol),
+		distclass.WithMetrics(reg),
+		distclass.WithRunHeader(),
+	}
+	if sink != nil {
+		opts = append(opts, distclass.WithTrace(sink))
+	}
+	cluster, err := distclass.StartLive(values, m, opts...)
 	if err != nil {
 		return err
 	}
@@ -168,7 +190,8 @@ func run(cfg runConfig) error {
 	deadline := time.After(cfg.duration)
 	tick := time.NewTicker(cfg.duration / 10)
 	defer tick.Stop()
-	fmt.Printf("live cluster: %d goroutine nodes on %s topology\n", cfg.n, cfg.topo)
+	fmt.Printf("live cluster: %d goroutine nodes on %s topology (%s backend)\n",
+		cfg.n, cfg.topo, cluster.Backend())
 loop:
 	for {
 		select {
@@ -196,7 +219,7 @@ loop:
 	}
 	fmt.Printf("\nnode 0 classification:\n%s\n", cluster.Classification(0))
 	fmt.Printf("\nmessages sent: %d received: %d decode errors: %d   weight at nodes: %.4f/%d\n",
-		cluster.MessagesSent(), cluster.MessagesReceived(), cluster.DecodeErrors(),
-		cluster.TotalWeight(), cfg.n)
+		cluster.MessagesSent(), reg.Counter("livenet.received").Value(),
+		reg.Counter("livenet.decode_errors").Value(), cluster.TotalWeight(), cfg.n)
 	return nil
 }

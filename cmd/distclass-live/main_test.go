@@ -14,17 +14,23 @@ import (
 	"distclass/internal/trace"
 )
 
-func shortCfg(n int, method, topo, trans string, seed uint64) runConfig {
+func shortCfg(n int, method, topo, backend string, seed uint64) runConfig {
 	return runConfig{
-		n: n, k: 2, method: method, topo: topo, trans: trans, seed: seed,
+		n: n, k: 2, method: method, topo: topo, backend: backend, seed: seed,
+		policy: "push", mode: "push",
 		duration: 400 * time.Millisecond, interval: time.Millisecond, tol: 0.3,
 	}
 }
 
-func TestRunTransportValidation(t *testing.T) {
+func TestRunBackendValidation(t *testing.T) {
 	cfg := shortCfg(8, "gm", "full", "bogus", 1)
-	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown transport") {
-		t.Errorf("unknown transport error = %v", err)
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend error = %v", err)
+	}
+	// Simulator backends parse but belong to distclass-sim.
+	cfg = shortCfg(8, "gm", "full", "round", 1)
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "StartLive") {
+		t.Errorf("simulator backend error = %v", err)
 	}
 }
 
@@ -37,6 +43,16 @@ func TestRunValidation(t *testing.T) {
 	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown kind") {
 		t.Errorf("unknown topology error = %v", err)
 	}
+	cfg = shortCfg(8, "gm", "full", "pipe", 1)
+	cfg.policy = "bogus"
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown policy error = %v", err)
+	}
+	cfg = shortCfg(8, "gm", "full", "pipe", 1)
+	cfg.mode = "bogus"
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("unknown mode error = %v", err)
+	}
 }
 
 func TestRunShortLive(t *testing.T) {
@@ -47,6 +63,15 @@ func TestRunShortLive(t *testing.T) {
 
 func TestRunCentroidsLive(t *testing.T) {
 	if err := run(shortCfg(6, "centroids", "ring", "tcp", 5)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunChanBackend(t *testing.T) {
+	cfg := shortCfg(12, "gm", "full", "chan", 9)
+	cfg.mode = "pushpull"
+	cfg.policy = "roundrobin"
+	if err := run(cfg); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

@@ -30,6 +30,7 @@ func main() {
 		k          = flag.Int("k", 2, "max collections per classification")
 		method     = flag.String("method", "gm", "classification method: gm or centroids")
 		topo       = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric")
+		backend    = flag.String("backend", "round", "simulation backend: round or async")
 		policy     = flag.String("policy", "push", "gossip policy: push or roundrobin")
 		mode       = flag.String("mode", "push", "gossip mode: push, pull or pushpull")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -52,7 +53,7 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	err = run(*n, *k, *method, *topo, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut)
+	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -62,7 +63,7 @@ func main() {
 	}
 }
 
-func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut string) error {
+func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut string) error {
 	var m distclass.Method
 	switch method {
 	case "gm":
@@ -71,6 +72,10 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 		m = distclass.Centroids()
 	default:
 		return fmt.Errorf("unknown method %q", method)
+	}
+	b, err := distclass.ParseBackend(backend)
+	if err != nil {
+		return err
 	}
 	var p distclass.Policy
 	switch policy {
@@ -109,6 +114,7 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 	opts := []distclass.Option{
 		distclass.WithK(k),
 		distclass.WithSeed(seed),
+		distclass.WithBackend(b),
 		distclass.WithTopology(distclass.Topology(topo)),
 		distclass.WithPolicy(p),
 		distclass.WithMode(gmode),
@@ -128,6 +134,12 @@ func run(n, k int, method, topo, policy, mode string, seed uint64, rounds, maxRo
 		// spread through the sink; the observe callback below only adds
 		// node 0's classification snapshots.
 		opts = append(opts, distclass.WithTrace(rec))
+		// Name the backend in the trace when it isn't the default, so
+		// replay reports and diffs identify the substrate. Default round
+		// traces stay byte-compatible with pre-engine recordings.
+		if b != distclass.BackendRound {
+			opts = append(opts, distclass.WithRunHeader())
+		}
 	}
 	sys, err := distclass.New(values, m, opts...)
 	if err != nil {

@@ -11,11 +11,14 @@
 //	experiments -fig 4            # Figure 4 crash/convergence traces
 //	experiments -ablation topology|k|q|policy|methods|histogram
 //	experiments -live-churn       # live Figure 4: kill real cluster nodes mid-run
+//	experiments -engine-smoke     # tiny workload on every engine backend
 //	experiments -all              # everything (long)
 //
 // Use -quick for reduced network sizes (fast smoke runs). The live
 // churn ablation takes -churn-fracs (comma-separated kill fractions)
 // and -strict (fail on non-convergence or conservation violations).
+// -backend moves the Figure 4 crash runs and the churn ablation onto
+// another engine substrate (round, async, chan, pipe, tcp).
 package main
 
 import (
@@ -27,12 +30,16 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
+	"distclass"
+	"distclass/internal/engine"
 	"distclass/internal/experiments"
 	"distclass/internal/experiments/live"
 	"distclass/internal/metrics"
 	"distclass/internal/plot"
 	"distclass/internal/prof"
+	"distclass/internal/rng"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 )
@@ -74,23 +81,39 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		traceOut    = flag.String("traceout", "", "write a runtime execution trace to this file (inspect with go tool trace)")
-		liveChurn   = flag.Bool("live-churn", false, "run the live churn ablation: kill a fraction of real cluster nodes mid-run (livenet, not sim)")
+		liveChurn   = flag.Bool("live-churn", false, "run the live churn ablation: kill a fraction of real cluster nodes mid-run")
 		churnFracs  = flag.String("churn-fracs", "0,0.1,0.2,0.3", "comma-separated kill fractions for -live-churn")
 		strict      = flag.Bool("strict", false, "with -live-churn: fail on non-convergence, cluster errors or broken weight conservation")
+		backendFlag = flag.String("backend", "", "engine backend for -fig 4, -ablation crash and -live-churn: round, async, chan, pipe or tcp (default: round for the sim figures, pipe for -live-churn)")
+		engineSmoke = flag.Bool("engine-smoke", false, "run a tiny two-cluster workload on every engine backend and audit convergence and weight conservation")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *ablation == "" && !*liveChurn {
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke {
 		flag.Usage()
 		os.Exit(2)
+	}
+	backends := backendChoice{fig: engine.BackendRound, churn: engine.BackendPipe}
+	if *backendFlag != "" {
+		b, err := engine.ParseBackend(*backendFlag)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		backends.fig, backends.churn = b, b
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
-	churn := churnOpts{enabled: *liveChurn, fracs: *churnFracs, strict: *strict}
-	err = realMain(*fig, *ablation, *all, *quick, *seed, *csvDir, *traceFile, *metricsAddr, churn)
+	churn := churnOpts{enabled: *liveChurn, fracs: *churnFracs, strict: *strict, backend: backends.churn}
+	err = realMain(mainOpts{
+		fig: *fig, ablation: *ablation, all: *all, quick: *quick,
+		seed: *seed, csvDir: *csvDir, traceFile: *traceFile,
+		metricsAddr: *metricsAddr, churn: churn, figBackend: backends.fig,
+		engineSmoke: *engineSmoke,
+	})
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -112,50 +135,74 @@ type churnOpts struct {
 	enabled bool
 	fracs   string // comma-separated kill fractions
 	strict  bool
+	backend engine.Backend
+}
+
+// backendChoice resolves the -backend flag: the sim figures default to
+// the round driver, the churn ablation to the pipe deployment.
+type backendChoice struct {
+	fig, churn engine.Backend
+}
+
+// mainOpts bundles the parsed flags for realMain.
+type mainOpts struct {
+	fig         int
+	ablation    string
+	all         bool
+	quick       bool
+	seed        uint64
+	csvDir      string
+	traceFile   string
+	metricsAddr string
+	churn       churnOpts
+	figBackend  engine.Backend
+	engineSmoke bool
 }
 
 // realMain sets up the trace recorder and metrics endpoint (so their
 // cleanup runs before os.Exit) and dispatches to run.
-func realMain(fig int, ablation string, all, quick bool, seed uint64, csvDir, traceFile, metricsAddr string, churn churnOpts) error {
+func realMain(m mainOpts) error {
 	o := obs{reg: metrics.NewRegistry()}
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+	if m.traceFile != "" {
+		f, err := os.Create(m.traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		o.sink = trace.NewRecorder(f)
 	}
-	if metricsAddr != "" {
-		man := metrics.NewManifest("experiments", seed, map[string]string{
-			"fig":      strconv.Itoa(fig),
-			"ablation": ablation,
-			"all":      strconv.FormatBool(all),
-			"quick":    strconv.FormatBool(quick),
+	if m.metricsAddr != "" {
+		man := metrics.NewManifest("experiments", m.seed, map[string]string{
+			"fig":      strconv.Itoa(m.fig),
+			"ablation": m.ablation,
+			"all":      strconv.FormatBool(m.all),
+			"quick":    strconv.FormatBool(m.quick),
+			"backend":  m.figBackend.String(),
 		})
-		srv, err := metrics.Serve(metricsAddr, o.reg, man)
+		srv, err := metrics.Serve(m.metricsAddr, o.reg, man)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
 	}
-	return run(fig, ablation, all, quick, seed, csvDir, o, churn)
+	return run(m, o)
 }
 
-func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, o obs, churn churnOpts) error {
-	figs := []int{fig}
-	ablations := []string{ablation}
-	if all {
+func run(m mainOpts, o obs) error {
+	figs := []int{m.fig}
+	ablations := []string{m.ablation}
+	if m.all {
 		figs = []int{1, 2, 3, 4}
 		ablations = []string{"topology", "k", "q", "policy", "mode", "methods", "reducer", "crash", "loss", "outliermethods", "scalability", "dimension", "relatedwork", "histogram"}
-		churn.enabled = true
+		m.churn.enabled = true
+		m.engineSmoke = true
 	}
 	for _, f := range figs {
 		if f == 0 {
 			continue
 		}
-		if err := runFigure(f, quick, seed, csvDir, o); err != nil {
+		if err := runFigure(f, m.quick, m.seed, m.csvDir, m.figBackend, o); err != nil {
 			return err
 		}
 	}
@@ -163,15 +210,93 @@ func run(fig int, ablation string, all, quick bool, seed uint64, csvDir string, 
 		if a == "" {
 			continue
 		}
-		if err := runAblation(a, quick, seed, o); err != nil {
+		if err := runAblation(a, m.quick, m.seed, m.figBackend, o); err != nil {
 			return err
 		}
 	}
-	if churn.enabled {
-		if err := runLiveChurn(churn, quick, seed, o); err != nil {
+	if m.churn.enabled {
+		if err := runLiveChurn(m.churn, m.quick, m.seed, o); err != nil {
 			return err
 		}
 	}
+	if m.engineSmoke {
+		if err := runEngineSmoke(m.seed, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runEngineSmoke is the engine-smoke CI gate: the same tiny two-cluster
+// workload on every backend, each audited for convergence and exact
+// weight conservation. One protocol, five substrates, one readout.
+func runEngineSmoke(seed uint64, o obs) error {
+	fmt.Println("=== Engine smoke: tiny two-cluster workload on every backend ===")
+	const n = 16
+	out := make([][]string, 0, len(engine.Backends()))
+	for _, b := range engine.Backends() {
+		r := rng.New(seed)
+		values := make([]distclass.Value, n)
+		for i := range values {
+			c := -4.0
+			if i%2 == 1 {
+				c = 4
+			}
+			values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+		}
+		opts := []distclass.Option{
+			distclass.WithK(2),
+			distclass.WithSeed(seed),
+			distclass.WithBackend(b),
+			distclass.WithTolerance(0.05),
+			distclass.WithMetrics(o.reg),
+		}
+		if o.sink != nil {
+			opts = append(opts, distclass.WithTrace(o.sink), distclass.WithRunHeader())
+		}
+		var (
+			converged bool
+			rounds    string
+			weight    float64
+		)
+		switch b {
+		case engine.BackendRound, engine.BackendAsync:
+			sys, err := distclass.New(values, distclass.GaussianMixture(), opts...)
+			if err != nil {
+				return fmt.Errorf("engine-smoke %s: %w", b, err)
+			}
+			ran, ok, err := sys.RunUntilConverged()
+			if err != nil {
+				return fmt.Errorf("engine-smoke %s: %w", b, err)
+			}
+			converged, rounds = ok, strconv.Itoa(ran)
+			weight = sys.TotalWeight()
+		default:
+			opts = append(opts, distclass.WithInterval(time.Millisecond))
+			cl, err := distclass.StartLive(values, distclass.GaussianMixture(), opts...)
+			if err != nil {
+				return fmt.Errorf("engine-smoke %s: %w", b, err)
+			}
+			ok, err := cl.WaitConverged(10*time.Second, 0.05)
+			cl.Stop()
+			if err == nil {
+				err = cl.Err()
+			}
+			if err != nil {
+				return fmt.Errorf("engine-smoke %s: %w", b, err)
+			}
+			converged, rounds = ok, "-"
+			weight = cl.TotalWeight()
+		}
+		if !converged {
+			return fmt.Errorf("engine-smoke %s: did not converge", b)
+		}
+		if drift := weight - n; drift > 1e-6 || drift < -1e-6 {
+			return fmt.Errorf("engine-smoke %s: weight not conserved: %v vs %d (drift %v)", b, weight, n, drift)
+		}
+		out = append(out, []string{b.String(), "yes", rounds, experiments.F(weight)})
+	}
+	fmt.Println(experiments.FormatTable([]string{"backend", "converged", "rounds", "weight"}, out))
 	return nil
 }
 
@@ -195,15 +320,17 @@ func parseFracs(s string) ([]float64, error) {
 	return out, nil
 }
 
-// runLiveChurn runs the live crash ablation: real livenet clusters,
-// real kills, Figure 4's weight-destroyed vs. error readout.
+// runLiveChurn runs the live crash ablation: real clusters on the
+// chosen backend, real kills, Figure 4's weight-destroyed vs. error
+// readout.
 func runLiveChurn(churn churnOpts, quick bool, seed uint64, o obs) error {
 	fracs, err := parseFracs(churn.fracs)
 	if err != nil {
 		return err
 	}
-	fmt.Println("=== Live churn: killing real cluster nodes mid-run (Figure 4, deployed) ===")
+	fmt.Printf("=== Live churn: killing real cluster nodes mid-run (Figure 4, deployed; %s backend) ===\n", churn.backend)
 	cfg := live.ChurnConfig{
+		Backend:   churn.backend,
 		KillFracs: fracs,
 		Seed:      seed,
 		Strict:    churn.strict,
@@ -221,7 +348,7 @@ func runLiveChurn(churn churnOpts, quick bool, seed uint64, o obs) error {
 	return nil
 }
 
-func runFigure(fig int, quick bool, seed uint64, csvDir string, o obs) error {
+func runFigure(fig int, quick bool, seed uint64, csvDir string, backend engine.Backend, o obs) error {
 	switch fig {
 	case 1:
 		fmt.Println("=== Figure 1: value association, centroids vs Gaussians ===")
@@ -276,8 +403,8 @@ func runFigure(fig int, quick bool, seed uint64, csvDir string, o obs) error {
 			}
 		}
 	case 4:
-		fmt.Println("=== Figure 4: crash robustness and convergence speed ===")
-		cfg := experiments.Fig4Config{Seed: seed, Metrics: o.reg, Trace: o.sink}
+		fmt.Printf("=== Figure 4: crash robustness and convergence speed (%s backend) ===\n", backend)
+		cfg := experiments.Fig4Config{Seed: seed, Backend: backend, Metrics: o.reg, Trace: o.sink}
 		if quick {
 			cfg.NGood, cfg.NOut = 190, 10
 			cfg.Rounds = 30
@@ -300,7 +427,7 @@ func runFigure(fig int, quick bool, seed uint64, csvDir string, o obs) error {
 	return nil
 }
 
-func runAblation(name string, quick bool, seed uint64, o obs) error {
+func runAblation(name string, quick bool, seed uint64, backend engine.Backend, o obs) error {
 	cfg := experiments.AblationConfig{Seed: seed, Metrics: o.reg, Trace: o.sink}
 	if quick {
 		cfg.N = 36
@@ -394,7 +521,7 @@ func runAblation(name string, quick bool, seed uint64, o obs) error {
 		}
 		rows, err := experiments.RunCrashSweep(
 			[]float64{0, 0.01, 0.02, 0.05, 0.1, 0.15},
-			experiments.Fig4Config{NGood: n * 19 / 20, NOut: n / 20, Seed: seed, Metrics: o.reg, Trace: o.sink},
+			experiments.Fig4Config{NGood: n * 19 / 20, NOut: n / 20, Seed: seed, Backend: backend, Metrics: o.reg, Trace: o.sink},
 		)
 		if err != nil {
 			return err

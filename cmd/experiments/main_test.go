@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"distclass/internal/engine"
 	"distclass/internal/metrics"
 	"distclass/internal/trace"
 )
@@ -13,21 +14,21 @@ import (
 func testObs() obs { return obs{reg: metrics.NewRegistry()} }
 
 func TestRunFigureValidation(t *testing.T) {
-	err := runFigure(9, true, 1, "", testObs())
+	err := runFigure(9, true, 1, "", engine.BackendRound, testObs())
 	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Errorf("error = %v, want unknown figure", err)
 	}
 }
 
 func TestRunAblationValidation(t *testing.T) {
-	err := runAblation("bogus", true, 1, testObs())
+	err := runAblation("bogus", true, 1, engine.BackendRound, testObs())
 	if err == nil || !strings.Contains(err.Error(), "unknown ablation") {
 		t.Errorf("error = %v, want unknown ablation", err)
 	}
 }
 
 func TestRunFigure1(t *testing.T) {
-	if err := runFigure(1, true, 1, "", testObs()); err != nil {
+	if err := runFigure(1, true, 1, "", engine.BackendRound, testObs()); err != nil {
 		t.Fatalf("runFigure(1): %v", err)
 	}
 }
@@ -37,7 +38,7 @@ func TestRunQuickFigures(t *testing.T) {
 		t.Skip("quick figures still run full sweeps")
 	}
 	for _, fig := range []int{2, 3, 4} {
-		if err := runFigure(fig, true, 1, t.TempDir(), testObs()); err != nil {
+		if err := runFigure(fig, true, 1, t.TempDir(), engine.BackendRound, testObs()); err != nil {
 			t.Fatalf("runFigure(%d): %v", fig, err)
 		}
 	}
@@ -48,7 +49,7 @@ func TestRunQuickAblations(t *testing.T) {
 		t.Skip("ablation sweeps are slow")
 	}
 	for _, name := range []string{"q", "policy", "mode", "methods", "relatedwork", "histogram", "loss", "scalability", "outliermethods"} {
-		if err := runAblation(name, true, 1, testObs()); err != nil {
+		if err := runAblation(name, true, 1, engine.BackendRound, testObs()); err != nil {
 			t.Fatalf("runAblation(%s): %v", name, err)
 		}
 	}
@@ -56,10 +57,10 @@ func TestRunQuickAblations(t *testing.T) {
 
 func TestRunDispatch(t *testing.T) {
 	// fig=0 and empty ablation entries are skipped without error.
-	if err := run(0, "", false, true, 1, "", testObs(), churnOpts{}); err != nil {
+	if err := run(mainOpts{quick: true, seed: 1}, testObs()); err != nil {
 		t.Fatalf("run noop: %v", err)
 	}
-	if err := run(1, "", false, true, 1, "", testObs(), churnOpts{}); err != nil {
+	if err := run(mainOpts{fig: 1, quick: true, seed: 1}, testObs()); err != nil {
 		t.Fatalf("run fig1: %v", err)
 	}
 }
@@ -83,7 +84,7 @@ func TestRunLiveChurnQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins up a live cluster")
 	}
-	churn := churnOpts{enabled: true, fracs: "0.2", strict: true}
+	churn := churnOpts{enabled: true, fracs: "0.2", strict: true, backend: engine.BackendPipe}
 	if err := runLiveChurn(churn, true, 1, testObs()); err != nil {
 		t.Fatalf("runLiveChurn: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestRealMainObservability(t *testing.T) {
 		t.Skip("runs a full ablation")
 	}
 	traceFile := filepath.Join(t.TempDir(), "events.jsonl")
-	if err := realMain(0, "methods", false, true, 1, "", traceFile, "127.0.0.1:0", churnOpts{}); err != nil {
+	if err := realMain(mainOpts{ablation: "methods", quick: true, seed: 1, traceFile: traceFile, metricsAddr: "127.0.0.1:0"}); err != nil {
 		t.Fatalf("realMain: %v", err)
 	}
 	f, err := os.Open(traceFile)
@@ -117,5 +118,17 @@ func TestRealMainObservability(t *testing.T) {
 	}
 	if trace.CountKind(events, trace.KindSplit) == 0 {
 		t.Errorf("no split events recorded")
+	}
+}
+
+// TestRunEngineSmoke runs the engine-smoke gate: the tiny two-cluster
+// workload on all five backends with convergence and conservation
+// audits.
+func TestRunEngineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up live clusters")
+	}
+	if err := runEngineSmoke(1, testObs()); err != nil {
+		t.Fatalf("runEngineSmoke: %v", err)
 	}
 }

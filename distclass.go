@@ -19,9 +19,9 @@
 //     mixture with Expectation-Maximization, which makes the
 //     classification variance-aware and able to isolate outliers.
 //
-// The package also bundles the simulation harness used to reproduce the
-// paper's evaluation: topologies, a synchronous round driver with crash
-// injection, and a fully asynchronous event driver. A System wires
+// The protocol runs on interchangeable backends (internal/engine): the
+// deterministic simulators behind System, and the concurrent
+// channel/pipe/TCP substrates behind LiveCluster. A System wires
 // values, a method and a topology into a runnable network:
 //
 //	values := []distclass.Value{{1.0, 2.0}, {1.1, 2.2}, {9.0, 8.5}}
@@ -32,7 +32,7 @@
 //	fmt.Println(sys.Classification(0))
 //
 // All randomness is seeded (WithSeed); identical configurations produce
-// identical runs.
+// identical runs on the simulator backends.
 package distclass
 
 import (
@@ -42,13 +42,11 @@ import (
 
 	"distclass/internal/centroids"
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/experiments"
 	"distclass/internal/gauss"
 	"distclass/internal/gm"
-	"distclass/internal/livenet"
 	"distclass/internal/metrics"
-	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
@@ -73,15 +71,17 @@ type (
 	Mixture = gauss.Mixture
 	// Component is one weighted Gaussian of a Mixture.
 	Component = gauss.Component
-	// Stats reports simulator traffic counters.
-	Stats = sim.Stats
+	// Stats reports engine traffic counters.
+	Stats = engine.Stats
 	// Topology names a network topology generator.
 	Topology = topology.Kind
 	// Policy selects how nodes pick gossip partners.
-	Policy = sim.Policy
+	Policy = engine.Policy
 	// Mode selects the gossip communication pattern (push, pull,
 	// push-pull).
-	Mode = sim.Mode
+	Mode = engine.Mode
+	// Backend selects the communication substrate the protocol runs on.
+	Backend = engine.Backend
 	// Registry is a metrics namespace: counters, gauges and
 	// fixed-bucket histograms with a deterministic snapshot export.
 	Registry = metrics.Registry
@@ -109,16 +109,31 @@ const (
 
 // Gossip policies.
 const (
-	PushRandom = sim.PushRandom
-	RoundRobin = sim.RoundRobin
+	PushRandom = engine.PushRandom
+	RoundRobin = engine.RoundRobin
 )
 
 // Gossip modes (§4.1: push, pull, or bilateral push-pull exchange).
 const (
-	ModePush     = sim.ModePush
-	ModePull     = sim.ModePull
-	ModePushPull = sim.ModePushPull
+	ModePush     = engine.ModePush
+	ModePull     = engine.ModePull
+	ModePushPull = engine.ModePushPull
 )
+
+// Protocol backends. The simulator backends (BackendRound,
+// BackendAsync) run under System; the concurrent backends (BackendChan,
+// BackendPipe, BackendTCP) run under LiveCluster.
+const (
+	BackendRound = engine.BackendRound
+	BackendAsync = engine.BackendAsync
+	BackendChan  = engine.BackendChan
+	BackendPipe  = engine.BackendPipe
+	BackendTCP   = engine.BackendTCP
+)
+
+// ParseBackend maps a -backend flag value ("round", "async", "chan",
+// "pipe", "tcp") to a Backend.
+func ParseBackend(s string) (Backend, error) { return engine.ParseBackend(s) }
 
 // Centroids returns the paper's Algorithm 2 instantiation: centroid
 // summaries with greedy closest-pair partitioning.
@@ -190,22 +205,27 @@ func Assign(cls Classification, v Value) (int, error) {
 	return best, nil
 }
 
-// options carries the functional-option state for New.
+// options carries the functional-option state for New and StartLive.
 type options struct {
-	k         int
-	q         float64
-	seed      uint64
-	topo      Topology
-	policy    Policy
-	mode      Mode
-	crashProb float64
-	tol       float64
-	maxRounds int
-	reg       *metrics.Registry
-	sink      trace.Sink
+	k          int
+	q          float64
+	seed       uint64
+	topo       Topology
+	policy     Policy
+	mode       Mode
+	backend    Backend
+	backendSet bool
+	crashProb  float64
+	dropProb   float64
+	tol        float64
+	maxRounds  int
+	interval   time.Duration
+	runHeader  bool
+	reg        *metrics.Registry
+	sink       trace.Sink
 }
 
-// Option configures a System.
+// Option configures a System or LiveCluster.
 type Option func(*options)
 
 // WithK bounds the number of collections per classification (default 2).
@@ -224,15 +244,39 @@ func WithTopology(t Topology) Option { return func(o *options) { o.topo = t } }
 func WithPolicy(p Policy) Option { return func(o *options) { o.policy = p } }
 
 // WithMode selects the gossip pattern: ModePush (default), ModePull or
-// ModePushPull.
+// ModePushPull. Every backend supports every mode.
 func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
 
+// WithBackend selects the communication substrate. New accepts the
+// simulator backends (BackendRound, the default, and BackendAsync);
+// StartLive accepts the concurrent ones (BackendPipe, the default,
+// BackendChan and BackendTCP). Options a backend cannot honor are
+// rejected with an error, never silently ignored.
+func WithBackend(b Backend) Option {
+	return func(o *options) { o.backend = b; o.backendSet = true }
+}
+
 // WithCrashProb makes every node crash with the given probability after
-// each round (default 0, no crashes).
+// each round (default 0, no crashes; simulator backends only — the
+// concurrent backends crash via Kill).
 func WithCrashProb(p float64) Option { return func(o *options) { o.crashProb = p } }
 
+// WithDropProb makes every sent message vanish with the given
+// probability (default 0; BackendRound only).
+func WithDropProb(p float64) Option { return func(o *options) { o.dropProb = p } }
+
+// WithInterval sets each node's gossip tick on the concurrent backends
+// (default 2ms; the simulator backends are event-driven and ignore it).
+func WithInterval(d time.Duration) Option { return func(o *options) { o.interval = d } }
+
+// WithRunHeader records a run-header trace event (backend name) before
+// any protocol event, so traces from different backends identify
+// themselves to distclass-analyze. Off by default: fixed-seed simulator
+// traces stay byte-identical to pre-engine runs.
+func WithRunHeader() Option { return func(o *options) { o.runHeader = true } }
+
 // WithTolerance sets the convergence threshold used by
-// RunUntilConverged (default 1e-3).
+// RunUntilConverged and WaitConverged (default 1e-3).
 func WithTolerance(tol float64) Option { return func(o *options) { o.tol = tol } }
 
 // WithMaxRounds bounds RunUntilConverged (default 500).
@@ -240,23 +284,55 @@ func WithMaxRounds(n int) Option { return func(o *options) { o.maxRounds = n } }
 
 // WithMetrics backs the system's instrumentation with the given
 // registry: the core protocol counters of every node (splits, merges,
-// quantization drops, collection counts), the driver's traffic
-// counters, and a per-round sim.spread gauge. Layers sharing the
+// quantization drops, collection counts), the backend's traffic
+// counters, and the sim.spread convergence gauge. Layers sharing the
 // registry aggregate into one namespace.
 func WithMetrics(reg *Registry) Option { return func(o *options) { o.reg = reg } }
 
 // WithTrace records typed protocol and driver events (split, merge,
-// send, receive, crash, plus per-round spread probes) through the given
-// sink. trace.NewRecorder writes them as JSONL.
+// send, receive, crash, plus spread probes) through the given sink.
+// trace.NewRecorder writes them as JSONL.
 func WithTrace(sink TraceSink) Option { return func(o *options) { o.sink = sink } }
 
+// collect applies the options over the given defaults.
+func collect(defaults options, opts []Option) options {
+	o := defaults
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// engineConfig translates facade options to an engine configuration.
+func (o options) engineConfig(values []Value, method Method) engine.Config {
+	vals := make([]core.Value, len(values))
+	copy(vals, values)
+	return engine.Config{
+		Backend:    o.backend,
+		Method:     method,
+		Values:     vals,
+		Topology:   o.topo,
+		K:          o.k,
+		Q:          o.q,
+		Seed:       o.seed,
+		Policy:     o.policy,
+		Mode:       o.mode,
+		CrashProb:  o.crashProb,
+		DropProb:   o.dropProb,
+		Tolerance:  o.tol,
+		MaxRounds:  o.maxRounds,
+		Interval:   o.interval,
+		EmitHeader: o.runHeader,
+		Metrics:    o.reg,
+		Trace:      o.sink,
+	}
+}
+
 // System is a simulated network running the distributed classification
-// algorithm.
+// algorithm on a deterministic backend (BackendRound or BackendAsync).
 type System struct {
 	method core.Method
-	nodes  []*core.Node
-	net    *sim.Network[core.Classification]
-	opts   options
+	eng    engine.Engine
 	values []Value
 }
 
@@ -268,46 +344,24 @@ func New(values []Value, method Method, opts ...Option) (*System, error) {
 	if method == nil {
 		return nil, errors.New("distclass: nil method")
 	}
-	o := options{
+	o := collect(options{
 		k:         2,
 		seed:      1,
 		topo:      TopologyFull,
 		policy:    PushRandom,
 		tol:       1e-3,
 		maxRounds: 500,
+		backend:   BackendRound,
+	}, opts)
+	if o.k < 1 {
+		return nil, fmt.Errorf("distclass: k = %d must be at least 1", o.k)
 	}
-	for _, opt := range opts {
-		opt(&o)
+	switch o.backend {
+	case BackendRound, BackendAsync:
+	default:
+		return nil, fmt.Errorf("distclass: New runs the simulator backends (round, async); backend %s needs StartLive", o.backend)
 	}
-	r := rng.New(o.seed)
-	graph, err := topology.Build(o.topo, len(values), r.Split())
-	if err != nil {
-		return nil, fmt.Errorf("distclass: %w", err)
-	}
-	nodes := make([]*core.Node, len(values))
-	agents := make([]sim.Agent[core.Classification], len(values))
-	for i, v := range values {
-		node, err := core.NewNode(i, vec.Vector(v).Clone(), nil, core.Config{
-			Method:  method,
-			K:       o.k,
-			Q:       o.q,
-			Metrics: o.reg,
-			Trace:   o.sink,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("distclass: %w", err)
-		}
-		nodes[i] = node
-		agents[i] = &experiments.ClassifierAgent{Node: node}
-	}
-	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{
-		Policy:    o.policy,
-		Mode:      o.mode,
-		CrashProb: o.crashProb,
-		SizeFunc:  experiments.ClassificationSize,
-		Metrics:   o.reg,
-		Trace:     o.sink,
-	})
+	eng, err := engine.New(o.engineConfig(values, method))
 	if err != nil {
 		return nil, fmt.Errorf("distclass: %w", err)
 	}
@@ -315,7 +369,7 @@ func New(values []Value, method Method, opts ...Option) (*System, error) {
 	for i, v := range values {
 		kept[i] = Value(vec.Vector(v).Clone())
 	}
-	return &System{method: method, nodes: nodes, net: net, opts: o, values: kept}, nil
+	return &System{method: method, eng: eng, values: kept}, nil
 }
 
 // Values returns a copy of the input values, one per node.
@@ -328,64 +382,31 @@ func (s *System) Values() []Value {
 }
 
 // N returns the number of nodes.
-func (s *System) N() int { return len(s.nodes) }
+func (s *System) N() int { return s.eng.N() }
 
 // Method returns the instantiation in use.
 func (s *System) Method() Method { return s.method }
 
+// Backend returns the substrate the system runs on.
+func (s *System) Backend() Backend { return s.eng.Backend() }
+
 // Step runs one gossip round: every alive node sends half of its
-// classification to one neighbor, and receivers re-partition.
-func (s *System) Step() error { return s.net.Round() }
+// classification to one neighbor, and receivers re-partition. (On
+// BackendAsync a round is N driver events — one virtual round.)
+func (s *System) Step() error { return s.eng.Step() }
 
 // Run executes the given number of rounds.
-func (s *System) Run(rounds int) error {
-	return s.net.RunRounds(rounds, s.withProbe(nil))
-}
-
-// recordSpread emits a spread observation as a gauge and a trace event.
-func (s *System) recordSpread(round int, spread float64) error {
-	if s.opts.reg != nil {
-		s.opts.reg.Gauge("sim.spread").Set(spread)
-	}
-	if s.opts.sink != nil {
-		return s.opts.sink.Record(trace.Event{
-			Round: round, Node: -1, Kind: trace.KindSpread, Value: spread,
-		})
-	}
-	return nil
-}
-
-// withProbe wraps an after-round callback with the per-round
-// convergence probe. With no observability configured it returns the
-// callback unchanged (nil stays nil: no per-round spread cost).
-func (s *System) withProbe(after func(round int) error) func(round int) error {
-	if s.opts.reg == nil && s.opts.sink == nil {
-		return after
-	}
-	return func(round int) error {
-		spread, err := s.Spread()
-		if err != nil {
-			return err
-		}
-		if err := s.recordSpread(round, spread); err != nil {
-			return err
-		}
-		if after != nil {
-			return after(round)
-		}
-		return nil
-	}
-}
+func (s *System) Run(rounds int) error { return s.eng.Run(rounds) }
 
 // ErrStop, returned from a RunObserved callback, halts the run early
 // without error.
-var ErrStop = sim.ErrStop
+var ErrStop = engine.ErrStop
 
 // RunObserved executes rounds, invoking after at the end of each; the
 // callback may inspect classifications, record traces, or return
 // ErrStop to halt early.
 func (s *System) RunObserved(rounds int, after func(round int) error) error {
-	return s.net.RunRounds(rounds, s.withProbe(after))
+	return s.eng.RunObserved(rounds, after)
 }
 
 // RunUntilConverged runs rounds until the sampled inter-node
@@ -394,145 +415,111 @@ func (s *System) RunObserved(rounds int, after func(round int) error) error {
 // returns the number of rounds executed and whether convergence was
 // detected.
 func (s *System) RunUntilConverged() (rounds int, converged bool, err error) {
-	stable := 0
-	err = s.net.RunRounds(s.opts.maxRounds, func(round int) error {
-		rounds = round + 1
-		spread, err := s.Spread()
-		if err != nil {
-			return err
-		}
-		if err := s.recordSpread(round, spread); err != nil {
-			return err
-		}
-		if spread < s.opts.tol {
-			stable++
-			if stable >= 3 {
-				converged = true
-				return sim.ErrStop
-			}
-		} else {
-			stable = 0
-		}
-		return nil
-	})
-	if err != nil {
-		return rounds, false, err
-	}
-	return rounds, converged, nil
+	return s.eng.RunUntilConverged(0)
 }
 
 // Classification returns a copy of node i's current classification.
 func (s *System) Classification(i int) Classification {
-	return s.nodes[i].Classification()
+	return s.eng.Classification(i)
 }
 
 // Spread returns the sampled maximum pairwise dissimilarity between
 // node classifications — the convergence diagnostic (it tends to zero).
-func (s *System) Spread() (float64, error) {
-	return experiments.Spread(s.nodes, s.method, 4)
-}
+func (s *System) Spread() (float64, error) { return s.eng.Spread() }
 
 // RobustMean returns node i's outlier-robust estimate of the data mean:
 // the mean of its heaviest collection. It requires the GaussianMixture
 // method.
 func (s *System) RobustMean(i int) (Value, error) {
-	return experiments.RobustEstimate(s.nodes[i])
+	return experiments.RobustEstimate(s.eng.Node(i))
 }
 
 // Alive reports whether node i is still alive (relevant with
 // WithCrashProb).
-func (s *System) Alive(i int) bool { return s.net.Alive(i) }
+func (s *System) Alive(i int) bool { return s.eng.Alive(i) }
 
 // AliveCount returns the number of alive nodes.
-func (s *System) AliveCount() int { return s.net.AliveCount() }
+func (s *System) AliveCount() int { return s.eng.AliveCount() }
 
 // Stats returns the traffic counters accumulated so far.
-func (s *System) Stats() Stats { return s.net.Stats() }
+func (s *System) Stats() Stats { return s.eng.Stats() }
 
-// TotalWeight returns the total weight currently held by alive nodes;
-// in crash-free runs it equals the number of nodes at all times (weight
+// TotalWeight returns the total weight currently held by alive nodes
+// (plus, on BackendAsync, weight in flight between them); in crash-free
+// runs it equals the number of nodes at all times (weight
 // conservation).
-func (s *System) TotalWeight() float64 {
-	var total float64
-	for i, n := range s.nodes {
-		if s.net.Alive(i) {
-			total += n.Weight()
-		}
-	}
-	return total
-}
+func (s *System) TotalWeight() float64 { return s.eng.TotalWeight() }
 
-// LiveCluster is a running live deployment: one goroutine pair per
-// node over real in-process connections with wire-encoded messages and
+// LiveCluster is a running live deployment: one gossip goroutine per
+// node over a concurrent substrate — in-process channels (BackendChan),
+// synchronous pipes (BackendPipe) or loopback TCP (BackendTCP) — with
 // genuine asynchrony, in contrast to System's deterministic simulator.
 type LiveCluster struct {
-	inner  *livenet.Cluster
+	eng    engine.Engine
 	method Method
 }
 
 // StartLive launches a live cluster with one node per value. Callers
 // must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
-// WithTolerance (used by WaitConverged), WithMetrics, and WithTrace;
-// the simulator-only options (policy, mode, crashes, round budget) do
-// not apply.
+// WithPolicy, WithMode, WithBackend (pipe, chan or tcp; default pipe),
+// WithInterval, WithTolerance (used by WaitConverged), WithRunHeader,
+// WithMetrics, and WithTrace.
+// The probabilistic fault injections (WithCrashProb, WithDropProb) are
+// simulator-only and rejected here — live clusters crash via Kill.
 func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {
 	if method == nil {
 		return nil, errors.New("distclass: nil method")
 	}
-	o := options{k: 2, seed: 1, topo: TopologyFull, tol: 1e-3}
-	for _, opt := range opts {
-		opt(&o)
+	o := collect(options{k: 2, seed: 1, topo: TopologyFull, tol: 1e-3, backend: BackendPipe}, opts)
+	if !o.backendSet {
+		o.backend = BackendPipe
 	}
-	r := rng.New(o.seed)
-	graph, err := topology.Build(o.topo, len(values), r.Split())
+	if o.k < 1 {
+		return nil, fmt.Errorf("distclass: k = %d must be at least 1", o.k)
+	}
+	switch o.backend {
+	case BackendChan, BackendPipe, BackendTCP:
+	default:
+		return nil, fmt.Errorf("distclass: StartLive runs the concurrent backends (chan, pipe, tcp); backend %s needs New", o.backend)
+	}
+	eng, err := engine.New(o.engineConfig(values, method))
 	if err != nil {
 		return nil, fmt.Errorf("distclass: %w", err)
 	}
-	vals := make([]core.Value, len(values))
-	for i, v := range values {
-		vals[i] = vec.Vector(v).Clone()
-	}
-	inner, err := livenet.Start(graph, vals, livenet.Config{
-		Method:  method,
-		K:       o.k,
-		Q:       o.q,
-		Seed:    o.seed,
-		Metrics: o.reg,
-		Trace:   o.sink,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("distclass: %w", err)
-	}
-	return &LiveCluster{inner: inner, method: method}, nil
+	return &LiveCluster{eng: eng, method: method}, nil
 }
 
 // N returns the number of nodes.
-func (c *LiveCluster) N() int { return c.inner.N() }
+func (c *LiveCluster) N() int { return c.eng.N() }
+
+// Backend returns the substrate the cluster runs on.
+func (c *LiveCluster) Backend() Backend { return c.eng.Backend() }
 
 // Classification returns a copy of node i's current classification.
 func (c *LiveCluster) Classification(i int) Classification {
-	return c.inner.Classification(i)
+	return c.eng.Classification(i)
 }
 
 // Spread returns the sampled inter-node classification dissimilarity.
-func (c *LiveCluster) Spread() (float64, error) { return c.inner.Spread() }
+func (c *LiveCluster) Spread() (float64, error) { return c.eng.Spread() }
 
 // MessagesSent returns the number of messages sent so far.
-func (c *LiveCluster) MessagesSent() int64 { return c.inner.MessagesSent() }
+func (c *LiveCluster) MessagesSent() int64 {
+	return int64(c.eng.Stats().MessagesSent)
+}
 
 // Err returns the first internal error observed, or nil.
-func (c *LiveCluster) Err() error { return c.inner.Err() }
+func (c *LiveCluster) Err() error { return c.eng.Err() }
 
-// WaitConverged polls until the spread stays below the configured
-// tolerance or the timeout elapses; it reports whether convergence was
-// observed.
+// WaitConverged polls until the spread stays below tol or the timeout
+// elapses; it reports whether convergence was observed.
 func (c *LiveCluster) WaitConverged(timeout time.Duration, tol float64) (bool, error) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if err := c.inner.Err(); err != nil {
+		if err := c.eng.Err(); err != nil {
 			return false, err
 		}
-		spread, err := c.inner.Spread()
+		spread, err := c.eng.Spread()
 		if err != nil {
 			return false, err
 		}
@@ -547,24 +534,24 @@ func (c *LiveCluster) WaitConverged(timeout time.Duration, tol float64) (bool, e
 // Kill crashes node i fail-stop (§3.1): its goroutines stop, its links
 // drop, and the weight it held is destroyed. It returns that destroyed
 // weight. Killing an already-dead or out-of-range node is an error.
-func (c *LiveCluster) Kill(i int) (float64, error) { return c.inner.Kill(i) }
+func (c *LiveCluster) Kill(i int) (float64, error) { return c.eng.Kill(i) }
 
 // Restart revives a killed node with a fresh value (weight 1) and
-// re-dials its surviving neighbors; the node rejoins the gossip.
+// re-links its surviving neighbors; the node rejoins the gossip.
 func (c *LiveCluster) Restart(i int, value Value) error {
-	return c.inner.Restart(i, vec.Vector(value).Clone())
+	return c.eng.Restart(i, vec.Vector(value).Clone())
 }
 
 // Alive reports whether node i is currently running.
-func (c *LiveCluster) Alive(i int) bool { return c.inner.Alive(i) }
+func (c *LiveCluster) Alive(i int) bool { return c.eng.Alive(i) }
 
 // AliveCount returns the number of currently running nodes.
-func (c *LiveCluster) AliveCount() int { return c.inner.AliveCount() }
+func (c *LiveCluster) AliveCount() int { return c.eng.AliveCount() }
 
 // TotalWeight sums the weight currently held at alive nodes — the
 // conservation audit for churn experiments.
-func (c *LiveCluster) TotalWeight() float64 { return c.inner.TotalWeight() }
+func (c *LiveCluster) TotalWeight() float64 { return c.eng.TotalWeight() }
 
 // Stop shuts the cluster down and joins all goroutines. Safe to call
 // more than once.
-func (c *LiveCluster) Stop() { c.inner.Stop() }
+func (c *LiveCluster) Stop() { c.eng.Stop() }

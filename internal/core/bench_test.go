@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"testing"
+
+	"distclass/internal/centroids"
+	"distclass/internal/core"
+	"distclass/internal/rng"
+	"distclass/internal/vec"
+)
+
+// benchNodes builds two nodes that each hold k collections with d-dim
+// summaries and auxDim-dim aux vectors — the shape a convergence probe
+// sees in an instrumented run, where aux is mixture-space (O(n)-dim for
+// the full basis) and dwarfs the summary.
+func benchNodes(b *testing.B, k, d, auxDim int) (*core.Node, *core.Node) {
+	b.Helper()
+	r := rng.New(1)
+	mk := func(id int) *core.Node {
+		n, err := core.NewNode(id, randVec(r, d), randVec(r, auxDim), cfg(k, 0))
+		if err != nil {
+			b.Fatalf("NewNode: %v", err)
+		}
+		for j := 1; j < k; j++ {
+			in := core.Classification{{
+				Summary: centroids.Centroid{Point: randVec(r, d)},
+				Weight:  0.5,
+				Aux:     randVec(r, auxDim),
+			}}
+			if err := n.Absorb(in); err != nil {
+				b.Fatalf("Absorb: %v", err)
+			}
+		}
+		return n
+	}
+	return mk(0), mk(1)
+}
+
+func randVec(r *rng.RNG, d int) vec.Vector {
+	v := vec.New(d)
+	for i := range v {
+		v[i] = r.Normal(0, 1)
+	}
+	return v
+}
+
+// BenchmarkSpreadProbeClone is the pre-refactor probe path: clone both
+// classifications (O(k·d) allocations each) and run Dissimilarity over
+// the copies.
+func BenchmarkSpreadProbeClone(b *testing.B) {
+	a, c := benchNodes(b, 8, 8, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Dissimilarity(a.Classification(), c.Classification(), a.Method()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpreadProbeZeroCopy is the probe path convergence detection
+// actually uses: DissimilarityTo reads the nodes' own slices directly.
+func BenchmarkSpreadProbeZeroCopy(b *testing.B) {
+	a, c := benchNodes(b, 8, 8, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.DissimilarityTo(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

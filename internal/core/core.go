@@ -256,6 +256,16 @@ func (n *Node) Method() Method { return n.cfg.Method }
 // classification.
 func (n *Node) Classification() Classification { return n.cls.Clone() }
 
+// DissimilarityTo computes Dissimilarity between this node's
+// classification and other's directly over the nodes' own slices,
+// without cloning either side. Dissimilarity only reads summaries and
+// weights, so no copy is needed; convergence probes (Spread) call this
+// O(sample²) per probe and would otherwise allocate O(k·d) clones per
+// pair.
+func (n *Node) DissimilarityTo(other *Node) (float64, error) {
+	return Dissimilarity(n.cls, other.cls, n.cfg.Method)
+}
+
 // Len returns the number of collections currently held.
 func (n *Node) Len() int { return len(n.cls) }
 

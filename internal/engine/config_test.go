@@ -1,0 +1,154 @@
+// Option validation: the engine must reject any option the chosen
+// backend cannot honor — silently dropping a fault-injection or wire
+// setting would invalidate an experiment without a trace of it.
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"distclass"
+	"distclass/internal/core"
+	"distclass/internal/engine"
+	"distclass/internal/topology"
+)
+
+func baseConfig(b engine.Backend) engine.Config {
+	return engine.Config{
+		Backend:  b,
+		Method:   distclass.GaussianMixture(),
+		Values:   []core.Value{{-1, 0}, {1, 0}},
+		Topology: topology.KindFull,
+	}
+}
+
+func TestConfigRejectsUnsupportedOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  engine.Config
+		want string
+	}{
+		{
+			name: "missing method",
+			cfg:  engine.Config{Values: []core.Value{{0}}},
+			want: "Method is required",
+		},
+		{
+			name: "no values",
+			cfg:  engine.Config{Method: distclass.GaussianMixture()},
+			want: "no input values",
+		},
+		{
+			name: "async drop prob",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendAsync)
+				c.DropProb = 0.1
+				return c
+			}(),
+			want: "does not support DropProb",
+		},
+		{
+			name: "chan crash prob",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendChan)
+				c.CrashProb = 0.1
+				return c
+			}(),
+			want: "does not support CrashProb",
+		},
+		{
+			name: "pipe drop prob",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendPipe)
+				c.DropProb = 0.1
+				return c
+			}(),
+			want: "does not support DropProb",
+		},
+		{
+			name: "round decode threshold",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendRound)
+				c.FailOnDecodeErrors = 1
+				return c
+			}(),
+			want: "no wire decoding",
+		},
+		{
+			name: "chan decode threshold",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendChan)
+				c.FailOnDecodeErrors = 1
+				return c
+			}(),
+			want: "no wire decoding",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := engine.New(tc.cfg)
+			if eng != nil {
+				defer eng.Stop()
+			}
+			if err == nil {
+				t.Fatalf("New accepted an invalid config, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigAcceptsSupportedOptions is the positive counterpart: the
+// same settings pass on backends whose capability matrix includes them.
+func TestConfigAcceptsSupportedOptions(t *testing.T) {
+	round := baseConfig(engine.BackendRound)
+	round.CrashProb = 0.01
+	round.DropProb = 0.01
+	async := baseConfig(engine.BackendAsync)
+	async.CrashProb = 0.01
+	pipe := baseConfig(engine.BackendPipe)
+	pipe.FailOnDecodeErrors = 3
+	for _, cfg := range []engine.Config{round, async, pipe} {
+		eng, err := engine.New(cfg)
+		if err != nil {
+			t.Errorf("%s: New rejected a supported config: %v", cfg.Backend, err)
+			continue
+		}
+		eng.Stop()
+	}
+}
+
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, b := range engine.Backends() {
+		got, err := engine.ParseBackend(b.String())
+		if err != nil {
+			t.Errorf("ParseBackend(%q): %v", b.String(), err)
+		} else if got != b {
+			t.Errorf("ParseBackend(%q) = %s", b.String(), got)
+		}
+	}
+	if _, err := engine.ParseBackend("bogus"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend name")
+	}
+}
+
+// TestCapsMatrix pins the capability matrix the documentation and the
+// validation rules are written against.
+func TestCapsMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		b    engine.Backend
+		want engine.Caps
+	}{
+		{engine.BackendRound, engine.Caps{Deterministic: true, Rounds: true, CrashProb: true, DropProb: true}},
+		{engine.BackendAsync, engine.Caps{Deterministic: true, Rounds: true, CrashProb: true}},
+		{engine.BackendChan, engine.Caps{Restart: true}},
+		{engine.BackendPipe, engine.Caps{Restart: true, Wire: true}},
+		{engine.BackendTCP, engine.Caps{Restart: true, Wire: true}},
+	} {
+		if got := tc.b.Caps(); got != tc.want {
+			t.Errorf("%s caps = %+v, want %+v", tc.b, got, tc.want)
+		}
+	}
+}

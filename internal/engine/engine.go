@@ -1,0 +1,417 @@
+// Package engine is the transport-agnostic protocol layer: one gossip
+// loop — split → send → absorb, Spread/convergence probing, weight-
+// conservation accounting, uniform metrics and trace emission — over
+// interchangeable communication backends. The paper's Algorithm 1 is
+// deliberately generic over the substrate (§3.1 assumes only reliable
+// channels and fair gossip); the engine makes that genericity concrete:
+//
+//   - BackendRound — the synchronous round driver (sim.Network), the
+//     deterministic model the paper's evaluation uses (§5.3).
+//   - BackendAsync — the asynchronous event driver (sim.Async),
+//     deterministic arbitrary interleavings.
+//   - BackendChan — goroutines and buffered channels in one process,
+//     no serialization: the real concurrent protocol at scales (N in
+//     the thousands) neither the lockstep simulator nor a socket
+//     deployment reaches, and the natural -race stress target.
+//   - BackendPipe / BackendTCP — the livenet wire deployment over
+//     in-process pipes or loopback TCP: real connections, wire
+//     encoding, genuine asynchrony.
+//
+// The simulator backends stay byte-compatible with the pre-engine
+// drivers: a fixed-seed round-backend run emits the identical trace
+// stream. The wire backends reuse internal/livenet, reduced to a pure
+// transport; the protocol sequencing they used to hand-roll lives
+// here, which is how they gain pull/push-pull modes and the
+// round-robin policy.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"distclass/internal/core"
+	"distclass/internal/metrics"
+	"distclass/internal/rng"
+	"distclass/internal/topology"
+	"distclass/internal/trace"
+	"distclass/internal/vec"
+)
+
+// Backend selects the communication substrate an Engine runs on.
+type Backend int
+
+// Supported backends.
+const (
+	// BackendRound is the deterministic synchronous round driver.
+	BackendRound Backend = iota
+	// BackendAsync is the deterministic asynchronous event driver.
+	BackendAsync
+	// BackendChan runs the concurrent protocol over in-process
+	// channels, one goroutine pair per node, no serialization.
+	BackendChan
+	// BackendPipe runs the wire deployment over in-process pipes.
+	BackendPipe
+	// BackendTCP runs the wire deployment over loopback TCP sockets.
+	BackendTCP
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendRound:
+		return "round"
+	case BackendAsync:
+		return "async"
+	case BackendChan:
+		return "chan"
+	case BackendPipe:
+		return "pipe"
+	case BackendTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackend maps a -backend flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "round":
+		return BackendRound, nil
+	case "async":
+		return BackendAsync, nil
+	case "chan":
+		return BackendChan, nil
+	case "pipe":
+		return BackendPipe, nil
+	case "tcp":
+		return BackendTCP, nil
+	default:
+		return 0, fmt.Errorf(`engine: unknown backend %q (want "round", "async", "chan", "pipe" or "tcp")`, s)
+	}
+}
+
+// Backends lists every backend, in flag-documentation order.
+func Backends() []Backend {
+	return []Backend{BackendRound, BackendAsync, BackendChan, BackendPipe, BackendTCP}
+}
+
+// Caps is a backend's capability matrix. Unsupported options are
+// rejected by New with a clear error, never silently ignored.
+type Caps struct {
+	// Deterministic: fixed seed implies identical runs (and traces).
+	Deterministic bool
+	// Rounds: the run advances in driver rounds (Run/RunUntilConverged
+	// count them); false means real time (WaitConverged polls).
+	Rounds bool
+	// CrashProb: probabilistic per-round crash injection.
+	CrashProb bool
+	// DropProb: probabilistic message loss.
+	DropProb bool
+	// Restart: killed nodes can rejoin (Kill works on every backend).
+	Restart bool
+	// Wire: messages cross a real byte-encoded transport.
+	Wire bool
+}
+
+// Caps returns the backend's capability matrix.
+func (b Backend) Caps() Caps {
+	switch b {
+	case BackendRound:
+		return Caps{Deterministic: true, Rounds: true, CrashProb: true, DropProb: true}
+	case BackendAsync:
+		// CrashProb is engine-driven: the driver rejects it, the engine
+		// applies it as explicit Kills between virtual rounds.
+		return Caps{Deterministic: true, Rounds: true, CrashProb: true}
+	case BackendChan:
+		return Caps{Restart: true}
+	case BackendPipe, BackendTCP:
+		return Caps{Restart: true, Wire: true}
+	default:
+		return Caps{}
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Backend selects the substrate (default BackendRound).
+	Backend Backend
+	// Method is the instantiation. Required.
+	Method core.Method
+	// Values are the input data, one node each. Required.
+	Values []core.Value
+	// Aux, when set, provides node i's initial auxiliary vector
+	// (mixture-space tracking); nil disables tracking.
+	Aux func(i int) vec.Vector
+	// Topology selects the graph generator (default full mesh); Graph,
+	// when non-nil, supplies a prebuilt graph instead and Topology is
+	// ignored.
+	Topology topology.Kind
+	Graph    *topology.Graph
+	// RNG, when non-nil, is used directly as the randomness root and
+	// Seed is ignored — for harnesses that manage their own streams.
+	// Otherwise the root is rng.New(Seed).
+	RNG *rng.RNG
+	// K bounds collections per classification (default 2).
+	K int
+	// Q is the weight quantum (default core.DefaultQ).
+	Q float64
+	// Seed seeds all randomness (default 1).
+	Seed uint64
+	// Policy selects neighbor choice (default PushRandom); Mode the
+	// gossip pattern (default ModePush). Every backend supports all
+	// policies and modes.
+	Policy Policy
+	Mode   Mode
+	// CrashProb crashes each alive node with this probability per
+	// round (backends with Caps.CrashProb only).
+	CrashProb float64
+	// DropProb loses each sent message with this probability
+	// (backends with Caps.DropProb only).
+	DropProb float64
+	// Tolerance is the convergence threshold (default 1e-3) and Window
+	// the consecutive-probe count (default 3) for RunUntilConverged
+	// and WaitConverged.
+	Tolerance float64
+	Window    int
+	// MaxRounds bounds RunUntilConverged (default 500; rounds backends
+	// only).
+	MaxRounds int
+	// Interval is each node's gossip tick on concurrent backends
+	// (default 2ms).
+	Interval time.Duration
+	// SendQueue bounds per-link (or per-node inbox) queues on
+	// concurrent backends (default livenet.DefaultSendQueue).
+	SendQueue int
+	// FailOnDecodeErrors, when positive, fails wire backends once the
+	// aggregate decode-error count reaches the threshold.
+	FailOnDecodeErrors int
+	// Metrics, when non-nil, backs all instrumentation; Trace receives
+	// typed protocol and driver events.
+	Metrics *metrics.Registry
+	Trace   trace.Sink
+	// EmitHeader records a run-header trace event (KindRunHeader,
+	// carrying the backend name) before any other event. Off by
+	// default so fixed-seed round traces stay byte-identical to
+	// pre-engine runs; commands turn it on.
+	EmitHeader bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	//lint:allow floatcmp zero value selects the default
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-3
+	}
+	if c.Window == 0 {
+		c.Window = 3
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 500
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	return c
+}
+
+// validate rejects option combinations the chosen backend cannot
+// honor — the engine never drops an option on the floor.
+func (c Config) validate() error {
+	if c.Method == nil {
+		return errors.New("engine: Config.Method is required")
+	}
+	if len(c.Values) == 0 {
+		return errors.New("engine: no input values")
+	}
+	caps := c.Backend.Caps()
+	//lint:allow floatcmp zero means "feature unused"; any nonzero setting must be honored or rejected
+	if c.CrashProb != 0 && !caps.CrashProb {
+		return fmt.Errorf("engine: backend %s does not support CrashProb (got %v); use Kill for explicit crashes", c.Backend, c.CrashProb)
+	}
+	//lint:allow floatcmp zero means "feature unused"; any nonzero setting must be honored or rejected
+	if c.DropProb != 0 && !caps.DropProb {
+		return fmt.Errorf("engine: backend %s does not support DropProb (got %v)", c.Backend, c.DropProb)
+	}
+	if c.FailOnDecodeErrors > 0 && !caps.Wire {
+		return fmt.Errorf("engine: backend %s has no wire decoding; FailOnDecodeErrors does not apply", c.Backend)
+	}
+	return nil
+}
+
+// Engine runs the classification protocol on one backend. Construct
+// with New; concurrent backends must be Stopped.
+type Engine interface {
+	// Backend identifies the substrate.
+	Backend() Backend
+	// N returns the number of nodes.
+	N() int
+	// Node returns node i's protocol state. For concurrent backends
+	// the node's internals may be mutated by running goroutines; use
+	// Classification for a safe snapshot.
+	Node(i int) *core.Node
+	// Classification returns a copy of node i's classification.
+	Classification(i int) core.Classification
+	// Spread returns the sampled maximum pairwise dissimilarity over
+	// alive nodes — the convergence diagnostic.
+	Spread() (float64, error)
+	// TotalWeight sums the weight held at alive nodes.
+	TotalWeight() float64
+	// Alive reports whether node i is alive; AliveCount counts them.
+	Alive(i int) bool
+	AliveCount() int
+	// Stats returns the engine's traffic counters.
+	Stats() Stats
+	// Kill crashes node i fail-stop and returns the weight destroyed
+	// (the node's own plus anything in flight to it that the crash
+	// discarded).
+	Kill(i int) (float64, error)
+	// Restart revives a killed node with a fresh value (backends with
+	// Caps.Restart).
+	Restart(i int, value core.Value) error
+	// Step advances one round without convergence probing: a driver
+	// round on BackendRound, N driver events (one virtual round) on
+	// BackendAsync, one gossip interval of wall time on concurrent
+	// backends.
+	Step() error
+	// Run advances the protocol: on rounds backends it executes the
+	// given number of rounds; on concurrent backends it lets the
+	// protocol run for rounds gossip intervals of wall time.
+	Run(rounds int) error
+	// RunObserved is Run with a per-round callback (rounds backends
+	// only; the callback may return ErrStop).
+	RunObserved(rounds int, after func(round int) error) error
+	// RunUntilConverged runs until Spread stays below Tolerance for
+	// Window consecutive probes, or the budget is exhausted: MaxRounds
+	// rounds on rounds backends, the given timeout on concurrent ones
+	// (timeout <= 0 means 30s).
+	RunUntilConverged(timeout time.Duration) (rounds int, converged bool, err error)
+	// Err returns the first internal error observed (concurrent
+	// backends), or nil.
+	Err() error
+	// Stop shuts concurrent backends down (joining all goroutines) and
+	// is a no-op on simulator backends. Safe to call more than once.
+	Stop()
+}
+
+// New builds an engine over the configured backend. The classification
+// nodes, graph construction and randomness split order are identical
+// across backends: root RNG, one Split for the topology, one Split for
+// the driver — the same order the pre-engine facade used, preserving
+// fixed-seed byte-compatibility on BackendRound.
+func New(cfg Config) (Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := cfg.RNG
+	if root == nil {
+		root = rng.New(cfg.Seed)
+	}
+	graph := cfg.Graph
+	if graph == nil {
+		var err error
+		graph, err = topology.Build(cfg.Topology, len(cfg.Values), root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	if graph.N() != len(cfg.Values) {
+		return nil, fmt.Errorf("engine: %d values for a %d-node graph", len(cfg.Values), graph.N())
+	}
+	if cfg.EmitHeader && cfg.Trace != nil {
+		if err := cfg.Trace.Record(trace.RunHeader(cfg.Backend.String())); err != nil {
+			return nil, fmt.Errorf("engine: run header: %w", err)
+		}
+	}
+	nodeCfg := core.Config{
+		Method:  cfg.Method,
+		K:       cfg.K,
+		Q:       cfg.Q,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
+	}
+	nodes := make([]*core.Node, len(cfg.Values))
+	for i, v := range cfg.Values {
+		var aux vec.Vector
+		if cfg.Aux != nil {
+			aux = cfg.Aux(i)
+		}
+		node, err := core.NewNode(i, vec.Vector(v).Clone(), aux, nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		nodes[i] = node
+	}
+	switch cfg.Backend {
+	case BackendRound, BackendAsync:
+		return newSimEngine(cfg, graph, nodes, root)
+	case BackendChan, BackendPipe, BackendTCP:
+		return newLiveEngine(cfg, graph, nodes, nodeCfg, root)
+	default:
+		return nil, fmt.Errorf("engine: unknown backend %d", int(cfg.Backend))
+	}
+}
+
+// ClassificationSize measures a classification message by its number
+// of collections — the unit the paper's message-size discussion uses.
+func ClassificationSize(cl core.Classification) int { return len(cl) }
+
+// classifierAgent adapts a classification node (Algorithm 1) to the
+// generic drivers.
+type classifierAgent struct {
+	node *core.Node
+}
+
+func (a *classifierAgent) Emit() (core.Classification, bool) {
+	out := a.node.Split()
+	return out, len(out) > 0
+}
+
+func (a *classifierAgent) Receive(batch []core.Classification) error {
+	return a.node.Absorb(batch...)
+}
+
+// spreadOver returns the sampled maximum pairwise dissimilarity over
+// the given nodes: all pairs when few, a spaced subset otherwise. The
+// probe reads the nodes' own slices (no cloning) via DissimilarityTo.
+func spreadOver(nodes []*core.Node, maxProbe int) (float64, error) {
+	if maxProbe < 2 {
+		maxProbe = 2
+	}
+	idx := sampleIndices(len(nodes), maxProbe)
+	var worst float64
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			d, err := nodes[idx[i]].DissimilarityTo(nodes[idx[j]])
+			if err != nil {
+				return 0, err
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// sampleIndices returns up to max evenly spaced indices over [0, n).
+func sampleIndices(n, max int) []int {
+	if n <= max {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i * n / max
+	}
+	return out
+}

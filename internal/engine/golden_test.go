@@ -1,0 +1,129 @@
+// Golden byte-compatibility: the engine's round backend must produce
+// traces identical to the pre-engine simulator, byte for byte, on fixed
+// seeds. The goldens in testdata/ were recorded from the original
+// sim-driven facade; any drift here means the refactor changed protocol
+// behavior, not just its plumbing.
+package engine_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distclass"
+	"distclass/internal/rng"
+	"distclass/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// workload is one fixed-seed scenario whose round-backend trace is
+// pinned in testdata/.
+type workload struct {
+	values []distclass.Value
+	method distclass.Method
+	opts   []distclass.Option
+}
+
+// gmWorkload covers the default path: Gaussian-mixture method, full
+// mesh, random push.
+func gmWorkload() workload {
+	r := rng.New(42)
+	values := make([]distclass.Value, 24)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4.0
+		}
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	return workload{values: values, method: distclass.GaussianMixture(), opts: []distclass.Option{
+		distclass.WithK(2), distclass.WithSeed(7), distclass.WithMaxRounds(60),
+	}}
+}
+
+// centroidsWorkload covers the non-default options: centroids method,
+// ring topology, round-robin partner choice, push-pull exchange.
+func centroidsWorkload() workload {
+	r := rng.New(9)
+	values := make([]distclass.Value, 16)
+	for i := range values {
+		c := float64(i%2) * 8
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	return workload{values: values, method: distclass.Centroids(), opts: []distclass.Option{
+		distclass.WithK(2), distclass.WithSeed(3),
+		distclass.WithTopology(distclass.TopologyRing),
+		distclass.WithPolicy(distclass.RoundRobin),
+		distclass.WithMode(distclass.ModePushPull),
+		distclass.WithMaxRounds(40),
+	}}
+}
+
+// runTrace executes the workload on the round backend and returns the
+// recorded trace.
+func runTrace(t *testing.T, w workload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opts := append(append([]distclass.Option{}, w.opts...), distclass.WithTrace(trace.NewRecorder(&buf)))
+	sys, err := distclass.New(w.values, w.method, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, _, err := sys.RunUntilConverged(); err != nil {
+		t.Fatalf("RunUntilConverged: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTraceGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		w    workload
+	}{
+		{"gm", "round_gm_n24_seed7.trace", gmWorkload()},
+		{"centroids", "round_centroids_n16_seed3.trace", centroidsWorkload()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runTrace(t, tc.w)
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to record): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			gotLines := bytes.Split(got, []byte("\n"))
+			wantLines := bytes.Split(want, []byte("\n"))
+			for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+				if !bytes.Equal(gotLines[i], wantLines[i]) {
+					t.Fatalf("trace diverges from %s at line %d:\n got: %s\nwant: %s",
+						path, i+1, gotLines[i], wantLines[i])
+				}
+			}
+			t.Fatalf("trace length differs from %s: got %d lines, want %d",
+				path, len(gotLines), len(wantLines))
+		})
+	}
+}
+
+// TestRoundTraceDeterministic pins the determinism contract directly:
+// the same seed produces the same trace on a fresh System.
+func TestRoundTraceDeterministic(t *testing.T) {
+	a := runTrace(t, gmWorkload())
+	b := runTrace(t, gmWorkload())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs with the same seed produced different traces")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine_test
+
+// raceEnabled mirrors the race build tag so tests can scale workloads
+// to the detector's (roughly 5-15x) CPU overhead.
+const raceEnabled = true

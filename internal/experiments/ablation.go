@@ -6,11 +6,11 @@ import (
 
 	"distclass/internal/centroids"
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/gm"
 	"distclass/internal/histogram"
 	"distclass/internal/metrics"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/stats"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
@@ -91,10 +91,10 @@ type ConvergenceRun struct {
 
 // runConvergence runs classification to convergence over the graph and
 // reports rounds and traffic.
-func runConvergence(label string, graph *topology.Graph, values []vec.Vector, method core.Method, cfg AblationConfig, q float64, policy sim.Policy, mode sim.Mode, r *rng.RNG) (ConvergenceRun, error) {
+func runConvergence(label string, graph *topology.Graph, values []vec.Vector, method core.Method, cfg AblationConfig, q float64, policy engine.Policy, mode engine.Mode, r *rng.RNG) (ConvergenceRun, error) {
 	n := graph.N()
 	nodes := make([]*core.Node, n)
-	agents := make([]sim.Agent[core.Classification], n)
+	agents := make([]engine.Agent[core.Classification], n)
 	for i := range nodes {
 		node, err := core.NewNode(i, values[i], nil, core.Config{
 			Method: method, K: cfg.K, Q: q,
@@ -106,7 +106,7 @@ func runConvergence(label string, graph *topology.Graph, values []vec.Vector, me
 		nodes[i] = node
 		agents[i] = &ClassifierAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r, sim.Options[core.Classification]{
+	net, err := engine.NewRoundDriver(graph, agents, r, engine.Options[core.Classification]{
 		Policy:   policy,
 		Mode:     mode,
 		SizeFunc: ClassificationSize,
@@ -140,7 +140,7 @@ func runConvergence(label string, graph *topology.Graph, values []vec.Vector, me
 				if run.Rounds < 0 {
 					run.Rounds = round - 1 // first of the 3 stable rounds
 				}
-				return sim.ErrStop
+				return engine.ErrStop
 			}
 		} else {
 			stable = 0
@@ -171,7 +171,7 @@ func RunTopologyAblation(kinds []topology.Kind, cfg AblationConfig) ([]Convergen
 		if err != nil {
 			return nil, fmt.Errorf("experiments: topology %s: %w", kind, err)
 		}
-		run, err := runConvergence(string(kind), graph, values, gm.Method{}, cfg, 0, sim.PushRandom, sim.ModePush, r.Split())
+		run, err := runConvergence(string(kind), graph, values, gm.Method{}, cfg, 0, engine.PushRandom, engine.ModePush, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: topology %s: %w", kind, err)
 		}
@@ -197,7 +197,7 @@ func RunKAblation(ks []int, cfg AblationConfig) ([]ConvergenceRun, error) {
 	for _, k := range ks {
 		kCfg := cfg
 		kCfg.K = k
-		run, err := runConvergence(fmt.Sprintf("k=%d", k), graph, values, gm.Method{}, kCfg, 0, sim.PushRandom, sim.ModePush, r.Split())
+		run, err := runConvergence(fmt.Sprintf("k=%d", k), graph, values, gm.Method{}, kCfg, 0, engine.PushRandom, engine.ModePush, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: k=%d: %w", k, err)
 		}
@@ -253,7 +253,7 @@ func RunQAblation(qs []float64, cfg AblationConfig) ([]QAblationRow, error) {
 	for _, q := range qs {
 		n := graph.N()
 		nodes := make([]*core.Node, n)
-		agents := make([]sim.Agent[core.Classification], n)
+		agents := make([]engine.Agent[core.Classification], n)
 		for i := range nodes {
 			node, err := core.NewNode(i, values[i], nil, core.Config{Method: gm.Method{}, K: cfg.K, Q: q})
 			if err != nil {
@@ -262,7 +262,7 @@ func RunQAblation(qs []float64, cfg AblationConfig) ([]QAblationRow, error) {
 			nodes[i] = node
 			agents[i] = &ClassifierAgent{Node: node}
 		}
-		net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{})
+		net, err := engine.NewRoundDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +279,7 @@ func RunQAblation(qs []float64, cfg AblationConfig) ([]QAblationRow, error) {
 					if row.Rounds < 0 {
 						row.Rounds = round - 1
 					}
-					return sim.ErrStop
+					return engine.ErrStop
 				}
 			} else {
 				stable = 0
@@ -309,8 +309,8 @@ func RunPolicyAblation(cfg AblationConfig) ([]ConvergenceRun, error) {
 		return nil, err
 	}
 	var runs []ConvergenceRun
-	for _, policy := range []sim.Policy{sim.PushRandom, sim.RoundRobin} {
-		run, err := runConvergence(policy.String(), graph, values, gm.Method{}, cfg, 0, policy, sim.ModePush, r.Split())
+	for _, policy := range []engine.Policy{engine.PushRandom, engine.RoundRobin} {
+		run, err := runConvergence(policy.String(), graph, values, gm.Method{}, cfg, 0, policy, engine.ModePush, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: policy %s: %w", policy, err)
 		}
@@ -332,8 +332,8 @@ func RunModeAblation(cfg AblationConfig) ([]ConvergenceRun, error) {
 		return nil, err
 	}
 	var runs []ConvergenceRun
-	for _, mode := range []sim.Mode{sim.ModePush, sim.ModePull, sim.ModePushPull} {
-		run, err := runConvergence(mode.String(), graph, values, gm.Method{}, cfg, 0, sim.PushRandom, mode, r.Split())
+	for _, mode := range []engine.Mode{engine.ModePush, engine.ModePull, engine.ModePushPull} {
+		run, err := runConvergence(mode.String(), graph, values, gm.Method{}, cfg, 0, engine.PushRandom, mode, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: mode %s: %w", mode, err)
 		}
@@ -362,7 +362,7 @@ func RunMethodComparison(cfg AblationConfig) ([]MethodComparisonRow, error) {
 	}
 	var rows []MethodComparisonRow
 	for _, m := range []core.Method{centroids.Method{}, gm.Method{}} {
-		run, err := runConvergence(m.Name(), graph, values, m, cfg, 0, sim.PushRandom, sim.ModePush, r.Split())
+		run, err := runConvergence(m.Name(), graph, values, m, cfg, 0, engine.PushRandom, engine.ModePush, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: method %s: %w", m.Name(), err)
 		}
@@ -408,7 +408,7 @@ func RunHistogramComparison(n int, delta float64, rounds int, seed uint64) (*His
 	// Robust GM run (k = 2).
 	method := gm.Method{}
 	nodes := make([]*core.Node, n)
-	agents := make([]sim.Agent[core.Classification], n)
+	agents := make([]engine.Agent[core.Classification], n)
 	for i := range nodes {
 		node, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: 2})
 		if err != nil {
@@ -417,7 +417,7 @@ func RunHistogramComparison(n int, delta float64, rounds int, seed uint64) (*His
 		nodes[i] = node
 		agents[i] = &ClassifierAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{})
+	net, err := engine.NewRoundDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +436,7 @@ func RunHistogramComparison(n int, delta float64, rounds int, seed uint64) (*His
 	// Histogram run over the same scalars.
 	spec := histogram.Spec{Lo: -5, Hi: delta + 5, Bins: 40}
 	hNodes := make([]*histogram.Node, n)
-	hAgents := make([]sim.Agent[histogram.Message], n)
+	hAgents := make([]engine.Agent[histogram.Message], n)
 	for i := range hNodes {
 		node, err := histogram.NewNode(i, values[i][0], spec)
 		if err != nil {
@@ -445,7 +445,7 @@ func RunHistogramComparison(n int, delta float64, rounds int, seed uint64) (*His
 		hNodes[i] = node
 		hAgents[i] = &HistogramAgent{Node: node}
 	}
-	hNet, err := sim.NewNetwork(graph, hAgents, r.Split(), sim.Options[histogram.Message]{})
+	hNet, err := engine.NewRoundDriver(graph, hAgents, r.Split(), engine.Options[histogram.Message]{})
 	if err != nil {
 		return nil, err
 	}
@@ -531,7 +531,7 @@ func RunReducerAblation(cfg AblationConfig) ([]ReducerRow, error) {
 					if row.Rounds < 0 {
 						row.Rounds = round - 1
 					}
-					return sim.ErrStop
+					return engine.ErrStop
 				}
 			} else {
 				stable = 0
@@ -588,7 +588,7 @@ func RunScalabilityAblation(sizes []int, cfg AblationConfig) ([]ScalabilityRow, 
 		}
 		nCfg := cfg
 		nCfg.N = n
-		run, err := runConvergence(fmt.Sprintf("n=%d", n), graph, values, gm.Method{}, nCfg, 0, sim.PushRandom, sim.ModePush, r.Split())
+		run, err := runConvergence(fmt.Sprintf("n=%d", n), graph, values, gm.Method{}, nCfg, 0, engine.PushRandom, engine.ModePush, r.Split())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: n=%d: %w", n, err)
 		}
@@ -637,7 +637,7 @@ func RunLossAblation(probs []float64, cfg AblationConfig) ([]LossRow, error) {
 	for _, p := range probs {
 		method := gm.Method{}
 		nodes := make([]*core.Node, cfg.N)
-		agents := make([]sim.Agent[core.Classification], cfg.N)
+		agents := make([]engine.Agent[core.Classification], cfg.N)
 		for i := range nodes {
 			node, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: cfg.K})
 			if err != nil {
@@ -646,7 +646,7 @@ func RunLossAblation(probs []float64, cfg AblationConfig) ([]LossRow, error) {
 			nodes[i] = node
 			agents[i] = &ClassifierAgent{Node: node}
 		}
-		net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{DropProb: p})
+		net, err := engine.NewRoundDriver(graph, agents, r.Split(), engine.Options[core.Classification]{DropProb: p})
 		if err != nil {
 			return nil, err
 		}
@@ -750,7 +750,7 @@ func RunDimensionAblation(dims []int, cfg AblationConfig) ([]DimensionRow, error
 					if row.Rounds < 0 {
 						row.Rounds = round - 1
 					}
-					return sim.ErrStop
+					return engine.ErrStop
 				}
 			} else {
 				stable = 0

@@ -9,8 +9,8 @@ package experiments
 import (
 	"distclass/internal/aggregate"
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/histogram"
-	"distclass/internal/sim"
 )
 
 // ClassifierAgent adapts a generic classification node (Algorithm 1) to
@@ -19,7 +19,7 @@ type ClassifierAgent struct {
 	Node *core.Node
 }
 
-var _ sim.Agent[core.Classification] = (*ClassifierAgent)(nil)
+var _ engine.Agent[core.Classification] = (*ClassifierAgent)(nil)
 
 // Emit splits the node's classification and sends one half.
 func (a *ClassifierAgent) Emit() (core.Classification, bool) {
@@ -39,7 +39,7 @@ type PushSumAgent struct {
 	Node *aggregate.Node
 }
 
-var _ sim.Agent[aggregate.Message] = (*PushSumAgent)(nil)
+var _ engine.Agent[aggregate.Message] = (*PushSumAgent)(nil)
 
 // Emit sends half of the node's mass.
 func (a *PushSumAgent) Emit() (aggregate.Message, bool) {
@@ -56,7 +56,7 @@ type HistogramAgent struct {
 	Node *histogram.Node
 }
 
-var _ sim.Agent[histogram.Message] = (*HistogramAgent)(nil)
+var _ engine.Agent[histogram.Message] = (*HistogramAgent)(nil)
 
 // Emit sends half of the node's bin mass.
 func (a *HistogramAgent) Emit() (histogram.Message, bool) {

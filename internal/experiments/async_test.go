@@ -6,9 +6,9 @@ import (
 
 	"distclass/internal/centroids"
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/gm"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/topology"
 	"distclass/internal/vec"
 )
@@ -32,7 +32,7 @@ func TestAsyncDistributedConvergence(t *testing.T) {
 				}
 				values := bimodalDataset(n, r)
 				nodes := make([]*core.Node, n)
-				agents := make([]sim.Agent[core.Classification], n)
+				agents := make([]engine.Agent[core.Classification], n)
 				for i := range nodes {
 					node, err := core.NewNode(i, values[i], nil,
 						core.Config{Method: method, K: 2, Q: 1.0 / 4096})
@@ -42,7 +42,7 @@ func TestAsyncDistributedConvergence(t *testing.T) {
 					nodes[i] = node
 					agents[i] = &ClassifierAgent{Node: node}
 				}
-				async, err := sim.NewAsync(graph, agents, r.Split(), sim.Options[core.Classification]{})
+				async, err := engine.NewAsyncDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 				if err != nil {
 					t.Fatalf("NewAsync: %v", err)
 				}
@@ -120,7 +120,7 @@ func TestAsyncLemma2AcrossTopologies(t *testing.T) {
 			}
 			values := bimodalDataset(n, r)
 			nodes := make([]*core.Node, n)
-			agents := make([]sim.Agent[core.Classification], n)
+			agents := make([]engine.Agent[core.Classification], n)
 			for i := range nodes {
 				aux := vec.New(n)
 				aux[i] = 1
@@ -132,7 +132,7 @@ func TestAsyncLemma2AcrossTopologies(t *testing.T) {
 				nodes[i] = node
 				agents[i] = &ClassifierAgent{Node: node}
 			}
-			async, err := sim.NewAsync(graph, agents, r.Split(), sim.Options[core.Classification]{})
+			async, err := engine.NewAsyncDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 			if err != nil {
 				t.Fatalf("NewAsync: %v", err)
 			}

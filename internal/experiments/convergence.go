@@ -16,11 +16,7 @@ func Spread(nodes []*core.Node, m core.Method, maxNodes int) (float64, error) {
 	var worst float64
 	for i := 0; i < len(idx); i++ {
 		for j := i + 1; j < len(idx); j++ {
-			d, err := core.Dissimilarity(
-				nodes[idx[i]].Classification(),
-				nodes[idx[j]].Classification(),
-				m,
-			)
+			d, err := nodes[idx[i]].DissimilarityTo(nodes[idx[j]])
 			if err != nil {
 				return 0, err
 			}

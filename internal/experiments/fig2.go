@@ -5,10 +5,10 @@ import (
 	"math"
 
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/gauss"
 	"distclass/internal/gm"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/topology"
 	"distclass/internal/vec"
 )
@@ -83,7 +83,7 @@ func RunFigure2(cfg Fig2Config) (*Fig2Result, error) {
 	}
 	method := gm.Method{}
 	nodes := make([]*core.Node, cfg.N)
-	agents := make([]sim.Agent[core.Classification], cfg.N)
+	agents := make([]engine.Agent[core.Classification], cfg.N)
 	for i := range nodes {
 		n, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: cfg.K})
 		if err != nil {
@@ -96,7 +96,7 @@ func RunFigure2(cfg Fig2Config) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{})
+	net, err := engine.NewRoundDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func RunFigure2(cfg Fig2Config) (*Fig2Result, error) {
 				if res.ConvergedRound < 0 {
 					res.ConvergedRound = round + 1
 				}
-				return sim.ErrStop
+				return engine.ErrStop
 			}
 		} else {
 			stable = 0

@@ -7,9 +7,9 @@ import (
 	"distclass/internal/aggregate"
 	"distclass/internal/centroids"
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/gm"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/stats"
 	"distclass/internal/topology"
 	"distclass/internal/vec"
@@ -103,7 +103,7 @@ func runFig3Point(cfg Fig3Config, delta float64, seed uint64) (Fig3Row, error) {
 	// exactly how much good/outlier weight each collection carries.
 	method := gm.Method{}
 	nodes := make([]*core.Node, n)
-	agents := make([]sim.Agent[core.Classification], n)
+	agents := make([]engine.Agent[core.Classification], n)
 	for i := range nodes {
 		aux := vec.New(2)
 		if outlier[i] {
@@ -118,7 +118,7 @@ func runFig3Point(cfg Fig3Config, delta float64, seed uint64) (Fig3Row, error) {
 		nodes[i] = node
 		agents[i] = &ClassifierAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r.Split(), sim.Options[core.Classification]{})
+	net, err := engine.NewRoundDriver(graph, agents, r.Split(), engine.Options[core.Classification]{})
 	if err != nil {
 		return Fig3Row{}, err
 	}
@@ -167,7 +167,7 @@ func runFig3Point(cfg Fig3Config, delta float64, seed uint64) (Fig3Row, error) {
 func runPushSum(graph *topology.Graph, values []vec.Vector, rounds int, r *rng.RNG, crashProb float64, perRound func(round int, estimates []vec.Vector) error) ([]vec.Vector, error) {
 	n := len(values)
 	nodes := make([]*aggregate.Node, n)
-	agents := make([]sim.Agent[aggregate.Message], n)
+	agents := make([]engine.Agent[aggregate.Message], n)
 	for i := range nodes {
 		node, err := aggregate.NewNode(i, values[i])
 		if err != nil {
@@ -176,7 +176,7 @@ func runPushSum(graph *topology.Graph, values []vec.Vector, rounds int, r *rng.R
 		nodes[i] = node
 		agents[i] = &PushSumAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r, sim.Options[aggregate.Message]{CrashProb: crashProb})
+	net, err := engine.NewRoundDriver(graph, agents, r, engine.Options[aggregate.Message]{CrashProb: crashProb})
 	if err != nil {
 		return nil, err
 	}

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"distclass/internal/core"
+	"distclass/internal/engine"
 	"distclass/internal/gm"
 	"distclass/internal/metrics"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/stats"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
@@ -31,6 +32,13 @@ type Fig4Config struct {
 	// CrashProb is the per-round crash probability in the crashing runs
 	// (default 0.05).
 	CrashProb float64
+	// Backend selects the engine substrate for the robust (GM) traces
+	// (default BackendRound). On the deterministic backends the engine
+	// injects crashes per round; on the concurrent backends (chan,
+	// pipe, tcp) the harness samples explicit Kills between wall-clock
+	// rounds of one gossip interval each. The regular push-sum baseline
+	// always runs on the round driver.
+	Backend engine.Backend
 	// Seed drives all randomness (default 1).
 	Seed uint64
 	// Metrics, when set, aggregates protocol and simulator counters
@@ -113,7 +121,7 @@ func RunFigure4(cfg Fig4Config) ([]Fig4Row, error) {
 		_, err := runPushSum(graph, values, cfg.Rounds, r.Split(), crashProb,
 			func(round int, ests []vec.Vector) error {
 				if len(ests) == 0 {
-					return sim.ErrStop
+					return engine.ErrStop
 				}
 				e, err := stats.MeanError(ests, truth)
 				if err != nil {
@@ -213,52 +221,58 @@ func RunCrashSweep(probs []float64, cfg Fig4Config) ([]CrashSweepRow, error) {
 }
 
 // runRobustTraceCount is runRobustTrace with the surviving-node count
-// passed to the sink.
+// passed to the sink. It runs the GM protocol on cfg.Backend through
+// the engine; the per-round error probe reads classification snapshots,
+// which is safe on every backend.
 func runRobustTraceCount(graph *topology.Graph, values []vec.Vector, outlier []bool, cfg Fig4Config, r *rng.RNG, crashProb float64, sink func(round int, err float64, alive int)) error {
-	method := gm.Method{}
-	n := len(values)
-	nodes := make([]*core.Node, n)
-	agents := make([]sim.Agent[core.Classification], n)
-	for i := range nodes {
-		aux := vec.New(2)
-		if outlier[i] {
-			aux[1] = 1
-		} else {
-			aux[0] = 1
-		}
-		node, err := core.NewNode(i, values[i], aux, core.Config{
-			Method: method, K: cfg.K,
-			Metrics: cfg.Metrics, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return err
-		}
-		nodes[i] = node
-		agents[i] = &ClassifierAgent{Node: node}
+	killR := r.Split()
+	vals := make([]core.Value, len(values))
+	for i, v := range values {
+		vals[i] = core.Value(v)
 	}
-	net, err := sim.NewNetwork(graph, agents, r, sim.Options[core.Classification]{
-		CrashProb: crashProb,
-		Metrics:   cfg.Metrics,
-		Trace:     cfg.Trace,
-	})
+	ecfg := engine.Config{
+		Backend: cfg.Backend,
+		Method:  gm.Method{},
+		Values:  vals,
+		Aux: func(i int) vec.Vector {
+			aux := vec.New(2)
+			if outlier[i] {
+				aux[1] = 1
+			} else {
+				aux[0] = 1
+			}
+			return aux
+		},
+		Graph:   graph,
+		RNG:     r,
+		K:       cfg.K,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
+	}
+	caps := cfg.Backend.Caps()
+	if caps.CrashProb {
+		ecfg.CrashProb = crashProb
+	}
+	eng, err := engine.New(ecfg)
 	if err != nil {
 		return err
 	}
+	defer eng.Stop()
 	truth := vec.Of(0, 0)
-	return net.RunRounds(cfg.Rounds, func(round int) error {
+	probe := func(round int) error {
 		var ests []vec.Vector
-		for i, node := range nodes {
-			if !net.Alive(i) {
+		for i := 0; i < eng.N(); i++ {
+			if !eng.Alive(i) {
 				continue
 			}
-			est, err := RobustEstimate(node)
+			est, err := RobustEstimateOf(eng.Classification(i))
 			if err != nil {
 				return err
 			}
 			ests = append(ests, est)
 		}
 		if len(ests) == 0 {
-			return sim.ErrStop
+			return engine.ErrStop
 		}
 		e, err := stats.MeanError(ests, truth)
 		if err != nil {
@@ -276,7 +290,32 @@ func runRobustTraceCount(graph *topology.Graph, values []vec.Vector, outlier []b
 		}
 		sink(round, e, len(ests))
 		return nil
-	})
+	}
+	if caps.CrashProb {
+		return eng.RunObserved(cfg.Rounds, probe)
+	}
+	// Concurrent backend: the engine cannot inject probabilistic
+	// crashes, so the harness samples explicit fail-stop Kills between
+	// wall-clock rounds of one gossip interval each.
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := eng.Step(); err != nil {
+			return err
+		}
+		for i := 0; i < eng.N(); i++ {
+			if eng.Alive(i) && killR.Bool(crashProb) {
+				if _, err := eng.Kill(i); err != nil {
+					return err
+				}
+			}
+		}
+		if err := probe(round); err != nil {
+			if errors.Is(err, engine.ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // CrashSweepTable renders the sweep.

@@ -6,19 +6,19 @@ import (
 
 	"distclass/internal/core"
 	"distclass/internal/dkmeans"
+	"distclass/internal/engine"
 	"distclass/internal/gauss"
 	"distclass/internal/gm"
 	"distclass/internal/rng"
-	"distclass/internal/sim"
 	"distclass/internal/topology"
 	"distclass/internal/vec"
 )
 
 // buildClassifierNetwork wires one generic-algorithm node per value
 // into a round-driver network.
-func buildClassifierNetwork(graph *topology.Graph, values []vec.Vector, method core.Method, k int, q float64, r *rng.RNG) ([]*core.Node, *sim.Network[core.Classification], error) {
+func buildClassifierNetwork(graph *topology.Graph, values []vec.Vector, method core.Method, k int, q float64, r *rng.RNG) ([]*core.Node, *engine.RoundDriver[core.Classification], error) {
 	nodes := make([]*core.Node, graph.N())
-	agents := make([]sim.Agent[core.Classification], graph.N())
+	agents := make([]engine.Agent[core.Classification], graph.N())
 	for i := range nodes {
 		node, err := core.NewNode(i, values[i], nil, core.Config{Method: method, K: k, Q: q})
 		if err != nil {
@@ -27,7 +27,7 @@ func buildClassifierNetwork(graph *topology.Graph, values []vec.Vector, method c
 		nodes[i] = node
 		agents[i] = &ClassifierAgent{Node: node}
 	}
-	net, err := sim.NewNetwork(graph, agents, r, sim.Options[core.Classification]{})
+	net, err := engine.NewRoundDriver(graph, agents, r, engine.Options[core.Classification]{})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -4,7 +4,9 @@
 // every stochastic choice flows through internal/rng, deterministic
 // packages never read the wall clock, floating-point equality goes
 // through the epsilon helpers, map iteration never leaks ordering into
-// output, and mutable package state stays out of the protocol.
+// output, mutable package state stays out of the protocol, and the
+// experiments and cmd layers drive the protocol through
+// internal/engine rather than a concrete driver.
 //
 // The suite is built purely on the standard library's go/ast, go/parser,
 // go/token and go/types (with the source importer), keeping the module
@@ -64,6 +66,7 @@ func All() []Analyzer {
 		FloatCmp{},
 		MapIter{},
 		GlobalState{},
+		Layering{},
 	}
 }
 

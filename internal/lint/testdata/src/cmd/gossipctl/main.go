@@ -1,0 +1,12 @@
+// Command gossipctl mirrors a command front end: the same layering
+// contract as the experiments packages, plus a suppression case.
+package main
+
+import (
+	_ "fixmod/internal/engine"
+	//lint:allow layering fixture for the suppression path of the rule
+	_ "fixmod/internal/livenet"
+	_ "fixmod/internal/sim" // want layering
+)
+
+func main() {}

@@ -1,0 +1,13 @@
+// Package experiments mirrors the real experiments layer: it must
+// reach the protocol through internal/engine only, never a concrete
+// driver (layering).
+package experiments
+
+import (
+	_ "fixmod/internal/engine"
+	_ "fixmod/internal/livenet" // want layering
+	_ "fixmod/internal/sim"     // want layering
+)
+
+// Figure is a stand-in experiment entry point.
+func Figure() int { return 0 }

@@ -1,0 +1,6 @@
+// Package livenet mirrors the real internal/livenet: a concrete
+// transport that only internal/engine may import (layering).
+package livenet
+
+// Frames is a stand-in transport entry point.
+func Frames() int { return 0 }

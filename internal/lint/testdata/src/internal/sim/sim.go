@@ -1,0 +1,6 @@
+// Package sim mirrors the real internal/sim: a concrete protocol
+// driver that only internal/engine may import (layering).
+package sim
+
+// Rounds is a stand-in driver entry point.
+func Rounds() int { return 0 }

@@ -1,121 +1,52 @@
 package livenet
 
 import (
-	"bytes"
-	"encoding/binary"
-	"errors"
-	"io"
 	"testing"
 	"time"
 
-	"distclass/internal/gm"
+	"distclass/internal/core"
 	"distclass/internal/metrics"
 	"distclass/internal/topology"
-	"distclass/internal/vec"
 )
 
-// TestStalledReceiverDoesNotWedgeSender freezes one node (its receive
-// loops cannot absorb) and checks the failure model: the other nodes'
-// senders keep gossiping, frames destined to the frozen node pile up
-// and get dropped at the bounded queues, and the cluster never fails.
-// Under the old design the first full pipe wedged its sender forever.
-func TestStalledReceiverDoesNotWedgeSender(t *testing.T) {
+// TestKillRestartLinkBookkeeping walks a node through death and
+// recovery and checks the transport's books: the dead node disappears
+// from its neighbors' peer sets, surviving endpoints are counted on the
+// links_down gauge until Restart retires them, and the revived node's
+// fresh links carry frames again.
+func TestKillRestartLinkBookkeeping(t *testing.T) {
 	const n = 3
 	g, err := topology.Full(n)
 	if err != nil {
 		t.Fatalf("Full: %v", err)
 	}
-	cluster, err := Start(g, bimodalValues(n, 21), Config{
-		Method:    gm.Method{},
-		Interval:  time.Millisecond,
-		SendQueue: 2, // tiny queue so drops appear quickly
-	})
-	if err != nil {
-		t.Fatalf("Start: %v", err)
-	}
-	// Freeze node 2: holding its state mutex blocks its absorb path (and
-	// its own splits), so its side of every pipe stops draining.
-	frozen := cluster.peers[2]
-	frozen.mu.Lock()
-	released := false
-	defer func() {
-		if !released {
-			frozen.mu.Unlock()
-		}
-		cluster.Stop()
-	}()
-
-	deadline := time.After(10 * time.Second)
-	for cluster.SendDrops() == 0 {
-		select {
-		case <-deadline:
-			t.Fatalf("queues to the frozen node never overflowed (sent %d)", cluster.MessagesSent())
-		case <-time.After(time.Millisecond):
-		}
-	}
-	// Senders are demonstrably not wedged: traffic keeps growing well
-	// past the first drop. Nodes 0 and 1 gossip over their direct link.
-	mark := cluster.MessagesSent()
-	for cluster.MessagesSent() < mark+20 {
-		select {
-		case <-deadline:
-			t.Fatalf("senders wedged after drops began: sent stuck at %d", cluster.MessagesSent())
-		case <-time.After(time.Millisecond):
-		}
-	}
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("a stalled receiver failed the cluster: %v", err)
-	}
-	released = true
-	frozen.mu.Unlock()
-}
-
-// TestKillRestartExactWeight uses an idle cluster (no autonomous
-// traffic) so the churn arithmetic is exact: Kill destroys precisely
-// the node's weight of 1, Restart re-injects 1.
-func TestKillRestartExactWeight(t *testing.T) {
-	const n = 5
-	g, err := topology.Full(n)
-	if err != nil {
-		t.Fatalf("Full: %v", err)
-	}
 	reg := metrics.NewRegistry()
-	cluster, err := Start(g, bimodalValues(n, 22), Config{
-		Method:   gm.Method{},
-		Interval: time.Hour, // idle: no frames move weight around
-		Metrics:  reg,
-	})
+	h := &testHandler{}
+	net, err := StartNet(g, NetConfig{Handler: h, Metrics: reg})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
-	defer cluster.Stop()
+	defer net.Stop()
 
-	destroyed, err := cluster.Kill(1)
-	if err != nil {
+	if err := net.Kill(1); err != nil {
 		t.Fatalf("Kill: %v", err)
 	}
-	if destroyed != 1 {
-		t.Errorf("destroyed weight = %v, want exactly 1 on an idle cluster", destroyed)
-	}
-	if cluster.Alive(1) || cluster.AliveCount() != n-1 {
-		t.Errorf("alive bookkeeping after Kill: Alive(1)=%v, count=%d", cluster.Alive(1), cluster.AliveCount())
-	}
-	if got := cluster.TotalWeight(); got != float64(n-1) {
-		t.Errorf("TotalWeight after Kill = %v, want %d", got, n-1)
+	if net.Alive(1) {
+		t.Errorf("Alive(1) after Kill")
 	}
 	// Double-kill and bad indices are errors, not panics.
-	if _, err := cluster.Kill(1); err == nil {
+	if err := net.Kill(1); err == nil {
 		t.Errorf("killing a dead node succeeded")
 	}
-	if _, err := cluster.Kill(-1); err == nil {
+	if err := net.Kill(-1); err == nil {
 		t.Errorf("Kill(-1) succeeded")
 	}
-	if err := cluster.Restart(0, vec.Of(0, 0)); err == nil {
+	if err := net.Restart(0); err == nil {
 		t.Errorf("restarting an alive node succeeded")
 	}
-
-	// Surviving neighbors notice their dead endpoints asynchronously
-	// (their receive loops observe EOF), so poll the gauge.
+	// The dead node's own links are retired synchronously; its neighbors
+	// notice their dead endpoints asynchronously (their receive loops
+	// observe the closed conns), so poll.
 	deadline := time.After(5 * time.Second)
 	for reg.Gauge("livenet.links_down").Value() != float64(n-1) {
 		select {
@@ -125,237 +56,177 @@ func TestKillRestartExactWeight(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
-	snap := reg.Snapshot()
-	if got := snap.Counters["livenet.crashes"]; got != 1 {
-		t.Errorf("crashes counter = %d, want 1", got)
+	for _, p := range net.Peers(0) {
+		if p == 1 {
+			t.Errorf("Peers(0) still lists the dead node: %v", net.Peers(0))
+		}
 	}
-	if got := snap.Gauges["livenet.node.1.alive"]; got != 0 {
-		t.Errorf("node 1 alive gauge = %v, want 0", got)
+	if net.Send(0, 1, false, testClassification(t, 0.5)) {
+		t.Errorf("send to a dead node succeeded")
 	}
 
-	if err := cluster.Restart(1, vec.Of(1, 1)); err != nil {
+	if err := net.Restart(1); err != nil {
 		t.Fatalf("Restart: %v", err)
 	}
-	if !cluster.Alive(1) || cluster.AliveCount() != n {
-		t.Errorf("alive bookkeeping after Restart: Alive(1)=%v, count=%d", cluster.Alive(1), cluster.AliveCount())
+	if !net.Alive(1) {
+		t.Errorf("Alive(1) false after Restart")
 	}
-	if got := cluster.TotalWeight(); got != float64(n) {
-		t.Errorf("TotalWeight after Restart = %v, want %d", got, n)
-	}
-	snap = reg.Snapshot()
-	if got := snap.Gauges["livenet.links_down"]; got != 0 {
+	if got := reg.Gauge("livenet.links_down").Value(); got != 0 {
 		t.Errorf("links_down after Restart = %v, want 0 (dead endpoints retired)", got)
 	}
-	if got := snap.Counters["livenet.recovers"]; got != 1 {
-		t.Errorf("recovers counter = %d, want 1", got)
+	found := false
+	for _, p := range net.Peers(0) {
+		if p == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Peers(0) missing the restarted node: %v", net.Peers(0))
+	}
+	// The fresh links carry frames again.
+	if !net.Send(0, 1, false, testClassification(t, 0.5)) {
+		t.Fatalf("send to the restarted node refused")
+	}
+	for h.dataCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("restarted node never received a frame")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := net.Err(); err != nil {
+		t.Errorf("Err after churn: %v", err)
 	}
 }
 
-// TestKillRestartConvergence is the live churn scenario end to end:
-// gossip, kill 20% of the nodes mid-run, keep gossiping, restart one,
-// and require the cluster to stay healthy (no Err) and conserve weight
-// within the fail-stop budget once stopped: at most N_alive plus the
-// restarted weight, never below half the survivors.
-func TestKillRestartConvergence(t *testing.T) {
-	const n = 10
+// TestKillReturnsQueuedWeight pins the conservation half of the churn
+// contract: when a node dies with frames still queued on its links,
+// every queued classification comes back through Undeliverable — only a
+// frame torn mid-write may be destroyed, and on synchronous pipes the
+// receiver holds that frame whole, so nothing is lost at all.
+func TestKillReturnsQueuedWeight(t *testing.T) {
+	g, err := topology.Full(2)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	h := &testHandler{gate: make(chan struct{})}
+	net, err := StartNet(g, NetConfig{Handler: h, SendQueue: 4})
+	if err != nil {
+		t.Fatalf("StartNet: %v", err)
+	}
+	defer net.Stop()
+
+	accepted := 0
+	deadline := time.After(5 * time.Second)
+	for net.Send(0, 1, false, testClassification(t, 0.5)) {
+		accepted++
+		select {
+		case <-deadline:
+			t.Fatalf("queue to a frozen receiver never filled (%d accepted)", accepted)
+		default:
+		}
+	}
+	// Node 0 dies holding queued frames. Its writer's in-flight write is
+	// unblocked by the closing conn; everything still queued is handed
+	// back. Node 1's receiver stays frozen on the first frame — Kill(0)
+	// must not wait on it.
+	if err := net.Kill(0); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	close(h.gate)
+	want := 0.5 * float64(accepted)
+	for h.deliveredWeight()+h.returnedWeight() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered %v + returned %v < sent %v: queued weight destroyed by Kill",
+				h.deliveredWeight(), h.returnedWeight(), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := h.deliveredWeight() + h.returnedWeight(); got != want {
+		t.Errorf("delivered+returned = %v, want exactly %v", got, want)
+	}
+	h.mu.Lock()
+	for _, r := range h.returned {
+		if r.owner != 0 {
+			t.Errorf("returned frame attributed to node %d, want 0", r.owner)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// TestStalledPeerDoesNotWedgeOtherLinks freezes deliveries to one node
+// and checks per-link isolation: the queue to the frozen node fills and
+// refuses sends, while an unrelated link on the same net keeps carrying
+// frames. Under the old design the first full pipe wedged its sender
+// forever.
+func TestStalledPeerDoesNotWedgeOtherLinks(t *testing.T) {
+	const n = 3
 	g, err := topology.Full(n)
 	if err != nil {
 		t.Fatalf("Full: %v", err)
 	}
-	cluster, err := Start(g, bimodalValues(n, 23), Config{
-		Method:   gm.Method{},
-		Interval: time.Millisecond,
-		Seed:     23,
-	})
+	h := &gatedDstHandler{inner: &testHandler{}, blockDst: 2, gate: make(chan struct{})}
+	net, err := StartNet(g, NetConfig{Handler: h, SendQueue: 2})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
-	defer cluster.Stop()
+	defer func() {
+		close(h.gate)
+		net.Stop()
+	}()
 
-	// Let some traffic flow before the crashes.
-	for cluster.MessagesSent() < 50 {
-		time.Sleep(time.Millisecond)
-	}
-	var destroyed float64
-	for _, victim := range []int{3, 7} { // 20% of 10
-		w, err := cluster.Kill(victim)
-		if err != nil {
-			t.Fatalf("Kill(%d): %v", victim, err)
-		}
-		destroyed += w
-	}
-	if cluster.AliveCount() != n-2 {
-		t.Fatalf("AliveCount = %d, want %d", cluster.AliveCount(), n-2)
-	}
-	// The survivors keep gossiping around the dead nodes.
-	mark := cluster.MessagesSent()
-	deadline := time.After(10 * time.Second)
-	for cluster.MessagesSent() < mark+100 {
+	// Fill the 0→2 queue until backpressure refuses the send.
+	deadline := time.After(5 * time.Second)
+	for net.Send(0, 2, false, testClassification(t, 0.5)) {
 		select {
 		case <-deadline:
-			t.Fatalf("survivors stopped gossiping after the kills")
+			t.Fatalf("queue to the frozen node never overflowed")
+		default:
+		}
+	}
+	net.NoteDrop(0)
+	if net.SendDrops() == 0 {
+		t.Fatalf("drop not counted")
+	}
+	// The 0→1 link is demonstrably not wedged: 20 more frames flow end
+	// to end while the 0→2 queue stays refused.
+	for i := 0; i < 20; i++ {
+		for !net.Send(0, 1, false, testClassification(t, 0.5)) {
+			select {
+			case <-deadline:
+				t.Fatalf("healthy link refused a send after %d frames", i)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	for h.inner.dataCount() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("healthy link delivered only %d of 20 frames", h.inner.dataCount())
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("cluster failed under churn: %v", err)
-	}
-	// One node comes back with weight 1 and rejoins the gossip.
-	if err := cluster.Restart(3, vec.Of(0, 0)); err != nil {
-		t.Fatalf("Restart: %v", err)
-	}
-	restarted := cluster.peers[3]
-	restartMark := restarted.recv.Value()
-	for restarted.recv.Value() == restartMark {
-		select {
-		case <-deadline:
-			t.Fatalf("restarted node never received a message")
-		case <-time.After(time.Millisecond):
-		}
-	}
-	cluster.Stop()
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("cluster error after churn run: %v", err)
-	}
-	alive := float64(cluster.AliveCount()) // 9: one killed node stayed dead
-	got := cluster.TotalWeight()
-	// Conservation's upper side: the system started with n units, the
-	// kills destroyed exactly `destroyed`, the restart added 1 — nothing
-	// else may create weight. (Victims need not die holding 1 each, so
-	// the alive count alone does not bound the surviving weight.)
-	if got > float64(n)-destroyed+1+1e-9 {
-		t.Errorf("post-stop weight %v exceeds %v started - %v destroyed + 1 restarted",
-			got, float64(n), destroyed)
-	}
-	if got < alive/2 {
-		t.Errorf("post-stop weight %v lost more than half the surviving mass", got)
+	if err := net.Err(); err != nil {
+		t.Fatalf("a stalled peer failed the net: %v", err)
 	}
 }
 
-// TestSpreadSmallClusters covers the former panic: Spread on clusters
-// too small for four distinct probes, including after kills shrink the
-// alive set below two.
-func TestSpreadSmallClusters(t *testing.T) {
-	for _, n := range []int{1, 2, 3} {
-		g, err := topology.Full(n)
-		if err != nil {
-			t.Fatalf("Full(%d): %v", n, err)
-		}
-		cluster, err := Start(g, bimodalValues(n, 24), Config{
-			Method:   gm.Method{},
-			Interval: time.Hour,
-		})
-		if err != nil {
-			t.Fatalf("Start(%d): %v", n, err)
-		}
-		spread, err := cluster.Spread()
-		if err != nil {
-			t.Errorf("Spread on %d nodes: %v", n, err)
-		}
-		if n == 1 && spread != 0 {
-			t.Errorf("Spread on a single node = %v, want 0", spread)
-		}
-		cluster.Stop()
-	}
-	// Kills shrink the alive set; Spread must follow it down to zero.
-	g, err := topology.Full(3)
-	if err != nil {
-		t.Fatalf("Full: %v", err)
-	}
-	cluster, err := Start(g, bimodalValues(3, 25), Config{
-		Method:   gm.Method{},
-		Interval: time.Hour,
-	})
-	if err != nil {
-		t.Fatalf("Start: %v", err)
-	}
-	defer cluster.Stop()
-	for _, victim := range []int{0, 2} {
-		if _, err := cluster.Kill(victim); err != nil {
-			t.Fatalf("Kill(%d): %v", victim, err)
-		}
-	}
-	if spread, err := cluster.Spread(); err != nil || spread != 0 {
-		t.Errorf("Spread with one alive node = %v, %v; want 0, nil", spread, err)
-	}
+// gatedDstHandler freezes deliveries to one destination node and passes
+// everything else through.
+type gatedDstHandler struct {
+	inner    *testHandler
+	blockDst int
+	gate     chan struct{}
 }
 
-func TestProbeIndices(t *testing.T) {
-	for n := 1; n <= 12; n++ {
-		idx := probeIndices(n)
-		if len(idx) == 0 || len(idx) > 4 {
-			t.Errorf("probeIndices(%d) = %v", n, idx)
-		}
-		seen := map[int]bool{}
-		for _, v := range idx {
-			if v < 0 || v >= n {
-				t.Errorf("probeIndices(%d) out of range: %v", n, idx)
-			}
-			if seen[v] {
-				t.Errorf("probeIndices(%d) duplicates: %v", n, idx)
-			}
-			seen[v] = true
-		}
+func (h *gatedDstHandler) Deliver(dst, src int, pull bool, cls core.Classification) error {
+	if dst == h.blockDst {
+		<-h.gate
 	}
-	if got := len(probeIndices(12)); got != 4 {
-		t.Errorf("probeIndices(12) has %d probes, want 4", got)
-	}
+	return h.inner.Deliver(dst, src, pull, cls)
 }
 
-// firstWriteOnly accepts exactly one Write, then fails — a connection
-// dying between two writes.
-type firstWriteOnly struct {
-	buf    bytes.Buffer
-	writes int
-}
-
-func (w *firstWriteOnly) Write(p []byte) (int, error) {
-	w.writes++
-	if w.writes > 1 {
-		return 0, io.ErrClosedPipe
-	}
-	return w.buf.Write(p)
-}
-
-// TestTornFrameRegression pins the writeFrame coalescing fix. The old
-// framing issued two Writes (header, then payload); a connection dying
-// between them left the peer a header with no payload — a torn frame
-// surfacing as unexpected EOF mid-frame. The single-buffer framing
-// either delivers a whole frame or nothing.
-func TestTornFrameRegression(t *testing.T) {
-	payload := []byte{1, 2, 3, 4, 5}
-
-	// Old framing, reproduced inline: header write lands, payload write
-	// hits the dead conn, and the reader sees a torn frame.
-	old := &firstWriteOnly{}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := old.Write(hdr[:]); err != nil {
-		t.Fatalf("legacy header write: %v", err)
-	}
-	if _, err := old.Write(payload); err == nil {
-		t.Fatalf("legacy payload write should have hit the closed conn")
-	}
-	// The reader is left with a header announcing a payload that never
-	// arrives: an EOF-mid-frame indistinguishable from a clean shutdown.
-	if _, err := readFrame(&old.buf); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-		t.Fatalf("legacy framing torn-frame error = %v, want an EOF mid-frame", err)
-	}
-
-	// New framing: one Write, so the same dying conn delivers the whole
-	// frame or nothing — never a torn one.
-	cur := &firstWriteOnly{}
-	if err := writeFrame(cur, payload); err != nil {
-		t.Fatalf("writeFrame: %v", err)
-	}
-	if cur.writes != 1 {
-		t.Fatalf("writeFrame issued %d writes, want exactly 1", cur.writes)
-	}
-	got, err := readFrame(&cur.buf)
-	if err != nil {
-		t.Fatalf("readFrame: %v", err)
-	}
-	if !bytes.Equal(got, payload) {
-		t.Errorf("frame = %v, want %v", got, payload)
-	}
+func (h *gatedDstHandler) Undeliverable(owner int, cls core.Classification) error {
+	return h.inner.Undeliverable(owner, cls)
 }

@@ -1,23 +1,20 @@
-// Package livenet runs the classification protocol as a live
-// deployment: one goroutine pair per node, real duplex connections
-// (in-process net.Pipe by default), wire-encoded messages, and genuine
-// asynchrony — no global scheduler, no rounds. It is the shape the
-// paper targets (asynchronous reliable channels, §3.1), complementing
-// package sim's deterministic drivers: sim answers "does the algorithm
-// behave as the paper says", livenet answers "does this implementation
-// survive real concurrency".
-//
-// Each node runs a sender loop (every Interval: split the
-// classification, encode one half, enqueue it to a random live link)
-// and, per link, a writer goroutine draining the link's bounded
-// outbound queue plus a receiver loop (decode, absorb). Node state is
-// mutex-protected; the convergence guarantees do not depend on timing,
-// only on fairness, which uniform random neighbor choice provides.
+// Package livenet is the wire transport of the engine layer: real
+// duplex connections (in-process net.Pipe by default, loopback TCP
+// optionally), length-prefixed wire-encoded frames, bounded per-link
+// outbound queues drained by writer goroutines, and receiver loops
+// that hand decoded frames to the protocol layer. It no longer runs
+// the protocol itself: neighbor choice, split→send→absorb sequencing
+// and convergence probing live in internal/engine, which drives a Net
+// through Send/CanSend and receives frames through the Handler
+// interface. sim answers "does the algorithm behave as the paper
+// says", livenet answers "does this implementation survive real
+// concurrency".
 //
 // Failure is a measured condition, not a collapse (DESIGN.md §10): a
-// full queue drops the send (counted, lossless — the weight stays at
-// the node), a link error disables only that link, a decode error
-// skips only that frame, and Kill/Restart reproduce the paper's
+// full queue refuses the send (the engine counts it — lossless, the
+// weight never left the node), a link error disables only that link, a
+// decode error skips only that frame, and Kill/Restart tear down and
+// re-establish a node's links so the engine can reproduce the paper's
 // fail-stop crash study (Figure 4) against the real deployment —
 // weight is destroyed exactly when a node or link dies with frames in
 // flight.
@@ -36,7 +33,6 @@ import (
 
 	"distclass/internal/core"
 	"distclass/internal/metrics"
-	"distclass/internal/rng"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/wire"
@@ -56,6 +52,15 @@ const MaxFrame = 1 << 20
 
 // DefaultSendQueue is the default per-link outbound queue depth.
 const DefaultSendQueue = 16
+
+// Frame kind tags, the first byte of every frame payload.
+const (
+	// frameKindData carries a wire-encoded classification.
+	frameKindData byte = 0
+	// frameKindPull carries no payload: it asks the receiver for data
+	// (the pull half of the §4.1 gossip modes).
+	frameKindPull byte = 1
+)
 
 // Transport selects how node links are realized.
 type Transport int
@@ -82,77 +87,71 @@ func (t Transport) String() string {
 	}
 }
 
-// Config parameterizes a live cluster.
-type Config struct {
-	// Method is the instantiation. Required.
-	Method core.Method
-	// K bounds collections per classification (default 2).
-	K int
-	// Q is the weight quantum (default core.DefaultQ).
-	Q float64
-	// Interval is each node's gossip tick (default 2ms).
-	Interval time.Duration
-	// Seed drives neighbor selection (default 1). Note that real
-	// concurrency makes runs non-deterministic regardless.
-	Seed uint64
+// Handler is the protocol layer a Net delivers to (internal/engine
+// implements it). Both methods are called from transport goroutines
+// and must be safe for concurrent use.
+type Handler interface {
+	// Deliver hands node dst a decoded frame from src: a pull request
+	// (pull true, cls nil) or a data frame (cls non-nil). A non-nil
+	// error fails the net.
+	Deliver(dst, src int, pull bool, cls core.Classification) error
+	// Undeliverable returns a queued-but-unsent classification to its
+	// owning node when a link dies or shuts down — queued weight is not
+	// yet "on the wire" and must not be destroyed by a transport fault.
+	Undeliverable(owner int, cls core.Classification) error
+}
+
+// NetConfig parameterizes a transport net.
+type NetConfig struct {
+	// Handler receives decoded frames and undeliverable returns.
+	// Required.
+	Handler Handler
 	// Transport selects pipe (default) or loopback TCP links.
 	Transport Transport
 	// SendQueue bounds each link's outbound frame queue (default
-	// DefaultSendQueue). A sender never blocks on a slow peer: when the
-	// queue is full the send is dropped and counted (send_drops) before
-	// any state changes, so backpressure costs throughput, never
-	// weight.
+	// DefaultSendQueue). Senders never block on a slow peer: CanSend
+	// reports a full queue so the engine can refuse the send before any
+	// state changes, and Send fails instead of blocking.
 	SendQueue int
-	// FailOnDecodeErrors, when positive, fails the cluster once the
+	// FailOnDecodeErrors, when positive, fails the net once the
 	// aggregate decode-error count reaches the threshold — the strict
 	// mode for runs that must not tolerate corruption. The default 0
 	// keeps decode errors non-fatal: the frame is skipped, counted and
 	// attributed per peer, and the link stays up.
 	FailOnDecodeErrors int
-	// Metrics, when non-nil, backs the cluster's counters: aggregate
-	// livenet.{sent,received,decode_errors,send_drops,crashes,recovers}
-	// counters and the livenet.links_down gauge (link endpoints
-	// currently disabled by I/O errors or peer death); the per-node
+	// Metrics, when non-nil, backs the transport's counters: aggregate
+	// livenet.{sent,received,decode_errors,send_drops} counters and the
+	// livenet.links_down gauge (link endpoints currently disabled by
+	// I/O errors or peer death); the per-node
 	// livenet.node.<id>.{sent,received,decode_errors,send_drops}
-	// counters and livenet.node.<id>.alive gauges; the per-node
-	// livenet.node.<id>.last_receive_seq staleness gauges (the
-	// cluster-wide receive sequence number at the node's last absorb —
-	// a node whose gauge lags the cluster total is stale); per-peer
-	// livenet.node.<id>.decode_errors.from.<peer> counters (created on
-	// first error, so a healthy run adds none); the
-	// livenet.{send,absorb}_seconds latency histograms; and the core
-	// protocol instruments of every node. When nil the cluster uses a
-	// private registry (see Cluster.Metrics).
+	// counters; the per-node livenet.node.<id>.last_receive_seq
+	// staleness gauges (the net-wide receive sequence number at the
+	// node's last absorb — a node whose gauge lags the net total is
+	// stale); per-peer livenet.node.<id>.decode_errors.from.<peer>
+	// counters (created on first error, so a healthy run adds none);
+	// and the livenet.{send,absorb}_seconds latency histograms. When
+	// nil the net uses a private registry (see Net.Metrics).
 	Metrics *metrics.Registry
 	// Trace, when non-nil, receives send/receive/send-drop/decode-error
-	// and crash/recover events (and the nodes' split/merge events).
-	// Live events are not tied to rounds; they carry Round -1. The sink
-	// must be safe for concurrent writers (trace.Recorder is).
+	// events. Transport events are not tied to rounds; they carry
+	// Round -1. The sink must be safe for concurrent writers
+	// (trace.Recorder is).
 	Trace trace.Sink
 }
 
-func (c Config) withDefaults() Config {
-	if c.K == 0 {
-		c.K = 2
-	}
-	if c.Interval <= 0 {
-		c.Interval = 2 * time.Millisecond
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
+func (c NetConfig) withDefaults() NetConfig {
 	if c.SendQueue <= 0 {
 		c.SendQueue = DefaultSendQueue
 	}
 	return c
 }
 
-// Cluster is a running live deployment.
-type Cluster struct {
-	peers   []*peer
-	graph   *topology.Graph
-	cfg     Config      // effective config, defaults applied
-	nodeCfg core.Config // per-node core config, reused by Restart
+// Net is a running wire transport: the links of a static topology,
+// their writer/receiver goroutines, and the frame-level accounting.
+type Net struct {
+	peers []*peer
+	graph *topology.Graph
+	cfg   NetConfig // effective config, defaults applied
 
 	ctx         context.Context
 	cancel      context.CancelFunc
@@ -169,24 +168,22 @@ type Cluster struct {
 	recv      *metrics.Counter
 	decErr    *metrics.Counter
 	drops     *metrics.Counter
-	crashes   *metrics.Counter
-	recovers  *metrics.Counter
 	linksDown *metrics.Gauge
 	hSend     *metrics.Histogram
 	hAbsorb   *metrics.Histogram
 
-	recvSeq atomic.Int64 // cluster-wide receive sequence, drives staleness gauges
+	recvSeq atomic.Int64 // net-wide receive sequence, drives staleness gauges
 
 	stopped atomic.Bool
 	errOnce sync.Once
 	firstE  atomic.Value // error
 }
 
-// outFrame is one queued outbound message: the encoded bytes plus the
-// classification they encode, kept so an undelivered frame can be
-// re-absorbed into its sender when the link dies — queued weight is
-// not yet "on the wire" and must not be destroyed by a transport
-// fault.
+// outFrame is one queued outbound frame: the encoded bytes plus the
+// classification they encode (nil for pull requests), kept so an
+// undelivered frame can be returned to its sender when the link dies —
+// queued weight is not yet "on the wire" and must not be destroyed by
+// a transport fault.
 type outFrame struct {
 	data []byte
 	cls  core.Classification
@@ -194,7 +191,7 @@ type outFrame struct {
 
 // link is one endpoint of a duplex connection: the bounded outbound
 // queue its writer goroutine drains, and the conn its receiver loop
-// reads. A downed link is skipped by the sender and never revived; a
+// reads. A downed link is skipped by the engine and never revived; a
 // node Restart replaces the dead endpoints with fresh links.
 type link struct {
 	peer     int // neighbor id on the other end
@@ -204,7 +201,7 @@ type link struct {
 	down     atomic.Bool
 	shutOnce sync.Once
 	// pending counts frames handed to this link and not yet resolved
-	// (written, re-absorbed, or dropped): queue contents plus the frame
+	// (written, returned, or dropped): queue contents plus the frame
 	// the writer currently holds. Stop waits for pending to hit zero on
 	// live links before closing connections, so a clean shutdown tears
 	// no frame mid-write.
@@ -221,22 +218,15 @@ func (l *link) shut() {
 	_ = l.conn.Close()
 }
 
+// peer holds one node's transport books: its link endpoints and
+// per-node instruments. The protocol node itself lives in the engine.
 type peer struct {
-	id   int
-	mu   sync.Mutex
-	node *core.Node
-	r    *rng.RNG
-	rmu  sync.Mutex // guards r (only the sender loop uses it, but keep it safe)
+	id int
 
 	alive  atomic.Bool
 	ctx    context.Context    // this incarnation's lifetime
 	cancel context.CancelFunc // stops the incarnation's goroutines
 	wg     sync.WaitGroup     // joins the incarnation's goroutines
-	// sendDone closes when this incarnation's sender loop has exited.
-	// Writers wait for it before their shutdown flush: the sender is
-	// the only producer, so after sendDone no frame can arrive behind
-	// the flush and be stranded.
-	sendDone chan struct{}
 
 	linksMu sync.Mutex
 	links   []*link
@@ -248,11 +238,10 @@ type peer struct {
 	recv   *metrics.Counter
 	decErr *metrics.Counter
 	drops  *metrics.Counter
-	// lastRecv holds the cluster-wide receive sequence number at this
-	// node's most recent absorb; Cluster.recvSeq minus this gauge is the
+	// lastRecv holds the net-wide receive sequence number at this
+	// node's most recent delivery; Net.recvSeq minus this gauge is the
 	// node's staleness in receives.
 	lastRecv *metrics.Gauge
-	aliveG   *metrics.Gauge
 }
 
 // aliveLinks snapshots the peer's currently usable links.
@@ -268,48 +257,48 @@ func (p *peer) aliveLinks() []*link {
 	return out
 }
 
-// Start launches a live cluster over the graph: values[i] is node i's
-// input. Stop must be called to release the goroutines.
-func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error) {
+// findLink returns the peer's usable link to the given neighbor, or
+// nil.
+func (p *peer) findLink(neighbor int) *link {
+	p.linksMu.Lock()
+	defer p.linksMu.Unlock()
+	for _, l := range p.links {
+		if l.peer == neighbor && !l.down.Load() {
+			return l
+		}
+	}
+	return nil
+}
+
+// StartNet opens the transport over the graph: one duplex link per
+// undirected edge, a writer and receiver goroutine per endpoint. Stop
+// must be called to release the goroutines.
+func StartNet(g *topology.Graph, cfg NetConfig) (*Net, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Method == nil {
-		return nil, errors.New("livenet: Config.Method is required")
+	if cfg.Handler == nil {
+		return nil, errors.New("livenet: NetConfig.Handler is required")
 	}
 	if g == nil {
 		return nil, errors.New("livenet: nil graph")
-	}
-	if len(values) != g.N() {
-		return nil, fmt.Errorf("livenet: %d values for %d nodes", len(values), g.N())
 	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	nodeCfg := core.Config{
-		Method: cfg.Method, K: cfg.K, Q: cfg.Q,
-		Metrics: reg, Trace: cfg.Trace,
-	}
-	seedRNG := rng.New(cfg.Seed)
 	peers := make([]*peer, g.N())
 	for i := range peers {
-		node, err := core.NewNode(i, values[i], nil, nodeCfg)
-		if err != nil {
-			return nil, fmt.Errorf("livenet: node %d: %w", i, err)
-		}
 		peers[i] = &peer{
-			id: i, node: node, r: seedRNG.Split(),
+			id:       i,
 			sent:     reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
 			recv:     reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
 			decErr:   reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
 			drops:    reg.Counter(fmt.Sprintf("livenet.node.%d.send_drops", i)),
 			lastRecv: reg.Gauge(fmt.Sprintf("livenet.node.%d.last_receive_seq", i)),
-			aliveG:   reg.Gauge(fmt.Sprintf("livenet.node.%d.alive", i)),
 		}
 		peers[i].alive.Store(true)
-		peers[i].aliveG.Set(1)
 	}
 	// One duplex link per undirected edge. The dialer (and, on TCP, its
-	// listener) stays open for the cluster's lifetime so Restart can
+	// listener) stays open for the net's lifetime so Restart can
 	// re-establish links; Stop closes it.
 	dial := pipeLink
 	var closeLinker func()
@@ -345,11 +334,11 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 	// links order: peers[u].links appends edges in increasing-neighbor
 	// order for v > u, but edges with v < u were appended when u was the
 	// larger endpoint — the order ends up by edge creation, not by
-	// neighbor id. The sender picks uniformly over live links, which is
-	// all fairness needs.
+	// neighbor id. The engine picks over Peers() uniformly (or round-
+	// robin), which is all fairness needs.
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &Cluster{
-		peers: peers, graph: g, cfg: cfg, nodeCfg: nodeCfg,
+	n := &Net{
+		peers: peers, graph: g, cfg: cfg,
 		ctx: ctx, cancel: cancel, dial: dial, closeLinker: closeLinker,
 		reg:       reg,
 		sink:      cfg.Trace,
@@ -357,162 +346,151 @@ func Start(g *topology.Graph, values []core.Value, cfg Config) (*Cluster, error)
 		recv:      reg.Counter("livenet.received"),
 		decErr:    reg.Counter("livenet.decode_errors"),
 		drops:     reg.Counter("livenet.send_drops"),
-		crashes:   reg.Counter("livenet.crashes"),
-		recovers:  reg.Counter("livenet.recovers"),
 		linksDown: reg.Gauge("livenet.links_down"),
 		hSend:     reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
 		hAbsorb:   reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
 	}
 	for _, p := range peers {
 		p.ctx, p.cancel = context.WithCancel(ctx)
-		c.startPeer(p)
+		n.startPeer(p)
 	}
-	return c, nil
+	return n, nil
 }
 
-// startPeer launches the peer's sender loop and the writer/receiver
-// pair of every link it currently holds.
-func (c *Cluster) startPeer(p *peer) {
-	ctx := p.ctx
-	p.sendDone = make(chan struct{})
-	sendDone := p.sendDone
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		defer close(sendDone)
-		c.sendLoop(ctx, p)
-	}()
+// startPeer launches the writer/receiver pair of every link the peer
+// currently holds.
+func (n *Net) startPeer(p *peer) {
 	p.linksMu.Lock()
 	links := append([]*link(nil), p.links...)
 	p.linksMu.Unlock()
 	for _, l := range links {
-		c.startLink(p, l)
+		n.startLink(p, l)
 	}
 }
 
 // startLink launches the writer and receiver goroutines of one link
 // endpoint under the owning peer's lifetime.
-func (c *Cluster) startLink(p *peer, l *link) {
+func (n *Net) startLink(p *peer, l *link) {
 	ctx := p.ctx
 	p.wg.Add(2)
 	go func() {
 		defer p.wg.Done()
-		c.writeLoop(ctx, p, l)
+		n.writeLoop(ctx, p, l)
 	}()
 	go func() {
 		defer p.wg.Done()
-		c.recvLoop(p, l)
+		n.recvLoop(p, l)
 	}()
 }
 
-// downLink disables a link after an I/O fault: the sender stops
+// downLink disables a link after an I/O fault: the engine stops
 // picking it and the conn is closed so both ends unblock. The
 // links_down gauge counts endpoints currently disabled.
-func (c *Cluster) downLink(l *link) {
-	if !l.down.Swap(true) && !c.stopped.Load() {
-		c.linksDown.Add(1)
+func (n *Net) downLink(l *link) {
+	if !l.down.Swap(true) && !n.stopped.Load() {
+		n.linksDown.Add(1)
 	}
 	l.shut()
 }
 
 // dropLink retires a link from the books entirely (node death or
 // restart replacement), reversing its links_down contribution.
-func (c *Cluster) dropLink(l *link) {
-	if l.down.Swap(true) && !c.stopped.Load() {
-		c.linksDown.Add(-1)
+func (n *Net) dropLink(l *link) {
+	if l.down.Swap(true) && !n.stopped.Load() {
+		n.linksDown.Add(-1)
 	}
 	l.shut()
 }
 
-func (c *Cluster) sendLoop(ctx context.Context, p *peer) {
-	ticker := time.NewTicker(c.cfg.Interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-ticker.C:
-		}
-		links := p.aliveLinks()
-		if len(links) == 0 {
-			continue
-		}
-		p.rmu.Lock()
-		idx := p.r.IntN(len(links))
-		p.rmu.Unlock()
-		l := links[idx]
-		// Backpressure check before the split: this sender is the only
-		// producer on its queues, so a free slot seen here cannot be
-		// taken by anyone else. Dropping the send before the split makes
-		// backpressure lossless — the weight the frame would have
-		// carried never leaves the node, so a slow peer costs throughput,
-		// not mass. (Weight is destroyed only when a link or node
-		// actually dies; see DESIGN.md §10.)
-		if len(l.out) == cap(l.out) {
-			c.drops.Inc()
-			p.drops.Inc()
-			if c.sink != nil {
-				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindSendDrop})
-			}
-			continue
-		}
-		p.mu.Lock()
-		out := p.node.Split()
-		p.mu.Unlock()
-		if len(out) == 0 {
-			continue
-		}
-		data, err := wire.MarshalClassification(out)
+// Peers returns the neighbors node i currently has a usable link to.
+func (n *Net) Peers(i int) []int {
+	links := n.peers[i].aliveLinks()
+	out := make([]int, len(links))
+	for k, l := range links {
+		out[k] = l.peer
+	}
+	return out
+}
+
+// CanSend reports whether a frame from i to peer can be queued right
+// now: the link is up and its queue has room. The engine checks this
+// before splitting, which makes backpressure lossless — the weight a
+// refused frame would have carried never leaves the node, so a slow
+// peer costs throughput, not mass. The engine goroutine for node i is
+// the only producer on i's queues, so a free slot seen here cannot be
+// taken by anyone else.
+func (n *Net) CanSend(i, peer int) bool {
+	l := n.peers[i].findLink(peer)
+	return l != nil && len(l.out) < cap(l.out)
+}
+
+// Send queues a frame from i to peer: a pull request (pull true, cls
+// ignored) or a data frame carrying cls. It reports whether the frame
+// was queued; a false return means the link is gone or full and the
+// caller still owns the classification (nothing was consumed). Send
+// never blocks.
+func (n *Net) Send(i, peer int, pull bool, cls core.Classification) bool {
+	p := n.peers[i]
+	l := p.findLink(peer)
+	if l == nil {
+		return false
+	}
+	var f outFrame
+	if pull {
+		f.data = []byte{frameKindPull}
+	} else {
+		payload, err := wire.MarshalClassification(cls)
 		if err != nil {
-			c.fail(fmt.Errorf("livenet: node %d: marshal: %w", p.id, err))
-			return
+			n.fail(fmt.Errorf("livenet: node %d: marshal: %w", i, err))
+			return false
 		}
-		l.pending.Add(1)
-		select {
-		case l.out <- outFrame{data: data, cls: out}:
-		default:
-			l.pending.Add(-1)
-			// Unreachable in steady state (single producer, room checked
-			// above); only a link retired by a concurrent Restart could
-			// race here. Put the weight back and count the drop.
-			p.mu.Lock()
-			aerr := p.node.Absorb(out)
-			p.mu.Unlock()
-			if aerr != nil {
-				c.fail(fmt.Errorf("livenet: node %d: reabsorb: %w", p.id, aerr))
-				return
-			}
-			c.drops.Inc()
-			p.drops.Inc()
-			if c.sink != nil {
-				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindSendDrop})
-			}
-		}
+		f.data = make([]byte, 1+len(payload))
+		f.data[0] = frameKindData
+		copy(f.data[1:], payload)
+		f.cls = cls
+	}
+	l.pending.Add(1)
+	select {
+	case l.out <- f:
+		return true
+	default:
+		l.pending.Add(-1)
+		return false
+	}
+}
+
+// NoteDrop counts a refused send opportunity against node i —
+// backpressure, not loss: the engine drops the send before the split,
+// so the weight stays at the node.
+func (n *Net) NoteDrop(i int) {
+	n.drops.Inc()
+	n.peers[i].drops.Inc()
+	if n.sink != nil {
+		_ = n.sink.Record(trace.Event{Round: -1, Node: i, Kind: trace.KindSendDrop})
 	}
 }
 
 // writeLoop drains one link's outbound queue onto the wire. A write
 // error disables only this link; the node keeps gossiping over its
 // remaining links. Whenever the loop exits, frames still queued are
-// re-absorbed into the sender — their weight never reached the wire,
-// so it returns to the node instead of vanishing. Only a frame torn
+// returned to the engine — their weight never reached the wire, so it
+// goes back to the node instead of vanishing. Only a frame torn
 // mid-write by a dying connection is destroyed (it may be partially
 // delivered, so neither side can safely keep it).
-func (c *Cluster) writeLoop(ctx context.Context, p *peer, l *link) {
-	defer c.reabsorbQueue(p, l)
+func (n *Net) writeLoop(ctx context.Context, p *peer, l *link) {
+	defer n.returnQueue(p, l)
 	for {
 		select {
 		case <-ctx.Done():
-			// Wait the sender out before flushing: it is the only
-			// producer, so after sendDone closes no frame can slip in
-			// behind the flush and be stranded at Stop.
-			<-p.sendDone
-			c.flushQueue(p, l)
+			// The engine stops its gossip goroutines before tearing the
+			// transport down, so no frame can slip in behind this flush
+			// and be stranded.
+			n.flushQueue(p, l)
 			return
 		case <-l.done:
 			return
 		case f := <-l.out:
-			if !c.writeOne(p, l, f) {
+			if !n.writeOne(p, l, f) {
 				return
 			}
 		}
@@ -522,13 +500,13 @@ func (c *Cluster) writeLoop(ctx context.Context, p *peer, l *link) {
 // flushQueue writes the link's remaining queued frames until the queue
 // is empty or the link dies — the graceful half of shutdown, giving
 // receivers their in-flight weight instead of bouncing it back.
-func (c *Cluster) flushQueue(p *peer, l *link) {
+func (n *Net) flushQueue(p *peer, l *link) {
 	for {
 		select {
 		case <-l.done:
 			return
 		case f := <-l.out:
-			if !c.writeOne(p, l, f) {
+			if !n.writeOne(p, l, f) {
 				return
 			}
 		default:
@@ -537,18 +515,19 @@ func (c *Cluster) flushQueue(p *peer, l *link) {
 	}
 }
 
-// reabsorbQueue merges every still-queued frame back into the sending
-// node, conserving the weight an undelivered frame carries.
-func (c *Cluster) reabsorbQueue(p *peer, l *link) {
+// returnQueue hands every still-queued data frame back to the engine,
+// conserving the weight an undelivered frame carries. Pull requests
+// carry no weight and are simply discarded.
+func (n *Net) returnQueue(p *peer, l *link) {
 	for {
 		select {
 		case f := <-l.out:
-			p.mu.Lock()
-			err := p.node.Absorb(f.cls)
-			p.mu.Unlock()
 			l.pending.Add(-1)
-			if err != nil {
-				c.fail(fmt.Errorf("livenet: node %d: reabsorb: %w", p.id, err))
+			if f.cls == nil {
+				continue
+			}
+			if err := n.cfg.Handler.Undeliverable(p.id, f.cls); err != nil {
+				n.fail(fmt.Errorf("livenet: node %d: undeliverable: %w", p.id, err))
 				return
 			}
 		default:
@@ -559,7 +538,7 @@ func (c *Cluster) reabsorbQueue(p *peer, l *link) {
 
 // writeOne writes a single frame and does its accounting, reporting
 // whether the link is still usable.
-func (c *Cluster) writeOne(p *peer, l *link, f outFrame) bool {
+func (n *Net) writeOne(p *peer, l *link, f outFrame) bool {
 	defer l.pending.Add(-1)
 	start := time.Now()
 	if err := writeFrame(l.conn, f.data); err != nil {
@@ -567,20 +546,19 @@ func (c *Cluster) writeOne(p *peer, l *link, f outFrame) bool {
 		// will discard, so the weight is safe to take back. (Exact on
 		// pipes; on TCP a frame fully buffered by the kernel before the
 		// error could in principle still arrive.)
-		p.mu.Lock()
-		aerr := p.node.Absorb(f.cls)
-		p.mu.Unlock()
-		if aerr != nil {
-			c.fail(fmt.Errorf("livenet: node %d: reabsorb after write error: %w", p.id, aerr))
+		if f.cls != nil {
+			if aerr := n.cfg.Handler.Undeliverable(p.id, f.cls); aerr != nil {
+				n.fail(fmt.Errorf("livenet: node %d: undeliverable after write error: %w", p.id, aerr))
+			}
 		}
-		c.downLink(l)
+		n.downLink(l)
 		return false
 	}
-	c.hSend.Observe(time.Since(start).Seconds())
-	c.sent.Inc()
+	n.hSend.Observe(time.Since(start).Seconds())
+	n.sent.Inc()
 	p.sent.Inc()
-	if c.sink != nil {
-		_ = c.sink.Record(trace.Event{
+	if n.sink != nil {
+		_ = n.sink.Record(trace.Event{
 			Round: -1, Node: p.id, Kind: trace.KindSend,
 			Value: float64(len(f.data)),
 		})
@@ -588,51 +566,50 @@ func (c *Cluster) writeOne(p *peer, l *link, f outFrame) bool {
 	return true
 }
 
-func (c *Cluster) recvLoop(p *peer, l *link) {
+func (n *Net) recvLoop(p *peer, l *link) {
 	for {
 		data, err := readFrame(l.conn)
 		if err != nil {
 			// EOF / closed conn is shutdown, peer death or remote link
 			// teardown; anything else (torn stream, oversize
 			// announcement) is a framing fault. Either way only this
-			// link goes down — the cluster keeps running.
-			if !c.stopped.Load() {
-				c.downLink(l)
+			// link goes down — the net keeps running.
+			if !n.stopped.Load() {
+				n.downLink(l)
 			}
 			return
 		}
-		cls, err := wire.UnmarshalClassification(data)
-		if err != nil {
-			c.decErr.Inc()
-			p.decErr.Inc()
-			// Per-peer attribution: a single misbehaving sender shows up
-			// as one hot counter rather than a diffuse aggregate. Created
-			// on first error so healthy runs add no registry entries.
-			c.reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors.from.%d", p.id, l.peer)).Inc()
-			if c.sink != nil {
-				_ = c.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindDecodeError})
+		if len(data) == 0 || (data[0] != frameKindData && data[0] != frameKindPull) {
+			if !n.noteDecodeError(p, l, fmt.Errorf("livenet: unknown frame kind")) {
+				return
 			}
-			if t := c.cfg.FailOnDecodeErrors; t > 0 && c.decErr.Value() >= int64(t) {
-				c.fail(fmt.Errorf("livenet: node %d: decode from %d: %w (strict threshold %d reached)",
-					p.id, l.peer, err, t))
+			continue
+		}
+		if data[0] == frameKindPull {
+			if err := n.cfg.Handler.Deliver(p.id, l.peer, true, nil); err != nil {
+				n.fail(fmt.Errorf("livenet: node %d: pull from %d: %w", p.id, l.peer, err))
+				return
+			}
+			continue
+		}
+		cls, err := wire.UnmarshalClassification(data[1:])
+		if err != nil {
+			if !n.noteDecodeError(p, l, err) {
 				return
 			}
 			continue // skip the frame, keep the link
 		}
 		start := time.Now()
-		p.mu.Lock()
-		err = p.node.Absorb(cls)
-		p.mu.Unlock()
-		if err != nil {
-			c.fail(fmt.Errorf("livenet: node %d: absorb: %w", p.id, err))
+		if err := n.cfg.Handler.Deliver(p.id, l.peer, false, cls); err != nil {
+			n.fail(fmt.Errorf("livenet: node %d: deliver: %w", p.id, err))
 			return
 		}
-		c.hAbsorb.Observe(time.Since(start).Seconds())
-		c.recv.Inc()
+		n.hAbsorb.Observe(time.Since(start).Seconds())
+		n.recv.Inc()
 		p.recv.Inc()
-		p.lastRecv.Set(float64(c.recvSeq.Add(1)))
-		if c.sink != nil {
-			_ = c.sink.Record(trace.Event{
+		p.lastRecv.Set(float64(n.recvSeq.Add(1)))
+		if n.sink != nil {
+			_ = n.sink.Record(trace.Event{
 				Round: -1, Node: p.id, Kind: trace.KindReceive,
 				Value: float64(len(cls)),
 			})
@@ -640,23 +617,45 @@ func (c *Cluster) recvLoop(p *peer, l *link) {
 	}
 }
 
-// Kill crashes node i fail-stop, the live counterpart of the Figure 4
-// churn model: its goroutines stop, its links close (surviving
-// neighbors observe a downed link and route around it), and the weight
-// it held is destroyed. Kill returns that destroyed weight. Killing a
-// dead node or an out-of-range id is an error.
-func (c *Cluster) Kill(i int) (float64, error) {
-	if i < 0 || i >= len(c.peers) {
-		return 0, fmt.Errorf("livenet: Kill(%d): no such node", i)
+// noteDecodeError does the decode-error accounting for one bad frame,
+// reporting whether the receive loop should keep going (false once the
+// strict threshold is reached).
+func (n *Net) noteDecodeError(p *peer, l *link, err error) bool {
+	n.decErr.Inc()
+	p.decErr.Inc()
+	// Per-peer attribution: a single misbehaving sender shows up as one
+	// hot counter rather than a diffuse aggregate. Created on first
+	// error so healthy runs add no registry entries.
+	n.reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors.from.%d", p.id, l.peer)).Inc()
+	if n.sink != nil {
+		_ = n.sink.Record(trace.Event{Round: -1, Node: p.id, Kind: trace.KindDecodeError})
 	}
-	c.churnMu.Lock()
-	defer c.churnMu.Unlock()
-	if c.stopped.Load() {
-		return 0, errors.New("livenet: Kill on a stopped cluster")
+	if t := n.cfg.FailOnDecodeErrors; t > 0 && n.decErr.Value() >= int64(t) {
+		n.fail(fmt.Errorf("livenet: node %d: decode from %d: %w (strict threshold %d reached)",
+			p.id, l.peer, err, t))
+		return false
 	}
-	p := c.peers[i]
+	return true
+}
+
+// Kill tears down node i's transport: its link goroutines stop and its
+// links close (surviving neighbors observe a downed link and route
+// around it). The caller (the engine) must have stopped producing
+// frames for i before calling Kill; queued frames are returned through
+// Handler.Undeliverable during teardown. Killing a dead node or an
+// out-of-range id is an error.
+func (n *Net) Kill(i int) error {
+	if i < 0 || i >= len(n.peers) {
+		return fmt.Errorf("livenet: Kill(%d): no such node", i)
+	}
+	n.churnMu.Lock()
+	defer n.churnMu.Unlock()
+	if n.stopped.Load() {
+		return errors.New("livenet: Kill on a stopped net")
+	}
+	p := n.peers[i]
 	if !p.alive.Load() {
-		return 0, fmt.Errorf("livenet: node %d is already dead", i)
+		return fmt.Errorf("livenet: node %d is already dead", i)
 	}
 	p.alive.Store(false)
 	p.cancel()
@@ -665,52 +664,36 @@ func (c *Cluster) Kill(i int) (float64, error) {
 	p.links = nil
 	p.linksMu.Unlock()
 	for _, l := range links {
-		c.dropLink(l)
+		n.dropLink(l)
 	}
 	p.wg.Wait()
-	p.mu.Lock()
-	destroyed := p.node.Weight()
-	p.mu.Unlock()
-	p.aliveG.Set(0)
-	c.crashes.Inc()
-	if c.sink != nil {
-		_ = c.sink.Record(trace.Event{Round: -1, Node: i, Kind: trace.KindCrash, Value: destroyed})
-	}
-	return destroyed, nil
+	return nil
 }
 
-// Restart brings a killed node back with a fresh value (weight 1, like
-// a sensor rejoining the network): a new protocol node, new links to
-// every currently alive neighbor, new goroutines. The dead endpoints
-// its neighbors still held are retired in the same stroke. Restarting
-// an alive node is an error.
-func (c *Cluster) Restart(i int, value core.Value) error {
-	if i < 0 || i >= len(c.peers) {
+// Restart re-establishes a killed node's transport: new links to every
+// currently alive neighbor, new writer/receiver goroutines. The dead
+// endpoints its neighbors still held are retired in the same stroke.
+// Restarting an alive node is an error.
+func (n *Net) Restart(i int) error {
+	if i < 0 || i >= len(n.peers) {
 		return fmt.Errorf("livenet: Restart(%d): no such node", i)
 	}
-	c.churnMu.Lock()
-	defer c.churnMu.Unlock()
-	if c.stopped.Load() {
-		return errors.New("livenet: Restart on a stopped cluster")
+	n.churnMu.Lock()
+	defer n.churnMu.Unlock()
+	if n.stopped.Load() {
+		return errors.New("livenet: Restart on a stopped net")
 	}
-	p := c.peers[i]
+	p := n.peers[i]
 	if p.alive.Load() {
 		return fmt.Errorf("livenet: node %d is already alive", i)
 	}
-	node, err := core.NewNode(i, value, nil, c.nodeCfg)
-	if err != nil {
-		return fmt.Errorf("livenet: restart node %d: %w", i, err)
-	}
-	p.mu.Lock()
-	p.node = node
-	p.mu.Unlock()
-	p.ctx, p.cancel = context.WithCancel(c.ctx)
-	for _, j := range c.graph.Neighbors(i) {
-		q := c.peers[j]
+	p.ctx, p.cancel = context.WithCancel(n.ctx)
+	for _, j := range n.graph.Neighbors(i) {
+		q := n.peers[j]
 		if !q.alive.Load() {
 			continue
 		}
-		ci, cj, err := c.dial()
+		ci, cj, err := n.dial()
 		if err != nil {
 			// Undo the partial relink: close what this restart created
 			// and leave the node dead. Neighbor endpoints already
@@ -721,17 +704,17 @@ func (c *Cluster) Restart(i int, value core.Value) error {
 			p.links = nil
 			p.linksMu.Unlock()
 			for _, l := range links {
-				c.dropLink(l)
+				n.dropLink(l)
 			}
 			return fmt.Errorf("livenet: relinking %d-%d: %w", i, j, err)
 		}
-		li := newLink(j, ci, c.cfg.SendQueue)
+		li := newLink(j, ci, n.cfg.SendQueue)
 		p.linksMu.Lock()
 		p.links = append(p.links, li)
 		p.linksMu.Unlock()
 		// Replace the neighbor's dead endpoint (if still held) with the
 		// fresh one.
-		lj := newLink(i, cj, c.cfg.SendQueue)
+		lj := newLink(i, cj, n.cfg.SendQueue)
 		var retired []*link
 		q.linksMu.Lock()
 		kept := q.links[:0]
@@ -745,195 +728,128 @@ func (c *Cluster) Restart(i int, value core.Value) error {
 		q.links = append(kept, lj)
 		q.linksMu.Unlock()
 		for _, old := range retired {
-			c.dropLink(old)
+			n.dropLink(old)
 		}
-		c.startLink(q, lj)
+		n.startLink(q, lj)
 	}
-	c.startPeer(p)
+	n.startPeer(p)
 	p.alive.Store(true)
-	p.aliveG.Set(1)
-	c.recovers.Inc()
-	if c.sink != nil {
-		_ = c.sink.Record(trace.Event{Round: -1, Node: i, Kind: trace.KindRecover, Value: 1})
-	}
 	return nil
 }
 
-// Alive reports whether node i is currently alive.
-func (c *Cluster) Alive(i int) bool { return c.peers[i].alive.Load() }
+// Alive reports whether node i's transport is currently up.
+func (n *Net) Alive(i int) bool { return n.peers[i].alive.Load() }
 
-// AliveCount returns the number of alive nodes.
-func (c *Cluster) AliveCount() int {
-	n := 0
-	for _, p := range c.peers {
-		if p.alive.Load() {
-			n++
-		}
-	}
-	return n
-}
-
-func (c *Cluster) fail(err error) {
-	c.errOnce.Do(func() { c.firstE.Store(err) })
+func (n *Net) fail(err error) {
+	n.errOnce.Do(func() { n.firstE.Store(err) })
 }
 
 // Err returns the first internal error observed, or nil. Link faults,
-// dropped frames and (by default) decode errors are not errors — they
+// refused sends and (by default) decode errors are not errors — they
 // are counted and traced instead; see DESIGN.md §10.
-func (c *Cluster) Err() error {
-	if e, ok := c.firstE.Load().(error); ok {
+func (n *Net) Err() error {
+	if e, ok := n.firstE.Load().(error); ok {
 		return e
 	}
 	return nil
 }
 
 // N returns the number of nodes.
-func (c *Cluster) N() int { return len(c.peers) }
+func (n *Net) N() int { return len(n.peers) }
 
 // MessagesSent returns the number of frames fully written to the wire
-// so far. Frames dropped at a full queue (SendDrops) are not sent.
-func (c *Cluster) MessagesSent() int64 { return c.sent.Value() }
+// so far (data frames and pull requests alike). Frames refused at a
+// full queue (SendDrops) are not sent.
+func (n *Net) MessagesSent() int64 { return n.sent.Value() }
 
-// MessagesReceived returns the number of messages decoded and absorbed
-// so far. After Stop on pipe transport it equals MessagesSent: the
-// synchronous pipes hand every fully written frame to the receiver.
-func (c *Cluster) MessagesReceived() int64 { return c.recv.Value() }
+// MessagesReceived returns the number of data frames decoded and
+// delivered so far. After Stop on pipe transport it equals the number
+// of data frames written: the synchronous pipes hand every fully
+// written frame to the receiver.
+func (n *Net) MessagesReceived() int64 { return n.recv.Value() }
 
 // DecodeErrors returns the number of frames that failed to decode.
-func (c *Cluster) DecodeErrors() int64 { return c.decErr.Value() }
+func (n *Net) DecodeErrors() int64 { return n.decErr.Value() }
 
-// SendDrops returns the number of sends dropped at full outbound
-// queues — backpressure, not loss: the drop happens before the split,
-// so the weight stays at the node.
-func (c *Cluster) SendDrops() int64 { return c.drops.Value() }
+// SendDrops returns the number of send opportunities refused at full
+// outbound queues — backpressure, not loss.
+func (n *Net) SendDrops() int64 { return n.drops.Value() }
 
-// Metrics returns the cluster's registry — the one passed in
-// Config.Metrics, or the private registry created in its absence.
-func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
-
-// Classification returns a copy of node i's current classification.
-// For a killed node it is the state frozen at the crash.
-func (c *Cluster) Classification(i int) core.Classification {
-	p := c.peers[i]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.node.Classification()
-}
-
-// TotalWeight returns the weight currently held at alive nodes; killed
-// nodes' weight is destroyed. The per-node reads are not one atomic
-// snapshot: while the protocol runs, weight split from one node can be
-// counted again at its receiver (or missed in flight), so a live
-// reading may wobble. Once the cluster is stopped the value is exact:
-// the initial N minus destroyed weight (crashes, drops, frames in
-// flight when the connections closed) plus weight re-injected by
-// restarts.
-func (c *Cluster) TotalWeight() float64 {
-	var total float64
-	for _, p := range c.peers {
-		if !p.alive.Load() {
-			continue
-		}
-		p.mu.Lock()
-		total += p.node.Weight()
-		p.mu.Unlock()
-	}
-	return total
-}
-
-// Spread returns the maximum pairwise dissimilarity over a sample of
-// alive node pairs — the convergence diagnostic. Probe positions are
-// deduplicated, so small clusters compare however many distinct nodes
-// they have; with fewer than two alive nodes the spread is 0.
-func (c *Cluster) Spread() (float64, error) {
-	var alive []int
-	for i, p := range c.peers {
-		if p.alive.Load() {
-			alive = append(alive, i)
-		}
-	}
-	if len(alive) < 2 {
-		return 0, nil
-	}
-	idx := probeIndices(len(alive))
-	var worst float64
-	for i := 0; i < len(idx); i++ {
-		for j := i + 1; j < len(idx); j++ {
-			d, err := core.Dissimilarity(
-				c.Classification(alive[idx[i]]), c.Classification(alive[idx[j]]), c.cfg.Method)
-			if err != nil {
-				return 0, err
-			}
-			if d > worst {
-				worst = d
-			}
-		}
-	}
-	return worst, nil
-}
-
-// probeIndices returns up to four distinct probe positions spread
-// across [0, n). n must be at least 1.
-func probeIndices(n int) []int {
-	candidates := [4]int{0, n / 3, 2 * n / 3, n - 1}
-	out := candidates[:0]
-	for _, v := range candidates {
-		dup := false
-		for _, u := range out {
-			if u == v {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+// Metrics returns the net's registry — the one passed in
+// NetConfig.Metrics, or the private registry created in its absence.
+func (n *Net) Metrics() *metrics.Registry { return n.reg }
 
 // drainTimeout bounds Stop's graceful flush of queued frames: long
 // enough for healthy receivers to absorb everything in flight, short
 // enough that a genuinely stalled peer cannot hold Stop hostage.
 const drainTimeout = 500 * time.Millisecond
 
-// Stop shuts the cluster down: senders are cancelled, writers get a
-// bounded window to flush queued frames into still-open connections
-// (conserving the split weight those frames carry), then connections
-// are closed (unblocking receiver loops and any in-flight writes), the
-// TCP listener (if any) released, and all goroutines joined. Safe to
-// call more than once.
-func (c *Cluster) Stop() {
-	if c.stopped.Swap(true) {
+// Stop shuts the net down: writers get a bounded window to flush
+// queued frames into still-open connections (conserving the split
+// weight those frames carry), write sides are half-closed so receivers
+// drain what the kernel still buffers (on TCP a full close would
+// discard it) and exit on EOF, then connections are closed outright
+// (unblocking anything still stuck), the TCP listener (if any)
+// released, and all goroutines joined. The engine must have stopped
+// producing frames first. Safe to call more than once.
+func (n *Net) Stop() {
+	if n.stopped.Swap(true) {
 		return
 	}
-	c.cancel()
-	c.churnMu.Lock() // let an in-flight Kill/Restart finish first
-	defer c.churnMu.Unlock()
+	n.cancel()
+	n.churnMu.Lock() // let an in-flight Kill/Restart finish first
+	defer n.churnMu.Unlock()
 	deadline := time.Now().Add(drainTimeout)
-	for !c.queuesEmpty() && time.Now().Before(deadline) {
+	for !n.queuesEmpty() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	for _, p := range c.peers {
+	n.forEachLink(func(l *link) {
+		if cw, ok := l.conn.(interface{ CloseWrite() error }); ok {
+			_ = cw.CloseWrite()
+		} else {
+			// Synchronous pipes buffer nothing: every fully written frame
+			// is already delivered, so an outright close loses none.
+			l.shut()
+		}
+	})
+	// Give receivers a bounded window to reach EOF before the hard
+	// close, so a stalled peer cannot hold Stop hostage.
+	drained := make(chan struct{})
+	go func() {
+		for _, p := range n.peers {
+			p.wg.Wait()
+		}
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(drainTimeout):
+	}
+	n.forEachLink(func(l *link) { l.shut() })
+	if n.closeLinker != nil {
+		n.closeLinker()
+	}
+	for _, p := range n.peers {
+		p.wg.Wait()
+	}
+}
+
+// forEachLink applies fn to every link endpoint currently on the books.
+func (n *Net) forEachLink(fn func(*link)) {
+	for _, p := range n.peers {
 		p.linksMu.Lock()
 		links := append([]*link(nil), p.links...)
 		p.linksMu.Unlock()
 		for _, l := range links {
-			l.shut()
+			fn(l)
 		}
-	}
-	if c.closeLinker != nil {
-		c.closeLinker()
-	}
-	for _, p := range c.peers {
-		p.wg.Wait()
 	}
 }
 
 // queuesEmpty reports whether every live link is fully quiescent: no
 // queued frames and none held mid-write by its writer.
-func (c *Cluster) queuesEmpty() bool {
-	for _, p := range c.peers {
+func (n *Net) queuesEmpty() bool {
+	for _, p := range n.peers {
 		p.linksMu.Lock()
 		for _, l := range p.links {
 			if !l.down.Load() && l.pending.Load() > 0 {

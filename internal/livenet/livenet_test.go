@@ -2,160 +2,282 @@ package livenet
 
 import (
 	"bytes"
-	"math"
+	"encoding/binary"
+	"errors"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
-	"distclass/internal/centroids"
 	"distclass/internal/core"
 	"distclass/internal/gm"
-	"distclass/internal/rng"
 	"distclass/internal/topology"
 	"distclass/internal/vec"
 )
 
-func bimodalValues(n int, seed uint64) []core.Value {
-	r := rng.New(seed)
-	values := make([]core.Value, n)
-	for i := range values {
-		c := -4.0
-		if i%2 == 1 {
-			c = 4
-		}
-		values[i] = vec.Of(c+r.Normal(0, 1), r.Normal(0, 1))
-	}
-	return values
+// testHandler is a protocol stand-in: it records what the transport
+// delivers and returns, and can gate Deliver to simulate a slow or
+// frozen protocol layer.
+type testHandler struct {
+	gate chan struct{} // when non-nil, Deliver blocks until it is closed
+
+	mu       sync.Mutex
+	data     []delivery
+	pulls    []delivery
+	returned []returned
 }
 
-func TestStartValidation(t *testing.T) {
-	g, err := topology.Full(3)
+type delivery struct {
+	dst, src int
+	weight   float64
+}
+
+type returned struct {
+	owner  int
+	weight float64
+}
+
+func (h *testHandler) Deliver(dst, src int, pull bool, cls core.Classification) error {
+	if h.gate != nil {
+		<-h.gate
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pull {
+		h.pulls = append(h.pulls, delivery{dst: dst, src: src})
+	} else {
+		h.data = append(h.data, delivery{dst: dst, src: src, weight: cls.TotalWeight()})
+	}
+	return nil
+}
+
+func (h *testHandler) Undeliverable(owner int, cls core.Classification) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.returned = append(h.returned, returned{owner: owner, weight: cls.TotalWeight()})
+	return nil
+}
+
+func (h *testHandler) dataCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.data)
+}
+
+func (h *testHandler) pullCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pulls)
+}
+
+func (h *testHandler) deliveredWeight() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s float64
+	for _, d := range h.data {
+		s += d.weight
+	}
+	return s
+}
+
+func (h *testHandler) returnedWeight() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s float64
+	for _, r := range h.returned {
+		s += r.weight
+	}
+	return s
+}
+
+// testClassification builds a small single-collection classification of
+// the given weight — a realistic wire payload for transport tests.
+func testClassification(t *testing.T, weight float64) core.Classification {
+	t.Helper()
+	s, err := gm.Method{}.Summarize(vec.Of(1, 2))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	return core.Classification{{Summary: s, Weight: weight}}
+}
+
+func TestStartNetValidation(t *testing.T) {
+	g, err := topology.Full(2)
 	if err != nil {
 		t.Fatalf("Full: %v", err)
 	}
-	values := bimodalValues(3, 1)
-	if _, err := Start(nil, values, Config{Method: gm.Method{}}); err == nil {
+	if _, err := StartNet(nil, NetConfig{Handler: &testHandler{}}); err == nil {
 		t.Errorf("nil graph accepted")
 	}
-	if _, err := Start(g, values, Config{}); err == nil {
-		t.Errorf("missing method accepted")
-	}
-	if _, err := Start(g, values[:2], Config{Method: gm.Method{}}); err == nil {
-		t.Errorf("value count mismatch accepted")
-	}
-	if _, err := Start(g, []core.Value{nil, nil, nil}, Config{Method: gm.Method{}}); err == nil {
-		t.Errorf("empty values accepted")
+	if _, err := StartNet(g, NetConfig{}); err == nil {
+		t.Errorf("missing handler accepted")
 	}
 }
 
-// TestLiveConvergence runs a real goroutine deployment until the nodes
-// agree on the classification, for both methods.
-func TestLiveConvergence(t *testing.T) {
-	methods := []core.Method{gm.Method{}, centroids.Method{}}
-	for _, method := range methods {
-		t.Run(method.Name(), func(t *testing.T) {
-			const n = 16
-			g, err := topology.Full(n)
-			if err != nil {
-				t.Fatalf("Full: %v", err)
-			}
-			cluster, err := Start(g, bimodalValues(n, 2), Config{
-				Method:   method,
-				K:        2,
-				Interval: time.Millisecond,
-				Seed:     3,
-			})
-			if err != nil {
-				t.Fatalf("Start: %v", err)
-			}
-			defer cluster.Stop()
-			deadline := time.After(15 * time.Second)
-			for {
-				select {
-				case <-deadline:
-					spread, _ := cluster.Spread()
-					t.Fatalf("no convergence before deadline (spread %v, err %v)", spread, cluster.Err())
-				case <-time.After(20 * time.Millisecond):
-				}
-				if err := cluster.Err(); err != nil {
-					t.Fatalf("cluster error: %v", err)
-				}
-				spread, err := cluster.Spread()
-				if err != nil {
-					t.Fatalf("Spread: %v", err)
-				}
-				if spread < 0.2 {
-					break
-				}
-			}
-			// Node 0 sees both clusters.
-			var sawLow, sawHigh bool
-			for _, c := range cluster.Classification(0) {
-				var mean vec.Vector
-				switch s := c.Summary.(type) {
-				case centroids.Centroid:
-					mean = s.Point
-				case gm.Summary:
-					mean = s.G.Mean
-				}
-				switch {
-				case math.Abs(mean[0]+4) < 1.5:
-					sawLow = true
-				case math.Abs(mean[0]-4) < 1.5:
-					sawHigh = true
-				}
-			}
-			if !sawLow || !sawHigh {
-				t.Errorf("node 0 missing a cluster: %v", cluster.Classification(0))
-			}
-			if cluster.MessagesSent() == 0 {
-				t.Errorf("no messages sent")
-			}
-			if cluster.N() != n {
-				t.Errorf("N = %d", cluster.N())
-			}
-		})
+// TestSendDeliver checks the basic contract on synchronous pipes: a
+// queued data frame arrives at the handler with its sender identity and
+// full weight; a pull request arrives flagged as such and carries none.
+func TestSendDeliver(t *testing.T) {
+	g, err := topology.Full(2)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
 	}
-}
+	h := &testHandler{}
+	n, err := StartNet(g, NetConfig{Handler: h})
+	if err != nil {
+		t.Fatalf("StartNet: %v", err)
+	}
+	defer n.Stop()
 
-// TestLiveWeightConservation checks the conservation bound where it is
-// well-defined: concurrent TotalWeight readings are non-atomic (weight
-// sits in outbound queues and in-flight frames, so a live reading can
-// dip well below n without anything being lost), but after Stop — the
-// writers flush their queues into still-open connections and re-absorb
-// whatever could not be flushed — the node-held weight is exact: at
-// most n, and below it only by the few frames torn mid-write when the
-// connections finally closed.
-func TestLiveWeightConservation(t *testing.T) {
-	const n = 8
-	g, err := topology.Ring(n)
-	if err != nil {
-		t.Fatalf("Ring: %v", err)
+	if !n.CanSend(0, 1) {
+		t.Fatalf("CanSend(0,1) false on a fresh net")
 	}
-	cluster, err := Start(g, bimodalValues(n, 4), Config{
-		Method:   gm.Method{},
-		Interval: time.Millisecond,
-	})
-	if err != nil {
-		t.Fatalf("Start: %v", err)
+	if !n.Send(0, 1, false, testClassification(t, 0.5)) {
+		t.Fatalf("data send refused on a fresh net")
 	}
-	for i := 0; i < 50; i++ {
-		// A live reading misses at most the queued and in-flight weight,
-		// and can double-count at most one absorb per node: stay within
-		// [0, 2n], no tighter.
-		if got := cluster.TotalWeight(); got < 0 || got > 2*float64(n) {
-			cluster.Stop()
-			t.Fatalf("live weight reading %v wildly off from %d", got, n)
+	if !n.Send(1, 0, true, nil) {
+		t.Fatalf("pull send refused on a fresh net")
+	}
+	if n.Send(0, 0, false, testClassification(t, 0.5)) {
+		t.Errorf("send to a non-neighbor succeeded")
+	}
+
+	deadline := time.After(5 * time.Second)
+	for h.dataCount() < 1 || h.pullCount() < 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("frames not delivered: %d data, %d pulls", h.dataCount(), h.pullCount())
+		case <-time.After(time.Millisecond):
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
-	cluster.Stop()
-	got := cluster.TotalWeight()
-	if got > float64(n)+1e-9 {
-		t.Errorf("post-stop weight %v exceeds %d", got, n)
+	h.mu.Lock()
+	d, p := h.data[0], h.pulls[0]
+	h.mu.Unlock()
+	if d.dst != 1 || d.src != 0 || d.weight != 0.5 {
+		t.Errorf("data delivery = %+v, want dst 1 src 0 weight 0.5", d)
 	}
-	if got < float64(n)/2 {
-		t.Errorf("post-stop weight %v lost more than half the mass", got)
+	if p.dst != 0 || p.src != 1 {
+		t.Errorf("pull delivery = %+v, want dst 0 src 1", p)
+	}
+	if n.MessagesSent() != 2 {
+		t.Errorf("MessagesSent = %d, want 2 (data + pull)", n.MessagesSent())
+	}
+	if n.MessagesReceived() != 1 {
+		t.Errorf("MessagesReceived = %d, want 1 (data frames only)", n.MessagesReceived())
+	}
+	if n.N() != 2 {
+		t.Errorf("N = %d", n.N())
+	}
+	if err := n.Err(); err != nil {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+// TestBackpressureLosslessRefusal freezes the protocol layer and checks
+// the failure model: a full queue refuses the send (Send false, CanSend
+// false) instead of blocking or discarding, and once the receiver thaws
+// every accepted frame is delivered — backpressure costs throughput,
+// never mass.
+func TestBackpressureLosslessRefusal(t *testing.T) {
+	g, err := topology.Full(2)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	h := &testHandler{gate: make(chan struct{})}
+	n, err := StartNet(g, NetConfig{Handler: h, SendQueue: 2})
+	if err != nil {
+		t.Fatalf("StartNet: %v", err)
+	}
+	defer n.Stop()
+
+	accepted := 0
+	deadline := time.After(5 * time.Second)
+	for {
+		if !n.Send(0, 1, false, testClassification(t, 0.5)) {
+			break
+		}
+		accepted++
+		select {
+		case <-deadline:
+			t.Fatalf("queue to a frozen receiver never filled (%d accepted)", accepted)
+		default:
+		}
+		// The writer drains the queue into the (eventually blocking)
+		// pipe, so acceptance races the writer; just keep offering.
+	}
+	if accepted == 0 {
+		t.Fatalf("no sends accepted before refusal")
+	}
+	if n.CanSend(0, 1) {
+		t.Errorf("CanSend true immediately after a refused send")
+	}
+	n.NoteDrop(0)
+	if n.SendDrops() != 1 {
+		t.Errorf("SendDrops = %d after NoteDrop, want 1", n.SendDrops())
+	}
+
+	close(h.gate)
+	for h.dataCount() < accepted {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d accepted frames delivered after thaw", h.dataCount(), accepted)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got, want := h.deliveredWeight(), 0.5*float64(accepted); got != want {
+		t.Errorf("delivered weight = %v, want %v", got, want)
+	}
+	if h.returnedWeight() != 0 {
+		t.Errorf("returned weight = %v on a healthy run, want 0", h.returnedWeight())
+	}
+}
+
+// TestTCPStopDrainsKernelBuffers pins the Stop half-close: frames fully
+// written into the TCP kernel buffer but not yet read by the receiver
+// must be drained to EOF during Stop, not discarded by an abortive
+// close. Before the half-close fix this lost every buffered frame.
+func TestTCPStopDrainsKernelBuffers(t *testing.T) {
+	g, err := topology.Full(2)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	h := &testHandler{gate: make(chan struct{})}
+	n, err := StartNet(g, NetConfig{Handler: h, Transport: TransportTCP})
+	if err != nil {
+		t.Fatalf("StartNet: %v", err)
+	}
+
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if !n.Send(0, 1, false, testClassification(t, 0.5)) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	// Wait until every frame is on the wire: the receiver is frozen on
+	// the first, so the rest sit in the kernel buffer.
+	deadline := time.After(5 * time.Second)
+	for n.MessagesSent() < frames {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d frames written", n.MessagesSent(), frames)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let Stop reach its drain phase
+		close(h.gate)
+	}()
+	n.Stop()
+
+	if got := h.dataCount(); got != frames {
+		t.Errorf("delivered %d of %d frames across Stop (kernel buffer discarded?)", got, frames)
+	}
+	if got, want := h.deliveredWeight()+h.returnedWeight(), 0.5*frames; got != want {
+		t.Errorf("delivered+returned weight = %v, want %v", got, want)
+	}
+	if n.MessagesReceived() != frames {
+		t.Errorf("MessagesReceived = %d, want %d", n.MessagesReceived(), frames)
 	}
 }
 
@@ -164,13 +286,13 @@ func TestStopIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Full: %v", err)
 	}
-	cluster, err := Start(g, bimodalValues(4, 5), Config{Method: gm.Method{}})
+	n, err := StartNet(g, NetConfig{Handler: &testHandler{}})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
-	cluster.Stop()
-	cluster.Stop() // must not panic or hang
-	if err := cluster.Err(); err != nil {
+	n.Stop()
+	n.Stop() // must not panic or hang
+	if err := n.Err(); err != nil {
 		t.Errorf("Err after clean stop: %v", err)
 	}
 }
@@ -211,50 +333,69 @@ func TestFrameLimits(t *testing.T) {
 	}
 }
 
-// TestLiveTCPTransport runs the same convergence check over real
-// loopback TCP sockets.
-func TestLiveTCPTransport(t *testing.T) {
-	const n = 10
-	g, err := topology.Full(n)
-	if err != nil {
-		t.Fatalf("Full: %v", err)
-	}
-	cluster, err := Start(g, bimodalValues(n, 6), Config{
-		Method:    gm.Method{},
-		K:         2,
-		Interval:  time.Millisecond,
-		Transport: TransportTCP,
-	})
-	if err != nil {
-		t.Fatalf("Start: %v", err)
-	}
-	defer cluster.Stop()
-	deadline := time.After(15 * time.Second)
-	for {
-		select {
-		case <-deadline:
-			spread, _ := cluster.Spread()
-			t.Fatalf("no convergence over TCP (spread %v, err %v)", spread, cluster.Err())
-		case <-time.After(20 * time.Millisecond):
-		}
-		if err := cluster.Err(); err != nil {
-			t.Fatalf("cluster error: %v", err)
-		}
-		spread, err := cluster.Spread()
-		if err != nil {
-			t.Fatalf("Spread: %v", err)
-		}
-		if spread < 0.2 {
-			return
-		}
-	}
-}
-
 func TestTransportString(t *testing.T) {
 	if TransportPipe.String() != "pipe" || TransportTCP.String() != "tcp" {
 		t.Errorf("transport strings: %q %q", TransportPipe, TransportTCP)
 	}
 	if Transport(9).String() == "" {
 		t.Errorf("unknown transport should render")
+	}
+}
+
+// firstWriteOnly accepts exactly one Write, then fails — a connection
+// dying between two writes.
+type firstWriteOnly struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *firstWriteOnly) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, io.ErrClosedPipe
+	}
+	return w.buf.Write(p)
+}
+
+// TestTornFrameRegression pins the writeFrame coalescing fix. The old
+// framing issued two Writes (header, then payload); a connection dying
+// between them left the peer a header with no payload — a torn frame
+// surfacing as unexpected EOF mid-frame. The single-buffer framing
+// either delivers a whole frame or nothing.
+func TestTornFrameRegression(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+
+	// Old framing, reproduced inline: header write lands, payload write
+	// hits the dead conn, and the reader sees a torn frame.
+	old := &firstWriteOnly{}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := old.Write(hdr[:]); err != nil {
+		t.Fatalf("legacy header write: %v", err)
+	}
+	if _, err := old.Write(payload); err == nil {
+		t.Fatalf("legacy payload write should have hit the closed conn")
+	}
+	// The reader is left with a header announcing a payload that never
+	// arrives: an EOF-mid-frame indistinguishable from a clean shutdown.
+	if _, err := readFrame(&old.buf); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("legacy framing torn-frame error = %v, want an EOF mid-frame", err)
+	}
+
+	// New framing: one Write, so the same dying conn delivers the whole
+	// frame or nothing — never a torn one.
+	cur := &firstWriteOnly{}
+	if err := writeFrame(cur, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if cur.writes != 1 {
+		t.Fatalf("writeFrame issued %d writes, want exactly 1", cur.writes)
+	}
+	got, err := readFrame(&cur.buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("frame = %v, want %v", got, payload)
 	}
 }

@@ -6,20 +6,20 @@ import (
 	"testing"
 	"time"
 
-	"distclass/internal/gm"
 	"distclass/internal/metrics"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/wire"
 )
 
-// TestCounterBalance runs a pipe cluster, stops it, and checks the
-// books: on synchronous pipes every fully written frame is handed to
-// its receiver, so after quiescence the send and receive counters
-// balance exactly, per node sums match aggregates, and the latency
-// histograms saw every frame.
+// TestCounterBalance drives frames over a pipe net, stops it, and
+// checks the books: on synchronous pipes every fully written frame is
+// handed to its receiver, so after quiescence the send and receive
+// counters balance (data frames; pulls are sent but not counted as
+// receives), per-node sums match aggregates, the latency histograms saw
+// every frame, and the trace stream mirrors the counters.
 func TestCounterBalance(t *testing.T) {
-	const n = 8
+	const n = 4
 	g, err := topology.Full(n)
 	if err != nil {
 		t.Fatalf("Full: %v", err)
@@ -27,36 +27,56 @@ func TestCounterBalance(t *testing.T) {
 	reg := metrics.NewRegistry()
 	var buf strings.Builder
 	rec := trace.NewRecorder(&buf)
-	cluster, err := Start(g, bimodalValues(n, 7), Config{
-		Method:   gm.Method{},
-		Interval: time.Millisecond,
-		Metrics:  reg,
-		Trace:    rec,
-	})
+	h := &testHandler{}
+	net, err := StartNet(g, NetConfig{Handler: h, Metrics: reg, Trace: rec})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
-	}
-	// Let traffic flow, then quiesce.
-	for cluster.MessagesSent() < 50 {
-		time.Sleep(2 * time.Millisecond)
-		if err := cluster.Err(); err != nil {
-			t.Fatalf("cluster error: %v", err)
-		}
-	}
-	cluster.Stop()
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("cluster error: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
 
-	sent, recv := cluster.MessagesSent(), cluster.MessagesReceived()
-	if sent == 0 {
-		t.Fatalf("no messages sent")
+	// Every ordered neighbor pair sends one data frame and one pull.
+	var dataSent, pullSent int
+	deadline := time.After(10 * time.Second)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			for !net.Send(u, v, false, testClassification(t, 0.25)) {
+				select {
+				case <-deadline:
+					t.Fatalf("data send %d->%d refused for 10s", u, v)
+				case <-time.After(time.Millisecond):
+				}
+			}
+			dataSent++
+			for !net.Send(u, v, true, nil) {
+				select {
+				case <-deadline:
+					t.Fatalf("pull send %d->%d refused for 10s", u, v)
+				case <-time.After(time.Millisecond):
+				}
+			}
+			pullSent++
+		}
 	}
-	if sent != recv {
-		t.Errorf("counters unbalanced after quiesced pipe run: sent %d, received %d", sent, recv)
+	for h.dataCount() < dataSent || h.pullCount() < pullSent {
+		select {
+		case <-deadline:
+			t.Fatalf("delivered %d/%d data, %d/%d pulls", h.dataCount(), dataSent, h.pullCount(), pullSent)
+		case <-time.After(time.Millisecond):
+		}
 	}
-	if cluster.DecodeErrors() != 0 {
-		t.Errorf("decode errors = %d", cluster.DecodeErrors())
+	net.Stop()
+	if err := net.Err(); err != nil {
+		t.Fatalf("net error: %v", err)
+	}
+
+	sent, recv := net.MessagesSent(), net.MessagesReceived()
+	if sent != int64(dataSent+pullSent) {
+		t.Errorf("MessagesSent = %d, want %d data + %d pulls", sent, dataSent, pullSent)
+	}
+	if recv != int64(dataSent) {
+		t.Errorf("MessagesReceived = %d, want %d (data frames only)", recv, dataSent)
+	}
+	if net.DecodeErrors() != 0 {
+		t.Errorf("decode errors = %d", net.DecodeErrors())
 	}
 	// Per-node counters sum to the aggregates.
 	if got := reg.SumCounters("livenet.node.", ".sent"); got != sent {
@@ -65,13 +85,10 @@ func TestCounterBalance(t *testing.T) {
 	if got := reg.SumCounters("livenet.node.", ".received"); got != recv {
 		t.Errorf("per-node received sum = %d, aggregate = %d", got, recv)
 	}
-	// Latency histograms observed every frame.
 	snap := reg.Snapshot()
-	// Staleness gauges: each node's last_receive_seq holds the
-	// cluster-wide receive sequence at its latest absorb, so every gauge
-	// lies in [1, recv] and the most recently fed node sits exactly at
-	// recv. On a full graph with the send/receive books balanced, every
-	// node received at least once.
+	// Staleness gauges: each node's last_receive_seq holds the net-wide
+	// receive sequence at its latest absorb, so every gauge lies in
+	// [1, recv] and the most recently fed node sits exactly at recv.
 	var maxSeq float64
 	for i := 0; i < n; i++ {
 		seq := snap.Gauges[gaugeName(i)]
@@ -85,17 +102,12 @@ func TestCounterBalance(t *testing.T) {
 	if int64(maxSeq) != recv {
 		t.Errorf("max last_receive_seq = %v, want %d (the final receive)", maxSeq, recv)
 	}
-	if h := snap.Histograms["livenet.send_seconds"]; h.Count != sent {
-		t.Errorf("send histogram count = %d, sent = %d", h.Count, sent)
+	// Latency histograms observed every frame.
+	if hist := snap.Histograms["livenet.send_seconds"]; hist.Count != sent {
+		t.Errorf("send histogram count = %d, sent = %d", hist.Count, sent)
 	}
-	if h := snap.Histograms["livenet.absorb_seconds"]; h.Count != recv {
-		t.Errorf("absorb histogram count = %d, received = %d", h.Count, recv)
-	}
-	// The shared registry also carries the nodes' core protocol
-	// counters. Every sent frame needed a split; splits whose write
-	// was cut off by Stop never became sends, so splits >= sent.
-	if got := snap.Counters["core.splits"]; got < sent {
-		t.Errorf("core.splits = %d < sent = %d", got, sent)
+	if hist := snap.Histograms["livenet.absorb_seconds"]; hist.Count != recv {
+		t.Errorf("absorb histogram count = %d, received = %d", hist.Count, recv)
 	}
 	// Trace events match the counters.
 	events, err := trace.Read(strings.NewReader(buf.String()))
@@ -108,12 +120,9 @@ func TestCounterBalance(t *testing.T) {
 	if got := trace.CountKind(events, trace.KindReceive); int64(got) != recv {
 		t.Errorf("receive events = %d, received = %d", got, recv)
 	}
-	if got := trace.CountKind(events, trace.KindSplit); int64(got) < sent {
-		t.Errorf("split events = %d < sent = %d", got, sent)
-	}
 	for _, e := range events {
 		if e.Round != -1 {
-			t.Fatalf("live event carries a round: %+v", e)
+			t.Fatalf("transport event carries a round: %+v", e)
 		}
 		// Receive events carry the decoded collection count (same unit
 		// as sim's batch size), never the frame byte length — any wire
@@ -125,10 +134,9 @@ func TestCounterBalance(t *testing.T) {
 }
 
 // TestDecodeErrorCounted injects a corrupt frame into a node's
-// connection and checks the new default semantics: the frame is
-// skipped and attributed per peer, the cluster does NOT fail, and the
-// link keeps delivering — a valid frame injected afterwards is still
-// absorbed.
+// connection and checks the default semantics: the frame is skipped and
+// attributed per peer, the net does NOT fail, and the link keeps
+// delivering — a valid frame injected afterwards is still absorbed.
 func TestDecodeErrorCounted(t *testing.T) {
 	const n = 2
 	g, err := topology.Full(n)
@@ -136,31 +144,28 @@ func TestDecodeErrorCounted(t *testing.T) {
 		t.Fatalf("Full: %v", err)
 	}
 	reg := metrics.NewRegistry()
-	cluster, err := Start(g, bimodalValues(n, 9), Config{
-		Method:   gm.Method{},
-		Interval: time.Hour, // senders stay idle; we inject by hand
-		Metrics:  reg,
-	})
+	h := &testHandler{}
+	net, err := StartNet(g, NetConfig{Handler: h, Metrics: reg})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
-	defer cluster.Stop()
+	defer net.Stop()
 	// Write garbage down node 0's side of the link; node 1's receiver
 	// fails to decode it, counts it, and moves on.
-	conn := cluster.peers[0].links[0].conn
+	conn := net.peers[0].links[0].conn
 	if err := writeFrame(conn, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
 		t.Fatalf("writeFrame: %v", err)
 	}
 	deadline := time.After(5 * time.Second)
-	for cluster.DecodeErrors() == 0 {
+	for net.DecodeErrors() == 0 {
 		select {
 		case <-deadline:
-			t.Fatalf("decode error never counted (err=%v)", cluster.Err())
+			t.Fatalf("decode error never counted (err=%v)", net.Err())
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if err := cluster.Err(); err != nil {
-		t.Errorf("decode error failed the cluster (should be non-fatal by default): %v", err)
+	if err := net.Err(); err != nil {
+		t.Errorf("decode error failed the net (should be non-fatal by default): %v", err)
 	}
 	if got := reg.SumCounters("livenet.node.", ".decode_errors"); got != 1 {
 		t.Errorf("per-node decode errors = %d, want 1", got)
@@ -170,83 +175,70 @@ func TestDecodeErrorCounted(t *testing.T) {
 	if got := reg.Counter("livenet.node.1.decode_errors.from.0").Value(); got != 1 {
 		t.Errorf("per-peer decode errors from node 0 = %d, want 1", got)
 	}
-	// The link survived: a valid frame sent right after the corrupt one
-	// still gets decoded and absorbed.
-	data, err := marshalFor(cluster, 0)
+	// The link survived: a valid data frame injected right after the
+	// corrupt one still gets decoded and delivered.
+	payload, err := wire.MarshalClassification(testClassification(t, 0.5))
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
-	if err := writeFrame(conn, data); err != nil {
+	frame := append([]byte{frameKindData}, payload...)
+	if err := writeFrame(conn, frame); err != nil {
 		t.Fatalf("writeFrame (valid): %v", err)
 	}
-	for cluster.MessagesReceived() == 0 {
+	for h.dataCount() == 0 {
 		select {
 		case <-deadline:
-			t.Fatalf("valid frame after decode error never absorbed (err=%v)", cluster.Err())
+			t.Fatalf("valid frame after decode error never delivered (err=%v)", net.Err())
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if cluster.Alive(0) != true || cluster.Alive(1) != true {
+	if !net.Alive(0) || !net.Alive(1) {
 		t.Errorf("nodes died over a decode error")
 	}
 }
 
 // TestDecodeErrorStrictThreshold sets FailOnDecodeErrors and checks
-// that reaching the threshold fails the cluster — the strict mode for
-// runs that must not tolerate corruption.
+// that reaching the threshold fails the net — the strict mode for runs
+// that must not tolerate corruption.
 func TestDecodeErrorStrictThreshold(t *testing.T) {
 	const n = 2
 	g, err := topology.Full(n)
 	if err != nil {
 		t.Fatalf("Full: %v", err)
 	}
-	cluster, err := Start(g, bimodalValues(n, 11), Config{
-		Method:             gm.Method{},
-		Interval:           time.Hour,
-		FailOnDecodeErrors: 2,
-	})
+	net, err := StartNet(g, NetConfig{Handler: &testHandler{}, FailOnDecodeErrors: 2})
 	if err != nil {
-		t.Fatalf("Start: %v", err)
+		t.Fatalf("StartNet: %v", err)
 	}
-	defer cluster.Stop()
-	conn := cluster.peers[0].links[0].conn
+	defer net.Stop()
+	conn := net.peers[0].links[0].conn
 	deadline := time.After(5 * time.Second)
 	// First corrupt frame: under the threshold, still non-fatal.
-	if err := writeFrame(conn, []byte{0x01}); err != nil {
+	if err := writeFrame(conn, []byte{0xff}); err != nil {
 		t.Fatalf("writeFrame: %v", err)
 	}
-	for cluster.DecodeErrors() < 1 {
+	for net.DecodeErrors() < 1 {
 		select {
 		case <-deadline:
 			t.Fatalf("first decode error never counted")
 		case <-time.After(time.Millisecond):
 		}
 	}
-	if err := cluster.Err(); err != nil {
-		t.Fatalf("cluster failed below the strict threshold: %v", err)
+	if err := net.Err(); err != nil {
+		t.Fatalf("net failed below the strict threshold: %v", err)
 	}
 	// Second corrupt frame reaches the threshold.
-	if err := writeFrame(conn, []byte{0x02}); err != nil {
+	if err := writeFrame(conn, []byte{0xfe}); err != nil {
 		t.Fatalf("writeFrame: %v", err)
 	}
-	for cluster.Err() == nil {
+	for net.Err() == nil {
 		select {
 		case <-deadline:
-			t.Fatalf("strict threshold reached but cluster never failed (decode errors: %d)",
-				cluster.DecodeErrors())
+			t.Fatalf("strict threshold reached but net never failed (decode errors: %d)",
+				net.DecodeErrors())
 		case <-time.After(time.Millisecond):
 		}
 	}
-}
-
-// marshalFor encodes a split taken from node i — a valid wire frame
-// for injection tests.
-func marshalFor(c *Cluster, i int) ([]byte, error) {
-	p := c.peers[i]
-	p.mu.Lock()
-	out := p.node.Split()
-	p.mu.Unlock()
-	return wire.MarshalClassification(out)
 }
 
 // gaugeName is the staleness gauge of node i.

@@ -19,15 +19,20 @@ type MetricDelta struct {
 // A-vs-B view: did the change converge faster, send fewer messages,
 // end at a lower error?
 type Diff struct {
-	FileA   string        `json:"file_a"`
-	FileB   string        `json:"file_b"`
-	Metrics []MetricDelta `json:"metrics"`
+	FileA string `json:"file_a"`
+	FileB string `json:"file_b"`
+	// BackendA and BackendB name the engine backends that produced the
+	// two traces (empty for headerless traces) — the cross-backend
+	// ablation view: same workload, different transport.
+	BackendA string        `json:"backend_a,omitempty"`
+	BackendB string        `json:"backend_b,omitempty"`
+	Metrics  []MetricDelta `json:"metrics"`
 }
 
 // NewDiff compares two reports. The metric list and order are fixed, so
 // diff output is deterministic and diffable itself.
 func NewDiff(a, b *RunReport) *Diff {
-	d := &Diff{FileA: a.File, FileB: b.File}
+	d := &Diff{FileA: a.File, FileB: b.File, BackendA: a.Backend, BackendB: b.Backend}
 	add := func(name string, av, bv float64) {
 		d.Metrics = append(d.Metrics, MetricDelta{Name: name, A: av, B: bv, Delta: bv - av})
 	}
@@ -70,6 +75,15 @@ func (d *Diff) WriteJSON(w io.Writer) error {
 func (d *Diff) WriteText(w io.Writer) error {
 	p := &printer{w: w}
 	p.f("== diff: %s vs %s ==\n", d.FileA, d.FileB)
+	if d.BackendA != "" || d.BackendB != "" {
+		or := func(s string) string {
+			if s == "" {
+				return "(no header)"
+			}
+			return s
+		}
+		p.f("backend: %s vs %s\n", or(d.BackendA), or(d.BackendB))
+	}
 	p.f("%-22s %14s %14s %14s\n", "metric", "a", "b", "delta")
 	for _, m := range d.Metrics {
 		p.f("%-22s %14s %14s %14s\n", m.Name, fnum(m.A), fnum(m.B), fnum(m.Delta))

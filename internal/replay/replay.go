@@ -196,6 +196,10 @@ type Anomalies struct {
 type RunReport struct {
 	// File labels the report (set by callers; empty for readers).
 	File string `json:"file,omitempty"`
+	// Backend names the engine backend that produced the trace, taken
+	// from the run-header event. Empty for traces recorded without a
+	// header (trace.Recorder emits one only when configured to).
+	Backend string `json:"backend,omitempty"`
 	// Events is the total number of trace events consumed.
 	Events int `json:"events"`
 	// Rounds is the number of driver rounds observed (max round + 1);
@@ -241,6 +245,7 @@ type analyzer struct {
 	errs        []Sample
 	nodes       map[int]*nodeState
 	msg         Messaging
+	backend     string
 	prevRound   int
 	regressions int
 }
@@ -296,6 +301,12 @@ func (a *analyzer) observe(e trace.Event) error {
 		ns = a.nodeAt(e.Node)
 	}
 	switch e.Kind {
+	case trace.KindRunHeader:
+		// Run-level metadata, not a protocol event: Round and Node are
+		// both -1, so the guards above already keep it out of the round
+		// and node accounting. Last header wins — a file holding several
+		// concatenated runs is flagged via round regressions anyway.
+		a.backend = e.Backend
 	case trace.KindSend:
 		a.msg.Sends++
 		a.msg.SentBytes += e.Value
@@ -384,6 +395,7 @@ func (a *analyzer) observe(e trace.Event) error {
 // anomaly classification) and assembles the report.
 func (a *analyzer) finish() *RunReport {
 	rep := &RunReport{
+		Backend:     a.backend,
 		Events:      a.events,
 		Rounds:      len(a.rounds),
 		Nodes:       len(a.nodes),

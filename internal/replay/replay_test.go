@@ -173,6 +173,35 @@ func TestRoundlessEventsDoNotRegress(t *testing.T) {
 	}
 }
 
+func TestRunHeaderBackend(t *testing.T) {
+	s := record(t,
+		trace.RunHeader("chan"),
+		trace.Event{Round: 0, Node: 0, Kind: trace.KindSend},
+		spreadAt(0, 0.5),
+	)
+	rep := analyzeString(t, s, Options{})
+	if rep.Backend != "chan" {
+		t.Errorf("Backend = %q, want %q", rep.Backend, "chan")
+	}
+	// The header is metadata (Round -1, Node -1): it must count as an
+	// event but stay out of round, node and anomaly accounting.
+	if rep.Events != 3 {
+		t.Errorf("Events = %d, want 3", rep.Events)
+	}
+	if rep.Rounds != 1 || rep.Nodes != 1 {
+		t.Errorf("Rounds = %d, Nodes = %d, want 1 and 1", rep.Rounds, rep.Nodes)
+	}
+	if rep.Anomalies.Count != 0 {
+		t.Errorf("header introduced %d anomalies", rep.Anomalies.Count)
+	}
+
+	other := analyzeString(t, record(t, spreadAt(0, 0.5)), Options{})
+	d := NewDiff(rep, other)
+	if d.BackendA != "chan" || d.BackendB != "" {
+		t.Errorf("diff backends = %q vs %q, want %q vs %q", d.BackendA, d.BackendB, "chan", "")
+	}
+}
+
 func TestEmptyTrace(t *testing.T) {
 	rep := analyzeString(t, "", Options{})
 	if rep.Events != 0 || rep.Rounds != 0 || rep.Nodes != 0 {

@@ -73,6 +73,9 @@ func (rep *RunReport) WriteText(w io.Writer) error {
 		label = "(unnamed trace)"
 	}
 	p.f("== run report: %s ==\n", label)
+	if rep.Backend != "" {
+		p.f("backend: %s\n", rep.Backend)
+	}
 	p.f("events: %d   rounds: %d   nodes: %d\n", rep.Events, rep.Rounds, rep.Nodes)
 	p.f("kinds:")
 	for _, kc := range rep.Kinds {

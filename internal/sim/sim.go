@@ -230,6 +230,21 @@ func NewNetwork[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Op
 // Alive reports whether node i is alive.
 func (n *Network[M]) Alive(i int) bool { return n.alive[i] }
 
+// Kill crashes node i fail-stop between rounds — the explicit-churn
+// counterpart of CrashProb. In the round model there are no messages in
+// flight between rounds, so only the node's own state is lost. Killing
+// a dead node is a no-op so churn layers can apply it blindly.
+func (n *Network[M]) Kill(i int) {
+	if i < 0 || i >= len(n.alive) || !n.alive[i] {
+		return
+	}
+	n.alive[i] = false
+	n.c.incCrash()
+	if n.opts.Trace != nil {
+		_ = n.opts.Trace.Record(trace.Event{Round: n.c.local.Rounds, Node: i, Kind: trace.KindCrash})
+	}
+}
+
 // AliveCount returns the number of alive nodes.
 func (n *Network[M]) AliveCount() int {
 	c := 0
@@ -381,10 +396,15 @@ type Async[M any] struct {
 	queues map[[2]int][]M // FIFO per directed edge (src, dst)
 	edges  [][2]int       // directed edges with non-empty queues (keys of queues, maintained lazily)
 	rr     []int
+	alive  []bool
 	c      counters
 }
 
-// NewAsync builds an async driver over the graph.
+// NewAsync builds an async driver over the graph. The async driver has
+// no probabilistic fault injection of its own: Options.CrashProb and
+// Options.DropProb are round-driver features and are rejected here
+// rather than silently ignored (crashes under the async model are
+// driven explicitly through Kill).
 func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Options[M]) (*Async[M], error) {
 	if g == nil {
 		return nil, errors.New("sim: nil graph")
@@ -400,6 +420,18 @@ func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Opti
 	if r == nil {
 		return nil, errors.New("sim: nil rng")
 	}
+	//lint:allow floatcmp zero means "feature unused"; any nonzero setting is an error
+	if opts.CrashProb != 0 {
+		return nil, fmt.Errorf("sim: async driver does not support CrashProb (got %v); use Kill for explicit crashes", opts.CrashProb)
+	}
+	//lint:allow floatcmp zero means "feature unused"; any nonzero setting is an error
+	if opts.DropProb != 0 {
+		return nil, fmt.Errorf("sim: async driver does not support DropProb (got %v)", opts.DropProb)
+	}
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
 	return &Async[M]{
 		graph:  g,
 		agents: agents,
@@ -407,12 +439,82 @@ func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Opti
 		opts:   opts,
 		queues: make(map[[2]int][]M),
 		rr:     make([]int, g.N()),
+		alive:  alive,
 		c:      newCounters(opts.Metrics),
 	}, nil
 }
 
 // Stats returns a snapshot of the accumulated counters.
 func (a *Async[M]) Stats() Stats { return a.c.stats() }
+
+// Alive reports whether node i is alive.
+func (a *Async[M]) Alive(i int) bool { return a.alive[i] }
+
+// AliveCount returns the number of alive nodes.
+func (a *Async[M]) AliveCount() int {
+	c := 0
+	for _, ok := range a.alive {
+		if ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Kill crashes node i fail-stop: it takes no further send opportunities,
+// messages queued to or from it are discarded (counted as dropped — the
+// weight they carry is destroyed, exactly the Figure 4 failure model),
+// and future sends to it are dropped. The discarded in-flight messages
+// are returned so callers can account the weight they carried. Killing
+// a dead node is a no-op so probabilistic churn layers can apply it
+// blindly.
+func (a *Async[M]) Kill(i int) []M {
+	if i < 0 || i >= len(a.alive) || !a.alive[i] {
+		return nil
+	}
+	a.alive[i] = false
+	a.c.incCrash()
+	// Collect the dead node's edges and discard in sorted order: the
+	// returned slice feeds float accumulations (destroyed-weight sums)
+	// whose result depends on addition order, so map order must not
+	// leak into it.
+	var dead [][2]int
+	for e, q := range a.queues {
+		if (e[0] == i || e[1] == i) && len(q) > 0 {
+			dead = append(dead, e)
+		}
+	}
+	sort.Slice(dead, func(x, y int) bool {
+		if dead[x][0] != dead[y][0] {
+			return dead[x][0] < dead[y][0]
+		}
+		return dead[x][1] < dead[y][1]
+	})
+	var discarded []M
+	for _, e := range dead {
+		for range a.queues[e] {
+			a.c.incDropped()
+		}
+		discarded = append(discarded, a.queues[e]...)
+		delete(a.queues, e)
+	}
+	if a.opts.Trace != nil {
+		_ = a.opts.Trace.Record(trace.Event{Round: a.c.local.Steps, Node: i, Kind: trace.KindCrash})
+	}
+	return discarded
+}
+
+// ForEachQueued calls fn for every queued undelivered message, in
+// unspecified order — for accounting reductions (e.g. summing the
+// weight in flight) whose result is order-independent.
+func (a *Async[M]) ForEachQueued(fn func(M)) {
+	for _, q := range a.queues {
+		for _, m := range q {
+			//lint:allow mapiter callers compute order-independent reductions
+			fn(m)
+		}
+	}
+}
 
 // InFlight returns the number of queued (sent, undelivered) messages.
 func (a *Async[M]) InFlight() int {
@@ -443,11 +545,19 @@ func (a *Async[M]) Step() error {
 	a.c.incStep()
 	if choice < sends {
 		self := choice
+		if !a.alive[self] {
+			return nil
+		}
 		peer, ok := pickNeighbor(a.graph, self, a.opts.Policy, a.rr, a.r)
 		if !ok {
 			return nil
 		}
 		enqueue := func(src, dst int) {
+			if !a.alive[src] {
+				// A pull from (or exchange with) a crashed peer returns
+				// nothing — the round driver's failure semantics.
+				return
+			}
 			msg, ok := a.agents[src].Emit()
 			if !ok {
 				return
@@ -458,6 +568,13 @@ func (a *Async[M]) Step() error {
 			}
 			if a.opts.Trace != nil {
 				_ = a.opts.Trace.Record(trace.Event{Round: step, Node: src, Kind: trace.KindSend})
+			}
+			if !a.alive[dst] {
+				// The emitted half was addressed to a crashed node: its
+				// weight is destroyed, like a message in flight to a dead
+				// receiver.
+				a.c.incDropped()
+				return
 			}
 			key := [2]int{src, dst}
 			a.queues[key] = append(a.queues[key], msg)

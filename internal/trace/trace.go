@@ -56,6 +56,11 @@ const (
 	KindError Kind = "error"
 	// KindClassification: a node's classification snapshot.
 	KindClassification Kind = "classification"
+	// KindRunHeader: a run-level header, recorded once before any other
+	// event. Node is -1 and Round is -1; Backend names the engine
+	// backend that produced the run, so analyzers can compare runs
+	// across backends.
+	KindRunHeader Kind = "run-header"
 )
 
 // Event is one recorded observation.
@@ -74,6 +79,16 @@ type Event struct {
 	// ...). It is always serialized: a scalar observation of 0 (e.g.
 	// spread at convergence) is a legitimate reading, not an absence.
 	Value float64 `json:"value"`
+	// Backend names the engine backend on KindRunHeader events
+	// ("round", "async", "chan", "pipe", "tcp"); empty elsewhere.
+	Backend string `json:"backend,omitempty"`
+}
+
+// RunHeader builds the run-level header event for the given backend
+// name. Record it first so downstream tools can identify the run's
+// substrate before any protocol event arrives.
+func RunHeader(backend string) Event {
+	return Event{Round: -1, Node: -1, Kind: KindRunHeader, Backend: backend}
 }
 
 // CollectionRecord is one collection's snapshot.
