@@ -6,9 +6,9 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke engine-smoke
+.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke engine-smoke monitor-smoke
 
-check: fmt vet lint analyze-smoke churn-smoke engine-smoke race
+check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke race
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,15 @@ churn-smoke:
 engine-smoke:
 	@$(GO) run ./cmd/experiments -engine-smoke >/dev/null && \
 	echo "engine-smoke: all backends converged, weight conserved"
+
+# Monitoring-plane smoke gate: the engine-smoke workload with the online
+# monitor attached on every backend, asserted over real HTTP — /health
+# must answer 200 converged and /status an exact conservation audit.
+# `make race` re-runs the same gate under the race detector via
+# TestRunMonitorSmoke.
+monitor-smoke:
+	@$(GO) run ./cmd/experiments -monitor-smoke >/dev/null && \
+	echo "monitor-smoke: /health converged and /status audit exact on all backends"
 
 # Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
 # wire codec, sim round loop), archived as BENCH_<date>.json with a

@@ -7,13 +7,16 @@
 //
 // With -metrics it serves the run's counters, latency histograms, run
 // manifest and pprof profiles over HTTP while the cluster runs; with
-// -trace it writes every protocol event (split, merge, send, receive,
-// decode error) as JSONL, prefixed with a run header naming the
-// backend.
+// -monitor it additionally attaches the online monitor and serves
+// /status, /health and /events for dashboards (distclass-top) and
+// readiness probes; with -trace it writes every protocol event (split,
+// merge, send, receive, decode error) as JSONL, prefixed with a run
+// header naming the backend.
 //
 // Example:
 //
-//	distclass-live -n 32 -k 2 -topology geometric -duration 2s -metrics :8080
+//	distclass-live -n 32 -k 2 -topology geometric -duration 10s -monitor :8080
+//	distclass-top -addr 127.0.0.1:8080    # in another terminal
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe or tcp")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
+	flag.StringVar(&cfg.monitorAddr, "monitor", "", "attach the online monitor and serve /status, /health and /events (plus the -metrics endpoints) on this address; distclass-top points here")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -70,6 +74,7 @@ type runConfig struct {
 	tol         float64
 	traceFile   string
 	metricsAddr string
+	monitorAddr string
 
 	// onServe, when set, is called with the bound metrics address once
 	// the endpoint is up and the cluster is running. Tests use it to
@@ -165,22 +170,51 @@ func run(cfg runConfig) error {
 	if sink != nil {
 		opts = append(opts, distclass.WithTrace(sink))
 	}
+	var mon *distclass.Monitor
+	if cfg.monitorAddr != "" {
+		mon = distclass.NewMonitor()
+		opts = append(opts, distclass.WithMonitor(mon))
+	}
 	cluster, err := distclass.StartLive(values, m, opts...)
 	if err != nil {
 		return err
 	}
 	defer cluster.Stop()
 
-	if cfg.metricsAddr != "" {
+	// One observability mux serves every endpoint; -metrics and
+	// -monitor each bind it to an address (the same mux on both when
+	// both are given, deduplicated when equal).
+	if cfg.metricsAddr != "" || cfg.monitorAddr != "" {
 		man := metrics.NewManifest("distclass-live", cfg.seed, cfg.manifestConfig())
-		srv, err := metrics.Serve(cfg.metricsAddr, reg, man)
-		if err != nil {
-			return err
+		mux := metrics.NewMux(reg, man)
+		if mon != nil {
+			mon.Attach(mux)
 		}
-		defer srv.Close()
-		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
+		addrs := []string{cfg.metricsAddr}
+		if cfg.monitorAddr != cfg.metricsAddr {
+			addrs = append(addrs, cfg.monitorAddr)
+		}
+		first := ""
+		for _, addr := range addrs {
+			if addr == "" {
+				continue
+			}
+			srv, err := metrics.ServeMux(addr, mux)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			if first == "" {
+				first = srv.Addr()
+			}
+			fmt.Printf("observability: http://%s/metrics (also /manifest, /debug/pprof/", srv.Addr())
+			if mon != nil {
+				fmt.Printf(", /status, /health, /events")
+			}
+			fmt.Println(")")
+		}
 		if cfg.onServe != nil {
-			if err := cfg.onServe(srv.Addr()); err != nil {
+			if err := cfg.onServe(first); err != nil {
 				return err
 			}
 		}

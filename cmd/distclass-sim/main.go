@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"distclass"
+	"distclass/internal/metrics"
 	"distclass/internal/plot"
 	"distclass/internal/prof"
 	"distclass/internal/rng"
@@ -42,6 +43,7 @@ func main() {
 		plotOut    = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace (splits, merges, sends, per-round spread, node 0's classification) to this file")
 		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot after the run to this file (\"-\" for stdout)")
+		monitor    = flag.String("monitor", "", "attach the online monitor and serve /status, /health, /events and /metrics on this address while the simulation runs")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		traceOut   = flag.String("traceout", "", "write a runtime execution trace to this file (inspect with go tool trace)")
@@ -53,7 +55,7 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut)
+	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut, *monitor)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -63,7 +65,7 @@ func main() {
 	}
 }
 
-func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut string) error {
+func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut, monitorAddr string) error {
 	var m distclass.Method
 	switch method {
 	case "gm":
@@ -141,9 +143,28 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 			opts = append(opts, distclass.WithRunHeader())
 		}
 	}
+	var mon *distclass.Monitor
+	if monitorAddr != "" {
+		mon = distclass.NewMonitor()
+		opts = append(opts, distclass.WithMonitor(mon))
+	}
 	sys, err := distclass.New(values, m, opts...)
 	if err != nil {
 		return err
+	}
+	if mon != nil {
+		man := metrics.NewManifest("distclass-sim", seed, map[string]string{
+			"n": fmt.Sprint(n), "k": fmt.Sprint(k), "method": method,
+			"topology": topo, "backend": backend, "policy": policy, "mode": mode,
+		})
+		mux := metrics.NewMux(reg, man)
+		mon.Attach(mux)
+		srv, err := metrics.ServeMux(monitorAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("monitoring: http://%s/status (also /health, /events, /metrics)\n", srv.Addr())
 	}
 
 	observe := func(round int) error {

@@ -12,6 +12,7 @@
 //	experiments -ablation topology|k|q|policy|methods|histogram
 //	experiments -live-churn       # live Figure 4: kill real cluster nodes mid-run
 //	experiments -engine-smoke     # tiny workload on every engine backend
+//	experiments -monitor-smoke    # online monitor + HTTP plane on every backend
 //	experiments -all              # everything (long)
 //
 // Use -quick for reduced network sizes (fast smoke runs). The live
@@ -22,10 +23,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -37,6 +40,7 @@ import (
 	"distclass/internal/experiments"
 	"distclass/internal/experiments/live"
 	"distclass/internal/metrics"
+	"distclass/internal/monitor"
 	"distclass/internal/plot"
 	"distclass/internal/prof"
 	"distclass/internal/rng"
@@ -86,10 +90,12 @@ func main() {
 		strict      = flag.Bool("strict", false, "with -live-churn: fail on non-convergence, cluster errors or broken weight conservation")
 		backendFlag = flag.String("backend", "", "engine backend for -fig 4, -ablation crash and -live-churn: round, async, chan, pipe or tcp (default: round for the sim figures, pipe for -live-churn)")
 		engineSmoke = flag.Bool("engine-smoke", false, "run a tiny two-cluster workload on every engine backend and audit convergence and weight conservation")
+		monitorAddr = flag.String("monitor", "", "attach a passive online monitor to the event stream and serve /status, /health and /events (plus the -metrics endpoints) on this address; state aggregates across every experiment of the invocation")
+		monSmoke    = flag.Bool("monitor-smoke", false, "run the engine-smoke workload on every backend with the online monitor attached and assert /health converged and /status conservation exact over HTTP")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke {
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*monSmoke {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,7 +118,7 @@ func main() {
 		fig: *fig, ablation: *ablation, all: *all, quick: *quick,
 		seed: *seed, csvDir: *csvDir, traceFile: *traceFile,
 		metricsAddr: *metricsAddr, churn: churn, figBackend: backends.fig,
-		engineSmoke: *engineSmoke,
+		engineSmoke: *engineSmoke, monitorAddr: *monitorAddr, monitorSmoke: *monSmoke,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -157,6 +163,9 @@ type mainOpts struct {
 	churn       churnOpts
 	figBackend  engine.Backend
 	engineSmoke bool
+
+	monitorAddr  string
+	monitorSmoke bool
 }
 
 // realMain sets up the trace recorder and metrics endpoint (so their
@@ -171,7 +180,17 @@ func realMain(m mainOpts) error {
 		defer f.Close()
 		o.sink = trace.NewRecorder(f)
 	}
-	if m.metricsAddr != "" {
+	// With -monitor a passive observer rides the trace tee: every
+	// experiment's events flow through it, so /status and /events show
+	// the whole invocation's aggregate (across sequential runs the
+	// convergence verdict describes the combined spread stream, not any
+	// single run — use distclass-sim/-live -monitor for per-run health).
+	var mon *distclass.Monitor
+	if m.monitorAddr != "" {
+		mon = distclass.NewMonitor()
+		o.sink = trace.Tee(mon, o.sink)
+	}
+	if m.metricsAddr != "" || m.monitorAddr != "" {
 		man := metrics.NewManifest("experiments", m.seed, map[string]string{
 			"fig":      strconv.Itoa(m.fig),
 			"ablation": m.ablation,
@@ -179,12 +198,29 @@ func realMain(m mainOpts) error {
 			"quick":    strconv.FormatBool(m.quick),
 			"backend":  m.figBackend.String(),
 		})
-		srv, err := metrics.Serve(m.metricsAddr, o.reg, man)
-		if err != nil {
-			return err
+		mux := metrics.NewMux(o.reg, man)
+		if mon != nil {
+			mon.Attach(mux)
 		}
-		defer srv.Close()
-		fmt.Printf("metrics: http://%s/metrics (also /manifest, /debug/pprof/)\n", srv.Addr())
+		addrs := []string{m.metricsAddr}
+		if m.monitorAddr != m.metricsAddr {
+			addrs = append(addrs, m.monitorAddr)
+		}
+		for _, addr := range addrs {
+			if addr == "" {
+				continue
+			}
+			srv, err := metrics.ServeMux(addr, mux)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("observability: http://%s/metrics (also /manifest, /debug/pprof/", srv.Addr())
+			if mon != nil {
+				fmt.Printf(", /status, /health, /events")
+			}
+			fmt.Println(")")
+		}
 	}
 	return run(m, o)
 }
@@ -197,6 +233,7 @@ func run(m mainOpts, o obs) error {
 		ablations = []string{"topology", "k", "q", "policy", "mode", "methods", "reducer", "crash", "loss", "outliermethods", "scalability", "dimension", "relatedwork", "histogram"}
 		m.churn.enabled = true
 		m.engineSmoke = true
+		m.monitorSmoke = true
 	}
 	for _, f := range figs {
 		if f == 0 {
@@ -221,6 +258,11 @@ func run(m mainOpts, o obs) error {
 	}
 	if m.engineSmoke {
 		if err := runEngineSmoke(m.seed, o); err != nil {
+			return err
+		}
+	}
+	if m.monitorSmoke {
+		if err := runMonitorSmoke(m.seed, o); err != nil {
 			return err
 		}
 	}
@@ -298,6 +340,161 @@ func runEngineSmoke(seed uint64, o obs) error {
 	}
 	fmt.Println(experiments.FormatTable([]string{"backend", "converged", "rounds", "weight"}, out))
 	return nil
+}
+
+// runMonitorSmoke runs the engine-smoke workload on every backend with
+// the online monitor attached, serves the monitor over HTTP on a
+// loopback port and asserts the plane end to end: /health answers 200
+// converged, /status reports an exact conservation audit with zero
+// violations, and /events streams the run's trace tail.
+func runMonitorSmoke(seed uint64, o obs) error {
+	fmt.Println("=== Monitor smoke: online watcher + HTTP plane on every backend ===")
+	const n = 16
+	out := make([][]string, 0, len(engine.Backends()))
+	for _, b := range engine.Backends() {
+		st, err := monitorSmokeBackend(b, seed, o)
+		if err != nil {
+			return err
+		}
+		out = append(out, []string{
+			b.String(), st.Health,
+			strconv.Itoa(st.Convergence.Samples),
+			experiments.F(st.Conservation.Latest),
+			strconv.FormatBool(st.Conservation.Exact),
+		})
+	}
+	fmt.Println(experiments.FormatTable(
+		[]string{"backend", "health", "samples", "weight", "exact"}, out))
+	return nil
+}
+
+// monitorSmokeBackend runs one monitored workload on backend b and
+// returns the /status snapshot after the HTTP assertions pass.
+func monitorSmokeBackend(b engine.Backend, seed uint64, o obs) (*monitor.Status, error) {
+	const n = 16
+	r := rng.New(seed)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4
+		}
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	mon := distclass.NewMonitor()
+	opts := []distclass.Option{
+		distclass.WithK(2),
+		distclass.WithSeed(seed),
+		distclass.WithBackend(b),
+		distclass.WithTolerance(0.05),
+		distclass.WithMetrics(o.reg),
+		distclass.WithMonitor(mon),
+	}
+	if o.sink != nil {
+		opts = append(opts, distclass.WithTrace(o.sink), distclass.WithRunHeader())
+	}
+	switch b {
+	case engine.BackendRound, engine.BackendAsync:
+		sys, err := distclass.New(values, distclass.GaussianMixture(), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+		}
+		if _, _, err := sys.RunUntilConverged(); err != nil {
+			return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+		}
+	default:
+		opts = append(opts, distclass.WithInterval(time.Millisecond),
+			distclass.WithMonitorInterval(2*time.Millisecond))
+		cl, err := distclass.StartLive(values, distclass.GaussianMixture(), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+		}
+		ok, err := cl.WaitConverged(10*time.Second, 0.05)
+		if err == nil && ok {
+			// The cluster's own spread probe saw convergence; give the
+			// monitor's independent probe time to reach the same verdict
+			// (converged AND currently below threshold) before tearing
+			// the cluster down.
+			deadline := time.Now().Add(10 * time.Second)
+			for mon.Status().Health != monitor.HealthConverged && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		cl.Stop()
+		if err == nil {
+			err = cl.Err()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("monitor-smoke %s: did not converge", b)
+		}
+	}
+
+	// Serve the monitor on a loopback port and assert over real HTTP.
+	mux := http.NewServeMux()
+	mon.Attach(mux)
+	srv, err := metrics.ServeMux("127.0.0.1:0", mux)
+	if err != nil {
+		return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, code, err := httpGet(base + "/health")
+	if err != nil {
+		return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+	}
+	if code != http.StatusOK || !strings.Contains(body, monitor.HealthConverged) {
+		return nil, fmt.Errorf("monitor-smoke %s: /health = %d %q, want 200 converged", b, code, strings.TrimSpace(body))
+	}
+	body, code, err = httpGet(base + "/status")
+	if err != nil {
+		return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("monitor-smoke %s: /status = %d", b, code)
+	}
+	var st monitor.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		return nil, fmt.Errorf("monitor-smoke %s: /status decode: %w", b, err)
+	}
+	if st.Backend != b.String() {
+		return nil, fmt.Errorf("monitor-smoke %s: /status backend = %q", b, st.Backend)
+	}
+	if st.Nodes != n {
+		return nil, fmt.Errorf("monitor-smoke %s: /status nodes = %d, want %d", b, st.Nodes, n)
+	}
+	if !st.Conservation.Audited || !st.Conservation.Exact || st.Conservation.Violations != 0 {
+		return nil, fmt.Errorf("monitor-smoke %s: conservation audit failed: audited=%v exact=%v violations=%d drift=%v",
+			b, st.Conservation.Audited, st.Conservation.Exact, st.Conservation.Violations, st.Conservation.Drift)
+	}
+	if len(st.SpreadCurve) == 0 {
+		return nil, fmt.Errorf("monitor-smoke %s: empty spread curve", b)
+	}
+	body, code, err = httpGet(base + "/events?kind=spread&n=4")
+	if err != nil {
+		return nil, fmt.Errorf("monitor-smoke %s: %w", b, err)
+	}
+	if code != http.StatusOK || strings.TrimSpace(body) == "" {
+		return nil, fmt.Errorf("monitor-smoke %s: /events = %d, want a non-empty JSONL tail", b, code)
+	}
+	return &st, nil
+}
+
+// httpGet fetches a URL and returns its body and status code.
+func httpGet(url string) (string, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, err
+	}
+	return string(body), resp.StatusCode, nil
 }
 
 // parseFracs parses the -churn-fracs comma-separated list.

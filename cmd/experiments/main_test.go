@@ -132,3 +132,16 @@ func TestRunEngineSmoke(t *testing.T) {
 		t.Fatalf("runEngineSmoke: %v", err)
 	}
 }
+
+// TestRunMonitorSmoke runs the monitor-smoke gate: every backend with
+// the online monitor attached, asserted over real HTTP. Under -race
+// (make race) this doubles as the concurrency check for the whole
+// monitoring plane.
+func TestRunMonitorSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up live clusters and HTTP servers")
+	}
+	if err := runMonitorSmoke(1, testObs()); err != nil {
+		t.Fatalf("runMonitorSmoke: %v", err)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"distclass/internal/gauss"
 	"distclass/internal/gm"
 	"distclass/internal/metrics"
+	"distclass/internal/monitor"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
@@ -90,10 +91,20 @@ type (
 	TraceSink = trace.Sink
 	// TraceEvent is one recorded observation delivered to a TraceSink.
 	TraceEvent = trace.Event
+	// Monitor is the live monitoring plane's online observer: attached
+	// with WithMonitor, it watches the run's trace stream and serves
+	// /status, /health and /events (Monitor.Attach) over HTTP.
+	Monitor = monitor.Monitor
 )
 
 // NewRegistry returns an empty metrics registry for WithMetrics.
 func NewRegistry() *Registry { return metrics.NewRegistry() }
+
+// NewMonitor returns a fresh online observer for WithMonitor. The
+// attaching run overrides its convergence parameters with the system's
+// own tolerance and window, so the monitor's verdict and
+// RunUntilConverged always agree.
+func NewMonitor() *Monitor { return monitor.New(monitor.Config{}) }
 
 // Supported topologies.
 const (
@@ -223,6 +234,8 @@ type options struct {
 	runHeader  bool
 	reg        *metrics.Registry
 	sink       trace.Sink
+	mon        *monitor.Monitor
+	monEvery   time.Duration
 }
 
 // Option configures a System or LiveCluster.
@@ -294,6 +307,18 @@ func WithMetrics(reg *Registry) Option { return func(o *options) { o.reg = reg }
 // trace.NewRecorder writes them as JSONL.
 func WithTrace(sink TraceSink) Option { return func(o *options) { o.sink = sink } }
 
+// WithMonitor attaches an online observer (NewMonitor) to the run: the
+// monitor sees every trace event beside any WithTrace sink, tracks
+// convergence with the run's own tolerance/window, audits weight
+// conservation continuously, and serves /status, /health and /events
+// once its Attach method registers it on an HTTP mux.
+func WithMonitor(m *Monitor) Option { return func(o *options) { o.mon = m } }
+
+// WithMonitorInterval sets how often a live cluster's monitor probe
+// samples the spread and total weight (default 10ms). The deterministic
+// simulation backends sample once per round and ignore it.
+func WithMonitorInterval(d time.Duration) Option { return func(o *options) { o.monEvery = d } }
+
 // collect applies the options over the given defaults.
 func collect(defaults options, opts []Option) options {
 	o := defaults
@@ -325,6 +350,9 @@ func (o options) engineConfig(values []Value, method Method) engine.Config {
 		EmitHeader: o.runHeader,
 		Metrics:    o.reg,
 		Trace:      o.sink,
+		Monitor:    o.mon,
+
+		MonitorInterval: o.monEvery,
 	}
 }
 
@@ -463,7 +491,7 @@ type LiveCluster struct {
 // must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
 // WithPolicy, WithMode, WithBackend (pipe, chan or tcp; default pipe),
 // WithInterval, WithTolerance (used by WaitConverged), WithRunHeader,
-// WithMetrics, and WithTrace.
+// WithMetrics, WithTrace, and WithMonitor.
 // The probabilistic fault injections (WithCrashProb, WithDropProb) are
 // simulator-only and rejected here — live clusters crash via Kill.
 func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {

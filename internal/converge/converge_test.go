@@ -1,0 +1,88 @@
+package converge
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	d := New(0, 0)
+	if d.Threshold() != DefaultThreshold || d.Window() != DefaultWindow {
+		t.Errorf("defaults = (%v, %d), want (%v, %d)", d.Threshold(), d.Window(), DefaultThreshold, DefaultWindow)
+	}
+	if d.Converged() || d.ConvergedRound() != -1 || d.RoundsToConverge() != 0 {
+		t.Errorf("fresh detector reports convergence")
+	}
+	if d.FirstStableRound() != -1 || d.Samples() != 0 {
+		t.Errorf("fresh detector has state: firstStable=%d samples=%d", d.FirstStableRound(), d.Samples())
+	}
+}
+
+func TestWindowCompletion(t *testing.T) {
+	d := New(0.1, 3)
+	vals := []float64{0.5, 0.05, 0.04, 0.2, 0.09, 0.08, 0.07, 0.06}
+	wantConverged := []bool{false, false, false, false, false, false, true, true}
+	for i, v := range vals {
+		if got := d.Observe(i, v); got != wantConverged[i] {
+			t.Errorf("after sample %d (%v): converged = %v, want %v", i, v, got, wantConverged[i])
+		}
+	}
+	if d.ConvergedRound() != 6 {
+		t.Errorf("ConvergedRound = %d, want 6", d.ConvergedRound())
+	}
+	if d.RoundsToConverge() != 7 {
+		t.Errorf("RoundsToConverge = %d, want 7", d.RoundsToConverge())
+	}
+	// The stable run that completed the window began at round 4.
+	if d.FirstStableRound() != 4 {
+		t.Errorf("FirstStableRound = %d, want 4", d.FirstStableRound())
+	}
+	if d.DivergentSamples() != 0 {
+		t.Errorf("DivergentSamples = %d, want 0", d.DivergentSamples())
+	}
+}
+
+func TestDivergenceAfterConvergence(t *testing.T) {
+	d := New(0.1, 2)
+	for i, v := range []float64{0.01, 0.02, 0.5, 0.03, 0.6} {
+		d.Observe(i, v)
+	}
+	if !d.Converged() {
+		t.Fatalf("not converged")
+	}
+	// Convergence latches at the first window completion (round 1);
+	// the two later at-threshold samples count as divergence.
+	if d.ConvergedRound() != 1 {
+		t.Errorf("ConvergedRound = %d, want 1 (latched)", d.ConvergedRound())
+	}
+	if d.DivergentSamples() != 2 {
+		t.Errorf("DivergentSamples = %d, want 2", d.DivergentSamples())
+	}
+	// Last sample is at/above the threshold: no current stable run.
+	if d.FirstStableRound() != -1 {
+		t.Errorf("FirstStableRound = %d, want -1", d.FirstStableRound())
+	}
+}
+
+func TestThresholdIsExclusive(t *testing.T) {
+	d := New(0.1, 1)
+	if d.Observe(0, 0.1) {
+		t.Errorf("sample equal to the threshold counted as stable")
+	}
+	if !d.Observe(1, 0.0999) {
+		t.Errorf("sample below the threshold did not converge a window of 1")
+	}
+}
+
+func TestMinAndLast(t *testing.T) {
+	d := New(0.1, 3)
+	for i, v := range []float64{0.5, 0.02, 0.3} {
+		d.Observe(i, v)
+	}
+	if d.MinValue() != 0.02 {
+		t.Errorf("MinValue = %v, want 0.02", d.MinValue())
+	}
+	if d.LastValue() != 0.3 {
+		t.Errorf("LastValue = %v, want 0.3", d.LastValue())
+	}
+	if d.Samples() != 3 {
+		t.Errorf("Samples = %d, want 3", d.Samples())
+	}
+}

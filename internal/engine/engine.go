@@ -32,6 +32,7 @@ import (
 
 	"distclass/internal/core"
 	"distclass/internal/metrics"
+	"distclass/internal/monitor"
 	"distclass/internal/rng"
 	"distclass/internal/topology"
 	"distclass/internal/trace"
@@ -190,6 +191,18 @@ type Config struct {
 	// typed protocol and driver events.
 	Metrics *metrics.Registry
 	Trace   trace.Sink
+	// Monitor, when non-nil, observes the run online: New tees it into
+	// the trace stream (beside any Trace sink, neither aware of the
+	// other), aligns its convergence detection with Tolerance/Window,
+	// and arms its weight-conservation audit with the node count. The
+	// sim backends feed the audit at every probe; concurrent backends
+	// run a dedicated probe goroutine every MonitorInterval (default
+	// 10ms) that also emits KindSpread trace events, giving live runs
+	// the spread curve only simulations used to record.
+	Monitor *monitor.Monitor
+	// MonitorInterval is the concurrent backends' monitor probe cadence
+	// (default 10ms; ignored without Monitor and on rounds backends).
+	MonitorInterval time.Duration
 	// EmitHeader records a run-header trace event (KindRunHeader,
 	// carrying the backend name) before any other event. Off by
 	// default so fixed-seed round traces stay byte-identical to
@@ -216,6 +229,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Interval <= 0 {
 		c.Interval = 2 * time.Millisecond
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 10 * time.Millisecond
 	}
 	return c
 }
@@ -323,6 +339,17 @@ func New(cfg Config) (Engine, error) {
 	}
 	if graph.N() != len(cfg.Values) {
 		return nil, fmt.Errorf("engine: %d values for a %d-node graph", len(cfg.Values), graph.N())
+	}
+	if cfg.Monitor != nil {
+		// Align the monitor with the run before any event flows: same
+		// convergence parameters as RunUntilConverged, expected weight =
+		// one unit per initial node (crash/recover events adjust it from
+		// here). The tee puts the monitor beside any configured Trace
+		// sink; everything below records through both.
+		cfg.Monitor.SetBackend(cfg.Backend.String())
+		cfg.Monitor.SetDetection(cfg.Tolerance, cfg.Window)
+		cfg.Monitor.SetExpectedWeight(float64(len(cfg.Values)))
+		cfg.Trace = trace.Tee(cfg.Monitor, cfg.Trace)
 	}
 	if cfg.EmitHeader && cfg.Trace != nil {
 		if err := cfg.Trace.Record(trace.RunHeader(cfg.Backend.String())); err != nil {

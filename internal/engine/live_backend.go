@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distclass/internal/converge"
 	"distclass/internal/core"
 	"distclass/internal/livenet"
 	"distclass/internal/metrics"
@@ -103,6 +104,8 @@ type liveEngine struct {
 	// reconfigured only under this lock.
 	churnMu sync.Mutex
 	stopped atomic.Bool
+	// monWG joins the monitor probe goroutine on Stop.
+	monWG sync.WaitGroup
 
 	reg      *metrics.Registry
 	sink     trace.Sink
@@ -176,7 +179,43 @@ func newLiveEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, nodeCf
 	for i := range e.ns {
 		e.startGossip(i)
 	}
+	if cfg.Monitor != nil {
+		e.monWG.Add(1)
+		go e.monitorProbe()
+	}
 	return e, nil
+}
+
+// monitorProbe is the concurrent backends' counterpart of the sim
+// probe: every MonitorInterval it samples Spread, records it as a
+// KindSpread trace event (Round -1 — live runs have no round axis) and
+// feeds the conservation audit. The trace event flows through the
+// tee'd sink, so a live run monitored online also leaves the spread
+// curve in its JSONL trace for replay. Probe failures during churn
+// (e.g. a node swapped mid-restart) skip the sample; monitoring never
+// fails the run.
+func (e *liveEngine) monitorProbe() {
+	defer e.monWG.Done()
+	ticker := time.NewTicker(e.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case <-ticker.C:
+			spread, err := e.Spread()
+			if err != nil {
+				continue
+			}
+			e.spreadG.Set(spread)
+			if e.sink != nil {
+				_ = e.sink.Record(trace.Event{
+					Round: -1, Node: -1, Kind: trace.KindSpread, Value: spread,
+				})
+			}
+			e.cfg.Monitor.ObserveWeight(e.TotalWeight())
+		}
+	}
 }
 
 // startGossip launches node i's gossip goroutine for its current
@@ -516,8 +555,8 @@ func (e *liveEngine) RunUntilConverged(timeout time.Duration) (int, bool, error)
 		timeout = 30 * time.Second
 	}
 	deadline := time.Now().Add(timeout)
-	stable := 0
-	for time.Now().Before(deadline) {
+	det := converge.New(e.cfg.Tolerance, e.cfg.Window)
+	for probe := 0; time.Now().Before(deadline); probe++ {
 		if err := e.Err(); err != nil {
 			return 0, false, err
 		}
@@ -526,13 +565,8 @@ func (e *liveEngine) RunUntilConverged(timeout time.Duration) (int, bool, error)
 			return 0, false, err
 		}
 		e.spreadG.Set(spread)
-		if spread < e.cfg.Tolerance {
-			stable++
-			if stable >= e.cfg.Window {
-				return 0, true, nil
-			}
-		} else {
-			stable = 0
+		if det.Observe(probe, spread) {
+			return 0, true, nil
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -551,8 +585,11 @@ func (e *liveEngine) Err() error {
 }
 
 // Stop shuts the engine down: gossip goroutines first (so the
-// transport sees quiescent producers), then the transport. Safe to
-// call more than once.
+// transport sees quiescent producers), then the monitor probe, then
+// the transport. Safe to call more than once. With a monitor attached
+// the final conservation sample lands after the transport drained its
+// queues, so the audit ends exact — mid-run deficits were in-flight
+// weight, and the shutdown proves it all came home.
 func (e *liveEngine) Stop() {
 	if e.stopped.Swap(true) {
 		return
@@ -563,5 +600,9 @@ func (e *liveEngine) Stop() {
 	for _, ns := range e.ns {
 		ns.wg.Wait()
 	}
+	e.monWG.Wait()
 	e.tr.Stop()
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.ObserveWeight(e.TotalWeight())
+	}
 }

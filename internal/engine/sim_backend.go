@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"distclass/internal/converge"
 	"distclass/internal/core"
 	"distclass/internal/rng"
 	"distclass/internal/sim"
@@ -163,10 +164,16 @@ func (e *simEngine) Restart(int, core.Value) error {
 }
 
 // recordSpread emits a spread observation as a gauge and a trace
-// event — the uniform per-round convergence probe.
+// event — the uniform per-round convergence probe. With a monitor
+// attached it also feeds the weight-conservation audit: between sim
+// rounds nothing is in flight (round) or in-flight weight is counted
+// (async TotalWeight), so every sample should be exact.
 func (e *simEngine) recordSpread(round int, spread float64) error {
 	if e.cfg.Metrics != nil {
 		e.cfg.Metrics.Gauge("sim.spread").Set(spread)
+	}
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.ObserveWeight(e.TotalWeight())
 	}
 	if e.cfg.Trace != nil {
 		return e.cfg.Trace.Record(trace.Event{
@@ -256,7 +263,7 @@ func (e *simEngine) RunObserved(rounds int, after func(round int) error) error {
 }
 
 func (e *simEngine) RunUntilConverged(time.Duration) (rounds int, converged bool, err error) {
-	stable := 0
+	det := converge.New(e.cfg.Tolerance, e.cfg.Window)
 	err = e.runRounds(e.cfg.MaxRounds, func(round int) error {
 		rounds = round + 1
 		spread, err := e.Spread()
@@ -266,14 +273,9 @@ func (e *simEngine) RunUntilConverged(time.Duration) (rounds int, converged bool
 		if err := e.recordSpread(round, spread); err != nil {
 			return err
 		}
-		if spread < e.cfg.Tolerance {
-			stable++
-			if stable >= e.cfg.Window {
-				converged = true
-				return ErrStop
-			}
-		} else {
-			stable = 0
+		if det.Observe(round, spread) {
+			converged = true
+			return ErrStop
 		}
 		return nil
 	})

@@ -109,11 +109,19 @@ type Server struct {
 // Serve starts the observability endpoint on addr (":0" picks a free
 // port). The caller must Close it.
 func Serve(addr string, r *Registry, man Manifest) (*Server, error) {
+	return ServeMux(addr, NewMux(r, man))
+}
+
+// ServeMux starts an observability endpoint serving an arbitrary mux —
+// for callers that extend NewMux with more handlers (the live monitor
+// registers /status, /health and /events on it) before binding. The
+// caller must Close it.
+func ServeMux(addr string, mux *http.ServeMux) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(r, man)}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

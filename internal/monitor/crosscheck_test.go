@@ -1,0 +1,104 @@
+package monitor_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distclass/internal/monitor"
+	"distclass/internal/replay"
+	"distclass/internal/trace"
+)
+
+// TestOnlineMatchesReplay is the drift guard between the two halves of
+// the observability layer: the online monitor, fed the committed
+// fixed-seed fixture trace event by event, must land on the exact
+// convergence analysis internal/replay computes offline from the same
+// file — same converged round, same first-stable round, same
+// threshold/window semantics. Both sides run the shared
+// internal/converge detector, so a mismatch here means one of them
+// stopped using it.
+func TestOnlineMatchesReplay(t *testing.T) {
+	fixture := filepath.Join("..", "replay", "testdata", "fixture.trace")
+
+	f, err := os.Open(fixture)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	rep, err := replay.Analyze(f, replay.Options{})
+	f.Close()
+	if err != nil {
+		t.Fatalf("replay.Analyze: %v", err)
+	}
+	if !rep.Convergence.Converged {
+		t.Fatalf("fixture trace did not converge under replay; the cross-check needs a converging fixture")
+	}
+
+	m := monitor.New(monitor.Config{})
+	f, err = os.Open(fixture)
+	if err != nil {
+		t.Fatalf("reopen fixture: %v", err)
+	}
+	defer f.Close()
+	if err := trace.Stream(f, m.Record); err != nil {
+		t.Fatalf("stream fixture into monitor: %v", err)
+	}
+	s := m.Status()
+
+	c, r := s.Convergence, rep.Convergence
+	if c.Threshold != r.Threshold || c.Window != r.Window {
+		t.Fatalf("detection parameters differ: online %g/%d, replay %g/%d",
+			c.Threshold, c.Window, r.Threshold, r.Window)
+	}
+	if c.Converged != r.Converged {
+		t.Errorf("converged: online %v, replay %v", c.Converged, r.Converged)
+	}
+	if c.ConvergedRound != r.ConvergedRound {
+		t.Errorf("converged round: online %d, replay %d", c.ConvergedRound, r.ConvergedRound)
+	}
+	if c.RoundsToConverge != r.RoundsToConverge {
+		t.Errorf("rounds to converge: online %d, replay %d", c.RoundsToConverge, r.RoundsToConverge)
+	}
+	if c.FirstStableRound != r.FirstStableRound {
+		t.Errorf("first stable round: online %d, replay %d", c.FirstStableRound, r.FirstStableRound)
+	}
+	if c.DivergentSamples != rep.Anomalies.DivergentRounds {
+		t.Errorf("divergent samples: online %d, replay %d", c.DivergentSamples, rep.Anomalies.DivergentRounds)
+	}
+	if c.Samples != r.SpreadSamples {
+		t.Errorf("spread samples: online %d, replay %d", c.Samples, r.SpreadSamples)
+	}
+	if c.LastSpread != r.FinalSpread {
+		t.Errorf("final spread: online %g, replay %g", c.LastSpread, r.FinalSpread)
+	}
+	if c.MinSpread != r.MinSpread {
+		t.Errorf("min spread: online %g, replay %g", c.MinSpread, r.MinSpread)
+	}
+
+	// The surrounding run accounting must agree too — same events, two
+	// independent tallies.
+	if s.Backend != rep.Backend {
+		t.Errorf("backend: online %q, replay %q", s.Backend, rep.Backend)
+	}
+	if s.Rounds != rep.Rounds {
+		t.Errorf("rounds: online %d, replay %d", s.Rounds, rep.Rounds)
+	}
+	if s.Nodes != rep.Nodes {
+		t.Errorf("nodes: online %d, replay %d", s.Nodes, rep.Nodes)
+	}
+	if s.Messaging.Sends != rep.Messaging.Sends || s.Messaging.Receives != rep.Messaging.Receives {
+		t.Errorf("messaging: online %d/%d, replay %d/%d",
+			s.Messaging.Sends, s.Messaging.Receives, rep.Messaging.Sends, rep.Messaging.Receives)
+	}
+	if len(s.NodeHealth) != len(rep.NodeHealth) {
+		t.Fatalf("node health rows: online %d, replay %d", len(s.NodeHealth), len(rep.NodeHealth))
+	}
+	for i, oh := range s.NodeHealth {
+		rh := rep.NodeHealth[i]
+		if oh.Node != rh.Node || oh.Sends != rh.Sends || oh.Receives != rh.Receives ||
+			oh.LastActivityRound != rh.LastActivityRound || oh.Staleness != rh.Staleness ||
+			oh.Crashed != rh.Crashed || oh.Stalled != rh.Stalled {
+			t.Errorf("node %d health differs: online %+v, replay %+v", oh.Node, oh, rh)
+		}
+	}
+}

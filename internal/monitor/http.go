@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"distclass/internal/trace"
+)
+
+// Attach registers the monitoring endpoints on mux:
+//
+//	/status  — the full Status snapshot as indented JSON. For a
+//	           fixed-seed deterministic run the body is byte-identical
+//	           across executions.
+//	/health  — readiness: 200 with {"health":"converged"} once the run
+//	           converged cleanly, 503 with the current state otherwise
+//	           (converging, stalled, diverged).
+//	/events  — a JSONL tail of the most recent buffered events. Query
+//	           parameters: kind=a,b filters server-side by event kind;
+//	           n=N caps the tail length (default 256, 0 = everything
+//	           buffered).
+//
+// The handlers are safe while the run is still executing; each request
+// takes one snapshot under the monitor's lock.
+func (m *Monitor) Attach(mux *http.ServeMux) {
+	mux.HandleFunc("/status", m.handleStatus)
+	mux.HandleFunc("/health", m.handleHealth)
+	mux.HandleFunc("/events", m.handleEvents)
+}
+
+func (m *Monitor) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.Status()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (m *Monitor) handleHealth(w http.ResponseWriter, r *http.Request) {
+	health, ok := m.Healthy()
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Health string `json:"health"`
+	}{health})
+}
+
+// defaultEventTail bounds /events responses when the client does not
+// pass n — a dashboard poll should not ship the whole ring every time.
+const defaultEventTail = 256
+
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var kinds map[trace.Kind]bool
+	if raw := r.URL.Query().Get("kind"); raw != "" {
+		kinds = make(map[trace.Kind]bool)
+		for _, k := range strings.Split(raw, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds[trace.Kind(k)] = true
+			}
+		}
+	}
+	n := defaultEventTail
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			http.Error(w, "events: n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, e := range m.Events(kinds, n) {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+}

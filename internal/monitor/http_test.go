@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distclass/internal/trace"
+)
+
+func monitoredRun() *Monitor {
+	m := New(Config{Threshold: 0.1, Window: 2})
+	m.Record(trace.RunHeader("round"))
+	m.SetExpectedWeight(2)
+	for r := 0; r < 4; r++ {
+		m.Record(trace.Event{Round: r, Node: 0, Kind: trace.KindSend, Value: 1})
+		m.Record(trace.Event{Round: r, Node: 1, Kind: trace.KindReceive, Value: 1})
+		m.Record(trace.Event{Round: r, Node: -1, Kind: trace.KindSpread, Value: 0.5 / float64(r+1) / 4})
+		m.ObserveWeight(2)
+	}
+	return m
+}
+
+func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestStatusEndpointDeterministic(t *testing.T) {
+	bodies := make([][]byte, 2)
+	for i := range bodies {
+		mux := http.NewServeMux()
+		monitoredRun().Attach(mux)
+		rec := get(t, mux, "/status")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/status = %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("/status content type %q", ct)
+		}
+		bodies[i] = rec.Body.Bytes()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("/status not byte-deterministic across identical runs:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	for _, want := range []string{`"backend": "round"`, `"health": "converged"`, `"converged": true`, `"exact": true`} {
+		if !strings.Contains(string(bodies[0]), want) {
+			t.Errorf("/status body missing %s", want)
+		}
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	mux := http.NewServeMux()
+	m := New(Config{Threshold: 0.1, Window: 2})
+	m.Attach(mux)
+	if rec := get(t, mux, "/health"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/health before convergence = %d, want 503", rec.Code)
+	}
+	feedSpread(m, 0.01, 0.01)
+	rec := get(t, mux, "/health")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/health after convergence = %d, want 200", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != `{"health":"converged"}` {
+		t.Errorf("/health body = %s", got)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	mux := http.NewServeMux()
+	monitoredRun().Attach(mux)
+
+	rec := get(t, mux, "/events")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/events = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("/events content type %q", ct)
+	}
+	events, err := trace.Read(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("/events body is not valid JSONL: %v", err)
+	}
+	if len(events) != 13 { // header + 4×(send, receive, spread)
+		t.Errorf("/events returned %d events, want 13", len(events))
+	}
+
+	rec = get(t, mux, "/events?kind=spread&n=2")
+	events, err = trace.Read(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("filtered /events not valid JSONL: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("filtered /events returned %d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindSpread {
+			t.Errorf("kind filter passed %q", e.Kind)
+		}
+	}
+	if events[0].Round != 2 || events[1].Round != 3 {
+		t.Errorf("tail rounds %d,%d, want 2,3", events[0].Round, events[1].Round)
+	}
+
+	if rec := get(t, mux, "/events?n=frogs"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/events?n=frogs = %d, want 400", rec.Code)
+	}
+}

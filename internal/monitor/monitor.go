@@ -1,0 +1,349 @@
+// Package monitor is the live half of the observability story: an
+// in-process observer that watches a *running* cluster instead of
+// autopsying its trace after the fact. It attaches to any engine
+// backend as a tee trace.Sink (trace.Tee) and maintains rolling run
+// state under one mutex:
+//
+//   - the live spread/error curves and online convergence detection —
+//     the same internal/converge state machine internal/replay runs
+//     offline, so the monitor, the engine and a later replay of the
+//     trace always agree on the convergence round;
+//   - per-node health: sends, receives, protocol churn, decode errors,
+//     send drops, activity staleness and crash state, with the replay
+//     analyzer's stall rule applied online;
+//   - message accounting and per-round rates;
+//   - a continuous weight-conservation audit fed by the engine
+//     (ObserveWeight), with crash/recover events adjusting the
+//     expected total by the weight they destroy or add.
+//
+// Status() renders the whole state as one deterministic snapshot —
+// no wall-clock fields, all slices sorted — so a fixed-seed
+// deterministic run produces byte-identical /status JSON. The HTTP
+// handlers in http.go expose Status, a readiness-style health check
+// and a filtered JSONL tail of recent events.
+package monitor
+
+import (
+	"math"
+	"sync"
+
+	"distclass/internal/converge"
+	"distclass/internal/trace"
+)
+
+// Config parameterizes a Monitor. The zero value is usable: detection
+// defaults mirror internal/converge, and the audit/aggregation knobs
+// pick the documented defaults below.
+type Config struct {
+	// Threshold and Window parameterize online convergence detection
+	// (defaults 1e-3 and 3 — converge.DefaultThreshold/DefaultWindow).
+	// When the monitor is attached through engine.Config, the engine
+	// overrides them with its own Tolerance/Window so the monitor and
+	// RunUntilConverged can never disagree.
+	Threshold float64
+	Window    int
+	// WeightTolerance bounds |expected - observed| for the
+	// conservation audit to count as exact (default 1e-6, the
+	// engine-smoke drift bound).
+	WeightTolerance float64
+	// StallSlack is the number of trailing rounds a node may be silent
+	// before it counts as stalled. Zero selects max(10, rounds/5) — the
+	// replay analyzer's rule. Negative disables stall detection.
+	StallSlack int
+	// EventBuffer caps the ring of recent events served by /events
+	// (default 4096, minimum 16).
+	EventBuffer int
+	// CurveCap caps the retained spread/error curves (default 65536
+	// samples each; the oldest samples are dropped beyond it, keeping
+	// the monitor's memory bounded on long-lived deployments).
+	CurveCap int
+}
+
+func (c Config) withDefaults() Config {
+	//lint:allow floatcmp zero value selects the default
+	if c.WeightTolerance == 0 {
+		c.WeightTolerance = 1e-6
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 4096
+	}
+	if c.EventBuffer < 16 {
+		c.EventBuffer = 16
+	}
+	if c.CurveCap <= 0 {
+		c.CurveCap = 65536
+	}
+	return c
+}
+
+// Sample is one scalar probe observation in arrival order.
+type Sample struct {
+	Round int     `json:"round"`
+	Value float64 `json:"value"`
+}
+
+// nodeState accumulates one node's tallies.
+type nodeState struct {
+	sends, receives, splits, merges int
+	crashes, recovers, decodeErrors int
+	sendDrops                       int
+	lastActivityRound               int
+	lastSeq                         int // event sequence number of the last sighting
+	crashed                         bool
+}
+
+// Monitor is the online observer. All methods are safe for concurrent
+// use; Record never returns an error (the tee therefore never fails a
+// run on the monitor's account).
+type Monitor struct {
+	mu  sync.Mutex
+	cfg Config
+
+	det     *converge.Detector
+	backend string
+	events  int
+	kinds   map[trace.Kind]int
+	rounds  int // max observed round + 1
+	nodes   map[int]*nodeState
+
+	sends, receives, splits, merges int
+	crashes, recovers, decodeErrors int
+	sendDrops                       int
+	sentBytes, receivedCollections  float64
+
+	spread, errs  []Sample
+	spreadDropped int // curve samples evicted past CurveCap
+	errsDropped   int
+
+	// Conservation audit. expectedSet gates the audit: until the
+	// engine (or a caller) declares the expected total, weight samples
+	// are recorded but never judged.
+	expected     float64
+	expectedSet  bool
+	latestWeight float64
+	weightSeen   int
+	maxAbsDrift  float64
+	violations   int // samples with weight above expected beyond tolerance
+
+	ring     []trace.Event
+	ringNext int // next write position; len(ring) == cap once wrapped
+}
+
+var _ trace.Sink = (*Monitor)(nil)
+
+// New builds a monitor.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:   cfg,
+		det:   converge.New(cfg.Threshold, cfg.Window),
+		kinds: make(map[trace.Kind]int),
+		nodes: make(map[int]*nodeState),
+		ring:  make([]trace.Event, 0, cfg.EventBuffer),
+	}
+}
+
+// SetDetection replaces the convergence detector's parameters. The
+// engine calls it at attach time with its resolved Tolerance/Window;
+// calling it after spread samples arrived would retroactively change
+// what "converged" meant, so the detector is reset along with the
+// retained curves.
+func (m *Monitor) SetDetection(threshold float64, window int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.det = converge.New(threshold, window)
+	m.spread = m.spread[:0]
+	m.errs = m.errs[:0]
+	m.spreadDropped, m.errsDropped = 0, 0
+}
+
+// SetBackend names the substrate the monitored run executes on (also
+// picked up automatically from a run-header trace event).
+func (m *Monitor) SetBackend(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backend = name
+}
+
+// SetExpectedWeight arms the conservation audit: the total weight the
+// alive nodes are expected to hold (the node count, for a fresh run).
+func (m *Monitor) SetExpectedWeight(w float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expected = w
+	m.expectedSet = true
+}
+
+// AddExpectedWeight shifts the expected total, e.g. by -destroyed
+// after an explicit kill the engine accounted itself. Crash and
+// recover trace events adjust the expectation automatically via their
+// Value field; this is for callers that bypass the trace.
+func (m *Monitor) AddExpectedWeight(dw float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expected += dw
+}
+
+// ObserveWeight feeds one conservation-audit sample: the weight
+// currently held at alive nodes (plus whatever in-flight weight the
+// backend can account). Drift above the expected total beyond the
+// tolerance is always a violation — weight must never appear from
+// nowhere. Drift below is recorded but not judged here: on wire
+// backends weight legitimately rides the queues between samples.
+func (m *Monitor) ObserveWeight(total float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latestWeight = total
+	m.weightSeen++
+	if !m.expectedSet {
+		return
+	}
+	drift := total - m.expected
+	if a := math.Abs(drift); a > m.maxAbsDrift {
+		m.maxAbsDrift = a
+	}
+	if drift > m.cfg.WeightTolerance {
+		m.violations++
+	}
+}
+
+// Record implements trace.Sink. It never returns an error.
+func (m *Monitor) Record(e trace.Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.events++
+	m.kinds[e.Kind]++
+	if e.Round >= 0 && e.Round+1 > m.rounds {
+		m.rounds = e.Round + 1
+	}
+	var ns *nodeState
+	if e.Node >= 0 {
+		ns = m.nodeAt(e.Node)
+		ns.lastSeq = m.events
+	}
+	switch e.Kind {
+	case trace.KindRunHeader:
+		m.backend = e.Backend
+	case trace.KindSend:
+		m.sends++
+		m.sentBytes += e.Value
+		if ns != nil {
+			ns.sends++
+			if e.Round >= 0 && e.Round > ns.lastActivityRound {
+				ns.lastActivityRound = e.Round
+			}
+		}
+	case trace.KindReceive:
+		m.receives++
+		m.receivedCollections += e.Value
+		if ns != nil {
+			ns.receives++
+			if e.Round >= 0 && e.Round > ns.lastActivityRound {
+				ns.lastActivityRound = e.Round
+			}
+		}
+	case trace.KindSplit:
+		m.splits++
+		if ns != nil {
+			ns.splits++
+		}
+	case trace.KindMerge:
+		m.merges++
+		if ns != nil {
+			ns.merges++
+		}
+	case trace.KindCrash:
+		m.crashes++
+		if ns != nil {
+			ns.crashes++
+			ns.crashed = true
+		}
+		// The event's Value is the weight the crash destroyed (engine
+		// kills report it; driver-internal crashes record 0 and the
+		// audit surfaces the unmeasured loss as negative drift).
+		if m.expectedSet {
+			m.expected -= e.Value
+		}
+	case trace.KindRecover:
+		m.recovers++
+		if ns != nil {
+			ns.recovers++
+			ns.crashed = false
+		}
+		if m.expectedSet {
+			m.expected += e.Value
+		}
+	case trace.KindDecodeError:
+		m.decodeErrors++
+		if ns != nil {
+			ns.decodeErrors++
+		}
+	case trace.KindSendDrop:
+		m.sendDrops++
+		if ns != nil {
+			ns.sendDrops++
+		}
+	case trace.KindSpread:
+		m.det.Observe(e.Round, e.Value)
+		m.spread, m.spreadDropped = appendCapped(m.spread, Sample{Round: e.Round, Value: e.Value}, m.cfg.CurveCap, m.spreadDropped)
+	case trace.KindError:
+		m.errs, m.errsDropped = appendCapped(m.errs, Sample{Round: e.Round, Value: e.Value}, m.cfg.CurveCap, m.errsDropped)
+	}
+
+	// Ring buffer of recent events for /events.
+	if len(m.ring) < cap(m.ring) {
+		m.ring = append(m.ring, e)
+	} else {
+		m.ring[m.ringNext] = e
+		m.ringNext = (m.ringNext + 1) % cap(m.ring)
+	}
+	return nil
+}
+
+// appendCapped appends s, evicting the oldest half once the cap is
+// reached (amortized O(1); dropped counts the evicted samples).
+func appendCapped(curve []Sample, s Sample, capN, dropped int) ([]Sample, int) {
+	if len(curve) >= capN {
+		cut := capN / 2
+		dropped += cut
+		curve = append(curve[:0], curve[cut:]...)
+	}
+	return append(curve, s), dropped
+}
+
+func (m *Monitor) nodeAt(id int) *nodeState {
+	ns, ok := m.nodes[id]
+	if !ok {
+		ns = &nodeState{lastActivityRound: -1}
+		m.nodes[id] = ns
+	}
+	return ns
+}
+
+// Events returns up to n of the most recent buffered events, oldest
+// first, keeping only the given kinds (nil or empty keeps every kind).
+func (m *Monitor) Events(kinds map[trace.Kind]bool, n int) []trace.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ordered := make([]trace.Event, 0, len(m.ring))
+	if len(m.ring) == cap(m.ring) && m.ringNext > 0 {
+		ordered = append(ordered, m.ring[m.ringNext:]...)
+		ordered = append(ordered, m.ring[:m.ringNext]...)
+	} else {
+		ordered = append(ordered, m.ring...)
+	}
+	if len(kinds) > 0 {
+		kept := ordered[:0]
+		for _, e := range ordered {
+			if kinds[e.Kind] {
+				kept = append(kept, e)
+			}
+		}
+		ordered = kept
+	}
+	if n > 0 && len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}

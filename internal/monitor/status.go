@@ -1,0 +1,240 @@
+package monitor
+
+import "sort"
+
+// Health states reported by Status().Health and /health. Severity
+// order (healthiest last): diverged < stalled < converging < converged.
+const (
+	// HealthConverged: the convergence window completed and the latest
+	// sample is back (or still) below the threshold. Past blips above it
+	// stay visible in Convergence.DivergentSamples without pinning the
+	// health — /health is a readiness probe, and a recovered run is
+	// ready again.
+	HealthConverged = "converged"
+	// HealthConverging: the run is live and making progress.
+	HealthConverging = "converging"
+	// HealthStalled: at least one never-crashed node fell silent beyond
+	// the stall slack.
+	HealthStalled = "stalled"
+	// HealthDiverged: spread is at or above the threshold right now
+	// after the run had converged, or the conservation audit ever saw
+	// weight appear from nowhere (that one is sticky — surplus weight is
+	// always a bug).
+	HealthDiverged = "diverged"
+)
+
+// KindCount is one event-kind tally, sorted by kind for determinism.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// Convergence is the online detector's view of the run.
+type Convergence struct {
+	Threshold        float64 `json:"threshold"`
+	Window           int     `json:"window"`
+	Converged        bool    `json:"converged"`
+	ConvergedRound   int     `json:"converged_round"`
+	RoundsToConverge int     `json:"rounds_to_converge"`
+	FirstStableRound int     `json:"first_stable_round"`
+	DivergentSamples int     `json:"divergent_samples"`
+	Samples          int     `json:"samples"`
+	LastSpread       float64 `json:"last_spread"`
+	MinSpread        float64 `json:"min_spread"`
+}
+
+// Messaging aggregates the run's message complexity. Rates are
+// per-round (never per-second: wall-clock rates would break /status
+// determinism and mean nothing for round-driven sims).
+type Messaging struct {
+	Sends               int     `json:"sends"`
+	Receives            int     `json:"receives"`
+	SentBytes           float64 `json:"sent_bytes"`
+	ReceivedCollections float64 `json:"received_collections"`
+	Splits              int     `json:"splits"`
+	Merges              int     `json:"merges"`
+	SendDrops           int     `json:"send_drops"`
+	DecodeErrors        int     `json:"decode_errors"`
+	SendsPerRound       float64 `json:"sends_per_round"`
+	ReceivesPerRound    float64 `json:"receives_per_round"`
+}
+
+// Conservation is the weight-audit snapshot. Exact means the latest
+// sample matched the expected total within the tolerance; Violations
+// counts samples where weight exceeded the expectation — weight from
+// nowhere, always a bug. A transient deficit (negative drift) is
+// normal on wire backends while weight is in flight.
+type Conservation struct {
+	Audited    bool    `json:"audited"`
+	Expected   float64 `json:"expected"`
+	Latest     float64 `json:"latest"`
+	Drift      float64 `json:"drift"`
+	MaxDrift   float64 `json:"max_drift"`
+	Tolerance  float64 `json:"tolerance"`
+	Exact      bool    `json:"exact"`
+	Violations int     `json:"violations"`
+	Samples    int     `json:"samples"`
+}
+
+// NodeHealth is one node's online health row, the live counterpart of
+// replay.NodeHealth (same staleness and stall semantics).
+type NodeHealth struct {
+	Node              int  `json:"node"`
+	Sends             int  `json:"sends"`
+	Receives          int  `json:"receives"`
+	Splits            int  `json:"splits"`
+	Merges            int  `json:"merges"`
+	Crashes           int  `json:"crashes"`
+	Recovers          int  `json:"recovers"`
+	DecodeErrors      int  `json:"decode_errors"`
+	SendDrops         int  `json:"send_drops"`
+	LastActivityRound int  `json:"last_activity_round"`
+	Staleness         int  `json:"staleness"`
+	Crashed           bool `json:"crashed"`
+	Stalled           bool `json:"stalled"`
+}
+
+// Status is one deterministic snapshot of the monitored run. It holds
+// no wall-clock fields: a fixed-seed deterministic run serializes to
+// byte-identical JSON on every execution.
+type Status struct {
+	Backend      string       `json:"backend"`
+	Health       string       `json:"health"`
+	Events       int          `json:"events"`
+	Rounds       int          `json:"rounds"`
+	Nodes        int          `json:"nodes"`
+	Kinds        []KindCount  `json:"kinds"`
+	Convergence  Convergence  `json:"convergence"`
+	Messaging    Messaging    `json:"messaging"`
+	Conservation Conservation `json:"conservation"`
+	NodeHealth   []NodeHealth `json:"node_health"`
+	// SpreadCurve and ErrorCurve are the retained probe curves (oldest
+	// samples beyond CurveCap dropped; the Dropped counters say how
+	// many).
+	SpreadCurve   []Sample `json:"spread_curve"`
+	ErrorCurve    []Sample `json:"error_curve"`
+	SpreadDropped int      `json:"spread_dropped"`
+	ErrorDropped  int      `json:"error_dropped"`
+}
+
+// Status renders the monitor's state as one snapshot.
+func (m *Monitor) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	s := Status{
+		Backend: m.backend,
+		Events:  m.events,
+		Rounds:  m.rounds,
+		Nodes:   len(m.nodes),
+		Convergence: Convergence{
+			Threshold:        m.det.Threshold(),
+			Window:           m.det.Window(),
+			Converged:        m.det.Converged(),
+			ConvergedRound:   m.det.ConvergedRound(),
+			RoundsToConverge: m.det.RoundsToConverge(),
+			FirstStableRound: m.det.FirstStableRound(),
+			DivergentSamples: m.det.DivergentSamples(),
+			Samples:          m.det.Samples(),
+			LastSpread:       m.det.LastValue(),
+			MinSpread:        m.det.MinValue(),
+		},
+		Messaging: Messaging{
+			Sends: m.sends, Receives: m.receives,
+			SentBytes:           m.sentBytes,
+			ReceivedCollections: m.receivedCollections,
+			Splits:              m.splits, Merges: m.merges,
+			SendDrops:    m.sendDrops,
+			DecodeErrors: m.decodeErrors,
+		},
+		Conservation: Conservation{
+			Audited:    m.expectedSet,
+			Expected:   m.expected,
+			Latest:     m.latestWeight,
+			MaxDrift:   m.maxAbsDrift,
+			Tolerance:  m.cfg.WeightTolerance,
+			Violations: m.violations,
+			Samples:    m.weightSeen,
+		},
+		SpreadDropped: m.spreadDropped,
+		ErrorDropped:  m.errsDropped,
+	}
+	if m.rounds > 0 {
+		s.Messaging.SendsPerRound = float64(m.sends) / float64(m.rounds)
+		s.Messaging.ReceivesPerRound = float64(m.receives) / float64(m.rounds)
+	}
+	if m.expectedSet && m.weightSeen > 0 {
+		s.Conservation.Drift = m.latestWeight - m.expected
+		d := s.Conservation.Drift
+		if d < 0 {
+			d = -d
+		}
+		s.Conservation.Exact = d <= m.cfg.WeightTolerance
+	}
+
+	s.Kinds = make([]KindCount, 0, len(m.kinds))
+	for k, n := range m.kinds {
+		//lint:allow mapiter collected and sorted below
+		s.Kinds = append(s.Kinds, KindCount{Kind: string(k), Count: n})
+	}
+	sort.Slice(s.Kinds, func(i, j int) bool { return s.Kinds[i].Kind < s.Kinds[j].Kind })
+
+	ids := make([]int, 0, len(m.nodes))
+	for id := range m.nodes {
+		//lint:allow mapiter collected and sorted below
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	slack := m.cfg.StallSlack
+	if slack == 0 {
+		slack = m.rounds / 5
+		if slack < 10 {
+			slack = 10
+		}
+	}
+	stalled := false
+	for _, id := range ids {
+		ns := m.nodes[id]
+		h := NodeHealth{
+			Node: id, Sends: ns.sends, Receives: ns.receives,
+			Splits: ns.splits, Merges: ns.merges,
+			Crashes: ns.crashes, Recovers: ns.recovers,
+			DecodeErrors:      ns.decodeErrors,
+			SendDrops:         ns.sendDrops,
+			LastActivityRound: ns.lastActivityRound,
+			Staleness:         -1,
+			Crashed:           ns.crashed,
+		}
+		if ns.lastActivityRound >= 0 {
+			h.Staleness = (m.rounds - 1) - ns.lastActivityRound
+			if slack >= 0 && !ns.crashed && h.Staleness > slack {
+				h.Stalled = true
+				stalled = true
+			}
+		}
+		s.NodeHealth = append(s.NodeHealth, h)
+	}
+
+	s.SpreadCurve = append([]Sample(nil), m.spread...)
+	s.ErrorCurve = append([]Sample(nil), m.errs...)
+
+	switch {
+	case m.violations > 0 || (m.det.Converged() && m.det.StableSamples() == 0):
+		s.Health = HealthDiverged
+	case stalled:
+		s.Health = HealthStalled
+	case m.det.Converged():
+		s.Health = HealthConverged
+	default:
+		s.Health = HealthConverging
+	}
+	return s
+}
+
+// Healthy reports whether the run is in a ready state: converged with
+// no divergence, stall or conservation violation. /health maps it to
+// 200 vs 503.
+func (m *Monitor) Healthy() (string, bool) {
+	s := m.Status()
+	return s.Health, s.Health == HealthConverged
+}

@@ -27,9 +27,9 @@ package replay
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 
+	"distclass/internal/converge"
 	"distclass/internal/trace"
 )
 
@@ -411,7 +411,8 @@ func (a *analyzer) finish() *RunReport {
 	}
 	sort.Slice(rep.Kinds, func(i, j int) bool { return rep.Kinds[i].Kind < rep.Kinds[j].Kind })
 
-	rep.Convergence = a.detectConvergence()
+	conv, det := a.detectConvergence()
+	rep.Convergence = conv
 
 	// Node health, sorted by id.
 	ids := make([]int, 0, len(a.nodes))
@@ -451,7 +452,7 @@ func (a *analyzer) finish() *RunReport {
 
 	rep.Anomalies.RoundRegressions = a.regressions
 	rep.Anomalies.DecodeErrors = a.msg.DecodeErrors
-	rep.Anomalies.DivergentRounds = a.divergentRounds(rep.Convergence)
+	rep.Anomalies.DivergentRounds = det.DivergentSamples()
 	rep.Anomalies.Count = len(rep.Anomalies.StalledNodes) +
 		rep.Anomalies.DivergentRounds +
 		rep.Anomalies.RoundRegressions +
@@ -476,88 +477,34 @@ func (a *analyzer) finish() *RunReport {
 	return rep
 }
 
-// detectConvergence mirrors the online detector: a counter of
-// consecutive sub-threshold samples, reset on any sample at or above
-// the threshold, convergence declared when the counter reaches the
-// window size.
-func (a *analyzer) detectConvergence() Convergence {
+// detectConvergence replays the spread curve through the shared online
+// detector (internal/converge) — the exact state machine
+// engine.RunUntilConverged and the live monitor run, so offline and
+// online analyses can never drift apart.
+func (a *analyzer) detectConvergence() (Convergence, *converge.Detector) {
+	det := converge.New(a.opts.Threshold, a.opts.Window)
+	for _, s := range a.spread {
+		det.Observe(s.Round, s.Value)
+	}
 	c := Convergence{
-		Threshold:        a.opts.Threshold,
-		Window:           a.opts.Window,
-		ConvergedRound:   -1,
-		FirstStableRound: -1,
+		Threshold:        det.Threshold(),
+		Window:           det.Window(),
+		Converged:        det.Converged(),
+		ConvergedRound:   det.ConvergedRound(),
+		RoundsToConverge: det.RoundsToConverge(),
+		FirstStableRound: det.FirstStableRound(),
+		FinalSpread:      det.LastValue(),
+		MinSpread:        det.MinValue(),
 		SpreadSamples:    len(a.spread),
 		ErrorSamples:     len(a.errs),
-		MinSpread:        math.Inf(1),
-		MinError:         math.Inf(1),
 	}
-	stable := 0
-	lastAbove := -1 // index of the last sample at or above the threshold
-	for i, s := range a.spread {
-		if s.Value < a.opts.Threshold {
-			stable++
-			if stable >= a.opts.Window && !c.Converged {
-				c.Converged = true
-				c.ConvergedRound = s.Round
-				c.RoundsToConverge = s.Round + 1
-			}
-		} else {
-			stable = 0
-			lastAbove = i
-		}
-		if s.Value < c.MinSpread {
-			c.MinSpread = s.Value
-		}
-	}
-	if len(a.spread) > 0 {
-		c.FinalSpread = a.spread[len(a.spread)-1].Value
-		if lastAbove < len(a.spread)-1 {
-			c.FirstStableRound = a.spread[lastAbove+1].Round
-		}
-	} else {
-		c.MinSpread = 0
-	}
-	for _, s := range a.errs {
-		if s.Value < c.MinError {
+	for i, s := range a.errs {
+		if i == 0 || s.Value < c.MinError {
 			c.MinError = s.Value
 		}
 	}
 	if len(a.errs) > 0 {
 		c.FinalError = a.errs[len(a.errs)-1].Value
-	} else {
-		c.MinError = 0
 	}
-	return c
-}
-
-// divergentRounds counts spread samples at or above the threshold after
-// the sample that completed the convergence window.
-func (a *analyzer) divergentRounds(c Convergence) int {
-	if !c.Converged {
-		return 0
-	}
-	// Find the window-completing sample again (first index where the
-	// counter reached the window).
-	stable, start := 0, -1
-	for i, s := range a.spread {
-		if s.Value < c.Threshold {
-			stable++
-			if stable >= c.Window {
-				start = i
-				break
-			}
-		} else {
-			stable = 0
-		}
-	}
-	if start < 0 {
-		return 0
-	}
-	n := 0
-	for _, s := range a.spread[start+1:] {
-		if s.Value >= c.Threshold {
-			n++
-		}
-	}
-	return n
+	return c, det
 }

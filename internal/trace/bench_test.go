@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchTrace builds a synthetic JSONL trace with the event mix of a
+// real run: protocol events, probes, and the occasional blank line
+// (the case the old strings.TrimSpace(string(line)) conversion paid a
+// per-line allocation to detect).
+func benchTrace(lines int) string {
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		switch i % 5 {
+		case 0:
+			b.WriteString(`{"round":`)
+			b.WriteString(itoa(i / 5))
+			b.WriteString(`,"node":-1,"kind":"spread","value":0.125}`)
+		case 4:
+			b.WriteString("") // blank line
+		default:
+			b.WriteString(`{"round":`)
+			b.WriteString(itoa(i / 5))
+			b.WriteString(`,"node":`)
+			b.WriteString(itoa(i % 97))
+			b.WriteString(`,"kind":"send","value":3}`)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkCursorDecode measures the per-line cost of streaming a
+// trace through Cursor.Next — the replay and monitor ingest hot path.
+// Before the bytes.TrimSpace fix every line (blank or not) was copied
+// into a throwaway string just to test blankness.
+func BenchmarkCursorDecode(b *testing.B) {
+	input := benchTrace(4000)
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCursor(strings.NewReader(input))
+		for {
+			if _, err := c.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkCursorSkipBlank isolates the blank-line test: a stream of
+// whitespace-only lines exercises nothing but the TrimSpace check.
+func BenchmarkCursorSkipBlank(b *testing.B) {
+	input := strings.Repeat("   \n", 4096) + `{"round":0,"node":0,"kind":"send","value":0}` + "\n"
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCursor(strings.NewReader(input))
+		for {
+			if _, err := c.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCursorOversizedLine feeds a line beyond the maxLine bound: the
+// cursor must fail with an error naming the offending line, not hang
+// or silently truncate.
+func TestCursorOversizedLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"round":0,"node":0,"kind":"send","value":0}` + "\n")
+	b.WriteString(`{"round":1,"node":0,"kind":"send","value":"`)
+	b.WriteString(strings.Repeat("x", maxLine+1))
+	b.WriteString(`"}` + "\n")
+	c := NewCursor(strings.NewReader(b.String()))
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("first line: %v", err)
+	}
+	_, err := c.Next()
+	if err == nil {
+		t.Fatalf("oversized line decoded without error")
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatalf("oversized line reported as EOF")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Errorf("error %q does not surface the scanner cause", err)
+	}
+}
+
+// TestCursorCorruptLineNumber interleaves a corrupt JSON line into a
+// valid stream: the error must carry the 1-based number of the bad
+// line, counting blank lines the cursor skipped.
+func TestCursorCorruptLineNumber(t *testing.T) {
+	input := `{"round":0,"node":0,"kind":"send","value":0}` + "\n" +
+		"\n" + // blank line, skipped but counted
+		`{"round":1,"node":1,"kind":"send","value":0}` + "\n" +
+		`{"round":2,"node":2,` + "\n" + // corrupt: truncated object
+		`{"round":3,"node":3,"kind":"send","value":0}` + "\n"
+	c := NewCursor(strings.NewReader(input))
+	for i := 0; i < 2; i++ {
+		if _, err := c.Next(); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	_, err := c.Next()
+	if err == nil {
+		t.Fatalf("corrupt line decoded without error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not name line 4", err)
+	}
+	if c.Line() != 4 {
+		t.Errorf("Line() = %d after the failure, want 4", c.Line())
+	}
+}
+
+// TestCursorErrorSticks checks that a cursor never recovers from its
+// first failure: every later Next returns the same error rather than
+// resuming past corrupt data.
+func TestCursorErrorSticks(t *testing.T) {
+	input := `not json` + "\n" +
+		`{"round":0,"node":0,"kind":"send","value":0}` + "\n"
+	c := NewCursor(strings.NewReader(input))
+	_, first := c.Next()
+	if first == nil {
+		t.Fatalf("corrupt first line decoded without error")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Next(); err != first {
+			t.Fatalf("Next after failure returned %v, want the sticky %v", err, first)
+		}
+	}
+	// EOF sticks the same way on clean streams.
+	c = NewCursor(strings.NewReader(""))
+	if _, err := c.Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	if _, err := c.Next(); err != io.EOF {
+		t.Fatalf("second Next on empty stream: %v, want io.EOF", err)
+	}
+}
+
+// errSink fails every Record with a fixed error.
+type errSink struct{ err error }
+
+func (s errSink) Record(Event) error { return s.err }
+
+// collectSink appends every event it receives.
+type collectSink struct{ events []Event }
+
+func (s *collectSink) Record(e Event) error {
+	s.events = append(s.events, e)
+	return nil
+}
+
+func TestTeeFansOutAndCollapses(t *testing.T) {
+	a, b := &collectSink{}, &collectSink{}
+	tee := Tee(nil, a, nil, b)
+	for i := 0; i < 3; i++ {
+		if err := tee.Record(Event{Round: i, Node: i, Kind: KindSend}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if len(a.events) != 3 || len(b.events) != 3 {
+		t.Errorf("fan-out recorded %d/%d events, want 3/3", len(a.events), len(b.events))
+	}
+	if got := Tee(nil, a, nil); got != Sink(a) {
+		t.Errorf("single-sink tee did not collapse to the sink itself")
+	}
+	if got := Tee(nil, nil); got != Nop {
+		t.Errorf("empty tee = %v, want Nop", got)
+	}
+}
+
+func TestTeeFirstErrorWinsButAllRecord(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	late := &collectSink{}
+	tee := Tee(errSink{boom}, late)
+	if err := tee.Record(Event{Kind: KindSend}); err != boom {
+		t.Fatalf("Record error = %v, want boom", err)
+	}
+	if len(late.events) != 1 {
+		t.Errorf("sink after the failing one recorded %d events, want 1", len(late.events))
+	}
+}
+
+func TestFilterKinds(t *testing.T) {
+	dst := &collectSink{}
+	f := FilterKinds(dst, KindSpread, KindError)
+	for _, k := range []Kind{KindSend, KindSpread, KindMerge, KindError, KindSpread} {
+		if err := f.Record(Event{Kind: k}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if len(dst.events) != 3 {
+		t.Fatalf("filter passed %d events, want 3", len(dst.events))
+	}
+	for _, e := range dst.events {
+		if e.Kind != KindSpread && e.Kind != KindError {
+			t.Errorf("filter passed kind %q", e.Kind)
+		}
+	}
+	if got := FilterKinds(dst); got != Sink(dst) {
+		t.Errorf("empty filter did not return the sink unchanged")
+	}
+}

@@ -8,10 +8,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 )
 
@@ -160,6 +160,69 @@ func (r *Recorder) Classification(round, node int, records []CollectionRecord) e
 	return r.Record(Event{Round: round, Node: node, Kind: KindClassification, Collections: records})
 }
 
+// Tee returns a Sink that records every event to each of the given
+// sinks, in order; nil sinks are skipped. Every sink sees every event
+// even when an earlier one fails — the first error is returned. With
+// fewer than two non-nil sinks no wrapper is allocated (the single
+// sink, or Nop, is returned directly). This is how the live monitor
+// attaches beside a JSONL recorder without either knowing about the
+// other.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop
+	case 1:
+		return kept[0]
+	default:
+		return teeSink(kept)
+	}
+}
+
+type teeSink []Sink
+
+func (t teeSink) Record(e Event) error {
+	var first error
+	for _, s := range t {
+		if err := s.Record(e); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FilterKinds wraps sink so it only receives events carrying one of
+// the given kinds; everything else is dropped silently. With no kinds
+// the sink is returned unchanged (an empty filter would be a
+// surprising way to spell "discard everything").
+func FilterKinds(sink Sink, kinds ...Kind) Sink {
+	if len(kinds) == 0 {
+		return sink
+	}
+	f := filterSink{sink: sink, kinds: make(map[Kind]bool, len(kinds))}
+	for _, k := range kinds {
+		f.kinds[k] = true
+	}
+	return f
+}
+
+type filterSink struct {
+	sink  Sink
+	kinds map[Kind]bool
+}
+
+func (f filterSink) Record(e Event) error {
+	if !f.kinds[e.Kind] {
+		return nil
+	}
+	return f.sink.Record(e)
+}
+
 // maxLine bounds a single trace line (16 MiB). Classification snapshots
 // of large networks are long lines, but anything beyond this is a
 // corrupt file, not a trace.
@@ -196,7 +259,7 @@ func (c *Cursor) Next() (Event, error) {
 	for c.sc.Scan() {
 		c.line++
 		text := c.sc.Bytes()
-		if len(strings.TrimSpace(string(text))) == 0 {
+		if len(bytes.TrimSpace(text)) == 0 {
 			continue
 		}
 		var e Event
