@@ -1,12 +1,12 @@
 # Tier-2 checks for this repo: formatting, vet, the custom
-# determinism/numerics lint suite, and the full test suite under the
-# race detector. Tier-1 stays `go build ./... && go test ./...` (see
-# ROADMAP.md).
+# determinism/numerics + concurrency-contract lint suite, and the full
+# test suite under the race detector. Tier-1 stays `go build ./... &&
+# go test ./...` (see ROADMAP.md).
 
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build test vet fmt lint race bench analyze-smoke churn-smoke engine-smoke monitor-smoke
+.PHONY: check build test vet fmt lint lint-report lint-allows race bench analyze-smoke churn-smoke engine-smoke monitor-smoke
 
 check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke race
 
@@ -26,12 +26,25 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Custom static analysis (internal/lint): norand, nowallclock,
-# floatcmp, mapiter, globalstate, layering. Exits nonzero with file:line:col
-# diagnostics on any unannotated finding; see DESIGN.md for the rules
-# and the //lint:allow escape hatch.
+# Custom static analysis (internal/lint): the determinism/numerics
+# rules (norand, nowallclock, floatcmp, mapiter, globalstate, layering)
+# plus the concurrency contract (lockguard, gorolifecycle, errconserve,
+# chanmisuse). Runs in parallel behind a content-hash cache in
+# .lintcache (gitignored); exits nonzero with file:line:col diagnostics
+# on any unannotated finding. See DESIGN.md for the rules and the
+# //lint:allow escape hatch; `make lint-allows` audits the escape
+# hatches for staleness.
 lint:
-	$(GO) run ./cmd/distclass-lint ./...
+	$(GO) run ./cmd/distclass-lint -cache .lintcache ./...
+
+# JSON finding report (CI artifact): same analysis, machine-readable.
+lint-report:
+	$(GO) run ./cmd/distclass-lint -cache .lintcache -format json ./... > lint-report.json; \
+	status=$$?; echo "wrote lint-report.json"; exit $$status
+
+# Audit //lint:allow directives: each prints as used or STALE.
+lint-allows:
+	$(GO) run ./cmd/distclass-lint -list-allows ./...
 
 race:
 	$(GO) test -race ./...

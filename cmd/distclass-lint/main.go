@@ -1,15 +1,28 @@
 // Command distclass-lint runs the repository's custom static-analysis
-// suite (package internal/lint): six analyzers that machine-check the
-// determinism and numerics contract the paper reproduction depends on.
+// suite (package internal/lint): the determinism/numerics analyzers
+// plus the concurrency-contract family (lockguard, gorolifecycle,
+// errconserve, chanmisuse).
 //
 // Usage:
 //
-//	distclass-lint [-list] [pattern ...]
+//	distclass-lint [-list] [-list-allows] [-format text|json]
+//	               [-cache dir] [-workers n] [pattern ...]
 //
 // Patterns are module-relative directories, optionally ending in /...
 // for a recursive walk; the default is ./... from the enclosing module
-// root. Findings print as file:line:col: rule: message, one per line,
-// and the exit status is 1 when there are findings, 2 on usage or load
+// root. Package directories are type-checked concurrently across a
+// worker pool; with -cache, directories whose contents (and transitive
+// module-local imports) are unchanged are served from a content-hash
+// diagnostic cache without re-checking.
+//
+// With -format text (the default) findings print as
+// file:line:col: rule: message, one per line. With -format json a
+// single report object is emitted:
+//
+//	{"module": ..., "count": N, "dirs": D, "cache_hits": H,
+//	 "findings": [{"file","line","col","rule","message"}, ...]}
+//
+// The exit status is 1 when there are findings, 2 on usage or load
 // errors — suitable for CI gates and editor integration.
 //
 // A finding is suppressed by an inline escape hatch on the offending
@@ -17,10 +30,14 @@
 //
 //	//lint:allow <rule> <reason>
 //
-// Run `distclass-lint -list` for the rule set.
+// -list-allows audits those escape hatches: it re-runs the analysis
+// without suppression and reports every directive as used or STALE
+// (suppressing nothing — delete it). Run `distclass-lint -list` for
+// the rule set.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,8 +53,16 @@ func main() {
 	log.SetPrefix("distclass-lint: ")
 
 	list := flag.Bool("list", false, "print the analyzer names and docs, then exit")
+	listAllows := flag.Bool("list-allows", false, "audit //lint:allow directives: report each as used or STALE, then exit")
+	format := flag.String("format", "text", "output format: text or json")
+	cacheDir := flag.String("cache", "", "diagnostic cache directory (empty disables caching)")
+	workers := flag.Int("workers", 0, "type-checking concurrency (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *format != "text" && *format != "json" {
+		log.Printf("unknown -format %q: want text or json", *format)
+		os.Exit(2)
+	}
 	if *list {
 		printRules(os.Stdout)
 		return
@@ -52,36 +77,146 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := runLint(os.Stdout, root, patterns)
+
+	if *listAllows {
+		if err := runListAllows(os.Stdout, root, patterns, *format); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := lint.Options{CacheDir: *cacheDir, Workers: *workers}
+	n, err := runLint(os.Stdout, root, patterns, *format, opts)
 	if err != nil {
 		log.Print(err)
 		os.Exit(2)
 	}
 	if n > 0 {
-		log.Printf("%d finding(s)", n)
+		if *format != "json" {
+			log.Printf("%d finding(s)", n)
+		}
 		os.Exit(1)
 	}
+}
+
+// runLint runs the suite over the patterns and writes findings to w in
+// the requested format, returning the finding count.
+func runLint(w io.Writer, root string, patterns []string, format string, opts lint.Options) (int, error) {
+	res, err := lint.LintModule(root, patterns, opts)
+	if err != nil {
+		return 0, err
+	}
+	if format == "json" {
+		return len(res.Diagnostics), writeJSON(w, root, res)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(w, d)
+	}
+	return len(res.Diagnostics), nil
 }
 
 // printRules writes one "name: doc" line per analyzer.
 func printRules(w io.Writer) {
 	for _, a := range lint.All() {
-		fmt.Fprintf(w, "%-12s %s\n", a.Name(), a.Doc())
+		fmt.Fprintf(w, "%-14s %s\n", a.Name(), a.Doc())
 	}
 }
 
-// runLint loads the patterns under root, applies the full suite, and
-// writes findings to w. It returns the number of findings.
-func runLint(w io.Writer, root string, patterns []string) (int, error) {
+// jsonFinding is one diagnostic in the -format json report. File is
+// module-root-relative so reports are stable across checkouts.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -format json payload.
+type jsonReport struct {
+	Module    string        `json:"module"`
+	Count     int           `json:"count"`
+	Dirs      int           `json:"dirs"`
+	CacheHits int           `json:"cache_hits"`
+	Findings  []jsonFinding `json:"findings"`
+}
+
+// writeJSON renders the result as a single JSON object.
+func writeJSON(w io.Writer, root string, res *lint.Result) error {
+	rep := jsonReport{
+		Module:    res.Module,
+		Count:     len(res.Diagnostics),
+		Dirs:      res.Dirs,
+		CacheHits: res.CacheHits,
+		Findings:  []jsonFinding{},
+	}
+	for _, d := range res.Diagnostics {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// jsonAllow is one directive in the -list-allows -format json report.
+type jsonAllow struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
+}
+
+// runListAllows loads the patterns fresh (no cache: usage tracking
+// needs the raw, unsuppressed findings) and reports every directive.
+func runListAllows(w io.Writer, root string, patterns []string, format string) error {
 	units, err := lint.Load(root, patterns)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	diags := lint.Run(units, lint.All())
-	for _, d := range diags {
-		fmt.Fprintln(w, d)
+	allows := lint.RunAllows(units, lint.All())
+	if format == "json" {
+		out := []jsonAllow{}
+		for _, a := range allows {
+			out = append(out, jsonAllow{
+				File:   relPath(root, a.Pos.Filename),
+				Line:   a.Pos.Line,
+				Rule:   a.Rule,
+				Reason: a.Reason,
+				Used:   a.Used,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
 	}
-	return len(diags), nil
+	stale := 0
+	for _, a := range allows {
+		status := "used "
+		if !a.Used {
+			status = "STALE"
+			stale++
+		}
+		fmt.Fprintf(w, "%s:%d: %s %-13s %s\n", relPath(root, a.Pos.Filename), a.Pos.Line, status, a.Rule, a.Reason)
+	}
+	fmt.Fprintf(w, "%d allow(s), %d stale\n", len(allows), stale)
+	return nil
+}
+
+// relPath renders path relative to root when possible.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -100,6 +100,7 @@ func (cl Classification) String() string {
 	var b strings.Builder
 	for i, c := range cl {
 		if i > 0 {
+			//lint:allow errconserve strings.Builder.WriteByte is documented to always return nil
 			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "{w=%.6g %s}", c.Weight, c.Summary)

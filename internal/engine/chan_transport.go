@@ -37,7 +37,7 @@ type chanNet struct {
 	recvSeq atomic.Int64
 
 	mu      sync.Mutex // serializes Kill/Restart/Stop bookkeeping
-	stopped bool
+	stopped bool       // guarded by mu
 }
 
 // chanFrame is one in-flight message: a pull request (pull true) or a
@@ -56,7 +56,7 @@ type chanNode struct {
 	// crash's destroyed-weight figure exact — no frame can slip into a
 	// dead inbox behind the drain.
 	stateMu sync.RWMutex
-	alive   bool
+	alive   bool // guarded by stateMu
 	inbox   chan chanFrame
 
 	cancel context.CancelFunc // stops this incarnation's receiver
@@ -271,11 +271,17 @@ func (t *chanNet) Stop() {
 		n.wg.Wait()
 	}
 	for i, n := range t.nodes {
+		// Receivers are joined and Kill/Restart serialize on t.mu, so
+		// aliveness is frozen here; capture it under the lock once
+		// rather than racing the flag inside the drain loop.
+		n.stateMu.RLock()
+		alive := n.alive
+		n.stateMu.RUnlock()
 	drain:
 		for {
 			select {
 			case f := <-n.inbox:
-				if f.pull || !n.alive {
+				if f.pull || !alive {
 					continue
 				}
 				if !t.deliver(i, f) {

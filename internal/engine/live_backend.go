@@ -74,7 +74,7 @@ func (w wireTransport) Err() error                  { return w.net.Err() }
 // RNG, and the gossip goroutine lifecycle.
 type liveNode struct {
 	mu   sync.Mutex
-	node *core.Node
+	node *core.Node // guarded by mu
 
 	// r and rr belong to the node's gossip goroutine alone.
 	r  *rng.RNG

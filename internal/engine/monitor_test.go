@@ -87,7 +87,6 @@ func TestMonitorAttachesToEveryBackend(t *testing.T) {
 			if !s.Convergence.Converged {
 				t.Errorf("monitor did not see convergence: %+v", s.Convergence)
 			}
-			//lint:allow floatcmp configured threshold echoed verbatim
 			if s.Convergence.Threshold != tol {
 				t.Errorf("monitor threshold = %g, want %g", s.Convergence.Threshold, tol)
 			}
@@ -97,7 +96,6 @@ func TestMonitorAttachesToEveryBackend(t *testing.T) {
 			if !s.Conservation.Audited {
 				t.Fatal("conservation audit not armed")
 			}
-			//lint:allow floatcmp the audit expectation is set exactly
 			if s.Conservation.Expected != float64(n) {
 				t.Errorf("expected weight = %g, want %d", s.Conservation.Expected, n)
 			}

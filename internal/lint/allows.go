@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// Allow is one well-formed //lint:allow directive, annotated with
+// whether the current analysis actually needed it. A stale allow
+// (Used == false) is a suppression whose finding no longer exists —
+// the code was fixed or the rule changed — and should be deleted so
+// the escape hatch stays an accurate map of the reviewed exceptions.
+type Allow struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+	Used   bool
+}
+
+// RunAllows runs the analyzers over the units like Run, but instead of
+// returning the surviving findings it returns every //lint:allow
+// directive with its usage: a directive is Used when at least one raw
+// finding of its rule landed on its line (trailing form) or the line
+// below (standalone form). Malformed directives are not included; Run
+// already reports those as findings.
+func RunAllows(units []*Unit, analyzers []Analyzer) []Allow {
+	var allows []Allow
+	for _, u := range units {
+		perFile := make(map[string]map[int][]directive)
+		for _, f := range u.Files {
+			ds, _ := directives(u.Fset, f)
+			perFile[u.Fset.Position(f.Pos()).Filename] = ds
+		}
+		used := make(map[string]map[int]map[string]bool) // file -> directive line -> rule
+		mark := func(file string, line int, rule string) {
+			if used[file] == nil {
+				used[file] = make(map[int]map[string]bool)
+			}
+			if used[file][line] == nil {
+				used[file][line] = make(map[string]bool)
+			}
+			used[file][line][rule] = true
+		}
+		for _, a := range analyzers {
+			for _, d := range a.Check(u) {
+				byLine := perFile[d.Pos.Filename]
+				for _, dir := range byLine[d.Pos.Line] {
+					if dir.rule == a.Name() {
+						mark(d.Pos.Filename, dir.line, dir.rule)
+					}
+				}
+				for _, dir := range byLine[d.Pos.Line-1] {
+					if dir.rule == a.Name() && dir.standalone {
+						mark(d.Pos.Filename, dir.line, dir.rule)
+					}
+				}
+			}
+		}
+		for file, byLine := range perFile {
+			for line, ds := range byLine {
+				for _, dir := range ds {
+					//lint:allow mapiter the combined slice is position-sorted before return
+					allows = append(allows, Allow{
+						Pos:    token.Position{Filename: file, Line: line},
+						Rule:   dir.rule,
+						Reason: dir.reason,
+						Used:   used[file][line][dir.rule],
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return allows
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkLintModule measures the three operating points of the suite
+// over the fixture module: the serial uncached baseline, the parallel
+// cold run, and the parallel warm-cache run (the steady state of
+// `make lint`, which should be dominated by file hashing, not type
+// checking).
+func BenchmarkLintModule(b *testing.B) {
+	patterns := []string{"./..."}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LintModule(fixtureRoot, patterns, Options{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel-cold", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := LintModule(fixtureRoot, patterns, Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm-cache", func(b *testing.B) {
+		opts := Options{CacheDir: b.TempDir(), Workers: runtime.GOMAXPROCS(0)}
+		if _, err := LintModule(fixtureRoot, patterns, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := LintModule(fixtureRoot, patterns, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CacheHits != res.Dirs {
+				b.Fatalf("warm run missed the cache: %d of %d", res.CacheHits, res.Dirs)
+			}
+		}
+	})
+}

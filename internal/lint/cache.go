@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheVersion is baked into every cache key; bump it whenever the
+// diagnostic encoding or the meaning of a key changes.
+const cacheVersion = "distclass-lint-cache-v1"
+
+// diagCache is a content-addressed store of per-directory diagnostic
+// lists. An entry is valid forever: the key already encodes everything
+// the diagnostics depend on (file contents of the directory and its
+// transitive module-local imports, the analyzer set, the toolchain and
+// the module identity), so invalidation is simply a key miss.
+type diagCache struct {
+	dir string
+}
+
+// openCache creates the cache directory if needed.
+func openCache(dir string) (*diagCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache: %w", err)
+	}
+	return &diagCache{dir: dir}, nil
+}
+
+// cacheEntry is the on-disk JSON payload.
+type cacheEntry struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// get returns the cached diagnostics for key, or ok=false on any miss
+// or decode failure (a corrupt entry is treated as absent).
+func (c *diagCache) get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return e.Diagnostics, true
+}
+
+// put stores diagnostics under key, atomically (temp file + rename) so
+// concurrent writers and readers never see a torn entry.
+func (c *diagCache) put(key string, diags []Diagnostic) error {
+	data, err := json.Marshal(cacheEntry{Diagnostics: diags})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(c.dir, key+".json"))
+}
+
+// dirState is the hashed identity of one directory: its own file
+// contents plus the module-local directories it imports. Computed once
+// per directory per run, before any type checking.
+type dirState struct {
+	dir     string
+	rel     string
+	own     [sha256.Size]byte
+	imports []string // module-relative dirs this dir imports
+}
+
+// scanDir reads and hashes every Go file in dir and extracts its
+// module-local imports with an imports-only parse. The hash covers file
+// names and contents, so adding, removing, renaming or editing a file
+// all change it.
+func scanDir(root, module, dir string) (*dirState, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && goFileName(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	h := sha256.New()
+	importSet := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+		if err != nil {
+			// Unparseable files still hash; the full load will report.
+			continue
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == module {
+				importSet["."] = true
+			} else if rest, ok := strings.CutPrefix(path, module+"/"); ok {
+				importSet[rest] = true
+			}
+		}
+	}
+
+	st := &dirState{dir: dir, rel: rel}
+	h.Sum(st.own[:0])
+	for imp := range importSet {
+		if imp != rel {
+			//lint:allow mapiter sorted immediately below
+			st.imports = append(st.imports, imp)
+		}
+	}
+	sort.Strings(st.imports)
+	return st, nil
+}
+
+// closureHash combines a directory's own hash with the closure hashes
+// of its module-local imports, so editing a dependency invalidates
+// every dependent directory. memo carries results across the
+// per-directory recursion; visiting guards against import cycles (the
+// compiler rejects them, but a half-edited tree may contain one — the
+// back edge simply contributes nothing).
+func closureHash(rel string, states map[string]*dirState, memo map[string][sha256.Size]byte, visiting map[string]bool) [sha256.Size]byte {
+	if h, ok := memo[rel]; ok {
+		return h
+	}
+	st := states[rel]
+	if st == nil || visiting[rel] {
+		return [sha256.Size]byte{}
+	}
+	visiting[rel] = true
+	h := sha256.New()
+	h.Write(st.own[:])
+	for _, imp := range st.imports {
+		dep := closureHash(imp, states, memo, visiting)
+		fmt.Fprintf(h, "%s\x00", imp)
+		h.Write(dep[:])
+	}
+	delete(visiting, rel)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	memo[rel] = out
+	return out
+}
+
+// cacheKey derives the storage key for one directory's diagnostics.
+// Everything the cached result depends on is folded in: schema version,
+// toolchain, module path, the absolute root (diagnostic positions embed
+// it), the analyzer set, and the directory's closure hash.
+func cacheKey(root, module, rel string, analyzers []Analyzer, closure [sha256.Size]byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00", cacheVersion, runtime.Version(), module, root, rel)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s\x00", a.Name())
+	}
+	h.Write(closure[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// ChanMisuse reports two channel-protocol violations:
+//
+//  1. Send on a possibly-nil channel: a channel variable declared with
+//     `var ch chan T` and used in a send without a definite assignment
+//     at the same block level first. A nil-channel send blocks
+//     forever — in this codebase that is a gossip goroutine silently
+//     parking, which reads as a stalled node, not a bug report.
+//
+//  2. Close by a non-owner: a struct channel field annotated
+//     `// closed by <func>` may only be closed inside the named
+//     function (comma-separated names allow shared ownership, e.g. an
+//     Op and its test helper). Closing a channel from two places is a
+//     panic; the annotation makes the single owner machine-checkable.
+//
+// Like lockguard, the nil analysis is a conservative linear walk: an
+// assignment inside a nested block does not count as definite for code
+// after the block (`if x { ch = make(...) }; ch <- v` stays a
+// finding — the else path really does send on nil).
+type ChanMisuse struct{}
+
+// Name implements Analyzer.
+func (ChanMisuse) Name() string { return "chanmisuse" }
+
+// Doc implements Analyzer.
+func (ChanMisuse) Doc() string {
+	return "no sends on possibly-nil channels; `// closed by <func>` fields close only in their owner"
+}
+
+// closedByRe extracts the owner list from a field comment.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var closedByRe = regexp.MustCompile(`closed by (\w+(?:\s*,\s*\w+)*)`)
+
+// Check implements Analyzer.
+func (ChanMisuse) Check(u *Unit) []Diagnostic {
+	diags := u.checkCloseOwners()
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, u.checkNilSends(fd.Body)...)
+		}
+	}
+	return diags
+}
+
+// checkNilSends walks one function body tracking channel variables
+// declared nil (`var ch chan T`) and flags sends that can execute
+// before any definite assignment.
+func (u *Unit) checkNilSends(body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	nilChans := make(map[types.Object]bool)
+	var walk func(list []ast.Stmt, local map[types.Object]bool)
+	assigned := func(local map[types.Object]bool, expr ast.Expr) {
+		if id, ok := expr.(*ast.Ident); ok {
+			if obj := u.Info.Uses[id]; obj != nil && local[obj] {
+				local[obj] = false
+			}
+		}
+	}
+	checkSend := func(local map[types.Object]bool, ch ast.Expr, pos ast.Node) {
+		id, ok := ch.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := u.Info.Uses[id]; obj != nil && local[obj] {
+			diags = append(diags, Diagnostic{
+				Pos:     u.Fset.Position(pos.Pos()),
+				Rule:    "chanmisuse",
+				Message: "send on " + id.Name + ", declared `var " + id.Name + " chan ...` and possibly still nil here; a nil-channel send blocks forever",
+			})
+		}
+	}
+	clone := func(m map[types.Object]bool) map[types.Object]bool {
+		out := make(map[types.Object]bool, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	walk = func(list []ast.Stmt, local map[types.Object]bool) {
+		for _, stmt := range list {
+			switch s := stmt.(type) {
+			case *ast.DeclStmt:
+				gd, ok := s.Decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) > 0 {
+						continue
+					}
+					if _, isChan := vs.Type.(*ast.ChanType); !isChan {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := u.Info.Defs[name]; obj != nil {
+							local[obj] = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					assigned(local, lhs)
+				}
+			case *ast.SendStmt:
+				checkSend(local, s.Chan, s)
+			case *ast.ExprStmt:
+				// &ch escaping makes the channel unknowable; clear it.
+				ast.Inspect(s.X, func(n ast.Node) bool {
+					if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						assigned(local, ue.X)
+					}
+					return true
+				})
+			case *ast.IfStmt:
+				if s.Init != nil {
+					walk([]ast.Stmt{s.Init}, local)
+				}
+				walk(s.Body.List, clone(local))
+				if s.Else != nil {
+					if eb, ok := s.Else.(*ast.BlockStmt); ok {
+						walk(eb.List, clone(local))
+					} else {
+						walk([]ast.Stmt{s.Else}, clone(local))
+					}
+				}
+			case *ast.ForStmt:
+				walk(s.Body.List, clone(local))
+			case *ast.RangeStmt:
+				walk(s.Body.List, clone(local))
+			case *ast.BlockStmt:
+				walk(s.List, clone(local))
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body, clone(local))
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if send, ok := cc.Comm.(*ast.SendStmt); ok {
+						checkSend(local, send.Chan, send)
+					}
+					walk(cc.Body, clone(local))
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt}, local)
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body.List, clone(local))
+				}
+			case *ast.DeferStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body.List, clone(local))
+				}
+			}
+		}
+	}
+	walk(body.List, nilChans)
+	return diags
+}
+
+// checkCloseOwners enforces `// closed by <func>` field annotations:
+// close(x.field) outside the named functions is a finding.
+func (u *Unit) checkCloseOwners() []Diagnostic {
+	owners := u.collectCloseOwners()
+	var diags []Diagnostic
+	if len(owners) == 0 {
+		return diags
+	}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "close" {
+					return true
+				}
+				if _, builtin := u.Info.Uses[id].(*types.Builtin); !builtin {
+					return true
+				}
+				sel, ok := call.Args[0].(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fieldObj := u.Info.Uses[sel.Sel]
+				if fieldObj == nil {
+					return true
+				}
+				allowed, annotated := owners[fieldObj]
+				if !annotated || allowed[fd.Name.Name] {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     u.Fset.Position(call.Pos()),
+					Rule:    "chanmisuse",
+					Message: "close of " + sel.Sel.Name + " in " + fd.Name.Name + ", but the field is `// closed by` another function; double close panics",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// collectCloseOwners maps annotated channel fields to their permitted
+// closer function names.
+func (u *Unit) collectCloseOwners() map[types.Object]map[string]bool {
+	owners := make(map[types.Object]map[string]bool)
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				names := closeOwnerNames(field)
+				if names == nil {
+					continue
+				}
+				for _, id := range field.Names {
+					if obj := u.Info.Defs[id]; obj != nil {
+						owners[obj] = names
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+// closeOwnerNames parses a `closed by a, b` annotation into a name
+// set, or nil when the field carries none.
+func closeOwnerNames(field *ast.Field) map[string]bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		m := closedByRe.FindStringSubmatch(cg.Text())
+		if m == nil {
+			continue
+		}
+		names := make(map[string]bool)
+		for _, name := range splitCommaList(m[1]) {
+			names[name] = true
+		}
+		return names
+	}
+	return nil
+}
+
+// splitCommaList splits "a, b,c" into trimmed names.
+func splitCommaList(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' && s[i] != ' ' && s[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}

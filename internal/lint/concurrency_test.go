@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintModuleFiles lays out a throwaway module, analyzes it with the
+// full suite, and returns the findings for one rule.
+func lintModuleFiles(t *testing.T, rule string, files map[string]string) []Diagnostic {
+	t.Helper()
+	root := t.TempDir()
+	all := map[string]string{"go.mod": "module tmpmod\n\ngo 1.22\n"}
+	for k, v := range files {
+		all[k] = v
+	}
+	for name, src := range all {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	units, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range units {
+		for _, terr := range u.TypeErrors {
+			t.Fatalf("test module must type-check: %v", terr)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range Run(units, All()) {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestLockGuardEmbeddedDefer pins the embedded-mutex idiom: locking
+// through the promoted Lock with a deferred Unlock holds to function
+// end, and the same access without the lock is a finding.
+func TestLockGuardEmbeddedDefer(t *testing.T) {
+	diags := lintModuleFiles(t, "lockguard", map[string]string{
+		"p/p.go": `package p
+
+import "sync"
+
+type counter struct {
+	sync.Mutex
+	n int // guarded by Mutex
+}
+
+// Inc holds the embedded lock for the whole body.
+func (c *counter) Inc() {
+	c.Lock()
+	defer c.Unlock()
+	c.n++
+}
+
+// Peek reads without the lock.
+func (c *counter) Peek() int {
+	return c.n
+}
+`,
+	})
+	if len(diags) != 1 {
+		t.Fatalf("got %d lockguard findings, want 1 (Peek only): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 19 {
+		t.Errorf("finding at line %d, want 19 (the unlocked read in Peek): %v", diags[0].Pos.Line, diags[0])
+	}
+}
+
+// TestLockGuardDeferredUnlockHolds pins that `mu.Lock(); defer
+// mu.Unlock()` keeps the lock held past later statements — the defer
+// must not be read as an immediate unlock.
+func TestLockGuardDeferredUnlockHolds(t *testing.T) {
+	diags := lintModuleFiles(t, "lockguard", map[string]string{
+		"p/p.go": `package p
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// Set touches v repeatedly after the deferred unlock is queued.
+func (b *box) Set(x int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v = x
+	b.v++
+	return b.v
+}
+`,
+	})
+	if len(diags) != 0 {
+		t.Fatalf("deferred unlock misread as release: %v", diags)
+	}
+}
+
+// TestGoroLifecycleOnceConstructor pins goroutines launched inside a
+// sync.Once constructor: starting a background loop under once.Do is
+// still a leak unless the loop has a shutdown path.
+func TestGoroLifecycleOnceConstructor(t *testing.T) {
+	diags := lintModuleFiles(t, "gorolifecycle", map[string]string{
+		"p/p.go": `package p
+
+import "sync"
+
+type server struct {
+	once sync.Once
+	quit chan struct{}
+	work chan int
+}
+
+func (s *server) loopForever() {
+	for {
+		s.work <- 1
+	}
+}
+
+func (s *server) loopUntilQuit() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case s.work <- 1:
+		}
+	}
+}
+
+// StartLeaky lazily fires an unstoppable loop.
+func (s *server) StartLeaky() {
+	s.once.Do(func() {
+		go s.loopForever()
+	})
+}
+
+// StartTied lazily fires a loop the quit channel can end.
+func (s *server) StartTied() {
+	s.once.Do(func() {
+		go s.loopUntilQuit()
+	})
+}
+`,
+	})
+	if len(diags) != 1 {
+		t.Fatalf("got %d gorolifecycle findings, want 1 (StartLeaky only): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 30 {
+		t.Errorf("finding at line %d, want 30 (go s.loopForever in StartLeaky): %v", diags[0].Pos.Line, diags[0])
+	}
+}
+
+// TestErrConserveBlankDiscard pins the satellite requirement: in a
+// conservation-critical package, `_ = f()` is a finding exactly like
+// calling for effect, and only an explicit //lint:allow clears it.
+func TestErrConserveBlankDiscard(t *testing.T) {
+	src := func(body string) map[string]string {
+		return map[string]string{
+			"internal/engine/e.go": `package engine
+
+type tr struct{}
+
+func (tr) Send(v float64) error { return nil }
+
+func f(x tr) {
+` + body + `}
+`,
+		}
+	}
+
+	bare := lintModuleFiles(t, "errconserve", src("\t_ = x.Send(1)\n"))
+	if len(bare) != 1 {
+		t.Fatalf("blank discard without allow: got %d findings, want 1: %v", len(bare), bare)
+	}
+	allowed := lintModuleFiles(t, "errconserve",
+		src("\t//lint:allow errconserve shutdown path, weight already settled\n\t_ = x.Send(1)\n"))
+	if len(allowed) != 0 {
+		t.Fatalf("annotated blank discard still reported: %v", allowed)
+	}
+	outside := lintModuleFiles(t, "errconserve", map[string]string{
+		"pkg/e.go": `package pkg
+
+type tr struct{}
+
+func (tr) Send(v float64) error { return nil }
+
+func f(x tr) {
+	_ = x.Send(1)
+}
+`,
+	})
+	if len(outside) != 0 {
+		t.Fatalf("errconserve fired outside its directories: %v", outside)
+	}
+}
+
+// TestChanMisuseNilAndOwnership pins the two chanmisuse halves on a
+// compact module: the nil-send path and the close-ownership path.
+func TestChanMisuseNilAndOwnership(t *testing.T) {
+	diags := lintModuleFiles(t, "chanmisuse", map[string]string{
+		"p/p.go": `package p
+
+type pipe struct {
+	c chan int // closed by stop
+}
+
+func (p *pipe) stop() { close(p.c) }
+
+func (p *pipe) abort() { close(p.c) }
+
+func send() {
+	var ch chan int
+	ch <- 1
+}
+`,
+	})
+	if len(diags) != 2 {
+		t.Fatalf("got %d chanmisuse findings, want 2 (abort's close, send's nil send): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 9 || diags[1].Pos.Line != 13 {
+		t.Errorf("findings at lines %d,%d, want 9,13: %v", diags[0].Pos.Line, diags[1].Pos.Line, diags)
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// conserveDirs are the packages where a dropped error is dropped
+// weight: the protocol loop, the wire transport and the node itself.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var conserveDirs = map[string]bool{
+	"internal/core":    true,
+	"internal/engine":  true,
+	"internal/livenet": true,
+}
+
+// conserveNames are the call names whose error results the rule
+// protects: the send/encode/absorb family. Matching is by the final
+// selector (method or function) name; only calls whose last result is
+// an error are considered.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var conserveExact = map[string]bool{
+	"absorb":        true,
+	"deliver":       true,
+	"undeliverable": true,
+	"send":          true,
+	"split":         true,
+	"flush":         true,
+}
+
+// conservePrefixes extends the name match to the codec and I/O
+// families (MarshalClassification, writeFrame, EncodeTo, ...).
+//
+//lint:allow globalstate immutable rule table, written only at init
+var conservePrefixes = []string{"marshal", "unmarshal", "encode", "decode", "write", "read"}
+
+// ErrConserve reports ignored error returns on conservation-critical
+// paths in internal/core, internal/engine and internal/livenet. The
+// protocol's invariant is that weight only moves inside a checked
+// split→send→absorb exchange; an error dropped on one of those paths
+// is weight silently created or destroyed. Both forms of discarding
+// are findings — calling for effect (`n.Absorb(cls)` as a statement)
+// and the explicit blank assignment (`_ = n.Absorb(cls)`): the blank
+// form must carry a //lint:allow with the argument for why the error
+// is genuinely ignorable. _test.go files are exempt.
+type ErrConserve struct{}
+
+// Name implements Analyzer.
+func (ErrConserve) Name() string { return "errconserve" }
+
+// Doc implements Analyzer.
+func (ErrConserve) Doc() string {
+	return "in core/engine/livenet, an ignored error from a send/encode/absorb path is dropped weight"
+}
+
+// Check implements Analyzer.
+func (ErrConserve) Check(u *Unit) []Diagnostic {
+	if !conserveDirs[u.Rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		if u.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, ok := u.conserveCall(call); ok {
+						diags = append(diags, conserveDiag(u, call, name, "discarded"))
+					}
+					return false // statement call handled; don't re-visit as expression
+				}
+			case *ast.AssignStmt:
+				diags = append(diags, u.conserveBlankAssigns(s)...)
+			case *ast.GoStmt, *ast.DeferStmt:
+				// go/defer of a conservation call also drops the error.
+				var call *ast.CallExpr
+				if gs, ok := s.(*ast.GoStmt); ok {
+					call = gs.Call
+				} else {
+					call = s.(*ast.DeferStmt).Call
+				}
+				if name, ok := u.conserveCall(call); ok {
+					diags = append(diags, conserveDiag(u, call, name, "discarded"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// conserveBlankAssigns reports conservation calls whose error result
+// lands on the blank identifier.
+func (u *Unit) conserveBlankAssigns(s *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// x, err := f() — multi-value call; the error is the last LHS.
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if name, ok := u.conserveCall(call); ok && isBlank(s.Lhs[len(s.Lhs)-1]) {
+			diags = append(diags, conserveDiag(u, call, name, "assigned to _"))
+		}
+		return diags
+	}
+	for i, rhs := range s.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || i >= len(s.Lhs) || !isBlank(s.Lhs[i]) {
+			continue
+		}
+		if name, ok := u.conserveCall(call); ok {
+			diags = append(diags, conserveDiag(u, call, name, "assigned to _"))
+		}
+	}
+	return diags
+}
+
+// conserveCall reports whether the call is a conservation-critical
+// call whose last result is an error, returning the callee name.
+func (u *Unit) conserveCall(call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	if !conserveName(id.Name) {
+		return "", false
+	}
+	obj := u.Info.Uses[id]
+	if obj == nil {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// conserveName matches the protected send/encode/absorb name family.
+func conserveName(name string) bool {
+	lower := strings.ToLower(name)
+	if conserveExact[lower] {
+		return true
+	}
+	for _, p := range conservePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func conserveDiag(u *Unit, call *ast.CallExpr, name, how string) Diagnostic {
+	return Diagnostic{
+		Pos:     u.Fset.Position(call.Pos()),
+		Rule:    "errconserve",
+		Message: "error from " + name + " " + how + " on a conservation-critical path; handle it or annotate why dropped weight is impossible here",
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -8,10 +8,19 @@
 // experiments and cmd layers drive the protocol through
 // internal/engine rather than a concrete driver.
 //
+// A second family machine-checks the concurrency contract the live
+// system depends on (DESIGN.md §8): mutex-guard annotations
+// (`// guarded by <mu>`) are enforced at every field access, every
+// goroutine must have a provable shutdown path, errors on the
+// conservation-critical send/encode/absorb paths may not be dropped,
+// and channel ownership annotations (`// closed by <func>`) pin the
+// one function allowed to close a channel.
+//
 // The suite is built purely on the standard library's go/ast, go/parser,
 // go/token and go/types (with the source importer), keeping the module
 // dependency-free. cmd/distclass-lint is the CLI front end; `make lint`
-// runs it over the whole module.
+// runs it over the whole module, in parallel across a worker pool and
+// behind a content-hash diagnostic cache (see LintModule).
 //
 // # Suppressing a finding
 //
@@ -58,7 +67,9 @@ type Analyzer interface {
 	Check(u *Unit) []Diagnostic
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the
+// determinism/numerics family (PR 2) followed by the
+// concurrency/protocol-contract family.
 func All() []Analyzer {
 	return []Analyzer{
 		NoRand{},
@@ -67,6 +78,10 @@ func All() []Analyzer {
 		MapIter{},
 		GlobalState{},
 		Layering{},
+		LockGuard{},
+		GoroLifecycle{},
+		ErrConserve{},
+		ChanMisuse{},
 	}
 }
 
@@ -140,6 +155,12 @@ func Run(units []*Unit, analyzers []Analyzer) []Diagnostic {
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position, then rule.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -153,7 +174,6 @@ func Run(units []*Unit, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // suppressed reports whether a finding for rule at line is covered by a

@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard enforces the mutex-guard annotations of the concurrency
+// contract (DESIGN.md §8): a struct field carrying a
+//
+//	// guarded by <mu>
+//
+// comment may only be accessed while <mu> — a sync.Mutex or
+// sync.RWMutex field of the same struct — is held in the enclosing
+// function. The analysis is a conservative linear walk over each
+// function body: Lock/RLock set the held state, Unlock/RUnlock clear
+// it, `defer mu.Unlock()` keeps it to the end of the function, and
+// state acquired inside a nested block (if/for/switch/select body or
+// function literal) never leaks out of it. Reads are satisfied by
+// RLock or Lock; writes require the exclusive Lock. Only accesses
+// whose base is a plain identifier (receiver or local) are checked —
+// composite bases like e.ns[i].field are beyond the walk and pass
+// silently.
+//
+// An embedded sync.Mutex/RWMutex is annotated by its implicit name
+// (`// guarded by Mutex`), with lock calls recognized directly on the
+// struct value (x.Lock()).
+type LockGuard struct{}
+
+// Name implements Analyzer.
+func (LockGuard) Name() string { return "lockguard" }
+
+// Doc implements Analyzer.
+func (LockGuard) Doc() string {
+	return "fields annotated `// guarded by <mu>` may only be accessed with that mutex held"
+}
+
+// guardRe extracts the guard name from a field comment.
+//
+//lint:allow globalstate immutable rule table, written only at init
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardSpec describes one annotated field's guard.
+type guardSpec struct {
+	guard    string // guard field name ("Mutex"/"RWMutex" when embedded)
+	embedded bool   // guard is an embedded mutex, locked as x.Lock()
+	rw       bool   // guard is an RWMutex: RLock satisfies reads
+}
+
+// lockKey identifies one held mutex: the base variable and the guard
+// path on it ("" for an embedded mutex).
+type lockKey struct {
+	base  types.Object
+	guard string
+}
+
+// Lock-state values.
+const (
+	lockNone = iota
+	lockShared
+	lockExclusive
+)
+
+type lockState map[lockKey]int
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Check implements Analyzer.
+func (LockGuard) Check(u *Unit) []Diagnostic {
+	guards, diags := u.collectGuards()
+	if len(guards) == 0 {
+		return diags
+	}
+	lg := &lockguardPass{u: u, guards: guards}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lg.walkBlock(fd.Body.List, make(lockState))
+		}
+	}
+	diags = append(diags, lg.diags...)
+	return diags
+}
+
+// collectGuards scans struct declarations for `guarded by` field
+// annotations and resolves each to its guard spec. An annotation whose
+// guard is not a mutex field of the same struct is itself a finding.
+func (u *Unit) collectGuards() (map[types.Object]guardSpec, []Diagnostic) {
+	guards := make(map[types.Object]guardSpec)
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name, found := guardAnnotation(field)
+				if !found {
+					continue
+				}
+				spec, ok := resolveGuard(st, name)
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Pos:     u.Fset.Position(field.Pos()),
+						Rule:    "lockguard",
+						Message: "`guarded by " + name + "` names no sync.Mutex or sync.RWMutex field of this struct",
+					})
+					continue
+				}
+				for _, id := range field.Names {
+					if obj := u.Info.Defs[id]; obj != nil {
+						guards[obj] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards, diags
+}
+
+// guardAnnotation extracts the guard name from a field's doc or
+// trailing comment.
+func guardAnnotation(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// resolveGuard finds the named guard within the struct and classifies
+// it.
+func resolveGuard(st *ast.StructType, name string) (guardSpec, bool) {
+	for _, field := range st.Fields.List {
+		mutex, rw := mutexType(field.Type)
+		if !mutex {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded mutex: implicit name is the type name.
+			implicit := "Mutex"
+			if rw {
+				implicit = "RWMutex"
+			}
+			if name == implicit {
+				return guardSpec{guard: name, embedded: true, rw: rw}, true
+			}
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name == name {
+				return guardSpec{guard: name, rw: rw}, true
+			}
+		}
+	}
+	return guardSpec{}, false
+}
+
+// mutexType reports whether the type expression is sync.Mutex or
+// sync.RWMutex (by syntax — the annotation convention, not full type
+// resolution, names the guard).
+func mutexType(expr ast.Expr) (mutex, rw bool) {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false, false
+	}
+	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "sync" {
+		return false, false
+	}
+	switch sel.Sel.Name {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockguardPass walks function bodies tracking held locks.
+type lockguardPass struct {
+	u      *Unit
+	guards map[types.Object]guardSpec
+	diags  []Diagnostic
+}
+
+// walkBlock processes a statement list in source order, mutating state
+// as lock operations appear.
+func (lg *lockguardPass) walkBlock(list []ast.Stmt, state lockState) {
+	for _, stmt := range list {
+		lg.walkStmt(stmt, state)
+	}
+}
+
+func (lg *lockguardPass) walkStmt(stmt ast.Stmt, state lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lg.lockOp(s.X); ok {
+			state[key] = op
+			return
+		}
+		lg.checkReads(s.X, state)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end; a
+		// deferred function literal runs under whatever is held now.
+		if _, _, ok := lg.lockOp(s.Call); ok {
+			return
+		}
+		for _, arg := range s.Call.Args {
+			lg.checkReads(arg, state)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lg.walkBlock(lit.Body.List, state.clone())
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			lg.checkReads(rhs, state)
+		}
+		for _, lhs := range s.Lhs {
+			lg.checkWrite(lhs, state)
+		}
+	case *ast.IncDecStmt:
+		lg.checkWrite(s.X, state)
+	case *ast.SendStmt:
+		lg.checkReads(s.Chan, state)
+		lg.checkReads(s.Value, state)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lg.checkReads(r, state)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, state)
+		}
+		lg.checkReads(s.Cond, state)
+		lg.walkBlock(s.Body.List, state.clone())
+		if s.Else != nil {
+			lg.walkStmt(s.Else, state.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			lg.checkReads(s.Cond, state)
+		}
+		inner := state.clone()
+		lg.walkBlock(s.Body.List, inner)
+		if s.Post != nil {
+			lg.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		lg.checkReads(s.X, state)
+		lg.walkBlock(s.Body.List, state.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			lg.checkReads(s.Tag, state)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lg.checkReads(e, state)
+				}
+				lg.walkBlock(cc.Body, state.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lg.walkStmt(s.Init, state)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lg.walkBlock(cc.Body, state.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lg.walkStmt(cc.Comm, state)
+				}
+				lg.walkBlock(cc.Body, state.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		lg.walkBlock(s.List, state.clone())
+	case *ast.LabeledStmt:
+		lg.walkStmt(s.Stmt, state)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			lg.checkReads(arg, state)
+		}
+		// The goroutine runs concurrently: it inherits nothing.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lg.walkBlock(lit.Body.List, make(lockState))
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lg.checkReads(v, state)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOp recognizes x.mu.Lock() / x.Lock() style calls on a plain
+// identifier base, returning the affected key and the resulting state.
+func (lg *lockguardPass) lockOp(expr ast.Expr) (lockKey, int, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock":
+		op = lockExclusive
+	case "RLock":
+		op = lockShared
+	case "Unlock", "RUnlock":
+		op = lockNone
+	default:
+		return lockKey{}, 0, false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		// x.Lock(): an embedded mutex on the base struct.
+		obj := lg.u.Info.Uses[x]
+		if obj == nil {
+			return lockKey{}, 0, false
+		}
+		return lockKey{base: obj, guard: ""}, op, true
+	case *ast.SelectorExpr:
+		// x.mu.Lock(): a named mutex field.
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			return lockKey{}, 0, false
+		}
+		obj := lg.u.Info.Uses[base]
+		if obj == nil {
+			return lockKey{}, 0, false
+		}
+		return lockKey{base: obj, guard: x.Sel.Name}, op, true
+	}
+	return lockKey{}, 0, false
+}
+
+// checkReads reports guarded-field reads in expr made without the
+// guard held (RLock suffices for reads on an RWMutex).
+func (lg *lockguardPass) checkReads(expr ast.Expr, state lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lg.walkBlock(n.Body.List, state.clone())
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				lg.checkWrite(n.X, state)
+				return false
+			}
+		case *ast.SelectorExpr:
+			lg.checkAccess(n, state, false)
+		}
+		return true
+	})
+}
+
+// checkWrite reports a guarded-field write made without the exclusive
+// lock held; non-field LHS expressions fall back to read checking of
+// their subexpressions.
+func (lg *lockguardPass) checkWrite(expr ast.Expr, state lockState) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		lg.checkAccess(e, state, true)
+	case *ast.IndexExpr:
+		// x.field[i] = v mutates the guarded collection.
+		if sel, ok := e.X.(*ast.SelectorExpr); ok {
+			lg.checkAccess(sel, state, true)
+		} else {
+			lg.checkReads(e.X, state)
+		}
+		lg.checkReads(e.Index, state)
+	case *ast.StarExpr:
+		lg.checkReads(e.X, state)
+	default:
+		lg.checkReads(expr, state)
+	}
+}
+
+// checkAccess reports one guarded-field access if its guard is not
+// held strongly enough.
+func (lg *lockguardPass) checkAccess(sel *ast.SelectorExpr, state lockState, write bool) {
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	fieldObj := lg.u.Info.Uses[sel.Sel]
+	if fieldObj == nil {
+		return
+	}
+	spec, guarded := lg.guards[fieldObj]
+	if !guarded {
+		return
+	}
+	baseObj := lg.u.Info.Uses[base]
+	if baseObj == nil {
+		return
+	}
+	guard := spec.guard
+	if spec.embedded {
+		guard = ""
+	}
+	held := state[lockKey{base: baseObj, guard: guard}]
+	if held == lockExclusive || (!write && held == lockShared && spec.rw) {
+		return
+	}
+	verb, need := "read of", spec.guard
+	if write {
+		verb = "write to"
+		if spec.rw {
+			need += ".Lock (exclusive)"
+		}
+	} else if spec.rw {
+		need += ".RLock"
+	}
+	lg.diags = append(lg.diags, Diagnostic{
+		Pos:     lg.u.Fset.Position(sel.Pos()),
+		Rule:    "lockguard",
+		Message: verb + " " + base.Name + "." + sel.Sel.Name + " without holding " + base.Name + "." + need + " (field is `guarded by " + spec.guard + "`)",
+	})
+}

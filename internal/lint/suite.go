@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Options configures LintModule.
+type Options struct {
+	// Analyzers is the rule set to run; nil means All().
+	Analyzers []Analyzer
+	// CacheDir enables the content-hash diagnostic cache when non-empty:
+	// a directory whose files (and transitive module-local imports) are
+	// unchanged since a previous run with the same analyzer set and
+	// toolchain is served from disk without type-checking.
+	CacheDir string
+	// Workers bounds the type-checking concurrency; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Result is the outcome of a LintModule run.
+type Result struct {
+	// Module is the module path from go.mod.
+	Module string
+	// Diagnostics are the surviving findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Dirs is the number of package directories analyzed.
+	Dirs int
+	// CacheHits counts directories served from the diagnostic cache.
+	CacheHits int
+}
+
+// LintModule is the parallel, incrementally cached front end over the
+// suite: it expands patterns to package directories, hashes each
+// directory (contents plus transitive module-local imports), serves
+// unchanged directories from the cache, and type-checks the rest
+// concurrently across a worker pool. The per-directory results are
+// identical to a serial Load + Run over the same patterns.
+func LintModule(root string, patterns []string, opts Options) (*Result, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *diagCache
+	if opts.CacheDir != "" {
+		cache, err = openCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Hash every selected directory up front: the closure hash of a
+	// directory needs the state of the directories it imports, whether
+	// or not those were selected by the patterns.
+	keys := make([]string, len(dirs))
+	if cache != nil {
+		states := make(map[string]*dirState, len(dirs))
+		for _, dir := range dirs {
+			st, err := scanDir(root, module, dir)
+			if err != nil {
+				return nil, fmt.Errorf("lint: hashing %s: %w", dir, err)
+			}
+			states[st.rel] = st
+		}
+		// Imported directories outside the selected set still influence
+		// dependents; hash them on demand. An unreadable dependency
+		// simply contributes an empty hash.
+		var ensure func(rel string)
+		ensure = func(rel string) {
+			if states[rel] != nil {
+				return
+			}
+			st, err := scanDir(root, module, filepath.Join(root, filepath.FromSlash(rel)))
+			if err != nil || st == nil {
+				return
+			}
+			states[rel] = st
+			for _, imp := range st.imports {
+				ensure(imp)
+			}
+		}
+		for _, dir := range dirs {
+			rel := relOf(root, dir)
+			for _, imp := range states[rel].imports {
+				ensure(imp)
+			}
+		}
+		memo := make(map[string][sha256.Size]byte)
+		for i, dir := range dirs {
+			rel := relOf(root, dir)
+			closure := closureHash(rel, states, memo, make(map[string]bool))
+			keys[i] = cacheKey(root, module, rel, analyzers, closure)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &lockedImporter{imp: &moduleFallbackImporter{
+		imp:    importer.ForCompiler(fset, "source", nil),
+		module: module,
+		cache:  make(map[string]*types.Package),
+	}}
+
+	perDir := make([][]Diagnostic, len(dirs))
+	hits := make([]bool, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		if cache != nil {
+			if diags, ok := cache.get(keys[i]); ok {
+				perDir[i] = diags
+				hits[i] = true
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			units, err := loadDir(fset, imp, root, module, dir)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			diags := Run(units, analyzers)
+			perDir[i] = diags
+			if cache != nil {
+				// A failed write only costs the next run a recheck.
+				_ = cache.put(keys[i], diags)
+			}
+		}(i, dir)
+	}
+	wg.Wait()
+
+	res := &Result{Module: module, Dirs: len(dirs)}
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if hits[i] {
+			res.CacheHits++
+		}
+		res.Diagnostics = append(res.Diagnostics, perDir[i]...)
+	}
+	sortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// relOf returns dir relative to root in slash form ("." for the root).
+func relOf(root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return filepath.ToSlash(dir)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// lockedImporter serializes a non-thread-safe importer so concurrent
+// type-checking goroutines can share one (the source importer caches
+// each package after its first import, so contention fades quickly).
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, ".", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,62 @@
+package gossip
+
+// feed owns two result channels with annotated closers.
+type feed struct {
+	// closed by shut
+	out chan int
+	ack chan struct{} // closed by shut, reset
+}
+
+// shut is the annotated owner: closing here is legal.
+func (f *feed) shut() {
+	close(f.out)
+	close(f.ack)
+}
+
+// reset shares ownership of ack via the comma list.
+func (f *feed) reset() {
+	close(f.ack)
+}
+
+// drop closes out without being its owner.
+func (f *feed) drop() {
+	close(f.out) // want chanmisuse
+}
+
+// migrate also closes out elsewhere, but the handoff is reviewed.
+func (f *feed) migrate() {
+	//lint:allow chanmisuse ownership handoff during restart; shut already ran and out was remade
+	close(f.out)
+}
+
+// SendNil sends on a channel that was never made.
+func SendNil() {
+	var ch chan int
+	ch <- 1 // want chanmisuse
+}
+
+// SendMade assigns before sending: definite, not a finding.
+func SendMade() {
+	ready := make(chan struct{}, 1)
+	var ch chan int
+	ch = make(chan int, 1)
+	ch <- 1
+	ready <- struct{}{}
+}
+
+// SendBranchy assigns only on one path; the other still sends on nil.
+func SendBranchy(ok bool) {
+	var ch chan int
+	if ok {
+		ch = make(chan int, 1)
+	}
+	ch <- 2 // want chanmisuse
+}
+
+// SendEscaped hands the channel's address away: no longer knowable,
+// not a finding.
+func SendEscaped(fill func(*chan int)) {
+	var ch chan int
+	fill(&ch)
+	ch <- 3
+}

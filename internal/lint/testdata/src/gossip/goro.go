@@ -1,0 +1,81 @@
+package gossip
+
+import (
+	"context"
+	"sync"
+)
+
+// pump runs forever with nothing to stop it: launching it bare leaks.
+func pump(ch chan int) {
+	for i := 0; ; i++ {
+		ch <- i
+	}
+}
+
+// worker drains until its done channel closes: a shutdown path the
+// analyzer can see through the named-function call.
+func worker(done chan struct{}, ch chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// StartLeaky fires pump with no WaitGroup, channel or context.
+func StartLeaky(ch chan int) {
+	go pump(ch) // want gorolifecycle
+}
+
+// StartWorker's goroutine receives from a done channel.
+func StartWorker(done chan struct{}, ch chan int) {
+	go worker(done, ch)
+}
+
+// StartWG uses the wg.Add + deferred Done idiom.
+func StartWG(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// StartAdded delegates to an opaque-looking helper, but the preceding
+// Add in the same block ties it to a WaitGroup.
+func StartAdded(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go pump(ch)
+}
+
+// StartCtx ties the goroutine to a context.
+func StartCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// StartRanger ranges over the quit channel until it closes.
+func StartRanger(quit chan struct{}) {
+	go func() {
+		for range quit {
+		}
+	}()
+}
+
+// StartBounded is fire-and-forget on purpose; the allow documents why.
+func StartBounded(ch chan int) {
+	//lint:allow gorolifecycle bounded by construction: the harness closes ch and pump panics out in tests
+	go pump(ch)
+}

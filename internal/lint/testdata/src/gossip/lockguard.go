@@ -1,0 +1,113 @@
+package gossip
+
+import "sync"
+
+// book has mutex-guarded state under a plain Mutex.
+type book struct {
+	mu sync.Mutex
+	// guarded by mu
+	total  float64
+	counts []int // guarded by mu
+}
+
+// rwbook guards reads with an RWMutex.
+type rwbook struct {
+	rw sync.RWMutex
+	// guarded by rw
+	snapshot []float64
+}
+
+// embedded carries its guard as an anonymous field.
+type embedded struct {
+	sync.Mutex
+	hits int // guarded by Mutex
+}
+
+// badspec names a guard the struct does not have: the annotation
+// itself is the finding.
+type badspec struct {
+	val int // guarded by missing // want lockguard
+}
+
+// AddLocked takes the lock before touching guarded state: not a
+// finding, including the deferred-unlock form.
+func (b *book) AddLocked(v float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total += v
+	b.counts = append(b.counts, 1)
+}
+
+// AddUnlocked touches guarded state bare.
+func (b *book) AddUnlocked(v float64) {
+	b.total += v // want lockguard
+}
+
+// ReadAfterUnlock releases before the read.
+func (b *book) ReadAfterUnlock() float64 {
+	b.mu.Lock()
+	v := b.total
+	b.mu.Unlock()
+	return v + b.total // want lockguard
+}
+
+// BranchLock acquires only inside a branch; after the branch the lock
+// is not provably held.
+func (b *book) BranchLock(cond bool) {
+	if cond {
+		b.mu.Lock()
+		b.total = 0
+		b.mu.Unlock()
+	}
+	b.counts = nil // want lockguard
+}
+
+// ReadShared reads under RLock: enough for a read on an RWMutex.
+func (r *rwbook) ReadShared() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return len(r.snapshot)
+}
+
+// WriteShared writes under RLock: reads may share, writes may not.
+func (r *rwbook) WriteShared(v float64) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.snapshot = append(r.snapshot, v) // want lockguard
+}
+
+// Bump locks through the embedded mutex: not a finding.
+func (e *embedded) Bump() {
+	e.Lock()
+	defer e.Unlock()
+	e.hits++
+}
+
+// BumpBare skips the embedded lock.
+func (e *embedded) BumpBare() {
+	e.hits++ // want lockguard
+}
+
+// Snapshot reads under the lock inside a loop body: the outer hold
+// covers nested blocks, not a finding.
+func (b *book) Snapshot() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, len(b.counts))
+	for _, c := range b.counts {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Waived reads bare but is explicitly annotated.
+func (b *book) Waived() float64 {
+	//lint:allow lockguard constructor-only helper, runs before the book escapes
+	return b.total
+}
+
+// NewBook builds via composite literal: no receiver access, no
+// finding.
+func NewBook() *book {
+	return &book{counts: make([]int, 0, 4)}
+}

@@ -1,0 +1,57 @@
+package engine
+
+// node is a stand-in for the protocol surface whose error results
+// carry conservation state.
+type node struct{}
+
+func (node) Absorb(v float64) error { return nil }
+func (node) Send(v float64) error   { return nil }
+func (node) Flush() error           { return nil }
+
+// encodeFrame is codec-family by prefix; its error is protected too.
+func encodeFrame(v float64) ([]byte, error) { return nil, nil }
+
+// relay handles every error: not a finding.
+func relay(n node, v float64) error {
+	if err := n.Send(v); err != nil {
+		return err
+	}
+	return n.Flush()
+}
+
+// drop discards the error by calling for effect.
+func drop(n node, v float64) {
+	n.Absorb(v) // want errconserve
+}
+
+// blank discards through the blank identifier: still a finding.
+func blank(n node, v float64) {
+	_ = n.Send(v) // want errconserve
+}
+
+// multi drops the error half of a multi-value result.
+func multi(v float64) []byte {
+	b, _ := encodeFrame(v) // want errconserve
+	return b
+}
+
+// deferred loses the error on the way out of the frame.
+func deferred(n node) {
+	defer n.Flush() // want errconserve
+}
+
+// waived documents why this particular drop is safe.
+func waived(n node) {
+	//lint:allow errconserve best-effort flush on shutdown; the run's weight is already settled
+	_ = n.Flush()
+}
+
+// handled keeps the compiler and the rule equally happy.
+func handled(n node, v float64) error {
+	b, err := encodeFrame(v)
+	if err != nil {
+		return err
+	}
+	_ = b
+	return n.Absorb(v)
+}

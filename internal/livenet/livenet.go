@@ -197,7 +197,7 @@ type link struct {
 	peer     int // neighbor id on the other end
 	conn     net.Conn
 	out      chan outFrame // bounded outbound frame queue
-	done     chan struct{} // closed on shut; unblocks the writer's select
+	done     chan struct{} // closed by shut; unblocks the writer's select
 	down     atomic.Bool
 	shutOnce sync.Once
 	// pending counts frames handed to this link and not yet resolved
@@ -229,7 +229,7 @@ type peer struct {
 	wg     sync.WaitGroup     // joins the incarnation's goroutines
 
 	linksMu sync.Mutex
-	links   []*link
+	links   []*link // guarded by linksMu
 
 	// Per-node instruments, cached off the registry. Counters persist
 	// across Kill/Restart incarnations — they account the node id, not
@@ -318,6 +318,7 @@ func StartNet(g *topology.Graph, cfg NetConfig) (*Net, error) {
 			cu, cv, err := dial()
 			if err != nil {
 				for _, p := range peers {
+					//lint:allow lockguard construction-time cleanup: peers has not been published yet
 					for _, l := range p.links {
 						_ = l.conn.Close()
 					}
@@ -815,6 +816,7 @@ func (n *Net) Stop() {
 	// Give receivers a bounded window to reach EOF before the hard
 	// close, so a stalled peer cannot hold Stop hostage.
 	drained := make(chan struct{})
+	//lint:allow gorolifecycle bounded by the per-peer WaitGroups: it signals drained and returns
 	go func() {
 		for _, p := range n.peers {
 			p.wg.Wait()
@@ -881,6 +883,7 @@ func newTCPLinker() (closer func(), dial func() (net.Conn, net.Conn, error), err
 			err  error
 		}
 		ch := make(chan accepted, 1)
+		//lint:allow gorolifecycle one buffered Accept, unblocked by closing ln; never outlives the dial
 		go func() {
 			conn, err := ln.Accept()
 			ch <- accepted{conn, err}

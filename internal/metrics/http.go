@@ -122,6 +122,7 @@ func ServeMux(addr string, mux *http.ServeMux) (*Server, error) {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: mux}
+	//lint:allow gorolifecycle Serve returns when Server.Close closes the listener
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -159,9 +159,12 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 
 // Registry is a namespace of instruments.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.Mutex
+	// guarded by mu
+	counters map[string]*Counter
+	// guarded by mu
+	gauges map[string]*Gauge
+	// guarded by mu
 	histograms map[string]*Histogram
 }
 

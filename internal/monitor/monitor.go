@@ -99,34 +99,34 @@ type Monitor struct {
 	mu  sync.Mutex
 	cfg Config
 
-	det     *converge.Detector
-	backend string
-	events  int
-	kinds   map[trace.Kind]int
-	rounds  int // max observed round + 1
-	nodes   map[int]*nodeState
+	det     *converge.Detector // guarded by mu
+	backend string             // guarded by mu
+	events  int                // guarded by mu
+	kinds   map[trace.Kind]int // guarded by mu
+	rounds  int                // guarded by mu; max observed round + 1
+	nodes   map[int]*nodeState // guarded by mu
 
-	sends, receives, splits, merges int
-	crashes, recovers, decodeErrors int
-	sendDrops                       int
-	sentBytes, receivedCollections  float64
+	sends, receives, splits, merges int     // guarded by mu
+	crashes, recovers, decodeErrors int     // guarded by mu
+	sendDrops                       int     // guarded by mu
+	sentBytes, receivedCollections  float64 // guarded by mu
 
-	spread, errs  []Sample
-	spreadDropped int // curve samples evicted past CurveCap
-	errsDropped   int
+	spread, errs  []Sample // guarded by mu
+	spreadDropped int      // guarded by mu; curve samples evicted past CurveCap
+	errsDropped   int      // guarded by mu
 
 	// Conservation audit. expectedSet gates the audit: until the
 	// engine (or a caller) declares the expected total, weight samples
 	// are recorded but never judged.
-	expected     float64
-	expectedSet  bool
-	latestWeight float64
-	weightSeen   int
-	maxAbsDrift  float64
-	violations   int // samples with weight above expected beyond tolerance
+	expected     float64 // guarded by mu
+	expectedSet  bool    // guarded by mu
+	latestWeight float64 // guarded by mu
+	weightSeen   int     // guarded by mu
+	maxAbsDrift  float64 // guarded by mu
+	violations   int     // guarded by mu; samples above expected beyond tolerance
 
-	ring     []trace.Event
-	ringNext int // next write position; len(ring) == cap once wrapped
+	ring     []trace.Event // guarded by mu
+	ringNext int           // guarded by mu; next write; len(ring) == cap once wrapped
 }
 
 var _ trace.Sink = (*Monitor)(nil)
@@ -312,10 +312,14 @@ func appendCapped(curve []Sample, s Sample, capN, dropped int) ([]Sample, int) {
 	return append(curve, s), dropped
 }
 
+// nodeAt returns id's state, creating it on first sight. The caller
+// must hold m.mu; every call site is inside a locked method.
 func (m *Monitor) nodeAt(id int) *nodeState {
+	//lint:allow lockguard caller holds m.mu; helper is only reached from locked methods
 	ns, ok := m.nodes[id]
 	if !ok {
 		ns = &nodeState{lastActivityRound: -1}
+		//lint:allow lockguard caller holds m.mu; helper is only reached from locked methods
 		m.nodes[id] = ns
 	}
 	return ns

@@ -80,7 +80,6 @@ func TestNodeTalliesAndStall(t *testing.T) {
 	if s.Messaging.ReceivedCollections != 20 {
 		t.Errorf("received collections = %g, want 20", s.Messaging.ReceivedCollections)
 	}
-	//lint:allow floatcmp exact integer-valued rate
 	if s.Messaging.SendsPerRound != 1.1 {
 		t.Errorf("sends per round = %g, want 1.1", s.Messaging.SendsPerRound)
 	}
@@ -212,7 +211,6 @@ func TestSetDetectionResets(t *testing.T) {
 	if s.Convergence.Samples != 0 || len(s.SpreadCurve) != 0 {
 		t.Fatalf("SetDetection did not reset: %+v", s.Convergence)
 	}
-	//lint:allow floatcmp exact configured constant
 	if s.Convergence.Threshold != 0.5 || s.Convergence.Window != 2 {
 		t.Errorf("parameters not applied: %+v", s.Convergence)
 	}

@@ -181,7 +181,6 @@ func (m *Monitor) Status() Status {
 
 	ids := make([]int, 0, len(m.nodes))
 	for id := range m.nodes {
-		//lint:allow mapiter collected and sorted below
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

@@ -417,7 +417,6 @@ func (a *analyzer) finish() *RunReport {
 	// Node health, sorted by id.
 	ids := make([]int, 0, len(a.nodes))
 	for id := range a.nodes {
-		//lint:allow mapiter collected and sorted below
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)

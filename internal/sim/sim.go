@@ -510,7 +510,6 @@ func (a *Async[M]) Kill(i int) []M {
 func (a *Async[M]) ForEachQueued(fn func(M)) {
 	for _, q := range a.queues {
 		for _, m := range q {
-			//lint:allow mapiter callers compute order-independent reductions
 			fn(m)
 		}
 	}
