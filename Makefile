@@ -4,11 +4,16 @@
 # go test ./...` (see ROADMAP.md).
 
 GO ?= go
-BENCH_DATE := $(shell date +%Y%m%d)
+BENCH_DATE ?= $(shell date +%Y%m%d)
+# bench-diff compares the two newest archives unless overridden:
+#   make bench-diff BENCH_OLD=BENCH_a.json BENCH_NEW=BENCH_b.json
+BENCH_OLD ?= $(firstword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
+BENCH_NEW ?= $(lastword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
+BENCH_THRESHOLD ?= 0.25
 
-.PHONY: check build test vet fmt lint lint-report lint-allows race bench analyze-smoke churn-smoke engine-smoke monitor-smoke
+.PHONY: check build test vet fmt lint lint-report lint-allows race bench bench-diff analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke
 
-check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke race
+check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke race
 
 build:
 	$(GO) build ./...
@@ -83,6 +88,19 @@ monitor-smoke:
 	@$(GO) run ./cmd/experiments -monitor-smoke >/dev/null && \
 	echo "monitor-smoke: /health converged and /status audit exact on all backends"
 
+# Causal-tracing smoke gate: the engine-smoke workload with causal
+# tracing on every backend. The harness asserts a clean happens-before
+# reconstruction and an exact provenance ledger internally, then the
+# distclass-analyze CLI re-audits the written traces — same bytes, two
+# independent analyzers, zero anomalies.
+causal-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiments -causal-smoke -causal-out "$$dir/causal" >/dev/null && \
+	for b in round async chan pipe tcp; do \
+		$(GO) run ./cmd/distclass-analyze -causal -fail-anomalies -format json -o "$$dir/causal.$$b.json" "$$dir/causal.$$b.trace" || exit 1; \
+	done && \
+	echo "causal-smoke: happens-before clean and ledger exact on all backends"
+
 # Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
 # wire codec, sim round loop), archived as BENCH_<date>.json with a
 # stable schema: op, iterations, ns_per_op, bytes_per_op,
@@ -90,3 +108,12 @@ monitor-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/... | $(GO) run ./cmd/benchjson > BENCH_$(BENCH_DATE).json
 	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Compare two archived benchmark runs; exits nonzero when any op's
+# ns/op regressed beyond BENCH_THRESHOLD (a fraction). By default it
+# diffs the two newest BENCH_*.json in the repo root.
+bench-diff:
+	@if [ -z "$(BENCH_OLD)" ] || [ "$(BENCH_OLD)" = "$(BENCH_NEW)" ]; then \
+		echo "bench-diff: need two archives (have: $(BENCH_NEW))"; exit 2; \
+	fi
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)

@@ -16,12 +16,22 @@
 // stable across machines. Unrecognized metric pairs land in "extra".
 // Entries are sorted by op; the output is deterministic for identical
 // input.
+//
+// With -diff it compares two archived runs instead:
+//
+//	benchjson -diff BENCH_20260715.json BENCH_20260808.json
+//
+// prints one line per op with the ns/op delta, and exits 1 when any op
+// slowed down by more than -threshold (a fraction; default 0.25).
+// Added and removed ops are reported but never fail the diff.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -42,6 +52,28 @@ type result struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	diffMode := flag.Bool("diff", false, "compare two archived runs (old.json new.json) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.25, "with -diff, the ns/op slowdown fraction that fails the comparison")
+	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			log.Print("-diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 0 {
+		log.Print("stdin conversion takes no arguments (did you mean -diff?)")
+		os.Exit(2)
+	}
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		log.Print(err)
@@ -53,6 +85,73 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
+}
+
+// loadArchive reads one benchjson output file back into results.
+func loadArchive(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// runDiff compares two archives op by op and reports how many common
+// ops slowed down by more than threshold. Output order follows the new
+// archive's sorted op names, so identical inputs diff identically.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (regressions int, err error) {
+	oldRun, err := loadArchive(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRun, err := loadArchive(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldByOp := make(map[string]result, len(oldRun))
+	for _, r := range oldRun {
+		oldByOp[r.Op] = r
+	}
+	seen := make(map[string]bool, len(newRun))
+	for _, nr := range newRun {
+		seen[nr.Op] = true
+		or, ok := oldByOp[nr.Op]
+		if !ok {
+			fmt.Fprintf(w, "added    %-44s %12.1f ns/op\n", nr.Op, nr.NsPerOp)
+			continue
+		}
+		// A zero baseline carries no timing information to diff against.
+		if or.NsPerOp <= 0 {
+			fmt.Fprintf(w, "skipped  %-44s (old ns/op %g)\n", nr.Op, or.NsPerOp)
+			continue
+		}
+		delta := nr.NsPerOp/or.NsPerOp - 1
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-8s %-44s %12.1f -> %12.1f ns/op  %+7.1f%%\n",
+			verdict, nr.Op, or.NsPerOp, nr.NsPerOp, 100*delta)
+	}
+	removed := make([]string, 0, len(oldByOp))
+	for op := range oldByOp {
+		if !seen[op] {
+			removed = append(removed, op)
+		}
+	}
+	sort.Strings(removed)
+	for _, op := range removed {
+		fmt.Fprintf(w, "removed  %s\n", op)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d ops regressed beyond %.0f%%\n", regressions, 100*threshold)
+	}
+	return regressions, nil
 }
 
 // parse consumes go test -bench output. Lines that are not benchmark

@@ -2,6 +2,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,5 +67,87 @@ func TestParseMalformedIterations(t *testing.T) {
 func TestParseEmpty(t *testing.T) {
 	if results := parseSample(t, "PASS\nok x 1s\n"); len(results) != 0 {
 		t.Errorf("parsed %d results from benchless input", len(results))
+	}
+}
+
+// writeArchive marshals results into a temp benchjson archive.
+func writeArchive(t *testing.T, name string, results []result) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return path
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldPath := writeArchive(t, "old.json", []result{
+		{Op: "internal/vec.Axpy", NsPerOp: 100},
+		{Op: "internal/sim.Round", NsPerOp: 1000},
+		{Op: "internal/gm.Gone", NsPerOp: 5},
+	})
+	newPath := writeArchive(t, "new.json", []result{
+		{Op: "internal/vec.Axpy", NsPerOp: 110},   // +10%: within threshold
+		{Op: "internal/sim.Round", NsPerOp: 1500}, // +50%: regression
+		{Op: "internal/trace.New", NsPerOp: 7},    // added
+	})
+	var out bytes.Buffer
+	regressions, err := runDiff(&out, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1\noutput:\n%s", regressions, out.String())
+	}
+	for _, want := range []string{
+		"REGRESSED internal/sim.Round",
+		"ok       internal/vec.Axpy",
+		"added    internal/trace.New",
+		"removed  internal/gm.Gone",
+		"1 ops regressed beyond 25%",
+	} {
+		// Collapse runs of spaces so the assertion survives column-width
+		// tweaks in the formatter.
+		got := strings.Join(strings.Fields(out.String()), " ")
+		if !strings.Contains(got, strings.Join(strings.Fields(want), " ")) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffCleanRunPasses(t *testing.T) {
+	results := []result{{Op: "internal/vec.Axpy", NsPerOp: 100, AllocsPerOp: 1}}
+	oldPath := writeArchive(t, "old.json", results)
+	newPath := writeArchive(t, "new.json", []result{{Op: "internal/vec.Axpy", NsPerOp: 80}})
+	var out bytes.Buffer
+	regressions, err := runDiff(&out, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	if regressions != 0 {
+		t.Errorf("regressions = %d on a speedup, want 0\n%s", regressions, out.String())
+	}
+}
+
+func TestDiffSkipsZeroBaseline(t *testing.T) {
+	oldPath := writeArchive(t, "old.json", []result{{Op: "internal/vec.Axpy", NsPerOp: 0}})
+	newPath := writeArchive(t, "new.json", []result{{Op: "internal/vec.Axpy", NsPerOp: 50}})
+	var out bytes.Buffer
+	regressions, err := runDiff(&out, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	if regressions != 0 || !strings.Contains(out.String(), "skipped") {
+		t.Errorf("zero baseline: regressions = %d, output:\n%s", regressions, out.String())
+	}
+}
+
+func TestDiffMissingFile(t *testing.T) {
+	if _, err := runDiff(io.Discard, filepath.Join(t.TempDir(), "nope.json"), filepath.Join(t.TempDir(), "also-nope.json"), 0.25); err == nil {
+		t.Error("missing archive accepted")
 	}
 }

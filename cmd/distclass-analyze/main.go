@@ -9,6 +9,7 @@
 //
 //	distclass-analyze [flags] trace.jsonl...
 //	distclass-analyze -diff [flags] a.jsonl b.jsonl
+//	distclass-analyze -causal [flags] trace.jsonl...
 //
 // Examples:
 //
@@ -17,6 +18,9 @@
 //	distclass-analyze -format csv run.jsonl       # per-round curve table
 //	distclass-analyze -format json run.jsonl      # full RunReport schema
 //	distclass-analyze -diff base.jsonl ablated.jsonl
+//
+//	distclass-sim -n 200 -seed 7 -trace run.jsonl -causal
+//	distclass-analyze -causal run.jsonl           # happens-before + provenance
 //
 // Output is deterministic: the same trace produces byte-identical
 // reports on every invocation, so reports can be committed, diffed and
@@ -32,6 +36,7 @@ import (
 	"log"
 	"os"
 
+	"distclass/internal/causal"
 	"distclass/internal/replay"
 )
 
@@ -45,6 +50,7 @@ func main() {
 		window    = flag.Int("window", 3, "consecutive sub-threshold rounds required for convergence")
 		slack     = flag.Int("stall-slack", 0, "trailing rounds a node may be silent before counting as stalled (0 = max(10, rounds/5), negative disables)")
 		diff      = flag.Bool("diff", false, "compare exactly two traces metric-by-metric instead of reporting each")
+		causal    = flag.Bool("causal", false, "reconstruct the happens-before DAG and weight-provenance ledger of schema-2 traces (recorded with -causal) instead of the replay report")
 		out       = flag.String("o", "", "write the report to this file instead of stdout")
 		failAnom  = flag.Bool("fail-anomalies", false, "exit 1 when any analyzed trace has a non-zero anomaly count")
 	)
@@ -65,7 +71,17 @@ func main() {
 		w = f
 	}
 	opts := replay.Options{Threshold: *threshold, Window: *window, StallSlack: *slack}
-	anomalies, err := run(w, *format, *diff, opts, flag.Args())
+	var anomalies int
+	var err error
+	if *causal {
+		if *diff {
+			err = fmt.Errorf("-causal and -diff are mutually exclusive")
+		} else {
+			anomalies, err = runCausal(w, *format, causalOptions(opts), flag.Args())
+		}
+	} else {
+		anomalies, err = run(w, *format, *diff, opts, flag.Args())
+	}
 	if err != nil {
 		log.Print(err)
 		os.Exit(1)
@@ -74,6 +90,66 @@ func main() {
 		log.Printf("%d anomalies found", anomalies)
 		os.Exit(1)
 	}
+}
+
+// causalOptions maps the shared convergence flags onto the causal
+// analyzer's options.
+func causalOptions(opts replay.Options) causal.Options {
+	return causal.Options{Tolerance: opts.Threshold, Window: opts.Window}
+}
+
+// causalFile analyzes one causal trace file.
+func causalFile(path string, opts causal.Options) (*causal.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := causal.Analyze(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCausal analyzes the given causal traces and writes the requested
+// output, returning the total anomaly count across all reports.
+func runCausal(w io.Writer, format string, opts causal.Options, paths []string) (int, error) {
+	switch format {
+	case "text", "json":
+	case "csv":
+		return 0, fmt.Errorf("-causal supports text and json formats only")
+	default:
+		return 0, fmt.Errorf("unknown format %q (valid: text, json)", format)
+	}
+	anomalies := 0
+	for i, path := range paths {
+		rep, err := causalFile(path, opts)
+		if err != nil {
+			return anomalies, err
+		}
+		anomalies += len(rep.Anomalies)
+		if format == "json" {
+			if err := rep.WriteJSON(w); err != nil {
+				return anomalies, err
+			}
+			continue
+		}
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return anomalies, err
+			}
+		}
+		if len(paths) > 1 {
+			if _, err := fmt.Fprintf(w, "== %s\n", path); err != nil {
+				return anomalies, err
+			}
+		}
+		if err := rep.WriteText(w); err != nil {
+			return anomalies, err
+		}
+	}
+	return anomalies, nil
 }
 
 // analyzeFile replays one trace file into a report labeled with its

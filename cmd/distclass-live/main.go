@@ -50,6 +50,7 @@ func main() {
 	flag.Float64Var(&cfg.tol, "tol", 0.05, "spread below which the run stops early")
 	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe or tcp")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
+	flag.BoolVar(&cfg.causal, "causal", false, "stamp trace events with causal metadata (per-sender seq, peer, Lamport clock, moved weight) for distclass-analyze -causal; requires -trace")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
 	flag.StringVar(&cfg.monitorAddr, "monitor", "", "attach the online monitor and serve /status, /health and /events (plus the -metrics endpoints) on this address; distclass-top points here")
 	flag.Parse()
@@ -73,6 +74,7 @@ type runConfig struct {
 	interval    time.Duration
 	tol         float64
 	traceFile   string
+	causal      bool
 	metricsAddr string
 	monitorAddr string
 
@@ -144,6 +146,9 @@ func run(cfg runConfig) error {
 		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
 	}
 
+	if cfg.causal && cfg.traceFile == "" {
+		return fmt.Errorf("-causal requires -trace")
+	}
 	reg := distclass.NewRegistry()
 	var sink trace.Sink
 	if cfg.traceFile != "" {
@@ -152,7 +157,11 @@ func run(cfg runConfig) error {
 			return err
 		}
 		defer f.Close()
-		sink = trace.NewRecorder(f)
+		rec := trace.NewBufferedRecorder(f)
+		// Flush buffered events after cluster.Stop's deferred teardown
+		// has recorded the last of them (defers run LIFO).
+		defer rec.Close()
+		sink = rec
 	}
 
 	opts := []distclass.Option{
@@ -169,6 +178,9 @@ func run(cfg runConfig) error {
 	}
 	if sink != nil {
 		opts = append(opts, distclass.WithTrace(sink))
+		if cfg.causal {
+			opts = append(opts, distclass.WithCausal())
+		}
 	}
 	var mon *distclass.Monitor
 	if cfg.monitorAddr != "" {

@@ -42,6 +42,7 @@ func main() {
 		spreadStd  = flag.Float64("std", 1.0, "cluster standard deviation")
 		plotOut    = flag.Bool("plot", false, "render an ASCII scatter of values and the final mixture (gm method, 2-D data)")
 		traceFile  = flag.String("trace", "", "write a JSONL event trace (splits, merges, sends, per-round spread, node 0's classification) to this file")
+		causal     = flag.Bool("causal", false, "stamp trace events with causal metadata (per-sender seq, peer, Lamport clock, moved weight) for distclass-analyze -causal; requires -trace")
 		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot after the run to this file (\"-\" for stdout)")
 		monitor    = flag.String("monitor", "", "attach the online monitor and serve /status, /health, /events and /metrics on this address while the simulation runs")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof; phases are labeled)")
@@ -55,7 +56,7 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *metricsOut, *monitor)
+	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *causal, *metricsOut, *monitor)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -65,7 +66,7 @@ func main() {
 	}
 }
 
-func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile, metricsOut, monitorAddr string) error {
+func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile string, causal bool, metricsOut, monitorAddr string) error {
 	var m distclass.Method
 	switch method {
 	case "gm":
@@ -124,14 +125,17 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 		distclass.WithMaxRounds(maxRounds),
 		distclass.WithMetrics(reg),
 	}
-	var rec *trace.Recorder
+	if causal && traceFile == "" {
+		return fmt.Errorf("-causal requires -trace")
+	}
+	var rec *trace.BufferedRecorder
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		rec = trace.NewRecorder(f)
+		rec = trace.NewBufferedRecorder(f)
 		// The system itself records protocol events and per-round
 		// spread through the sink; the observe callback below only adds
 		// node 0's classification snapshots.
@@ -141,6 +145,9 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 		// traces stay byte-compatible with pre-engine recordings.
 		if b != distclass.BackendRound {
 			opts = append(opts, distclass.WithRunHeader())
+		}
+		if causal {
+			opts = append(opts, distclass.WithCausal())
 		}
 	}
 	var mon *distclass.Monitor
@@ -190,6 +197,9 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 		fmt.Printf("ran %d rounds, converged=%v\n", ran, converged)
 	}
 	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
 		fmt.Printf("trace: %d events -> %s\n", rec.Count(), traceFile)
 	}
 

@@ -167,6 +167,11 @@ func render(st *monitor.Status, cfg topConfig) (string, error) {
 		put("conservation weight %.4f / %.4f  %s\n", cons.Latest, cons.Expected, verdict)
 	}
 
+	if st.Causal != nil {
+		put("causal       clock %d (skew %d)  depth max %d mean %.1f\n",
+			st.Causal.MaxClock, st.Causal.ClockSkew, st.Causal.MaxDepth, st.Causal.MeanDepth)
+	}
+
 	if len(st.SpreadCurve) > 0 {
 		series := []plot.Series{{Name: "spread", Y: curveValues(st.SpreadCurve)}}
 		if len(st.ErrorCurve) > 0 {

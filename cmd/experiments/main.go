@@ -23,11 +23,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"distclass"
+	"distclass/internal/causal"
 	"distclass/internal/engine"
 	"distclass/internal/experiments"
 	"distclass/internal/experiments/live"
@@ -92,10 +95,16 @@ func main() {
 		engineSmoke = flag.Bool("engine-smoke", false, "run a tiny two-cluster workload on every engine backend and audit convergence and weight conservation")
 		monitorAddr = flag.String("monitor", "", "attach a passive online monitor to the event stream and serve /status, /health and /events (plus the -metrics endpoints) on this address; state aggregates across every experiment of the invocation")
 		monSmoke    = flag.Bool("monitor-smoke", false, "run the engine-smoke workload on every backend with the online monitor attached and assert /health converged and /status conservation exact over HTTP")
+		causSmoke   = flag.Bool("causal-smoke", false, "run the engine-smoke workload on every backend with causal tracing and assert clean happens-before matching and an exact provenance ledger")
+		causalOut   = flag.String("causal-out", "", "with -causal-smoke: also write each backend's causal trace to <prefix>.<backend>.trace")
 	)
 	flag.Parse()
 
-	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*monSmoke {
+	if *causalOut != "" && !*causSmoke {
+		log.Print("-causal-out needs -causal-smoke")
+		os.Exit(2)
+	}
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*monSmoke && !*causSmoke {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,6 +128,7 @@ func main() {
 		seed: *seed, csvDir: *csvDir, traceFile: *traceFile,
 		metricsAddr: *metricsAddr, churn: churn, figBackend: backends.fig,
 		engineSmoke: *engineSmoke, monitorAddr: *monitorAddr, monitorSmoke: *monSmoke,
+		causalSmoke: *causSmoke, causalOut: *causalOut,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -166,6 +176,9 @@ type mainOpts struct {
 
 	monitorAddr  string
 	monitorSmoke bool
+
+	causalSmoke bool
+	causalOut   string
 }
 
 // realMain sets up the trace recorder and metrics endpoint (so their
@@ -178,7 +191,9 @@ func realMain(m mainOpts) error {
 			return err
 		}
 		defer f.Close()
-		o.sink = trace.NewRecorder(f)
+		rec := trace.NewBufferedRecorder(f)
+		defer rec.Close()
+		o.sink = rec
 	}
 	// With -monitor a passive observer rides the trace tee: every
 	// experiment's events flow through it, so /status and /events show
@@ -234,6 +249,7 @@ func run(m mainOpts, o obs) error {
 		m.churn.enabled = true
 		m.engineSmoke = true
 		m.monitorSmoke = true
+		m.causalSmoke = true
 	}
 	for _, f := range figs {
 		if f == 0 {
@@ -263,6 +279,11 @@ func run(m mainOpts, o obs) error {
 	}
 	if m.monitorSmoke {
 		if err := runMonitorSmoke(m.seed, o); err != nil {
+			return err
+		}
+	}
+	if m.causalSmoke {
+		if err := runCausalSmoke(m.seed, m.causalOut, o); err != nil {
 			return err
 		}
 	}
@@ -340,6 +361,129 @@ func runEngineSmoke(seed uint64, o obs) error {
 	}
 	fmt.Println(experiments.FormatTable([]string{"backend", "converged", "rounds", "weight"}, out))
 	return nil
+}
+
+// runCausalSmoke is the causal-smoke CI gate: the engine-smoke workload
+// on every backend with causal tracing on, each trace analyzed for a
+// clean happens-before reconstruction — zero anomalies, every receive
+// matched, and a provenance ledger that conserves the initial weight
+// exactly. With outPrefix != "" each backend's trace is also written to
+// <prefix>.<backend>.trace so the distclass-analyze CLI can re-audit
+// the same bytes.
+func runCausalSmoke(seed uint64, outPrefix string, o obs) error {
+	fmt.Println("=== Causal smoke: happens-before + provenance audit on every backend ===")
+	const n = 16
+	out := make([][]string, 0, len(engine.Backends()))
+	for _, b := range engine.Backends() {
+		rep, err := causalSmokeBackend(b, seed, outPrefix, o)
+		if err != nil {
+			return err
+		}
+		out = append(out, []string{
+			b.String(),
+			fmt.Sprintf("%d/%d", rep.Matched, rep.Sends),
+			strconv.FormatUint(rep.MaxClock, 10),
+			strconv.Itoa(rep.MaxDepth),
+			experiments.F(rep.Ledger.ActualTotal),
+		})
+	}
+	fmt.Println(experiments.FormatTable(
+		[]string{"backend", "matched", "clock", "depth", "weight"}, out))
+	return nil
+}
+
+// causalSmokeBackend runs one causally traced workload on backend b and
+// audits the resulting trace.
+func causalSmokeBackend(b engine.Backend, seed uint64, outPrefix string, o obs) (*causal.Report, error) {
+	const n = 16
+	r := rng.New(seed)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4
+		}
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	const tol = 0.05
+	var buf bytes.Buffer
+	opts := []distclass.Option{
+		distclass.WithK(2),
+		distclass.WithSeed(seed),
+		distclass.WithBackend(b),
+		distclass.WithTolerance(tol),
+		distclass.WithMetrics(o.reg),
+		distclass.WithTrace(trace.NewRecorder(&buf)),
+		distclass.WithCausal(),
+	}
+	switch b {
+	case engine.BackendRound, engine.BackendAsync:
+		sys, err := distclass.New(values, distclass.GaussianMixture(), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("causal-smoke %s: %w", b, err)
+		}
+		_, ok, err := sys.RunUntilConverged()
+		if err != nil {
+			return nil, fmt.Errorf("causal-smoke %s: %w", b, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("causal-smoke %s: did not converge", b)
+		}
+	default:
+		opts = append(opts, distclass.WithInterval(time.Millisecond))
+		cl, err := distclass.StartLive(values, distclass.GaussianMixture(), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("causal-smoke %s: %w", b, err)
+		}
+		ok, err := cl.WaitConverged(10*time.Second, tol)
+		cl.Stop()
+		if err == nil {
+			err = cl.Err()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("causal-smoke %s: %w", b, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("causal-smoke %s: did not converge", b)
+		}
+	}
+	if outPrefix != "" {
+		path := outPrefix + "." + b.String() + ".trace"
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return nil, fmt.Errorf("causal-smoke %s: %w", b, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	rep, err := causal.Analyze(bytes.NewReader(buf.Bytes()), causal.Options{Tolerance: tol})
+	if err != nil {
+		return nil, fmt.Errorf("causal-smoke %s: analyze: %w", b, err)
+	}
+	if len(rep.Anomalies) != 0 {
+		return nil, fmt.Errorf("causal-smoke %s: %d anomalies (first: %s)", b, len(rep.Anomalies), rep.Anomalies[0].Detail)
+	}
+	if rep.Sends == 0 || rep.Matched != rep.Receives || rep.Duplicates != 0 || rep.UnmatchedReceives != 0 {
+		return nil, fmt.Errorf("causal-smoke %s: dirty matching: sends %d receives %d matched %d duplicates %d unmatched %d",
+			b, rep.Sends, rep.Receives, rep.Matched, rep.Duplicates, rep.UnmatchedReceives)
+	}
+	// Only the async driver may stop with messages still queued; every
+	// other backend drains on Stop, so each send must have matched.
+	if b != engine.BackendAsync && rep.Matched != rep.Sends {
+		return nil, fmt.Errorf("causal-smoke %s: %d of %d sends unmatched", b, rep.Sends-rep.Matched, rep.Sends)
+	}
+	lr := rep.Ledger
+	if math.Float64bits(lr.ExpectedTotal) != math.Float64bits(float64(n)) {
+		return nil, fmt.Errorf("causal-smoke %s: ledger expected %v, want exactly %d", b, lr.ExpectedTotal, n)
+	}
+	if lr.MaxColumnDrift > 1e-9 {
+		return nil, fmt.Errorf("causal-smoke %s: ledger column drift %v beyond 1e-9", b, lr.MaxColumnDrift)
+	}
+	if drift := lr.ActualTotal - lr.ExpectedTotal; drift > 1e-9 || drift < -1e-9 {
+		return nil, fmt.Errorf("causal-smoke %s: ledger total %v drifts from %v", b, lr.ActualTotal, lr.ExpectedTotal)
+	}
+	if lr.Destroyed > 0 {
+		return nil, fmt.Errorf("causal-smoke %s: %v weight destroyed on a crash-free run", b, lr.Destroyed)
+	}
+	return rep, nil
 }
 
 // runMonitorSmoke runs the engine-smoke workload on every backend with

@@ -145,3 +145,36 @@ func TestRunMonitorSmoke(t *testing.T) {
 		t.Fatalf("runMonitorSmoke: %v", err)
 	}
 }
+
+// TestRunCausalSmoke runs the causal-smoke gate: every backend with
+// causal tracing, each trace audited for clean happens-before matching
+// and an exact provenance ledger. Under -race (make race) this also
+// exercises the concurrent recorders' causal stamping.
+func TestRunCausalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up live clusters")
+	}
+	prefix := filepath.Join(t.TempDir(), "causal")
+	if err := runCausalSmoke(1, prefix, testObs()); err != nil {
+		t.Fatalf("runCausalSmoke: %v", err)
+	}
+	// The -causal-out artifacts must each start with a schema-2 run
+	// header naming their backend — the contract the Makefile gate's
+	// distclass-analyze re-audit depends on.
+	for _, b := range engine.Backends() {
+		path := prefix + "." + b.String() + ".trace"
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("trace artifact: %v", err)
+		}
+		events, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if len(events) == 0 || events[0].Kind != trace.KindRunHeader ||
+			events[0].Backend != b.String() || events[0].Schema != trace.SchemaCausal {
+			t.Errorf("%s does not start with a schema-%d %s run header", path, trace.SchemaCausal, b)
+		}
+	}
+}

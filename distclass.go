@@ -232,6 +232,7 @@ type options struct {
 	maxRounds  int
 	interval   time.Duration
 	runHeader  bool
+	causal     bool
 	reg        *metrics.Registry
 	sink       trace.Sink
 	mon        *monitor.Monitor
@@ -287,6 +288,16 @@ func WithInterval(d time.Duration) Option { return func(o *options) { o.interval
 // themselves to distclass-analyze. Off by default: fixed-seed simulator
 // traces stay byte-identical to pre-engine runs.
 func WithRunHeader() Option { return func(o *options) { o.runHeader = true } }
+
+// WithCausal turns on causal message tracing: every collection
+// transfer is stamped with a per-sender sequence number, the
+// destination (sends) or source (receives) peer id, a Lamport clock
+// and the weight it moves, and the trace opens with a schema-2 run
+// header so distclass-analyze -causal can reconstruct the
+// happens-before DAG and the weight-provenance ledger. Off by
+// default: plain traces stay byte-identical to earlier versions.
+// Implies WithRunHeader.
+func WithCausal() Option { return func(o *options) { o.causal = true } }
 
 // WithTolerance sets the convergence threshold used by
 // RunUntilConverged and WaitConverged (default 1e-3).
@@ -348,6 +359,7 @@ func (o options) engineConfig(values []Value, method Method) engine.Config {
 		MaxRounds:  o.maxRounds,
 		Interval:   o.interval,
 		EmitHeader: o.runHeader,
+		Causal:     o.causal,
 		Metrics:    o.reg,
 		Trace:      o.sink,
 		Monitor:    o.mon,

@@ -1,0 +1,805 @@
+// Package causal reconstructs the happens-before structure of a
+// causal (schema-2) trace: it matches every send event to its receive
+// by (sender, sequence) identity, rebuilds the message DAG the Lamport
+// clocks witness, extracts the critical causal path from the initial
+// state to the convergence event, and maintains a weight-provenance
+// ledger tracking what fraction of each origin node's initial weight
+// sits at each node.
+//
+// The ledger uses the proportional-provenance model: a transfer of
+// weight w from a node holding origin mix m carries w·m[o]/|m| of each
+// origin o. Debits and credits move identical float values between
+// rows, so a per-origin column sum changes only when weight is
+// created (init, recover) or destroyed (crash) — those invariant
+// expectations are tracked separately from the float entries, and the
+// gap between the two is reported as column drift (pure accumulated
+// rounding, zero protocol meaning).
+//
+// Analysis is a single streaming pass: memory is proportional to the
+// node count and the number of currently-unmatched messages, never to
+// the trace length.
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"distclass/internal/converge"
+	"distclass/internal/trace"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// Tolerance and Window configure the convergence detector applied
+	// to the trace's spread probes; non-positive values select the
+	// repo-wide defaults (converge.DefaultThreshold/DefaultWindow), the
+	// same rule internal/replay applies.
+	Tolerance float64
+	Window    int
+}
+
+// Anomaly is one causal-contract violation found in the trace.
+type Anomaly struct {
+	// Type is one of "orphan-send", "unmatched-receive",
+	// "duplicate-send", "duplicate-receive", "clock-regression",
+	// "misrouted", "weight-mismatch".
+	Type string `json:"type"`
+	// Node and Peer are the endpoints as seen by the violating event.
+	Node int `json:"node"`
+	Peer int `json:"peer"`
+	// Seq identifies the message within its sender's stream.
+	Seq uint64 `json:"seq"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail"`
+}
+
+// PathHop is one message on the critical causal path.
+type PathHop struct {
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Seq       uint64 `json:"seq"`
+	SendClock uint64 `json:"sendClock"`
+	RecvClock uint64 `json:"recvClock"`
+	// Depth is the hop's position on the chain (1-based).
+	Depth int `json:"depth"`
+}
+
+// DepthBucket is one bar of the dissemination-depth histogram: Count
+// nodes ended the trace at causal depth Depth (the longest message
+// chain that influenced their state).
+type DepthBucket struct {
+	Depth int `json:"depth"`
+	Count int `json:"count"`
+}
+
+// OriginSummary is one origin node's provenance column.
+type OriginSummary struct {
+	Origin int `json:"origin"`
+	// Expected is the invariant column sum: the origin's initial
+	// weight, adjusted only by crash destruction and recover creation.
+	Expected float64 `json:"expected"`
+	// Actual is the float column sum over all holders plus weight
+	// still in flight; Drift is |Actual-Expected|.
+	Actual float64 `json:"actual"`
+	Drift  float64 `json:"drift"`
+	// Reach counts the nodes holding a non-negligible (> 1e-12) share
+	// of this origin's weight at the end of the trace.
+	Reach int `json:"reach"`
+}
+
+// LedgerReport summarizes the weight-provenance ledger at the end of
+// the trace.
+type LedgerReport struct {
+	// ExpectedTotal is the invariant grand total — directly comparable
+	// to the monitor's conservation-audit expected weight.
+	ExpectedTotal float64 `json:"expectedTotal"`
+	// ActualTotal sums every ledger entry plus in-flight weight.
+	ActualTotal float64 `json:"actualTotal"`
+	// MaxColumnDrift is the largest per-origin |actual-expected| —
+	// accumulated float rounding, bounded by a few ULPs per transfer.
+	MaxColumnDrift float64 `json:"maxColumnDrift"`
+	// InFlight is the weight of sends never matched by a receive:
+	// undelivered at the end of the trace, or destroyed with a crashed
+	// node's inbox (the trace does not distinguish the two).
+	InFlight float64 `json:"inFlight"`
+	// Destroyed is the held weight zeroed by crash events.
+	Destroyed float64         `json:"destroyed"`
+	Origins   []OriginSummary `json:"origins"`
+}
+
+// TimelineSample is one point of the dissemination timeline, taken at
+// each spread probe.
+type TimelineSample struct {
+	Round int `json:"round"`
+	// MaxDepth is the deepest causal chain observed so far.
+	MaxDepth int `json:"maxDepth"`
+	// MeanReach is the average, over origins, of how many nodes hold a
+	// share of that origin's weight.
+	MeanReach float64 `json:"meanReach"`
+}
+
+// Report is the result of analyzing one causal trace.
+type Report struct {
+	Backend string `json:"backend"`
+	Schema  int    `json:"schema"`
+	Nodes   int    `json:"nodes"`
+
+	Sends             int `json:"sends"`
+	Receives          int `json:"receives"`
+	Matched           int `json:"matched"`
+	OrphanSends       int `json:"orphanSends"`
+	UnmatchedReceives int `json:"unmatchedReceives"`
+	Duplicates        int `json:"duplicates"`
+	Crashes           int `json:"crashes"`
+	Recovers          int `json:"recovers"`
+	SendDrops         int `json:"sendDrops"`
+
+	// MaxClock is the largest Lamport timestamp in the trace;
+	// ClockSkew is the gap between the most- and least-advanced node
+	// clocks at the end.
+	MaxClock  uint64 `json:"maxClock"`
+	ClockSkew uint64 `json:"clockSkew"`
+
+	// MaxDepth is the deepest causal chain; DepthHistogram buckets the
+	// per-node final depths.
+	MaxDepth       int           `json:"maxDepth"`
+	DepthHistogram []DepthBucket `json:"depthHistogram"`
+
+	Converged      bool `json:"converged"`
+	ConvergedRound int  `json:"convergedRound"`
+	// CriticalPath is the longest message chain at the moment
+	// convergence was detected (at the end of the trace when the run
+	// never converged), root to tip.
+	CriticalPath []PathHop `json:"criticalPath"`
+
+	Ledger   LedgerReport     `json:"ledger"`
+	Timeline []TimelineSample `json:"timeline,omitempty"`
+
+	Anomalies []Anomaly `json:"anomalies"`
+}
+
+// msgKey is a causal message's identity: sender plus per-sender
+// sequence number.
+type msgKey struct {
+	src int
+	seq uint64
+}
+
+// message is one causal send awaiting (or joined with) its receive.
+type message struct {
+	src, dst  int
+	seq       uint64
+	sendClock uint64
+	recvClock uint64
+	weight    float64
+	// depth is the chain length this message extends to (its sender's
+	// depth at send time plus one); parent is the message that set the
+	// sender's depth, forming the back-chain the critical path walks.
+	depth    int
+	parent   *message
+	consumed bool
+}
+
+// pendingReceive is a receive event observed before its send — legal
+// on the concurrent backends, whose send and receive goroutines race
+// into the recorder.
+type pendingReceive struct {
+	dst    int
+	clock  uint64
+	weight float64
+}
+
+// reachEpsilon is the share below which a holder does not count toward
+// an origin's reach.
+const reachEpsilon = 1e-12
+
+// timelineMaxNodes bounds the per-probe reach computation: above this
+// node count the timeline is skipped (the rest of the report is
+// unaffected).
+const timelineMaxNodes = 1024
+
+// analyzer is the streaming state of one Analyze call.
+type analyzer struct {
+	det *converge.Detector
+
+	backend string
+	schema  int
+
+	n       int // nodes seen so far (max id + 1)
+	depth   []int
+	lastMsg []*message
+	clock   []uint64
+
+	// ledger[holder][origin] — sparse provenance rows; colExpected is
+	// the invariant per-origin column expectation.
+	ledger      []map[int]float64
+	colExpected []float64
+	destroyed   float64
+
+	msgs        map[msgKey]*message
+	pendingRecv map[msgKey]pendingReceive
+	inflight    map[msgKey]map[int]float64
+
+	sends, receives, matched, duplicates int
+	crashes, recovers, sendDrops         int
+
+	converged      bool
+	convergedRound int
+	criticalPath   []PathHop
+
+	timeline  []TimelineSample
+	anomalies []Anomaly
+}
+
+// Analyze reads one JSONL trace stream and reconstructs its causal
+// report. The stream must begin with a schema-2 run header (see
+// trace.CausalRunHeader); analyzing a pre-causal trace is an error,
+// not an empty report.
+func Analyze(r io.Reader, opts Options) (*Report, error) {
+	a := &analyzer{
+		det:            converge.New(opts.Tolerance, opts.Window),
+		schema:         -1,
+		convergedRound: -1,
+		msgs:           make(map[msgKey]*message),
+		pendingRecv:    make(map[msgKey]pendingReceive),
+		inflight:       make(map[msgKey]map[int]float64),
+	}
+	cur := trace.NewCursor(r)
+	for {
+		e, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("causal: %w", err)
+		}
+		if a.schema < 0 {
+			if e.Kind != trace.KindRunHeader {
+				return nil, fmt.Errorf("causal: line %d: trace does not start with a run header; causal analysis needs a schema-%d trace (run with causal tracing on)", cur.Line(), trace.SchemaCausal)
+			}
+			if e.Schema < trace.SchemaCausal {
+				return nil, fmt.Errorf("causal: run header declares schema %d; causal analysis needs schema %d (run with causal tracing on)", e.Schema, trace.SchemaCausal)
+			}
+			a.backend = e.Backend
+			a.schema = e.Schema
+			continue
+		}
+		a.event(e)
+	}
+	if a.schema < 0 {
+		return nil, fmt.Errorf("causal: empty trace")
+	}
+	return a.report(), nil
+}
+
+// ensure grows the per-node state to cover node id.
+func (a *analyzer) ensure(id int) {
+	if id < a.n {
+		return
+	}
+	for i := a.n; i <= id; i++ {
+		a.depth = append(a.depth, 0)
+		a.lastMsg = append(a.lastMsg, nil)
+		a.clock = append(a.clock, 0)
+		a.ledger = append(a.ledger, map[int]float64{i: 1})
+		a.colExpected = append(a.colExpected, 1)
+	}
+	a.n = id + 1
+}
+
+// event folds one trace event into the analysis.
+func (a *analyzer) event(e trace.Event) {
+	switch e.Kind {
+	case trace.KindSend:
+		if e.Seq == 0 {
+			return // pull request or pre-causal send: no weight moves
+		}
+		a.send(e)
+	case trace.KindReceive:
+		if e.Seq == 0 {
+			return
+		}
+		a.receive(e)
+	case trace.KindCrash:
+		a.crashes++
+		if e.Node >= 0 {
+			a.ensure(e.Node)
+			row := a.ledger[e.Node]
+			keys := make([]int, 0, len(row))
+			for o := range row {
+				keys = append(keys, o)
+			}
+			sort.Ints(keys)
+			for _, o := range keys {
+				a.colExpected[o] -= row[o]
+				a.destroyed += row[o]
+			}
+			a.ledger[e.Node] = make(map[int]float64)
+		}
+	case trace.KindRecover:
+		a.recovers++
+		if e.Node >= 0 {
+			// A restarted node re-enters with a fresh unit-weight value
+			// of its own origin — the same weight creation the
+			// conservation audit credits.
+			a.ensure(e.Node)
+			a.ledger[e.Node][e.Node]++
+			a.colExpected[e.Node]++
+		}
+	case trace.KindSendDrop:
+		a.sendDrops++
+	case trace.KindSpread:
+		if e.Node == -1 {
+			a.spread(e)
+		}
+	}
+}
+
+// send processes one causal send event.
+func (a *analyzer) send(e trace.Event) {
+	a.ensure(e.Node)
+	a.ensure(e.Peer)
+	a.sends++
+	if e.Clock > a.clock[e.Node] {
+		a.clock[e.Node] = e.Clock
+	}
+	key := msgKey{src: e.Node, seq: e.Seq}
+	if _, dup := a.msgs[key]; dup {
+		a.duplicates++
+		a.anomalies = append(a.anomalies, Anomaly{
+			Type: "duplicate-send", Node: e.Node, Peer: e.Peer, Seq: e.Seq,
+			Detail: fmt.Sprintf("node %d reused sequence number %d", e.Node, e.Seq),
+		})
+		return
+	}
+	m := &message{
+		src: e.Node, dst: e.Peer, seq: e.Seq,
+		sendClock: e.Clock, weight: e.Weight,
+		depth:  a.depth[e.Node] + 1,
+		parent: a.lastMsg[e.Node],
+	}
+	a.msgs[key] = m
+	a.debit(key, e.Node, e.Weight)
+	if pr, ok := a.pendingRecv[key]; ok {
+		delete(a.pendingRecv, key)
+		a.match(key, m, pr.dst, pr.clock, pr.weight)
+	}
+}
+
+// receive processes one causal receive event.
+func (a *analyzer) receive(e trace.Event) {
+	a.ensure(e.Node)
+	a.ensure(e.Peer)
+	a.receives++
+	if e.Clock > a.clock[e.Node] {
+		a.clock[e.Node] = e.Clock
+	}
+	key := msgKey{src: e.Peer, seq: e.Seq}
+	if m, ok := a.msgs[key]; ok {
+		if m.consumed {
+			a.duplicates++
+			a.anomalies = append(a.anomalies, Anomaly{
+				Type: "duplicate-receive", Node: e.Node, Peer: e.Peer, Seq: e.Seq,
+				Detail: fmt.Sprintf("message (%d,%d) delivered more than once", e.Peer, e.Seq),
+			})
+			return
+		}
+		a.match(key, m, e.Node, e.Clock, e.Weight)
+		return
+	}
+	if _, dup := a.pendingRecv[key]; dup {
+		a.duplicates++
+		a.anomalies = append(a.anomalies, Anomaly{
+			Type: "duplicate-receive", Node: e.Node, Peer: e.Peer, Seq: e.Seq,
+			Detail: fmt.Sprintf("message (%d,%d) delivered more than once", e.Peer, e.Seq),
+		})
+		return
+	}
+	// Send not yet seen: on the wire backends the receiver's recorder
+	// write can land before the sender's. Park it.
+	a.pendingRecv[key] = pendingReceive{dst: e.Node, clock: e.Clock, weight: e.Weight}
+}
+
+// match joins a send with its receive: contract checks, depth update,
+// ledger credit.
+func (a *analyzer) match(key msgKey, m *message, dst int, recvClock uint64, recvWeight float64) {
+	a.matched++
+	m.consumed = true
+	m.recvClock = recvClock
+	if recvClock <= m.sendClock {
+		a.anomalies = append(a.anomalies, Anomaly{
+			Type: "clock-regression", Node: dst, Peer: m.src, Seq: m.seq,
+			Detail: fmt.Sprintf("receive clock %d not after send clock %d", recvClock, m.sendClock),
+		})
+	}
+	if dst != m.dst {
+		a.anomalies = append(a.anomalies, Anomaly{
+			Type: "misrouted", Node: dst, Peer: m.src, Seq: m.seq,
+			Detail: fmt.Sprintf("sent to node %d but received by node %d", m.dst, dst),
+		})
+	}
+	if math.Float64bits(recvWeight) != math.Float64bits(m.weight) {
+		a.anomalies = append(a.anomalies, Anomaly{
+			Type: "weight-mismatch", Node: dst, Peer: m.src, Seq: m.seq,
+			Detail: fmt.Sprintf("send carried weight %g, receive %g", m.weight, recvWeight),
+		})
+	}
+	if m.depth > a.depth[dst] {
+		a.depth[dst] = m.depth
+		a.lastMsg[dst] = m
+	}
+	a.credit(key, dst)
+}
+
+// debit removes a proportional provenance vector worth w from src's
+// ledger row and parks it in flight under key.
+func (a *analyzer) debit(key msgKey, src int, w float64) {
+	row := a.ledger[src]
+	var rowSum float64
+	keys := make([]int, 0, len(row))
+	for o := range row {
+		keys = append(keys, o)
+	}
+	sort.Ints(keys)
+	for _, o := range keys {
+		rowSum += row[o]
+	}
+	moved := make(map[int]float64, len(row))
+	if rowSum <= 0 {
+		// A sender the ledger believes is empty (possible only on a
+		// trace that starts mid-run): attribute the transfer to the
+		// sender itself so the books still balance.
+		moved[src] = w
+		row[src] -= w
+	} else {
+		frac := w / rowSum
+		for _, o := range keys {
+			d := row[o] * frac
+			moved[o] = d
+			row[o] -= d
+		}
+	}
+	a.inflight[key] = moved
+}
+
+// credit lands an in-flight provenance vector in dst's ledger row.
+func (a *analyzer) credit(key msgKey, dst int) {
+	moved, ok := a.inflight[key]
+	if !ok {
+		return
+	}
+	delete(a.inflight, key)
+	row := a.ledger[dst]
+	keys := make([]int, 0, len(moved))
+	for o := range moved {
+		keys = append(keys, o)
+	}
+	sort.Ints(keys)
+	for _, o := range keys {
+		row[o] += moved[o]
+	}
+}
+
+// spread feeds one convergence probe, snapshots the critical path the
+// moment convergence is detected, and appends a timeline sample.
+func (a *analyzer) spread(e trace.Event) {
+	was := a.converged
+	if a.det.Observe(e.Round, e.Value) && !was {
+		a.converged = true
+		a.convergedRound = a.det.ConvergedRound()
+		a.criticalPath = a.snapshotPath()
+	}
+	if a.n > 0 && a.n <= timelineMaxNodes {
+		a.timeline = append(a.timeline, TimelineSample{
+			Round:     e.Round,
+			MaxDepth:  a.maxDepth(),
+			MeanReach: a.meanReach(),
+		})
+	}
+}
+
+// maxDepth returns the deepest per-node causal depth.
+func (a *analyzer) maxDepth() int {
+	max := 0
+	for _, d := range a.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// meanReach averages, over origins, the number of holders with a
+// non-negligible share of that origin's weight.
+func (a *analyzer) meanReach() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	total := 0
+	for _, row := range a.ledger {
+		for _, w := range row {
+			if w > reachEpsilon {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(a.n)
+}
+
+// snapshotPath walks the back-chain from the deepest node (ties to the
+// lowest id) and returns the chain root-first.
+func (a *analyzer) snapshotPath() []PathHop {
+	deepest := -1
+	for i, d := range a.depth {
+		if d > 0 && (deepest < 0 || d > a.depth[deepest]) {
+			deepest = i
+		}
+	}
+	if deepest < 0 {
+		return nil
+	}
+	var rev []PathHop
+	for m := a.lastMsg[deepest]; m != nil; m = m.parent {
+		rev = append(rev, PathHop{
+			Src: m.src, Dst: m.dst, Seq: m.seq,
+			SendClock: m.sendClock, RecvClock: m.recvClock,
+			Depth: m.depth,
+		})
+	}
+	path := make([]PathHop, len(rev))
+	for i, h := range rev {
+		path[len(rev)-1-i] = h
+	}
+	return path
+}
+
+// report assembles the final Report after the stream ends.
+func (a *analyzer) report() *Report {
+	rep := &Report{
+		Backend:        a.backend,
+		Schema:         a.schema,
+		Nodes:          a.n,
+		Sends:          a.sends,
+		Receives:       a.receives,
+		Matched:        a.matched,
+		Duplicates:     a.duplicates,
+		Crashes:        a.crashes,
+		Recovers:       a.recovers,
+		SendDrops:      a.sendDrops,
+		Converged:      a.converged,
+		ConvergedRound: a.convergedRound,
+		CriticalPath:   a.criticalPath,
+		Timeline:       a.timeline,
+		Anomalies:      a.anomalies,
+	}
+	if !a.converged {
+		rep.CriticalPath = a.snapshotPath()
+	}
+
+	// Unmatched sends, in deterministic (src, seq) order. Orphans are
+	// anomalous only on a trace with no crashes: under churn, losing
+	// in-flight messages with the dead is the expected failure mode.
+	// The async driver is exempt too — its model parks messages in
+	// queues arbitrarily long, so sends still queued when the trace
+	// ends are pending, not lost (their weight stays on the books as
+	// in-flight, exactly as the driver's TotalWeight counts it).
+	orphans := make([]msgKey, 0)
+	for key, m := range a.msgs {
+		if !m.consumed {
+			orphans = append(orphans, key)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].src != orphans[j].src {
+			return orphans[i].src < orphans[j].src
+		}
+		return orphans[i].seq < orphans[j].seq
+	})
+	rep.OrphanSends = len(orphans)
+	if a.crashes == 0 && a.backend != "async" {
+		for _, key := range orphans {
+			m := a.msgs[key]
+			rep.Anomalies = append(rep.Anomalies, Anomaly{
+				Type: "orphan-send", Node: m.src, Peer: m.dst, Seq: m.seq,
+				Detail: fmt.Sprintf("send (%d,%d) to node %d never received and no crash explains it", m.src, m.seq, m.dst),
+			})
+		}
+	}
+
+	// Receives whose send never appeared: always anomalous — a message
+	// cannot arrive unsent.
+	unmatched := make([]msgKey, 0, len(a.pendingRecv))
+	for key := range a.pendingRecv {
+		unmatched = append(unmatched, key)
+	}
+	sort.Slice(unmatched, func(i, j int) bool {
+		if unmatched[i].src != unmatched[j].src {
+			return unmatched[i].src < unmatched[j].src
+		}
+		return unmatched[i].seq < unmatched[j].seq
+	})
+	rep.UnmatchedReceives = len(unmatched)
+	for _, key := range unmatched {
+		pr := a.pendingRecv[key]
+		rep.Anomalies = append(rep.Anomalies, Anomaly{
+			Type: "unmatched-receive", Node: pr.dst, Peer: key.src, Seq: key.seq,
+			Detail: fmt.Sprintf("node %d received (%d,%d) but no such send was traced", pr.dst, key.src, key.seq),
+		})
+	}
+
+	// Clocks.
+	var minClock uint64
+	for i, c := range a.clock {
+		if c > rep.MaxClock {
+			rep.MaxClock = c
+		}
+		if i == 0 || c < minClock {
+			minClock = c
+		}
+	}
+	rep.ClockSkew = rep.MaxClock - minClock
+
+	// Depth histogram.
+	rep.MaxDepth = a.maxDepth()
+	buckets := make(map[int]int, rep.MaxDepth+1)
+	for _, d := range a.depth {
+		buckets[d]++
+	}
+	depths := make([]int, 0, len(buckets))
+	for d := range buckets {
+		depths = append(depths, d)
+	}
+	sort.Ints(depths)
+	for _, d := range depths {
+		rep.DepthHistogram = append(rep.DepthHistogram, DepthBucket{Depth: d, Count: buckets[d]})
+	}
+
+	rep.Ledger = a.ledgerReport()
+	return rep
+}
+
+// ledgerReport closes the provenance books: per-origin column sums
+// (held plus in-flight) against the invariant expectations.
+func (a *analyzer) ledgerReport() LedgerReport {
+	lr := LedgerReport{Destroyed: a.destroyed}
+	actualCol := make([]float64, a.n)
+	reach := make([]int, a.n)
+	for _, row := range a.ledger {
+		keys := make([]int, 0, len(row))
+		for o := range row {
+			keys = append(keys, o)
+		}
+		sort.Ints(keys)
+		for _, o := range keys {
+			actualCol[o] += row[o]
+			if row[o] > reachEpsilon {
+				reach[o]++
+			}
+		}
+	}
+	inKeys := make([]msgKey, 0, len(a.inflight))
+	for key := range a.inflight {
+		inKeys = append(inKeys, key)
+	}
+	sort.Slice(inKeys, func(i, j int) bool {
+		if inKeys[i].src != inKeys[j].src {
+			return inKeys[i].src < inKeys[j].src
+		}
+		return inKeys[i].seq < inKeys[j].seq
+	})
+	for _, key := range inKeys {
+		moved := a.inflight[key]
+		os := make([]int, 0, len(moved))
+		for o := range moved {
+			os = append(os, o)
+		}
+		sort.Ints(os)
+		for _, o := range os {
+			actualCol[o] += moved[o]
+			lr.InFlight += moved[o]
+		}
+	}
+	for o := 0; o < a.n; o++ {
+		drift := math.Abs(actualCol[o] - a.colExpected[o])
+		lr.Origins = append(lr.Origins, OriginSummary{
+			Origin:   o,
+			Expected: a.colExpected[o],
+			Actual:   actualCol[o],
+			Drift:    drift,
+			Reach:    reach[o],
+		})
+		lr.ExpectedTotal += a.colExpected[o]
+		lr.ActualTotal += actualCol[o]
+		if drift > lr.MaxColumnDrift {
+			lr.MaxColumnDrift = drift
+		}
+	}
+	return lr
+}
+
+// WriteJSON renders the report as indented JSON — deterministic for a
+// deterministic trace.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("causal: %w", err)
+	}
+	return nil
+}
+
+// WriteText renders the human-readable report — deterministic for a
+// deterministic trace.
+func (r *Report) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("causal analysis: backend=%s schema=%d nodes=%d\n", r.Backend, r.Schema, r.Nodes); err != nil {
+		return err
+	}
+	if err := p("messages:       %d sends, %d receives, %d matched; %d orphan sends, %d unmatched receives, %d duplicates\n",
+		r.Sends, r.Receives, r.Matched, r.OrphanSends, r.UnmatchedReceives, r.Duplicates); err != nil {
+		return err
+	}
+	if r.Crashes > 0 || r.Recovers > 0 || r.SendDrops > 0 {
+		if err := p("churn:          %d crashes, %d recovers, %d send drops\n", r.Crashes, r.Recovers, r.SendDrops); err != nil {
+			return err
+		}
+	}
+	if err := p("clocks:         max=%d skew=%d\n", r.MaxClock, r.ClockSkew); err != nil {
+		return err
+	}
+	if err := p("depth:          max=%d histogram:", r.MaxDepth); err != nil {
+		return err
+	}
+	for _, b := range r.DepthHistogram {
+		if err := p(" %d:%d", b.Depth, b.Count); err != nil {
+			return err
+		}
+	}
+	if err := p("\n"); err != nil {
+		return err
+	}
+	if r.Converged {
+		if err := p("converged:      round %d\n", r.ConvergedRound); err != nil {
+			return err
+		}
+	} else {
+		if err := p("converged:      no\n"); err != nil {
+			return err
+		}
+	}
+	if err := p("critical path:  %d hops\n", len(r.CriticalPath)); err != nil {
+		return err
+	}
+	for i, h := range r.CriticalPath {
+		if err := p("  %3d. %d -> %d  seq %d  clock %d -> %d\n", i+1, h.Src, h.Dst, h.Seq, h.SendClock, h.RecvClock); err != nil {
+			return err
+		}
+	}
+	if err := p("provenance:     expected %g, actual %.9g, max column drift %.3g, in-flight %.9g, destroyed %.9g\n",
+		r.Ledger.ExpectedTotal, r.Ledger.ActualTotal, r.Ledger.MaxColumnDrift, r.Ledger.InFlight, r.Ledger.Destroyed); err != nil {
+		return err
+	}
+	for _, o := range r.Ledger.Origins {
+		if err := p("  origin %3d: expected %g actual %.9g reach %d\n", o.Origin, o.Expected, o.Actual, o.Reach); err != nil {
+			return err
+		}
+	}
+	if len(r.Anomalies) == 0 {
+		return p("anomalies:      none\n")
+	}
+	if err := p("anomalies:      %d\n", len(r.Anomalies)); err != nil {
+		return err
+	}
+	for _, an := range r.Anomalies {
+		if err := p("  %-18s %s\n", an.Type, an.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

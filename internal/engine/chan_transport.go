@@ -25,10 +25,11 @@ import (
 // send/receive trace events carry collection counts rather than frame
 // bytes.
 type chanNet struct {
-	e     *liveEngine
-	graph *topology.Graph
-	queue int
-	nodes []*chanNode
+	e      *liveEngine
+	graph  *topology.Graph
+	queue  int
+	causal bool
+	nodes  []*chanNode
 
 	sink    trace.Sink
 	sent    *metrics.Counter
@@ -41,11 +42,16 @@ type chanNet struct {
 }
 
 // chanFrame is one in-flight message: a pull request (pull true) or a
-// data frame carrying a classification.
+// data frame carrying a classification. In causal mode data frames
+// additionally carry their identity (per-sender seq), the sender's
+// Lamport clock and the weight they move.
 type chanFrame struct {
-	src  int
-	pull bool
-	cls  core.Classification
+	src    int
+	pull   bool
+	cls    core.Classification
+	seq    uint64
+	clock  uint64
+	weight float64
 }
 
 // chanNode is one node's transport endpoint.
@@ -66,20 +72,27 @@ type chanNode struct {
 	recv     *metrics.Counter
 	drops    *metrics.Counter
 	lastRecv *metrics.Gauge
+
+	// Causal-mode counters. Atomic because a node sends from both its
+	// own gossip goroutine and — answering pulls — from whichever
+	// receiver goroutine delivered the request.
+	seq   atomic.Uint64
+	clock atomic.Uint64
 }
 
-func newChanNet(e *liveEngine, graph *topology.Graph, queue int, reg *metrics.Registry, sink trace.Sink) *chanNet {
+func newChanNet(e *liveEngine, graph *topology.Graph, queue int, causal bool, reg *metrics.Registry, sink trace.Sink) *chanNet {
 	if queue <= 0 {
 		queue = livenet.DefaultSendQueue
 	}
 	t := &chanNet{
-		e:     e,
-		graph: graph,
-		queue: queue,
-		sink:  sink,
-		sent:  reg.Counter("livenet.sent"),
-		recv:  reg.Counter("livenet.received"),
-		drops: reg.Counter("livenet.send_drops"),
+		e:      e,
+		graph:  graph,
+		queue:  queue,
+		causal: causal,
+		sink:   sink,
+		sent:   reg.Counter("livenet.sent"),
+		recv:   reg.Counter("livenet.received"),
+		drops:  reg.Counter("livenet.send_drops"),
 	}
 	t.nodes = make([]*chanNode, graph.N())
 	for i := range t.nodes {
@@ -131,10 +144,15 @@ func (t *chanNet) deliver(i int, f chanFrame) bool {
 		n.recv.Inc()
 		n.lastRecv.Set(float64(t.recvSeq.Add(1)))
 		if t.sink != nil {
-			_ = t.sink.Record(trace.Event{
+			ev := trace.Event{
 				Round: -1, Node: i, Kind: trace.KindReceive,
 				Value: float64(len(f.cls)),
-			})
+			}
+			if t.causal {
+				ev.Seq, ev.Peer, ev.Weight = f.seq, f.src, f.weight
+				ev.Clock = trace.MergeClock(&n.clock, f.clock)
+			}
+			_ = t.sink.Record(ev)
 		}
 	}
 	return true
@@ -175,18 +193,33 @@ func (t *chanNet) Send(i, peer int, pull bool, cls core.Classification) bool {
 	if !n.alive {
 		return false
 	}
+	f := chanFrame{src: i, pull: pull, cls: cls}
+	if t.causal && !pull {
+		// Stamp before the enqueue attempt — the frame must carry its
+		// identity. A refused send below burns the sequence number (the
+		// analyzer matches exact pairs, not contiguous ranges) and the
+		// clock tick is harmlessly monotone.
+		s := t.nodes[i]
+		f.seq = s.seq.Add(1)
+		f.clock = s.clock.Add(1)
+		f.weight = cls.TotalWeight()
+	}
 	select {
-	case n.inbox <- chanFrame{src: i, pull: pull, cls: cls}:
+	case n.inbox <- f:
 	default:
 		return false
 	}
 	t.sent.Inc()
 	t.nodes[i].sent.Inc()
 	if t.sink != nil {
-		_ = t.sink.Record(trace.Event{
+		ev := trace.Event{
 			Round: -1, Node: i, Kind: trace.KindSend,
 			Value: float64(len(cls)),
-		})
+		}
+		if t.causal && !pull {
+			ev.Seq, ev.Peer, ev.Clock, ev.Weight = f.seq, peer, f.clock, f.weight
+		}
+		_ = t.sink.Record(ev)
 	}
 	return true
 }

@@ -208,6 +208,15 @@ type Config struct {
 	// default so fixed-seed round traces stay byte-identical to
 	// pre-engine runs; commands turn it on.
 	EmitHeader bool
+	// Causal upgrades the trace to trace.SchemaCausal: send and receive
+	// events carry per-message correlation (per-sender sequence number,
+	// peer id, Lamport clock, carried weight), with one receive event
+	// per delivered message on every backend, so internal/causal can
+	// reconstruct the happens-before DAG and the weight-provenance
+	// ledger. Implies the run header (a causal trace always starts with
+	// a schema-2 header). Off by default: pre-causal fixed-seed goldens
+	// stay byte-identical.
+	Causal bool
 }
 
 func (c Config) withDefaults() Config {
@@ -351,8 +360,12 @@ func New(cfg Config) (Engine, error) {
 		cfg.Monitor.SetExpectedWeight(float64(len(cfg.Values)))
 		cfg.Trace = trace.Tee(cfg.Monitor, cfg.Trace)
 	}
-	if cfg.EmitHeader && cfg.Trace != nil {
-		if err := cfg.Trace.Record(trace.RunHeader(cfg.Backend.String())); err != nil {
+	if (cfg.EmitHeader || cfg.Causal) && cfg.Trace != nil {
+		h := trace.RunHeader(cfg.Backend.String())
+		if cfg.Causal {
+			h = trace.CausalRunHeader(cfg.Backend.String())
+		}
+		if err := cfg.Trace.Record(h); err != nil {
 			return nil, fmt.Errorf("engine: run header: %w", err)
 		}
 	}

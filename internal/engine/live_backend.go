@@ -155,7 +155,7 @@ func newLiveEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, nodeCf
 	}
 	switch cfg.Backend {
 	case BackendChan:
-		e.tr = newChanNet(e, graph, cfg.SendQueue, reg, cfg.Trace)
+		e.tr = newChanNet(e, graph, cfg.SendQueue, cfg.Causal, reg, cfg.Trace)
 	case BackendPipe, BackendTCP:
 		t := livenet.TransportPipe
 		if cfg.Backend == BackendTCP {
@@ -168,6 +168,7 @@ func newLiveEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, nodeCf
 			FailOnDecodeErrors: cfg.FailOnDecodeErrors,
 			Metrics:            reg,
 			Trace:              cfg.Trace,
+			Causal:             cfg.Causal,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)

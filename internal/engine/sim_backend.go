@@ -42,6 +42,10 @@ func newSimEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, root *r
 		SizeFunc: ClassificationSize,
 		Metrics:  cfg.Metrics,
 		Trace:    cfg.Trace,
+		Causal:   cfg.Causal,
+	}
+	if cfg.Causal {
+		opts.WeightFunc = core.Classification.TotalWeight
 	}
 	switch cfg.Backend {
 	case BackendRound:

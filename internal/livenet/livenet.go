@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -60,7 +61,18 @@ const (
 	// frameKindPull carries no payload: it asks the receiver for data
 	// (the pull half of the §4.1 gossip modes).
 	frameKindPull byte = 1
+	// frameKindCausal carries a wire-encoded classification prefixed by
+	// causal metadata (NetConfig.Causal): the sender's per-peer-object
+	// sequence number, its Lamport clock at send time, and the weight
+	// the frame moves — causalHeaderLen bytes after the kind byte, each
+	// u64 little-endian (the weight as IEEE-754 bits, so the receiver
+	// restamps the exact float the sender debited).
+	frameKindCausal byte = 2
 )
+
+// causalHeaderLen is the causal metadata length after the kind byte:
+// seq u64 + clock u64 + weight f64.
+const causalHeaderLen = 24
 
 // Transport selects how node links are realized.
 type Transport int
@@ -137,6 +149,13 @@ type NetConfig struct {
 	// Round -1. The sink must be safe for concurrent writers
 	// (trace.Recorder is).
 	Trace trace.Sink
+	// Causal sends data frames as frameKindCausal — carrying a
+	// per-sender sequence number, the sender's Lamport clock and the
+	// moved weight in the wire frame itself — and stamps the matching
+	// causal fields (trace.SchemaCausal) on send/receive trace events.
+	// Both ends of a Net share this setting, so a causal net never
+	// mixes frame kinds on data.
+	Causal bool
 }
 
 func (c NetConfig) withDefaults() NetConfig {
@@ -183,10 +202,14 @@ type Net struct {
 // classification they encode (nil for pull requests), kept so an
 // undelivered frame can be returned to its sender when the link dies —
 // queued weight is not yet "on the wire" and must not be destroyed by
-// a transport fault.
+// a transport fault. In causal mode data frames also keep their causal
+// stamp so writeOne can emit it on the send event after the write.
 type outFrame struct {
-	data []byte
-	cls  core.Classification
+	data   []byte
+	cls    core.Classification
+	seq    uint64
+	clock  uint64
+	weight float64
 }
 
 // link is one endpoint of a duplex connection: the bounded outbound
@@ -242,6 +265,14 @@ type peer struct {
 	// node's most recent delivery; Net.recvSeq minus this gauge is the
 	// node's staleness in receives.
 	lastRecv *metrics.Gauge
+
+	// Causal-mode counters. Atomic because a node sends from its engine
+	// gossip goroutine and — answering pulls — from receiver-loop
+	// goroutines, and its own receiver loops merge clocks concurrently.
+	// Like the counters above they persist across Kill/Restart
+	// incarnations: clocks must never go backwards.
+	seq   atomic.Uint64
+	clock atomic.Uint64
 }
 
 // aliveLinks snapshots the peer's currently usable links.
@@ -445,9 +476,25 @@ func (n *Net) Send(i, peer int, pull bool, cls core.Classification) bool {
 			n.fail(fmt.Errorf("livenet: node %d: marshal: %w", i, err))
 			return false
 		}
-		f.data = make([]byte, 1+len(payload))
-		f.data[0] = frameKindData
-		copy(f.data[1:], payload)
+		if n.cfg.Causal {
+			// Stamp at queue time — the frame carries its identity. A
+			// refused enqueue below burns the sequence number (analyzers
+			// match exact pairs, not contiguous ranges) and the clock
+			// tick stays harmlessly monotone.
+			f.seq = p.seq.Add(1)
+			f.clock = p.clock.Add(1)
+			f.weight = cls.TotalWeight()
+			f.data = make([]byte, 1+causalHeaderLen+len(payload))
+			f.data[0] = frameKindCausal
+			binary.LittleEndian.PutUint64(f.data[1:9], f.seq)
+			binary.LittleEndian.PutUint64(f.data[9:17], f.clock)
+			binary.LittleEndian.PutUint64(f.data[17:25], math.Float64bits(f.weight))
+			copy(f.data[1+causalHeaderLen:], payload)
+		} else {
+			f.data = make([]byte, 1+len(payload))
+			f.data[0] = frameKindData
+			copy(f.data[1:], payload)
+		}
 		f.cls = cls
 	}
 	l.pending.Add(1)
@@ -559,10 +606,14 @@ func (n *Net) writeOne(p *peer, l *link, f outFrame) bool {
 	n.sent.Inc()
 	p.sent.Inc()
 	if n.sink != nil {
-		_ = n.sink.Record(trace.Event{
+		ev := trace.Event{
 			Round: -1, Node: p.id, Kind: trace.KindSend,
 			Value: float64(len(f.data)),
-		})
+		}
+		if f.data[0] == frameKindCausal {
+			ev.Seq, ev.Peer, ev.Clock, ev.Weight = f.seq, l.peer, f.clock, f.weight
+		}
+		_ = n.sink.Record(ev)
 	}
 	return true
 }
@@ -580,7 +631,7 @@ func (n *Net) recvLoop(p *peer, l *link) {
 			}
 			return
 		}
-		if len(data) == 0 || (data[0] != frameKindData && data[0] != frameKindPull) {
+		if len(data) == 0 || (data[0] != frameKindData && data[0] != frameKindPull && data[0] != frameKindCausal) {
 			if !n.noteDecodeError(p, l, fmt.Errorf("livenet: unknown frame kind")) {
 				return
 			}
@@ -593,7 +644,23 @@ func (n *Net) recvLoop(p *peer, l *link) {
 			}
 			continue
 		}
-		cls, err := wire.UnmarshalClassification(data[1:])
+		payload := data[1:]
+		var seq, msgClock uint64
+		var weight float64
+		causal := data[0] == frameKindCausal
+		if causal {
+			if len(payload) < causalHeaderLen {
+				if !n.noteDecodeError(p, l, fmt.Errorf("livenet: causal frame of %d bytes is shorter than its header", len(data))) {
+					return
+				}
+				continue
+			}
+			seq = binary.LittleEndian.Uint64(payload[:8])
+			msgClock = binary.LittleEndian.Uint64(payload[8:16])
+			weight = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:24]))
+			payload = payload[causalHeaderLen:]
+		}
+		cls, err := wire.UnmarshalClassification(payload)
 		if err != nil {
 			if !n.noteDecodeError(p, l, err) {
 				return
@@ -610,10 +677,15 @@ func (n *Net) recvLoop(p *peer, l *link) {
 		p.recv.Inc()
 		p.lastRecv.Set(float64(n.recvSeq.Add(1)))
 		if n.sink != nil {
-			_ = n.sink.Record(trace.Event{
+			ev := trace.Event{
 				Round: -1, Node: p.id, Kind: trace.KindReceive,
 				Value: float64(len(cls)),
-			})
+			}
+			if causal {
+				ev.Seq, ev.Peer, ev.Weight = seq, l.peer, weight
+				ev.Clock = trace.MergeClock(&p.clock, msgClock)
+			}
+			_ = n.sink.Record(ev)
 		}
 	}
 }

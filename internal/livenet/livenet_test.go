@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"distclass/internal/core"
 	"distclass/internal/gm"
 	"distclass/internal/topology"
+	"distclass/internal/trace"
 	"distclass/internal/vec"
 )
 
@@ -397,5 +399,107 @@ func TestTornFrameRegression(t *testing.T) {
 	}
 	if !bytes.Equal(got, payload) {
 		t.Errorf("frame = %v, want %v", got, payload)
+	}
+}
+
+// TestCausalFrameRoundTrip sends one causal data frame across each
+// transport and checks the wire carried the correlation metadata
+// intact: the receive trace event names the sender, repeats the send's
+// sequence number, merges to a larger Lamport clock, and restamps the
+// bit-identical weight.
+func TestCausalFrameRoundTrip(t *testing.T) {
+	for _, tr := range []Transport{TransportPipe, TransportTCP} {
+		t.Run(tr.String(), func(t *testing.T) {
+			g, err := topology.Full(2)
+			if err != nil {
+				t.Fatalf("Full: %v", err)
+			}
+			var buf bytes.Buffer
+			rec := trace.NewRecorder(&buf)
+			h := &testHandler{}
+			n, err := StartNet(g, NetConfig{Handler: h, Transport: tr, Trace: rec, Causal: true})
+			if err != nil {
+				t.Fatalf("StartNet: %v", err)
+			}
+			const weight = 0.3125 // exactly representable, survives the bit check
+			if !n.Send(0, 1, false, testClassification(t, weight)) {
+				t.Fatalf("send refused on a fresh net")
+			}
+			deadline := time.After(5 * time.Second)
+			for h.dataCount() < 1 {
+				select {
+				case <-deadline:
+					t.Fatalf("frame not delivered")
+				case <-time.After(time.Millisecond):
+				}
+			}
+			n.Stop()
+
+			events, err := trace.Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			var send, recv *trace.Event
+			for i, e := range events {
+				switch e.Kind {
+				case trace.KindSend:
+					send = &events[i]
+				case trace.KindReceive:
+					recv = &events[i]
+				}
+			}
+			if send == nil || recv == nil {
+				t.Fatalf("missing send/receive events in %+v", events)
+			}
+			if send.Node != 0 || send.Peer != 1 || send.Seq != 1 || send.Clock == 0 {
+				t.Errorf("send stamp = %+v, want node 0 peer 1 seq 1 clock > 0", send)
+			}
+			if recv.Node != 1 || recv.Peer != 0 || recv.Seq != send.Seq {
+				t.Errorf("receive stamp = %+v, want node 1 peer 0 seq %d", recv, send.Seq)
+			}
+			if recv.Clock <= send.Clock {
+				t.Errorf("receive clock %d not after send clock %d", recv.Clock, send.Clock)
+			}
+			if math.Float64bits(recv.Weight) != math.Float64bits(send.Weight) ||
+				math.Float64bits(send.Weight) != math.Float64bits(weight) {
+				t.Errorf("weight changed on the wire: sent %v received %v", send.Weight, recv.Weight)
+			}
+		})
+	}
+}
+
+// TestCausalPullFramesUnstamped: pull requests carry no weight and must
+// stay outside the causal identity space (Seq 0), even on a causal net.
+func TestCausalPullFramesUnstamped(t *testing.T) {
+	g, err := topology.Full(2)
+	if err != nil {
+		t.Fatalf("Full: %v", err)
+	}
+	var buf bytes.Buffer
+	h := &testHandler{}
+	n, err := StartNet(g, NetConfig{Handler: h, Trace: trace.NewRecorder(&buf), Causal: true})
+	if err != nil {
+		t.Fatalf("StartNet: %v", err)
+	}
+	if !n.Send(0, 1, true, nil) {
+		t.Fatalf("pull refused on a fresh net")
+	}
+	deadline := time.After(5 * time.Second)
+	for h.pullCount() < 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("pull not delivered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	n.Stop()
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for _, e := range events {
+		if (e.Kind == trace.KindSend || e.Kind == trace.KindReceive) && e.Seq != 0 {
+			t.Errorf("pull traffic entered the causal identity space: %+v", e)
+		}
 	}
 }

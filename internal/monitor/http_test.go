@@ -112,3 +112,92 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Errorf("/events?n=frogs = %d, want 400", rec.Code)
 	}
 }
+
+// TestEventsEndpointRingOverflow fills a minimum-size ring past
+// capacity and checks /events serves only the newest events, oldest
+// first — the eviction order must be visible over HTTP exactly as the
+// ring holds it.
+func TestEventsEndpointRingOverflow(t *testing.T) {
+	m := New(Config{EventBuffer: 16})
+	const total = 40
+	for i := 0; i < total; i++ {
+		m.Record(trace.Event{Round: i, Node: 0, Kind: trace.KindSend, Value: float64(i)})
+	}
+	mux := http.NewServeMux()
+	m.Attach(mux)
+
+	// n=0 means "everything buffered", which after overflow is the ring
+	// size, not the record count.
+	rec := get(t, mux, "/events?n=0")
+	events, err := trace.Read(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("/events body: %v", err)
+	}
+	if len(events) != 16 {
+		t.Fatalf("overflowed ring served %d events, want 16", len(events))
+	}
+	for i, e := range events {
+		if want := total - 16 + i; e.Round != want {
+			t.Errorf("events[%d].Round = %d, want %d (oldest evicted, order kept)", i, e.Round, want)
+		}
+	}
+
+	// n beyond the buffered count is not an error; it serves what exists.
+	rec = get(t, mux, "/events?n=1000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/events?n=1000 = %d", rec.Code)
+	}
+	if events, _ := trace.Read(strings.NewReader(rec.Body.String())); len(events) != 16 {
+		t.Errorf("n>buffered served %d events, want 16", len(events))
+	}
+}
+
+// TestEventsEndpointUnknownKind: filtering by a kind the run never
+// produced (or that does not exist at all) is a valid query with an
+// empty result, not an error.
+func TestEventsEndpointUnknownKind(t *testing.T) {
+	mux := http.NewServeMux()
+	monitoredRun().Attach(mux)
+	for _, url := range []string{"/events?kind=frogs", "/events?kind=crash"} {
+		rec := get(t, mux, url)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s = %d, want 200", url, rec.Code)
+		}
+		if body := strings.TrimSpace(rec.Body.String()); body != "" {
+			t.Errorf("%s body = %q, want empty", url, body)
+		}
+	}
+	// A kind list mixing unknown and known entries (with stray spaces)
+	// passes exactly the known kind's events.
+	rec := get(t, mux, "/events?kind=frogs,%20spread%20")
+	events, err := trace.Read(strings.NewReader(rec.Body.String()))
+	if err != nil {
+		t.Fatalf("mixed kind filter body: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("mixed kind filter served %d events, want 4", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != trace.KindSpread {
+			t.Errorf("mixed kind filter passed %q", e.Kind)
+		}
+	}
+}
+
+// TestEventsEndpointBadN pins the 400 contract on every malformed or
+// out-of-domain n.
+func TestEventsEndpointBadN(t *testing.T) {
+	mux := http.NewServeMux()
+	monitoredRun().Attach(mux)
+	for _, url := range []string{"/events?n=-1", "/events?n=1.5", "/events?n=", "/events?n=0x10"} {
+		rec := get(t, mux, url)
+		want := http.StatusBadRequest
+		if url == "/events?n=" {
+			// An empty n is an absent n: the default tail applies.
+			want = http.StatusOK
+		}
+		if rec.Code != want {
+			t.Errorf("%s = %d, want %d", url, rec.Code, want)
+		}
+	}
+}

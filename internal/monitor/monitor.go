@@ -125,6 +125,16 @@ type Monitor struct {
 	maxAbsDrift  float64 // guarded by mu
 	violations   int     // guarded by mu; samples above expected beyond tolerance
 
+	// Causal (schema-2) tracking, active once a causal run header or a
+	// clocked event arrives. nodeClock is each node's latest Lamport
+	// timestamp; nodeDepth is the online dissemination-depth estimate
+	// (a receive extends the sender's chain by one, as of the sender's
+	// depth when the receive is processed — the exact value is the
+	// offline analyzer's job, internal/causal).
+	causalSeen bool           // guarded by mu
+	nodeClock  map[int]uint64 // guarded by mu
+	nodeDepth  map[int]int    // guarded by mu
+
 	ring     []trace.Event // guarded by mu
 	ringNext int           // guarded by mu; next write; len(ring) == cap once wrapped
 }
@@ -135,11 +145,13 @@ var _ trace.Sink = (*Monitor)(nil)
 func New(cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
 	return &Monitor{
-		cfg:   cfg,
-		det:   converge.New(cfg.Threshold, cfg.Window),
-		kinds: make(map[trace.Kind]int),
-		nodes: make(map[int]*nodeState),
-		ring:  make([]trace.Event, 0, cfg.EventBuffer),
+		cfg:       cfg,
+		det:       converge.New(cfg.Threshold, cfg.Window),
+		kinds:     make(map[trace.Kind]int),
+		nodes:     make(map[int]*nodeState),
+		nodeClock: make(map[int]uint64),
+		nodeDepth: make(map[int]int),
+		ring:      make([]trace.Event, 0, cfg.EventBuffer),
 	}
 }
 
@@ -222,9 +234,23 @@ func (m *Monitor) Record(e trace.Event) error {
 		ns = m.nodeAt(e.Node)
 		ns.lastSeq = m.events
 	}
+	if e.Clock > 0 && e.Node >= 0 {
+		m.causalSeen = true
+		if e.Clock > m.nodeClock[e.Node] {
+			m.nodeClock[e.Node] = e.Clock
+		}
+		if e.Kind == trace.KindReceive && e.Seq > 0 && e.Peer >= 0 {
+			if d := m.nodeDepth[e.Peer] + 1; d > m.nodeDepth[e.Node] {
+				m.nodeDepth[e.Node] = d
+			}
+		}
+	}
 	switch e.Kind {
 	case trace.KindRunHeader:
 		m.backend = e.Backend
+		if e.Schema >= trace.SchemaCausal {
+			m.causalSeen = true
+		}
 	case trace.KindSend:
 		m.sends++
 		m.sentBytes += e.Value

@@ -76,6 +76,25 @@ type Conservation struct {
 	Samples    int     `json:"samples"`
 }
 
+// CausalStatus is the live view of a causal (schema-2) run: Lamport
+// clock dispersion and the online dissemination-depth estimate. It is
+// present in Status only when the monitored trace carries causal
+// metadata, so pre-causal /status snapshots keep their exact bytes.
+type CausalStatus struct {
+	// MaxClock and MinClock are the most- and least-advanced node
+	// Lamport clocks; ClockSkew is their gap — how far the least
+	// recently informed node lags the frontier.
+	MaxClock  uint64 `json:"max_clock"`
+	MinClock  uint64 `json:"min_clock"`
+	ClockSkew uint64 `json:"clock_skew"`
+	// MaxDepth and MeanDepth summarize the per-node dissemination
+	// depth: the length of the longest message chain that influenced
+	// each node's state (online estimate; internal/causal computes the
+	// exact value offline).
+	MaxDepth  int     `json:"max_depth"`
+	MeanDepth float64 `json:"mean_depth"`
+}
+
 // NodeHealth is one node's online health row, the live counterpart of
 // replay.NodeHealth (same staleness and stall semantics).
 type NodeHealth struct {
@@ -107,7 +126,11 @@ type Status struct {
 	Convergence  Convergence  `json:"convergence"`
 	Messaging    Messaging    `json:"messaging"`
 	Conservation Conservation `json:"conservation"`
-	NodeHealth   []NodeHealth `json:"node_health"`
+	// Causal is non-nil only for causal (schema-2) runs — absent, the
+	// field marshals to nothing and pre-causal snapshots stay
+	// byte-identical.
+	Causal     *CausalStatus `json:"causal,omitempty"`
+	NodeHealth []NodeHealth  `json:"node_health"`
 	// SpreadCurve and ErrorCurve are the retained probe curves (oldest
 	// samples beyond CurveCap dropped; the Dropped counters say how
 	// many).
@@ -170,6 +193,34 @@ func (m *Monitor) Status() Status {
 			d = -d
 		}
 		s.Conservation.Exact = d <= m.cfg.WeightTolerance
+	}
+
+	if m.causalSeen {
+		cs := &CausalStatus{}
+		first := true
+		for id := range m.nodes {
+			c := m.nodeClock[id]
+			if c > cs.MaxClock {
+				cs.MaxClock = c
+			}
+			if first || c < cs.MinClock {
+				cs.MinClock = c
+			}
+			first = false
+		}
+		cs.ClockSkew = cs.MaxClock - cs.MinClock
+		var depthSum int
+		for id := range m.nodes {
+			d := m.nodeDepth[id]
+			depthSum += d
+			if d > cs.MaxDepth {
+				cs.MaxDepth = d
+			}
+		}
+		if len(m.nodes) > 0 {
+			cs.MeanDepth = float64(depthSum) / float64(len(m.nodes))
+		}
+		s.Causal = cs
 	}
 
 	s.Kinds = make([]KindCount, 0, len(m.kinds))

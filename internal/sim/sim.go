@@ -121,6 +121,64 @@ type Options[M any] struct {
 	// per message and crash per killed node, all with real round (or
 	// step) numbers.
 	Trace trace.Sink
+	// Causal stamps send/receive trace events with per-message
+	// correlation metadata — per-sender sequence number, peer id,
+	// Lamport clock and carried weight (trace.SchemaCausal) — and
+	// switches the round driver to one receive event per delivered
+	// message instead of one per inbox batch, so every send matches
+	// exactly one receive. No-op without Trace.
+	Causal bool
+	// WeightFunc measures the classification weight a message moves,
+	// for causal events' Weight field (the quantity the provenance
+	// ledger downstream conserves). Nil records zero weights.
+	WeightFunc func(M) float64
+}
+
+// causalState holds the per-node Lamport clocks and send sequence
+// counters of a causal-tracing run (Options.Causal). The sim drivers
+// are single-goroutine, so plain slices suffice; the concurrent
+// transports keep their own atomic counters.
+type causalState struct {
+	seq   []uint64
+	clock []uint64
+}
+
+func newCausalState(n int) *causalState {
+	return &causalState{seq: make([]uint64, n), clock: make([]uint64, n)}
+}
+
+// stampSend ticks src's clock, assigns the next sequence number and
+// returns both — the identity and timestamp the message carries.
+func (cz *causalState) stampSend(src int) (seq, clock uint64) {
+	cz.seq[src]++
+	cz.clock[src]++
+	return cz.seq[src], cz.clock[src]
+}
+
+// stampReceive applies the Lamport merge rule at dst for a message
+// stamped with msgClock and returns dst's updated clock.
+func (cz *causalState) stampReceive(dst int, msgClock uint64) uint64 {
+	if msgClock > cz.clock[dst] {
+		cz.clock[dst] = msgClock
+	}
+	cz.clock[dst]++
+	return cz.clock[dst]
+}
+
+// msgMeta is the causal metadata riding alongside one queued message.
+type msgMeta struct {
+	src    int
+	seq    uint64
+	clock  uint64
+	weight float64
+}
+
+// weightOf applies fn to msg, tolerating a nil WeightFunc.
+func weightOf[M any](fn func(M) float64, msg M) float64 {
+	if fn == nil {
+		return 0
+	}
+	return fn(msg)
 }
 
 // Stats is a point-in-time view of this driver's traffic counters.
@@ -187,6 +245,7 @@ type Network[M any] struct {
 	alive  []bool
 	rr     []int // round-robin cursor per node
 	c      counters
+	cz     *causalState // non-nil iff Options.Causal
 }
 
 // NewNetwork builds a round driver over the graph; agents[i] runs on
@@ -216,7 +275,7 @@ func NewNetwork[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Op
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Network[M]{
+	n := &Network[M]{
 		graph:  g,
 		agents: agents,
 		r:      r,
@@ -224,7 +283,11 @@ func NewNetwork[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Op
 		alive:  alive,
 		rr:     make([]int, g.N()),
 		c:      newCounters(opts.Metrics),
-	}, nil
+	}
+	if opts.Causal {
+		n.cz = newCausalState(g.N())
+	}
+	return n, nil
 }
 
 // Alive reports whether node i is alive.
@@ -284,6 +347,12 @@ func pickNeighbor(g *topology.Graph, i int, policy Policy, rr []int, r *rng.RNG)
 func (n *Network[M]) Round() error {
 	round := n.c.local.Rounds
 	inbox := make([][]M, n.graph.N())
+	// meta mirrors inbox with per-message causal metadata (causal mode
+	// only); meta[i][j] describes inbox[i][j].
+	var meta [][]msgMeta
+	if n.cz != nil {
+		meta = make([][]msgMeta, n.graph.N())
+	}
 	// transfer moves one split half from src to dst.
 	transfer := func(src, dst int) {
 		msg, ok := n.agents[src].Emit()
@@ -294,14 +363,28 @@ func (n *Network[M]) Round() error {
 		if n.opts.SizeFunc != nil {
 			n.c.addPayload(n.opts.SizeFunc(msg))
 		}
+		var m msgMeta
+		if n.cz != nil {
+			m = msgMeta{src: src, weight: weightOf(n.opts.WeightFunc, msg)}
+			m.seq, m.clock = n.cz.stampSend(src)
+		}
 		if n.opts.Trace != nil {
-			_ = n.opts.Trace.Record(trace.Event{Round: round, Node: src, Kind: trace.KindSend})
+			ev := trace.Event{Round: round, Node: src, Kind: trace.KindSend}
+			if n.cz != nil {
+				// Causal fields only in causal mode: pre-causal goldens
+				// stay byte-identical.
+				ev.Seq, ev.Peer, ev.Clock, ev.Weight = m.seq, dst, m.clock, m.weight
+			}
+			_ = n.opts.Trace.Record(ev)
 		}
 		if !n.alive[dst] || (n.opts.DropProb > 0 && n.r.Bool(n.opts.DropProb)) {
 			n.c.incDropped()
 			return
 		}
 		inbox[dst] = append(inbox[dst], msg)
+		if n.cz != nil {
+			meta[dst] = append(meta[dst], m)
+		}
 	}
 	prof.Phase("sim.send", func() {
 		for i := range n.agents {
@@ -335,10 +418,24 @@ func (n *Network[M]) Round() error {
 			if err := n.agents[i].Receive(batch); err != nil {
 				return fmt.Errorf("sim: node %d receive: %w", i, err)
 			}
-			if n.opts.Trace != nil {
+			if n.opts.Trace == nil {
+				continue
+			}
+			if n.cz == nil {
 				_ = n.opts.Trace.Record(trace.Event{
 					Round: round, Node: i, Kind: trace.KindReceive,
 					Value: float64(len(batch)),
+				})
+				continue
+			}
+			// Causal mode: one receive event per delivered message, in
+			// batch order, each matching its send by (Peer, Seq). The
+			// Lamport merge applies per message so a matched receive
+			// clock always exceeds its send clock.
+			for _, m := range meta[i] {
+				_ = n.opts.Trace.Record(trace.Event{
+					Round: round, Node: i, Kind: trace.KindReceive, Value: 1,
+					Seq: m.seq, Peer: m.src, Clock: n.cz.stampReceive(i, m.clock), Weight: m.weight,
 				})
 			}
 		}
@@ -387,17 +484,25 @@ func (n *Network[M]) RunRounds(rounds int, after func(round int) error) error {
 // ErrStop tells RunRounds/RunSteps to halt early without error.
 var ErrStop = errors.New("sim: stop")
 
+// asyncMsg is one queued message with its causal metadata (meta fields
+// are zero outside causal mode).
+type asyncMsg[M any] struct {
+	msg  M
+	meta msgMeta
+}
+
 // Async is the fully asynchronous event driver.
 type Async[M any] struct {
 	graph  *topology.Graph
 	agents []Agent[M]
 	r      *rng.RNG
 	opts   Options[M]
-	queues map[[2]int][]M // FIFO per directed edge (src, dst)
-	edges  [][2]int       // directed edges with non-empty queues (keys of queues, maintained lazily)
+	queues map[[2]int][]asyncMsg[M] // FIFO per directed edge (src, dst)
+	edges  [][2]int                 // directed edges with non-empty queues (keys of queues, maintained lazily)
 	rr     []int
 	alive  []bool
 	c      counters
+	cz     *causalState // non-nil iff Options.Causal
 }
 
 // NewAsync builds an async driver over the graph. The async driver has
@@ -432,16 +537,20 @@ func NewAsync[M any](g *topology.Graph, agents []Agent[M], r *rng.RNG, opts Opti
 	for i := range alive {
 		alive[i] = true
 	}
-	return &Async[M]{
+	a := &Async[M]{
 		graph:  g,
 		agents: agents,
 		r:      r,
 		opts:   opts,
-		queues: make(map[[2]int][]M),
+		queues: make(map[[2]int][]asyncMsg[M]),
 		rr:     make([]int, g.N()),
 		alive:  alive,
 		c:      newCounters(opts.Metrics),
-	}, nil
+	}
+	if opts.Causal {
+		a.cz = newCausalState(g.N())
+	}
+	return a, nil
 }
 
 // Stats returns a snapshot of the accumulated counters.
@@ -492,10 +601,10 @@ func (a *Async[M]) Kill(i int) []M {
 	})
 	var discarded []M
 	for _, e := range dead {
-		for range a.queues[e] {
+		for _, qm := range a.queues[e] {
 			a.c.incDropped()
+			discarded = append(discarded, qm.msg)
 		}
-		discarded = append(discarded, a.queues[e]...)
 		delete(a.queues, e)
 	}
 	if a.opts.Trace != nil {
@@ -509,8 +618,8 @@ func (a *Async[M]) Kill(i int) []M {
 // weight in flight) whose result is order-independent.
 func (a *Async[M]) ForEachQueued(fn func(M)) {
 	for _, q := range a.queues {
-		for _, m := range q {
-			fn(m)
+		for _, qm := range q {
+			fn(qm.msg)
 		}
 	}
 }
@@ -565,8 +674,17 @@ func (a *Async[M]) Step() error {
 			if a.opts.SizeFunc != nil {
 				a.c.addPayload(a.opts.SizeFunc(msg))
 			}
+			var m msgMeta
+			if a.cz != nil {
+				m = msgMeta{src: src, weight: weightOf(a.opts.WeightFunc, msg)}
+				m.seq, m.clock = a.cz.stampSend(src)
+			}
 			if a.opts.Trace != nil {
-				_ = a.opts.Trace.Record(trace.Event{Round: step, Node: src, Kind: trace.KindSend})
+				ev := trace.Event{Round: step, Node: src, Kind: trace.KindSend}
+				if a.cz != nil {
+					ev.Seq, ev.Peer, ev.Clock, ev.Weight = m.seq, dst, m.clock, m.weight
+				}
+				_ = a.opts.Trace.Record(ev)
 			}
 			if !a.alive[dst] {
 				// The emitted half was addressed to a crashed node: its
@@ -576,7 +694,7 @@ func (a *Async[M]) Step() error {
 				return
 			}
 			key := [2]int{src, dst}
-			a.queues[key] = append(a.queues[key], msg)
+			a.queues[key] = append(a.queues[key], asyncMsg[M]{msg: msg, meta: m})
 		}
 		switch a.opts.Mode {
 		case ModePull:
@@ -595,13 +713,18 @@ func (a *Async[M]) Step() error {
 	// determinism matters for tests, so pick by stable order.
 	e := pickStableEdge(nonEmpty, choice-sends)
 	q := a.queues[e]
-	msg := q[0]
+	qm := q[0]
 	a.queues[e] = q[1:]
-	if err := a.agents[e[1]].Receive([]M{msg}); err != nil {
+	if err := a.agents[e[1]].Receive([]M{qm.msg}); err != nil {
 		return fmt.Errorf("sim: node %d receive: %w", e[1], err)
 	}
 	if a.opts.Trace != nil {
-		_ = a.opts.Trace.Record(trace.Event{Round: step, Node: e[1], Kind: trace.KindReceive, Value: 1})
+		ev := trace.Event{Round: step, Node: e[1], Kind: trace.KindReceive, Value: 1}
+		if a.cz != nil {
+			ev.Seq, ev.Peer, ev.Weight = qm.meta.seq, qm.meta.src, qm.meta.weight
+			ev.Clock = a.cz.stampReceive(e[1], qm.meta.clock)
+		}
+		_ = a.opts.Trace.Record(ev)
 	}
 	return nil
 }
@@ -670,9 +793,9 @@ func (a *Async[M]) Drain() error {
 		for _, e := range keys {
 			q := a.queues[e]
 			for len(q) > 0 {
-				msg := q[0]
+				qm := q[0]
 				q = q[1:]
-				if err := a.agents[e[1]].Receive([]M{msg}); err != nil {
+				if err := a.agents[e[1]].Receive([]M{qm.msg}); err != nil {
 					return fmt.Errorf("sim: node %d receive: %w", e[1], err)
 				}
 				delivered = true

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,49 @@ func BenchmarkCursorDecode(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchRecord drives a Sink with the protocol event mix of a live run,
+// against /dev/null so the syscall cost per write is real but the disk
+// is out of the picture.
+func benchRecord(b *testing.B, rec Sink, flush func() error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Event{Round: i / 16, Node: i % 16, Kind: KindSend, Value: 3,
+			Seq: uint64(i + 1), Peer: (i + 1) % 16, Clock: uint64(i + 1), Weight: 1.5}
+		if err := rec.Record(e); err != nil {
+			b.Fatalf("Record: %v", err)
+		}
+	}
+	if err := flush(); err != nil {
+		b.Fatalf("flush: %v", err)
+	}
+}
+
+// BenchmarkRecorderUnbuffered measures the plain Recorder: one write
+// syscall per event — the cost the buffered variant amortizes away.
+func BenchmarkRecorderUnbuffered(b *testing.B) {
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		b.Skipf("open %s: %v", os.DevNull, err)
+	}
+	defer f.Close()
+	benchRecord(b, NewRecorder(f), func() error { return nil })
+}
+
+// BenchmarkRecorderBuffered measures the BufferedRecorder on the same
+// event stream: ~a few hundred events per syscall through the 64 KiB
+// buffer.
+func BenchmarkRecorderBuffered(b *testing.B) {
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		b.Skipf("open %s: %v", os.DevNull, err)
+	}
+	defer f.Close()
+	rec := NewBufferedRecorder(f)
+	benchRecord(b, rec, rec.Close)
 }
 
 // BenchmarkCursorSkipBlank isolates the blank-line test: a stream of

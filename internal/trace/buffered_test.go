@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBufferedRecorderHoldsUntilFlush pins the contract that makes the
+// buffered variant fast: small events stay in the 64 KiB buffer, and
+// nothing reaches the underlying writer before Flush.
+func TestBufferedRecorderHoldsUntilFlush(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBufferedRecorder(&buf)
+	for i := 0; i < 10; i++ {
+		if err := rec.Record(Event{Round: i, Node: i, Kind: KindSend, Value: 1}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("underlying writer saw %d bytes before Flush, want 0", buf.Len())
+	}
+	if got := rec.Count(); got != 10 {
+		t.Errorf("Count = %d before Flush, want 10 (counting is not deferred)", got)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 10 {
+		t.Errorf("read back %d events after Flush, want 10", len(events))
+	}
+}
+
+// TestBufferedRecorderSpillsWhenFull fills past the buffer size and
+// checks events spill to the writer without waiting for Flush.
+func TestBufferedRecorderSpillsWhenFull(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBufferedRecorder(&buf)
+	big := strings.Repeat("x", 1024)
+	for i := 0; i < 2*bufferedRecorderSize/len(big); i++ {
+		if err := rec.Record(Event{Round: i, Kind: KindRunHeader, Backend: big}); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Error("buffer never spilled to the underlying writer")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("Read after spill + Close: %v (lines interleaved or truncated?)", err)
+	}
+}
+
+// TestBufferedRecorderCloseDoesNotCloseWriter: Close only flushes —
+// the caller owns the handle, so a second Close and later Records must
+// still work.
+func TestBufferedRecorderCloseDoesNotCloseWriter(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBufferedRecorder(&buf)
+	if err := rec.Record(Event{Kind: KindSend, Node: 1}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := rec.Record(Event{Kind: KindSend, Node: 2}); err != nil {
+		t.Fatalf("Record after Close: %v", err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != 2 {
+		t.Errorf("read back %d events, want 2", len(events))
+	}
+}
+
+// TestBufferedRecorderConcurrent hammers Record and Flush from many
+// goroutines; the single mutex must keep lines whole.
+func TestBufferedRecorderConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewBufferedRecorder(&buf)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := rec.Record(Event{Round: i, Node: w, Kind: KindReceive}); err != nil {
+					t.Errorf("Record: %v", err)
+					return
+				}
+				if i%50 == 0 {
+					if err := rec.Flush(); err != nil {
+						t.Errorf("Flush: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(events) != writers*perWriter {
+		t.Errorf("read back %d events, want %d", len(events), writers*perWriter)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCausalRunHeader(t *testing.T) {
+	e := CausalRunHeader("tcp")
+	if e.Kind != KindRunHeader || e.Round != -1 || e.Node != -1 {
+		t.Errorf("header shape = %+v", e)
+	}
+	if e.Backend != "tcp" || e.Schema != SchemaCausal {
+		t.Errorf("backend/schema = %q/%d, want tcp/%d", e.Backend, e.Schema, SchemaCausal)
+	}
+}
+
+// TestCausalFieldsOmittedWhenUnset pins the byte-compat contract: a
+// schema-1 event serializes without any of the causal keys, so
+// pre-causal fixtures and goldens keep their bytes.
+func TestCausalFieldsOmittedWhenUnset(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	if err := rec.Record(Event{Round: 3, Node: 1, Kind: KindSend, Value: 2}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	for _, key := range []string{"seq", "peer", "clock", "weight", "schema"} {
+		if bytes.Contains(buf.Bytes(), []byte(`"`+key+`"`)) {
+			t.Errorf("non-causal event serialized %q: %s", key, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := rec.Record(Event{Round: -1, Node: 2, Kind: KindReceive, Seq: 7, Peer: 4, Clock: 9, Weight: 1.5}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	got := events[0]
+	if got.Seq != 7 || got.Peer != 4 || got.Clock != 9 || got.Weight != 1.5 {
+		t.Errorf("causal fields did not round-trip: %+v", got)
+	}
+}
+
+func TestMergeClock(t *testing.T) {
+	var c atomic.Uint64
+	// Local ahead of the message: tick.
+	c.Store(10)
+	if got := MergeClock(&c, 4); got != 11 {
+		t.Errorf("MergeClock(10, 4) = %d, want 11", got)
+	}
+	// Message ahead of local: adopt and tick.
+	if got := MergeClock(&c, 30); got != 31 {
+		t.Errorf("MergeClock(11, 30) = %d, want 31", got)
+	}
+	// Equal clocks still tick — Lamport clocks never stall.
+	if got := MergeClock(&c, 31); got != 32 {
+		t.Errorf("MergeClock(31, 31) = %d, want 32", got)
+	}
+}
+
+// TestMergeClockConcurrent checks the CAS loop under contention: every
+// merge must advance the clock, so n concurrent merges of small
+// messages advance it by exactly n.
+func TestMergeClockConcurrent(t *testing.T) {
+	var c atomic.Uint64
+	const goroutines, merges = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < merges; i++ {
+				MergeClock(&c, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*merges {
+		t.Errorf("clock = %d after %d merges, want %d", got, goroutines*merges, goroutines*merges)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind labels an event. The typed constants below cover the protocol
@@ -82,13 +83,78 @@ type Event struct {
 	// Backend names the engine backend on KindRunHeader events
 	// ("round", "async", "chan", "pipe", "tcp"); empty elsewhere.
 	Backend string `json:"backend,omitempty"`
+	// Schema is the trace schema version, set on KindRunHeader events.
+	// Absent (0) means SchemaBase: the original event vocabulary.
+	// SchemaCausal runs additionally stamp send/receive events with the
+	// causal fields below. New fields are always omitempty so old
+	// fixtures and goldens keep parsing — and keep their bytes.
+	Schema int `json:"schema,omitempty"`
+	// Seq is the per-sender sequence number of a causal data transfer
+	// (1-based, assigned by the sending node). A send and its receive
+	// carry the same (sender, Seq) pair — that pair is the message's
+	// identity. Gaps are legal: a sequence number burned on a refused
+	// or dropped send is never reused.
+	Seq uint64 `json:"seq,omitempty"`
+	// Peer is the other endpoint of a causal transfer: the destination
+	// node on send events, the source node on receive events.
+	Peer int `json:"peer,omitempty"`
+	// Clock is a Lamport timestamp: on send events the sender's clock
+	// after ticking for the send; on receive events the receiver's
+	// clock after the max(local, message)+1 merge rule. A matched
+	// receive therefore always carries a strictly larger Clock than its
+	// send.
+	Clock uint64 `json:"clock,omitempty"`
+	// Weight is the total classification weight the transfer carries
+	// (causal send/receive events only) — the quantity the provenance
+	// ledger conserves.
+	Weight float64 `json:"weight,omitempty"`
 }
+
+// Trace schema versions, carried on KindRunHeader events.
+const (
+	// SchemaBase is the original schema: events identified by
+	// Round/Node/Kind/Value only. Traces without a run header (or with
+	// Schema 0) are SchemaBase.
+	SchemaBase = 1
+	// SchemaCausal adds per-message correlation: send and receive
+	// events carry Seq/Peer/Clock/Weight, with one receive event per
+	// delivered message, so the happens-before DAG can be reconstructed
+	// from the stream (see internal/causal).
+	SchemaCausal = 2
+)
 
 // RunHeader builds the run-level header event for the given backend
 // name. Record it first so downstream tools can identify the run's
 // substrate before any protocol event arrives.
 func RunHeader(backend string) Event {
 	return Event{Round: -1, Node: -1, Kind: KindRunHeader, Backend: backend}
+}
+
+// CausalRunHeader builds the run-level header for a causal
+// (SchemaCausal) trace. Causal traces always begin with this header —
+// analyzers refuse streams without it rather than silently matching
+// nothing.
+func CausalRunHeader(backend string) Event {
+	e := RunHeader(backend)
+	e.Schema = SchemaCausal
+	return e
+}
+
+// MergeClock applies the Lamport receive rule to the atomic clock c —
+// c = max(c, msg)+1 — and returns the updated value. The concurrent
+// transports share it; the single-goroutine sim drivers keep plain
+// counters.
+func MergeClock(c *atomic.Uint64, msg uint64) uint64 {
+	for {
+		cur := c.Load()
+		next := cur + 1
+		if msg >= cur {
+			next = msg + 1
+		}
+		if c.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
 }
 
 // CollectionRecord is one collection's snapshot.
@@ -148,6 +214,44 @@ func (r *Recorder) Record(e Event) error {
 	r.count++
 	return nil
 }
+
+// bufferedRecorderSize is the write buffer of a BufferedRecorder.
+// 64 KiB batches a few hundred typical event lines per syscall.
+const bufferedRecorderSize = 64 << 10
+
+// BufferedRecorder is a Recorder that batches writes through a
+// bufio.Writer, so high-rate live runs don't pay a syscall per event.
+// Events may sit in the buffer until Flush or Close — callers that
+// hand a file to a BufferedRecorder must Close (or Flush) it before
+// reading the trace back or letting the process exit. The plain
+// Recorder remains unbuffered: every Record lands in the underlying
+// writer immediately, which is what tests reading a bytes.Buffer
+// mid-run rely on.
+type BufferedRecorder struct {
+	Recorder
+	w *bufio.Writer // flushed under the embedded Recorder's mu
+}
+
+// NewBufferedRecorder writes events to w through a 64 KiB buffer.
+func NewBufferedRecorder(w io.Writer) *BufferedRecorder {
+	b := &BufferedRecorder{w: bufio.NewWriterSize(w, bufferedRecorderSize)}
+	b.enc = json.NewEncoder(b.w)
+	return b
+}
+
+// Flush writes any buffered events to the underlying writer.
+func (b *BufferedRecorder) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the buffer. It does not close the underlying writer —
+// the caller owns the file handle.
+func (b *BufferedRecorder) Close() error { return b.Flush() }
 
 // Scalar records a named scalar observation.
 func (r *Recorder) Scalar(round, node int, kind Kind, value float64) error {
