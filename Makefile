@@ -11,9 +11,9 @@ BENCH_OLD ?= $(firstword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
 BENCH_NEW ?= $(lastword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: check build test vet fmt lint lint-report lint-allows race bench bench-diff analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke
+.PHONY: check build test vet fmt lint lint-report lint-allows race bench bench-diff analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke
 
-check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke race
+check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke race
 
 build:
 	$(GO) build ./...
@@ -96,10 +96,19 @@ monitor-smoke:
 causal-smoke:
 	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/experiments -causal-smoke -causal-out "$$dir/causal" >/dev/null && \
-	for b in round async chan pipe tcp; do \
+	for b in round async chan pipe tcp shard; do \
 		$(GO) run ./cmd/distclass-analyze -causal -fail-anomalies -format json -o "$$dir/causal.$$b.json" "$$dir/causal.$$b.trace" || exit 1; \
 	done && \
 	echo "causal-smoke: happens-before clean and ledger exact on all backends"
+
+# Sharded-scheduler smoke gate: a 512-node cluster on the shard
+# backend with kill/restart churn must converge twice and end with an
+# exact weight ledger (final = initial - destroyed + restarted). This
+# is the scale-path gate: per-shard run queues, batched cross-shard
+# delivery, quiescent-boundary failure injection.
+shard-smoke:
+	@$(GO) run ./cmd/experiments -shard-smoke >/dev/null && \
+	echo "shard-smoke: 512-node sharded cluster converged through churn, ledger exact"
 
 # Benchmarks over the hot paths (vector/matrix kernels, EM, partition,
 # wire codec, sim round loop), archived as BENCH_<date>.json with a

@@ -1,9 +1,10 @@
 // Command distclass-live runs the classification protocol as a live
-// in-process deployment: one gossip goroutine per node over a genuinely
-// concurrent backend — in-process channels, synchronous pipes or
-// loopback TCP — in contrast to distclass-sim's deterministic
-// simulator. It prints the spread as the cluster converges, then the
-// final classification.
+// in-process deployment over a genuinely concurrent backend —
+// in-process channels, synchronous pipes or loopback TCP (one gossip
+// goroutine per node), or the sharded scheduler (-backend shard, a
+// fixed worker pool that scales to 100k+ nodes) — in contrast to
+// distclass-sim's deterministic simulator. It prints the spread as the
+// cluster converges, then the final classification.
 //
 // With -metrics it serves the run's counters, latency histograms, run
 // manifest and pprof profiles over HTTP while the cluster runs; with
@@ -48,7 +49,8 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "how long to run")
 	flag.DurationVar(&cfg.interval, "interval", 2*time.Millisecond, "per-node gossip tick")
 	flag.Float64Var(&cfg.tol, "tol", 0.05, "spread below which the run stops early")
-	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe or tcp")
+	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe, tcp or shard")
+	flag.IntVar(&cfg.shards, "shards", 0, "worker-pool size for -backend shard (default GOMAXPROCS)")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
 	flag.BoolVar(&cfg.causal, "causal", false, "stamp trace events with causal metadata (per-sender seq, peer, Lamport clock, moved weight) for distclass-analyze -causal; requires -trace")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
@@ -64,6 +66,7 @@ func main() {
 // runConfig carries the command's flags into run.
 type runConfig struct {
 	n, k        int
+	shards      int
 	method      string
 	topo        string
 	policy      string
@@ -176,6 +179,9 @@ func run(cfg runConfig) error {
 		distclass.WithMetrics(reg),
 		distclass.WithRunHeader(),
 	}
+	if cfg.shards != 0 {
+		opts = append(opts, distclass.WithShards(cfg.shards))
+	}
 	if sink != nil {
 		opts = append(opts, distclass.WithTrace(sink))
 		if cfg.causal {
@@ -236,7 +242,7 @@ func run(cfg runConfig) error {
 	deadline := time.After(cfg.duration)
 	tick := time.NewTicker(cfg.duration / 10)
 	defer tick.Stop()
-	fmt.Printf("live cluster: %d goroutine nodes on %s topology (%s backend)\n",
+	fmt.Printf("live cluster: %d nodes on %s topology (%s backend)\n",
 		cfg.n, cfg.topo, cluster.Backend())
 loop:
 	for {

@@ -30,7 +30,7 @@ func main() {
 		n          = flag.Int("n", 100, "number of nodes")
 		k          = flag.Int("k", 2, "max collections per classification")
 		method     = flag.String("method", "gm", "classification method: gm or centroids")
-		topo       = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric")
+		topo       = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric, regular")
 		backend    = flag.String("backend", "round", "simulation backend: round or async")
 		policy     = flag.String("policy", "push", "gossip policy: push or roundrobin")
 		mode       = flag.String("mode", "push", "gossip mode: push, pull or pushpull")

@@ -91,8 +91,9 @@ func main() {
 		liveChurn   = flag.Bool("live-churn", false, "run the live churn ablation: kill a fraction of real cluster nodes mid-run")
 		churnFracs  = flag.String("churn-fracs", "0,0.1,0.2,0.3", "comma-separated kill fractions for -live-churn")
 		strict      = flag.Bool("strict", false, "with -live-churn: fail on non-convergence, cluster errors or broken weight conservation")
-		backendFlag = flag.String("backend", "", "engine backend for -fig 4, -ablation crash and -live-churn: round, async, chan, pipe or tcp (default: round for the sim figures, pipe for -live-churn)")
+		backendFlag = flag.String("backend", "", "engine backend for -fig 4, -ablation crash and -live-churn: round, async, chan, pipe, tcp or shard (default: round for the sim figures, pipe for -live-churn)")
 		engineSmoke = flag.Bool("engine-smoke", false, "run a tiny two-cluster workload on every engine backend and audit convergence and weight conservation")
+		shardSmoke  = flag.Bool("shard-smoke", false, "run a 512-node two-cluster workload on the sharded scheduler, audit convergence and exact conservation through a kill/restart cycle")
 		monitorAddr = flag.String("monitor", "", "attach a passive online monitor to the event stream and serve /status, /health and /events (plus the -metrics endpoints) on this address; state aggregates across every experiment of the invocation")
 		monSmoke    = flag.Bool("monitor-smoke", false, "run the engine-smoke workload on every backend with the online monitor attached and assert /health converged and /status conservation exact over HTTP")
 		causSmoke   = flag.Bool("causal-smoke", false, "run the engine-smoke workload on every backend with causal tracing and assert clean happens-before matching and an exact provenance ledger")
@@ -104,7 +105,7 @@ func main() {
 		log.Print("-causal-out needs -causal-smoke")
 		os.Exit(2)
 	}
-	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*monSmoke && !*causSmoke {
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*shardSmoke && !*monSmoke && !*causSmoke {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,7 +128,8 @@ func main() {
 		fig: *fig, ablation: *ablation, all: *all, quick: *quick,
 		seed: *seed, csvDir: *csvDir, traceFile: *traceFile,
 		metricsAddr: *metricsAddr, churn: churn, figBackend: backends.fig,
-		engineSmoke: *engineSmoke, monitorAddr: *monitorAddr, monitorSmoke: *monSmoke,
+		engineSmoke: *engineSmoke, shardSmoke: *shardSmoke,
+		monitorAddr: *monitorAddr, monitorSmoke: *monSmoke,
 		causalSmoke: *causSmoke, causalOut: *causalOut,
 	})
 	if perr := stopProf(); err == nil {
@@ -173,6 +175,7 @@ type mainOpts struct {
 	churn       churnOpts
 	figBackend  engine.Backend
 	engineSmoke bool
+	shardSmoke  bool
 
 	monitorAddr  string
 	monitorSmoke bool
@@ -248,6 +251,7 @@ func run(m mainOpts, o obs) error {
 		ablations = []string{"topology", "k", "q", "policy", "mode", "methods", "reducer", "crash", "loss", "outliermethods", "scalability", "dimension", "relatedwork", "histogram"}
 		m.churn.enabled = true
 		m.engineSmoke = true
+		m.shardSmoke = true
 		m.monitorSmoke = true
 		m.causalSmoke = true
 	}
@@ -274,6 +278,11 @@ func run(m mainOpts, o obs) error {
 	}
 	if m.engineSmoke {
 		if err := runEngineSmoke(m.seed, o); err != nil {
+			return err
+		}
+	}
+	if m.shardSmoke {
+		if err := runShardSmoke(m.seed, o); err != nil {
 			return err
 		}
 	}
@@ -360,6 +369,83 @@ func runEngineSmoke(seed uint64, o obs) error {
 		out = append(out, []string{b.String(), "yes", rounds, experiments.F(weight)})
 	}
 	fmt.Println(experiments.FormatTable([]string{"backend", "converged", "rounds", "weight"}, out))
+	return nil
+}
+
+// runShardSmoke is the shard-smoke CI gate: a 512-node two-cluster
+// workload on the sharded scheduler — a scale the per-goroutine
+// backends make painful in CI — audited for convergence, then for
+// exact weight accounting through a kill/restart cycle: weight after
+// the churn must equal n minus what the kills destroyed plus one unit
+// per restarted node.
+func runShardSmoke(seed uint64, o obs) error {
+	fmt.Println("=== Shard smoke: 512-node workload on the sharded scheduler, with churn ===")
+	const (
+		n        = 512
+		kills    = 16
+		restarts = 8
+		tol      = 0.05
+	)
+	r := rng.New(seed)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4
+		}
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	cl, err := distclass.StartLive(values, distclass.GaussianMixture(),
+		distclass.WithK(2),
+		distclass.WithSeed(seed),
+		distclass.WithBackend(distclass.BackendShard),
+		distclass.WithInterval(time.Millisecond),
+		distclass.WithTolerance(tol),
+		distclass.WithMetrics(o.reg),
+	)
+	if err != nil {
+		return fmt.Errorf("shard-smoke: %w", err)
+	}
+	defer cl.Stop()
+	ok, err := cl.WaitConverged(30*time.Second, tol)
+	if err != nil {
+		return fmt.Errorf("shard-smoke: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("shard-smoke: did not converge")
+	}
+	expected := float64(n)
+	var destroyed float64
+	for k := 0; k < kills; k++ {
+		w, err := cl.Kill(k * (n / kills))
+		if err != nil {
+			return fmt.Errorf("shard-smoke: %w", err)
+		}
+		destroyed += w
+	}
+	expected -= destroyed
+	for k := 0; k < restarts; k++ {
+		i := k * (n / kills)
+		if err := cl.Restart(i, values[i]); err != nil {
+			return fmt.Errorf("shard-smoke: %w", err)
+		}
+		expected++
+	}
+	if _, err := cl.WaitConverged(30*time.Second, tol); err != nil {
+		return fmt.Errorf("shard-smoke: %w", err)
+	}
+	cl.Stop() // drain the shard mailboxes so the audit is exact
+	if err := cl.Err(); err != nil {
+		return fmt.Errorf("shard-smoke: %w", err)
+	}
+	weight := cl.TotalWeight()
+	if drift := weight - expected; drift > 1e-6 || drift < -1e-6 {
+		return fmt.Errorf("shard-smoke: weight not conserved through churn: %v vs %v (drift %v)", weight, expected, drift)
+	}
+	fmt.Println(experiments.FormatTable(
+		[]string{"nodes", "converged", "killed", "restarted", "destroyed", "weight"},
+		[][]string{{strconv.Itoa(n), "yes", strconv.Itoa(kills), strconv.Itoa(restarts),
+			experiments.F(destroyed), experiments.F(weight)}}))
 	return nil
 }
 

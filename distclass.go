@@ -116,6 +116,7 @@ const (
 	TopologyTree      = topology.KindTree
 	TopologyER        = topology.KindER
 	TopologyGeometric = topology.KindGeometric
+	TopologyRegular   = topology.KindRegular
 )
 
 // Gossip policies.
@@ -133,17 +134,18 @@ const (
 
 // Protocol backends. The simulator backends (BackendRound,
 // BackendAsync) run under System; the concurrent backends (BackendChan,
-// BackendPipe, BackendTCP) run under LiveCluster.
+// BackendPipe, BackendTCP, BackendShard) run under LiveCluster.
 const (
 	BackendRound = engine.BackendRound
 	BackendAsync = engine.BackendAsync
 	BackendChan  = engine.BackendChan
 	BackendPipe  = engine.BackendPipe
 	BackendTCP   = engine.BackendTCP
+	BackendShard = engine.BackendShard
 )
 
 // ParseBackend maps a -backend flag value ("round", "async", "chan",
-// "pipe", "tcp") to a Backend.
+// "pipe", "tcp", "shard") to a Backend.
 func ParseBackend(s string) (Backend, error) { return engine.ParseBackend(s) }
 
 // Centroids returns the paper's Algorithm 2 instantiation: centroid
@@ -237,6 +239,7 @@ type options struct {
 	sink       trace.Sink
 	mon        *monitor.Monitor
 	monEvery   time.Duration
+	shards     int
 }
 
 // Option configures a System or LiveCluster.
@@ -264,7 +267,8 @@ func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
 // WithBackend selects the communication substrate. New accepts the
 // simulator backends (BackendRound, the default, and BackendAsync);
 // StartLive accepts the concurrent ones (BackendPipe, the default,
-// BackendChan and BackendTCP). Options a backend cannot honor are
+// BackendChan, BackendTCP and BackendShard — the sharded scheduler
+// that reaches 100k+ nodes). Options a backend cannot honor are
 // rejected with an error, never silently ignored.
 func WithBackend(b Backend) Option {
 	return func(o *options) { o.backend = b; o.backendSet = true }
@@ -330,6 +334,11 @@ func WithMonitor(m *Monitor) Option { return func(o *options) { o.mon = m } }
 // simulation backends sample once per round and ignore it.
 func WithMonitorInterval(d time.Duration) Option { return func(o *options) { o.monEvery = d } }
 
+// WithShards sets the worker-pool size of BackendShard (default
+// GOMAXPROCS, clamped to the node count). Rejected on every other
+// backend.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
 // collect applies the options over the given defaults.
 func collect(defaults options, opts []Option) options {
 	o := defaults
@@ -358,6 +367,7 @@ func (o options) engineConfig(values []Value, method Method) engine.Config {
 		Tolerance:  o.tol,
 		MaxRounds:  o.maxRounds,
 		Interval:   o.interval,
+		Shards:     o.shards,
 		EmitHeader: o.runHeader,
 		Causal:     o.causal,
 		Metrics:    o.reg,
@@ -490,10 +500,13 @@ func (s *System) Stats() Stats { return s.eng.Stats() }
 // conservation).
 func (s *System) TotalWeight() float64 { return s.eng.TotalWeight() }
 
-// LiveCluster is a running live deployment: one gossip goroutine per
-// node over a concurrent substrate — in-process channels (BackendChan),
-// synchronous pipes (BackendPipe) or loopback TCP (BackendTCP) — with
-// genuine asynchrony, in contrast to System's deterministic simulator.
+// LiveCluster is a running live deployment over a concurrent
+// substrate — in-process channels (BackendChan), synchronous pipes
+// (BackendPipe), loopback TCP (BackendTCP), each one gossip goroutine
+// per node, or the sharded scheduler (BackendShard), a fixed worker
+// pool that reaches node counts the per-goroutine backends cannot —
+// with genuine asynchrony, in contrast to System's deterministic
+// simulator.
 type LiveCluster struct {
 	eng    engine.Engine
 	method Method
@@ -501,9 +514,10 @@ type LiveCluster struct {
 
 // StartLive launches a live cluster with one node per value. Callers
 // must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
-// WithPolicy, WithMode, WithBackend (pipe, chan or tcp; default pipe),
-// WithInterval, WithTolerance (used by WaitConverged), WithRunHeader,
-// WithMetrics, WithTrace, and WithMonitor.
+// WithPolicy, WithMode, WithBackend (pipe, chan, tcp or shard; default
+// pipe), WithShards (shard only), WithInterval, WithTolerance (used by
+// WaitConverged), WithRunHeader, WithMetrics, WithTrace, and
+// WithMonitor.
 // The probabilistic fault injections (WithCrashProb, WithDropProb) are
 // simulator-only and rejected here — live clusters crash via Kill.
 func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {
@@ -518,9 +532,9 @@ func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, err
 		return nil, fmt.Errorf("distclass: k = %d must be at least 1", o.k)
 	}
 	switch o.backend {
-	case BackendChan, BackendPipe, BackendTCP:
+	case BackendChan, BackendPipe, BackendTCP, BackendShard:
 	default:
-		return nil, fmt.Errorf("distclass: StartLive runs the concurrent backends (chan, pipe, tcp); backend %s needs New", o.backend)
+		return nil, fmt.Errorf("distclass: StartLive runs the concurrent backends (chan, pipe, tcp, shard); backend %s needs New", o.backend)
 	}
 	eng, err := engine.New(o.engineConfig(values, method))
 	if err != nil {

@@ -117,14 +117,17 @@ type Method interface {
 	// {<val, 1>}.
 	Summarize(val Value) (Summary, error)
 	// Merge implements mergeSet: the summary of the union of the given
-	// collections. The input is never empty.
+	// collections. The input is never empty. Implementations must not
+	// retain cs or the Collection structs it holds beyond the call: the
+	// slice is node-owned scratch, reused across merge groups.
 	Merge(cs []Collection) (Summary, error)
 	// Partition groups the collections of a combined classification into
 	// at most k non-empty index groups; each group is then merged into a
 	// single collection. Implementations must respect the paper's two
 	// constraints: |M| <= k, and no group is a singleton whose weight is
 	// the quantum q (such a collection must be merged with another)
-	// whenever the input has more than one collection.
+	// whenever the input has more than one collection. Like Merge,
+	// implementations must not retain cs: it is node-owned scratch.
 	Partition(cs []Collection, k int, q float64) ([][]int, error)
 	// Distance is the summary pseudo-metric d_S.
 	Distance(a, b Summary) (float64, error)
@@ -193,6 +196,20 @@ type Node struct {
 	id  int
 	cfg Config
 	cls Classification
+
+	// Node-owned scratch buffers for the split/absorb hot path. A node
+	// splits and absorbs every gossip exchange; without reuse each
+	// exchange allocates a kept slice, a union slice, a members slice
+	// per merge group and a next slice. The buffers below amortize all
+	// of those to zero: only the outgoing half of a split is freshly
+	// allocated, because it escapes into the transport (queued frames
+	// have unbounded lifetime). Safety rests on two invariants: the
+	// Method contract (Partition/Merge never retain their input slice)
+	// and the fact that absorb copies collections into scratchBig
+	// before rebuilding cls in place — see the aliasing mutation test.
+	scratchKept Classification // split's kept half; swaps with cls
+	scratchBig  Classification // absorb's union of cls + incoming
+	scratchMem  []Collection   // absorb's per-merge-group members
 
 	// Cached instruments (nil without Config.Metrics); looked up once
 	// so the protocol hot path never touches the registry lock.
@@ -287,7 +304,11 @@ func (n *Node) Split() Classification {
 }
 
 func (n *Node) split() Classification {
-	kept := make(Classification, 0, len(n.cls))
+	// kept reuses the node's double buffer; after the swap below the
+	// previous cls array becomes the next split's kept buffer. sent is
+	// the one deliberate allocation: it is handed to the transport and
+	// may sit in a queue long past the next split.
+	kept := n.scratchKept[:0]
 	sent := make(Classification, 0, len(n.cls))
 	for _, c := range n.cls {
 		keepW := Half(c.Weight, n.cfg.Q)
@@ -316,6 +337,7 @@ func (n *Node) split() Classification {
 		kept = append(kept, keepC)
 		sent = append(sent, sendC)
 	}
+	n.scratchKept = n.cls[:0]
 	n.cls = kept
 	if len(sent) > 0 {
 		if n.splits != nil {
@@ -342,31 +364,42 @@ func (n *Node) Absorb(incoming ...Classification) error {
 }
 
 func (n *Node) absorb(incoming []Classification) error {
-	big := n.cls
+	// The union is built in node-owned scratch: cls is copied into
+	// scratchBig before incoming is appended, so next (rebuilt below
+	// into the dead half of the kept/cls double buffer) never aliases
+	// what the merge loop reads.
+	big := append(n.scratchBig[:0], n.cls...)
 	for _, in := range incoming {
 		big = append(big, in...)
 	}
 	if len(big) == 0 {
+		n.scratchBig = big
 		return nil
 	}
 	groups, err := n.cfg.Method.Partition(big, n.cfg.K, n.cfg.Q)
 	if err != nil {
+		n.scratchBig = big[:0]
 		return fmt.Errorf("core: node %d: partition: %w", n.id, err)
 	}
 	if err := ValidatePartition(groups, len(big), n.cfg.K); err != nil {
+		n.scratchBig = big[:0]
 		return fmt.Errorf("core: node %d: %w", n.id, err)
 	}
-	next := make(Classification, 0, len(groups))
+	// scratchKept holds no live data between operations (split swapped
+	// the previous cls array into it), so building next there keeps cls
+	// intact until the swap below — a mid-loop Merge error leaves the
+	// node's state exactly as it was.
+	next := n.scratchKept[:0]
 	for _, g := range groups {
 		if len(g) == 1 {
 			next = append(next, big[g[0]])
 			continue
 		}
-		members := make([]Collection, len(g))
+		members := n.scratchMem[:0]
 		var weight float64
 		var aux vec.Vector
-		for i, idx := range g {
-			members[i] = big[idx]
+		for _, idx := range g {
+			members = append(members, big[idx])
 			weight += big[idx].Weight
 			if big[idx].Aux != nil {
 				if aux == nil {
@@ -377,7 +410,9 @@ func (n *Node) absorb(incoming []Classification) error {
 			}
 		}
 		s, err := n.cfg.Method.Merge(members)
+		n.scratchMem = members[:0]
 		if err != nil {
+			n.scratchBig = big[:0]
 			return fmt.Errorf("core: node %d: merge: %w", n.id, err)
 		}
 		if n.merges != nil {
@@ -391,7 +426,9 @@ func (n *Node) absorb(incoming []Classification) error {
 		}
 		next = append(next, Collection{Summary: s, Weight: weight, Aux: aux})
 	}
+	n.scratchKept = n.cls[:0]
 	n.cls = next
+	n.scratchBig = big[:0]
 	if n.collections != nil {
 		n.collections.Observe(float64(len(next)))
 	}
@@ -443,37 +480,42 @@ func Dissimilarity(a, b Classification, m Method) (float64, error) {
 		}
 		return math.Inf(1), nil
 	}
-	oneWay := func(from, to Classification) (float64, error) {
-		var sum, weight float64
-		for _, c := range from {
-			best := math.Inf(1)
-			for _, d := range to {
-				dist, err := m.Distance(c.Summary, d.Summary)
-				if err != nil {
-					return 0, err
-				}
-				if dist < best {
-					best = dist
-				}
-			}
-			sum += c.Weight * best
-			weight += c.Weight
-		}
-		//lint:allow floatcmp exact zero guard before dividing; any nonzero weight is fine
-		if weight == 0 {
-			return 0, nil
-		}
-		return sum / weight, nil
-	}
-	ab, err := oneWay(a, b)
+	ab, err := dissimilarityOneWay(a, b, m)
 	if err != nil {
 		return 0, err
 	}
-	ba, err := oneWay(b, a)
+	ba, err := dissimilarityOneWay(b, a, m)
 	if err != nil {
 		return 0, err
 	}
 	return math.Max(ab, ba), nil
+}
+
+// dissimilarityOneWay is Dissimilarity's directed half. A plain
+// function rather than a closure: convergence probes call this on
+// every pair every probe, and a closure would be the probe loop's only
+// allocation.
+func dissimilarityOneWay(from, to Classification, m Method) (float64, error) {
+	var sum, weight float64
+	for _, c := range from {
+		best := math.Inf(1)
+		for _, d := range to {
+			dist, err := m.Distance(c.Summary, d.Summary)
+			if err != nil {
+				return 0, err
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		sum += c.Weight * best
+		weight += c.Weight
+	}
+	//lint:allow floatcmp exact zero guard before dividing; any nonzero weight is fine
+	if weight == 0 {
+		return 0, nil
+	}
+	return sum / weight, nil
 }
 
 // TraceRecords converts a classification into trace collection records

@@ -31,6 +31,8 @@ import (
 // ErrNoData reports a fit requested over no inputs.
 var ErrNoData = errors.New("em: no input data")
 
+const log2Pi = 1.8378770664093453 // log(2*pi)
+
 // Options tune the EM loops. The zero value selects the defaults.
 type Options struct {
 	// MaxIters bounds the EM iterations (default 50).
@@ -113,13 +115,14 @@ func ReduceMixture(cs []gauss.Component, k int, opts Options) ([][]int, error) {
 	for i := range assign {
 		assign[i] = -1
 	}
+	scratch := newAffinityScratch(cs[0].Dim())
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		changed := false
 		next := make([]int, len(cs))
 		for i, c := range cs {
 			bestJ, bestScore := -1, math.Inf(-1)
 			for j := range targets {
-				aff, err := affinity(c, targets[j], opts.VarFloor)
+				aff, err := affinity(c, targets[j], opts.VarFloor, scratch)
 				if err != nil {
 					return nil, fmt.Errorf("em: scoring input %d against candidate %d: %w", i, j, err)
 				}
@@ -177,38 +180,100 @@ func ReduceMixture(cs []gauss.Component, k int, opts Options) ([][]int, error) {
 	return out, nil
 }
 
+// affinityScratch holds the buffers one ReduceMixture call threads
+// through every E-step affinity evaluation, making the whole scoring
+// loop — the partition hot path of every gossip merge — allocation-
+// free. No pooling, no package state: the scratch lives and dies with
+// its ReduceMixture call.
+type affinityScratch struct {
+	delta vec.Vector    // mean gap; doubles as the density's (x - mu)
+	cov0  *mat.Matrix   // pristine evaluation covariance
+	covF  *mat.Matrix   // ridged work copy handed to the factorization
+	chol  *mat.Cholesky // refactored in place per evaluation
+	y     vec.Vector    // forward-substitution output for the quad form
+}
+
+func newAffinityScratch(d int) *affinityScratch {
+	return &affinityScratch{
+		delta: vec.New(d),
+		cov0:  mat.New(d),
+		covF:  mat.New(d),
+		chol:  mat.CholeskyWorkspace(d),
+		y:     vec.New(d),
+	}
+}
+
 // affinity computes the merge-aware E-step score of input src against
 // candidate dst (see ReduceMixture). It is symmetric up to the weight
 // prior, finite for zero-covariance singletons, and reduces to the
 // expected log-density when both covariances dominate the mean gap.
-func affinity(src, dst gauss.Component, floor float64) (float64, error) {
-	d := src.Dim()
-	delta, err := vec.Sub(src.Mean, dst.Mean)
-	if err != nil {
-		return 0, err
+//
+// The arithmetic replicates the reference formulation — evaluation
+// covariance symmetrized as gauss.New does, then gauss.Condition's
+// exact floor-escalation ladder (raw, then DefaultVarianceFloor
+// ridging the ORIGINAL covariance, escalating a thousandfold per
+// retry), then the conditioned log-density — operation for operation,
+// so scores are bit-identical to the allocating path it replaced while
+// reusing the scratch buffers across all evaluations.
+func affinity(src, dst gauss.Component, floor float64, s *affinityScratch) (float64, error) {
+	d := s.delta.Dim()
+	if src.Dim() != d || dst.Dim() != d {
+		return 0, fmt.Errorf("em: affinity dims %d, %d, want %d", src.Dim(), dst.Dim(), d)
 	}
-	gap, err := vec.Dot(delta, delta)
+	vec.SubInto(s.delta, src.Mean, dst.Mean)
+	gap, err := vec.Dot(s.delta, s.delta)
 	if err != nil {
 		return 0, err
 	}
 	f := src.Weight * dst.Weight / ((src.Weight + dst.Weight) * (src.Weight + dst.Weight))
 	iso := f*gap/float64(d) + floor
-	cov, err := mat.Add(dst.Cov, src.Cov)
-	if err != nil {
-		return 0, err
-	}
 	for i := 0; i < d; i++ {
-		cov.Set(i, i, cov.At(i, i)+iso)
+		for j := 0; j < d; j++ {
+			s.cov0.Set(i, j, dst.Cov.At(i, j)+src.Cov.At(i, j))
+		}
+		s.cov0.Set(i, i, s.cov0.At(i, i)+iso)
 	}
-	eval, err := gauss.New(dst.Mean, cov)
+	// Force exact symmetry, as gauss.New does. On the symmetric-by-
+	// construction sums above the averaging is a bit-identity.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			v := (s.cov0.At(i, j) + s.cov0.At(j, i)) / 2
+			s.cov0.Set(i, j, v)
+			s.cov0.Set(j, i, v)
+		}
+	}
+	// gauss.Condition's ladder: each retry ridges the pristine
+	// covariance, never the previous attempt — incremental in-place adds
+	// would drift from the reference float for float.
+	if err := s.covF.CopyFrom(s.cov0); err != nil {
+		return 0, err
+	}
+	err = s.chol.Factor(s.covF)
+	for ridge := 0.0; err != nil; {
+		switch {
+		case ridge <= 0:
+			ridge = gauss.DefaultVarianceFloor
+		case ridge < 1:
+			ridge *= 1e3
+		default:
+			return 0, fmt.Errorf("em: conditioning evaluation covariance: %w", err)
+		}
+		if cerr := s.covF.CopyFrom(s.cov0); cerr != nil {
+			return 0, cerr
+		}
+		for i := 0; i < d; i++ {
+			s.covF.Set(i, i, s.covF.At(i, i)+ridge)
+		}
+		err = s.chol.Factor(s.covF)
+	}
+	if err := s.chol.SolveHalfInto(s.y, s.delta); err != nil {
+		return 0, err
+	}
+	q, err := vec.Dot(s.y, s.y)
 	if err != nil {
 		return 0, err
 	}
-	cond, err := eval.Condition(0)
-	if err != nil {
-		return 0, err
-	}
-	return cond.LogDensity(src.Mean)
+	return -0.5 * (float64(d)*log2Pi + s.chol.LogDet() + q), nil
 }
 
 // farthestFirst picks k seed indices: the heaviest component first, then

@@ -83,6 +83,33 @@ func TestConfigRejectsUnsupportedOptions(t *testing.T) {
 			}(),
 			want: "no wire decoding",
 		},
+		{
+			name: "chan shard count",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendChan)
+				c.Shards = 4
+				return c
+			}(),
+			want: "Shards does not apply",
+		},
+		{
+			name: "negative shard count",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendShard)
+				c.Shards = -1
+				return c
+			}(),
+			want: "must be positive",
+		},
+		{
+			name: "shard send queue",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendShard)
+				c.SendQueue = 8
+				return c
+			}(),
+			want: "SendQueue does not apply",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -110,7 +137,9 @@ func TestConfigAcceptsSupportedOptions(t *testing.T) {
 	async.CrashProb = 0.01
 	pipe := baseConfig(engine.BackendPipe)
 	pipe.FailOnDecodeErrors = 3
-	for _, cfg := range []engine.Config{round, async, pipe} {
+	shard := baseConfig(engine.BackendShard)
+	shard.Shards = 2
+	for _, cfg := range []engine.Config{round, async, pipe, shard} {
 		eng, err := engine.New(cfg)
 		if err != nil {
 			t.Errorf("%s: New rejected a supported config: %v", cfg.Backend, err)
@@ -146,6 +175,7 @@ func TestCapsMatrix(t *testing.T) {
 		{engine.BackendChan, engine.Caps{Restart: true}},
 		{engine.BackendPipe, engine.Caps{Restart: true, Wire: true}},
 		{engine.BackendTCP, engine.Caps{Restart: true, Wire: true}},
+		{engine.BackendShard, engine.Caps{Restart: true}},
 	} {
 		if got := tc.b.Caps(); got != tc.want {
 			t.Errorf("%s caps = %+v, want %+v", tc.b, got, tc.want)

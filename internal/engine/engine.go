@@ -28,6 +28,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"distclass/internal/core"
@@ -55,6 +56,12 @@ const (
 	BackendPipe
 	// BackendTCP runs the wire deployment over loopback TCP sockets.
 	BackendTCP
+	// BackendShard runs the concurrent protocol on a sharded scheduler:
+	// nodes partitioned across a small worker pool (default GOMAXPROCS
+	// shards), per-shard run queues, cross-shard frames batched once per
+	// scheduling quantum. No per-node goroutines, so it reaches scales
+	// (N in the hundreds of thousands) the chan backend cannot.
+	BackendShard
 )
 
 func (b Backend) String() string {
@@ -69,6 +76,8 @@ func (b Backend) String() string {
 		return "pipe"
 	case BackendTCP:
 		return "tcp"
+	case BackendShard:
+		return "shard"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
@@ -87,14 +96,16 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendPipe, nil
 	case "tcp":
 		return BackendTCP, nil
+	case "shard":
+		return BackendShard, nil
 	default:
-		return 0, fmt.Errorf(`engine: unknown backend %q (want "round", "async", "chan", "pipe" or "tcp")`, s)
+		return 0, fmt.Errorf(`engine: unknown backend %q (want "round", "async", "chan", "pipe", "tcp" or "shard")`, s)
 	}
 }
 
 // Backends lists every backend, in flag-documentation order.
 func Backends() []Backend {
-	return []Backend{BackendRound, BackendAsync, BackendChan, BackendPipe, BackendTCP}
+	return []Backend{BackendRound, BackendAsync, BackendChan, BackendPipe, BackendTCP, BackendShard}
 }
 
 // Caps is a backend's capability matrix. Unsupported options are
@@ -128,6 +139,8 @@ func (b Backend) Caps() Caps {
 		return Caps{Restart: true}
 	case BackendPipe, BackendTCP:
 		return Caps{Restart: true, Wire: true}
+	case BackendShard:
+		return Caps{Restart: true}
 	default:
 		return Caps{}
 	}
@@ -184,6 +197,10 @@ type Config struct {
 	// SendQueue bounds per-link (or per-node inbox) queues on
 	// concurrent backends (default livenet.DefaultSendQueue).
 	SendQueue int
+	// Shards sets the worker count of BackendShard (default
+	// GOMAXPROCS, clamped to the node count). Rejected on every other
+	// backend.
+	Shards int
 	// FailOnDecodeErrors, when positive, fails wire backends once the
 	// aggregate decode-error count reaches the threshold.
 	FailOnDecodeErrors int
@@ -265,6 +282,15 @@ func (c Config) validate() error {
 	}
 	if c.FailOnDecodeErrors > 0 && !caps.Wire {
 		return fmt.Errorf("engine: backend %s has no wire decoding; FailOnDecodeErrors does not apply", c.Backend)
+	}
+	if c.Shards != 0 && c.Backend != BackendShard {
+		return fmt.Errorf("engine: backend %s has no worker pool; Shards does not apply", c.Backend)
+	}
+	if c.SendQueue > 0 && c.Backend == BackendShard {
+		return fmt.Errorf("engine: backend %s batches frames in unbounded shard mailboxes; SendQueue does not apply", c.Backend)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: Shards = %d must be positive", c.Shards)
 	}
 	return nil
 }
@@ -393,6 +419,8 @@ func New(cfg Config) (Engine, error) {
 		return newSimEngine(cfg, graph, nodes, root)
 	case BackendChan, BackendPipe, BackendTCP:
 		return newLiveEngine(cfg, graph, nodes, nodeCfg, root)
+	case BackendShard:
+		return newShardEngine(cfg, graph, nodes, nodeCfg, root)
 	default:
 		return nil, fmt.Errorf("engine: unknown backend %d", int(cfg.Backend))
 	}
@@ -417,14 +445,10 @@ func (a *classifierAgent) Receive(batch []core.Classification) error {
 	return a.node.Absorb(batch...)
 }
 
-// spreadOver returns the sampled maximum pairwise dissimilarity over
-// the given nodes: all pairs when few, a spaced subset otherwise. The
-// probe reads the nodes' own slices (no cloning) via DissimilarityTo.
-func spreadOver(nodes []*core.Node, maxProbe int) (float64, error) {
-	if maxProbe < 2 {
-		maxProbe = 2
-	}
-	idx := sampleIndices(len(nodes), maxProbe)
+// spreadOver returns the maximum pairwise dissimilarity over the probe
+// index set idx into nodes. The probe reads the nodes' own slices (no
+// cloning) via DissimilarityTo.
+func spreadOver(nodes []*core.Node, idx []int) (float64, error) {
 	var worst float64
 	for i := 0; i < len(idx); i++ {
 		for j := i + 1; j < len(idx); j++ {
@@ -440,18 +464,66 @@ func spreadOver(nodes []*core.Node, maxProbe int) (float64, error) {
 	return worst, nil
 }
 
-// sampleIndices returns up to max evenly spaced indices over [0, n).
-func sampleIndices(n, max int) []int {
-	if n <= max {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
+// Spread-probe bounds. Small populations keep the historical evenly
+// spaced 4-node probe (fixed-seed round traces are pinned byte-for-byte
+// on it); above spreadLegacyMax the probe switches to a seeded sample
+// of spreadProbeNodes distinct nodes — 66 pairs, a constant, instead of
+// the O(N)-spaced-but-still-tiny legacy set whose 4 probes lose all
+// resolution at 100k nodes. The sample is a pure function of (seed, n),
+// so a fixed-seed run probes the same pairs every time (pinned by
+// TestProbeIndicesSeededPinned) and monitor/distclass-top stay
+// responsive at any scale: probe cost never grows with N.
+const (
+	spreadLegacyMax  = 64
+	spreadLegacyVal  = 4
+	spreadProbeNodes = 12
+	// spreadSeedSalt decorrelates the probe stream from the root RNG
+	// without consuming a root Split (which would shift the pinned
+	// fixed-seed split order). Arbitrary odd 64-bit constant.
+	spreadSeedSalt = 0x9e3779b97f4a7c15
+)
+
+// probeIndicesInto writes the spread-probe index set for an
+// n-node population into buf (grown as needed) and returns it.
+// Deterministic: legacy evenly spaced indices up to spreadLegacyMax,
+// a seeded spreadProbeNodes-sample beyond, ascending either way.
+// scratch, if non-nil, is reseeded and used as the sample generator so
+// a caller probing on a steady cadence allocates nothing; nil
+// constructs a fresh generator. Either way the stream — and so the
+// sample — is a pure function of (seed, n).
+func probeIndicesInto(buf []int, n int, seed uint64, scratch *rng.RNG) []int {
+	buf = buf[:0]
+	if n <= spreadLegacyMax {
+		if n <= spreadLegacyVal {
+			for i := 0; i < n; i++ {
+				buf = append(buf, i)
+			}
+			return buf
 		}
-		return out
+		for i := 0; i < spreadLegacyVal; i++ {
+			buf = append(buf, i*n/spreadLegacyVal)
+		}
+		return buf
 	}
-	out := make([]int, max)
-	for i := range out {
-		out[i] = i * n / max
+	r := scratch
+	if r == nil {
+		r = rng.New(seed ^ spreadSeedSalt)
+	} else {
+		r.Reseed(seed ^ spreadSeedSalt)
 	}
-	return out
+	for len(buf) < spreadProbeNodes {
+		c := r.IntN(n)
+		dup := false
+		for _, v := range buf {
+			if v == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, c)
+		}
+	}
+	sort.Ints(buf)
+	return buf
 }

@@ -352,9 +352,14 @@ func (e *liveEngine) Classification(i int) core.Classification {
 	return ns.node.Classification()
 }
 
-// Spread probes up to four spaced alive nodes and returns their worst
-// pairwise dissimilarity. Node pairs are locked in id order, so
-// concurrent probes cannot deadlock.
+// Spread probes a bounded, deterministic sample of alive nodes
+// (probeIndicesInto — evenly spaced when small, seeded when large) and
+// returns their worst pairwise dissimilarity. Node pairs are locked in
+// id order, so concurrent probes cannot deadlock. Unlike the
+// single-threaded sim probe, this one allocates its small index
+// buffers per call: Spread races with itself (monitor probe goroutine
+// vs WaitConverged poller) and a shared scratch would need a lock on
+// the probe path.
 func (e *liveEngine) Spread() (float64, error) {
 	alive := make([]int, 0, len(e.ns))
 	for i, ns := range e.ns {
@@ -365,7 +370,7 @@ func (e *liveEngine) Spread() (float64, error) {
 	if len(alive) < 2 {
 		return 0, nil
 	}
-	idx := liveProbeIndices(len(alive))
+	idx := probeIndicesInto(nil, len(alive), e.cfg.Seed, nil)
 	var worst float64
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
@@ -391,26 +396,6 @@ func (e *liveEngine) pairDissimilarity(a, b int) (float64, error) {
 	nb.mu.Lock()
 	defer nb.mu.Unlock()
 	return na.node.DissimilarityTo(nb.node)
-}
-
-// liveProbeIndices picks up to four spread-out probe positions —
-// endpoints and two interior points — deduplicated for small n.
-func liveProbeIndices(n int) []int {
-	candidates := [4]int{0, n / 3, 2 * n / 3, n - 1}
-	out := candidates[:0]
-	for _, v := range candidates {
-		dup := false
-		for _, u := range out {
-			if u == v {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 // TotalWeight sums the weight held at alive nodes. Weight riding the

@@ -7,6 +7,7 @@ import (
 
 	"distclass/internal/converge"
 	"distclass/internal/core"
+	"distclass/internal/metrics"
 	"distclass/internal/rng"
 	"distclass/internal/sim"
 	"distclass/internal/topology"
@@ -27,6 +28,16 @@ type simEngine struct {
 	// backend (the async driver itself rejects CrashProb; the engine
 	// applies it as explicit Kills between virtual rounds).
 	crashR *rng.RNG
+
+	// spreadG is the sim.spread gauge, cached so per-round probes never
+	// take the registry lock; probeBuf/aliveBuf are probe scratch — the
+	// sim drivers are single-threaded, so Spread reuses them and the
+	// whole probe path allocates nothing after warmup (pinned by
+	// TestSimSpreadAllocFree).
+	spreadG  *metrics.Gauge
+	probeBuf []int
+	aliveBuf []*core.Node
+	probeRNG *rng.RNG
 }
 
 func newSimEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, root *rng.RNG) (*simEngine, error) {
@@ -35,6 +46,9 @@ func newSimEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, root *r
 		agents[i] = &classifierAgent{node: n}
 	}
 	e := &simEngine{cfg: cfg, nodes: nodes}
+	if cfg.Metrics != nil {
+		e.spreadG = cfg.Metrics.Gauge("sim.spread")
+	}
 	driverRNG := root.Split()
 	opts := sim.Options[core.Classification]{
 		Policy:   cfg.Policy,
@@ -90,17 +104,26 @@ func (e *simEngine) Classification(i int) core.Classification {
 // Spread probes alive nodes only: dead nodes keep their last
 // classification forever and would pin the diagnostic high after kills.
 // (Kill-free runs — the byte-compatibility goldens — see every node.)
+// Probe pairs are bounded and deterministic (probeIndicesInto), and the
+// whole path runs on node-owned scratch: zero-copy dissimilarity, no
+// clones, no per-probe slices.
 func (e *simEngine) Spread() (float64, error) {
-	if e.AliveCount() == len(e.nodes) {
-		return spreadOver(e.nodes, 4)
-	}
-	alive := make([]*core.Node, 0, len(e.nodes))
-	for i, n := range e.nodes {
-		if e.Alive(i) {
-			alive = append(alive, n)
+	nodes := e.nodes
+	if e.AliveCount() != len(e.nodes) {
+		alive := e.aliveBuf[:0]
+		for i, n := range e.nodes {
+			if e.Alive(i) {
+				alive = append(alive, n)
+			}
 		}
+		e.aliveBuf = alive
+		nodes = alive
 	}
-	return spreadOver(alive, 4)
+	if e.probeRNG == nil {
+		e.probeRNG = rng.New(0) // reseeded inside probeIndicesInto
+	}
+	e.probeBuf = probeIndicesInto(e.probeBuf, len(nodes), e.cfg.Seed, e.probeRNG)
+	return spreadOver(nodes, e.probeBuf)
 }
 
 func (e *simEngine) TotalWeight() float64 {
@@ -173,8 +196,8 @@ func (e *simEngine) Restart(int, core.Value) error {
 // rounds nothing is in flight (round) or in-flight weight is counted
 // (async TotalWeight), so every sample should be exact.
 func (e *simEngine) recordSpread(round int, spread float64) error {
-	if e.cfg.Metrics != nil {
-		e.cfg.Metrics.Gauge("sim.spread").Set(spread)
+	if e.spreadG != nil {
+		e.spreadG.Set(spread)
 	}
 	if e.cfg.Monitor != nil {
 		e.cfg.Monitor.ObserveWeight(e.TotalWeight())

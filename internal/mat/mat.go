@@ -86,6 +86,16 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom overwrites m with src's entries without allocating — the
+// restore step of scratch-matrix loops.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.d != src.d {
+		return fmt.Errorf("%w: %d vs %d", ErrDimMismatch, m.d, src.d)
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
 // Equal reports exact equality of dimensions and entries.
 func (m *Matrix) Equal(n *Matrix) bool {
 	if m.d != n.d {
@@ -286,8 +296,38 @@ type Cholesky struct {
 // NewCholesky factors the SPD matrix a. It returns ErrNotSPD if a pivot
 // is not positive (the matrix is singular or indefinite).
 func NewCholesky(a *Matrix) (*Cholesky, error) {
+	c := &Cholesky{d: a.d, l: make([]float64, a.d*a.d)}
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CholeskyWorkspace returns an unfactored d-dimensional Cholesky for
+// use with Factor: hot loops allocate it once and refactor in place.
+func CholeskyWorkspace(d int) *Cholesky {
+	if d < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d", d))
+	}
+	return &Cholesky{d: d, l: make([]float64, d*d)}
+}
+
+// Factor refactors c in place over a new matrix of the same dimension,
+// reusing the factor storage — the allocation-free path for hot loops
+// that factor many same-sized covariances (em.ReduceMixture's affinity
+// kernel). On error the factor contents are unspecified; refactor
+// before further use.
+func (c *Cholesky) Factor(a *Matrix) error {
 	d := a.d
-	c := &Cholesky{d: d, l: make([]float64, d*d)}
+	if c.d != d {
+		return fmt.Errorf("%w: factor %d vs matrix %d", ErrDimMismatch, c.d, d)
+	}
+	// The algorithm never writes the strict upper triangle, so clear all
+	// storage up front: L() copies the full d x d block, and a previous
+	// factorization's leftovers there would corrupt it.
+	for i := range c.l {
+		c.l[i] = 0
+	}
 	for i := 0; i < d; i++ {
 		for j := 0; j <= i; j++ {
 			s := a.At(i, j)
@@ -296,7 +336,7 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
-					return nil, fmt.Errorf("%w: pivot %d is %v", ErrNotSPD, i, s)
+					return fmt.Errorf("%w: pivot %d is %v", ErrNotSPD, i, s)
 				}
 				c.l[i*d+i] = math.Sqrt(s)
 			} else {
@@ -304,7 +344,7 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 			}
 		}
 	}
-	return c, nil
+	return nil
 }
 
 // Dim returns the dimension of the factored matrix.
@@ -357,19 +397,28 @@ func (c *Cholesky) Solve(b vec.Vector) (vec.Vector, error) {
 // squared Mahalanobis form b^T A^{-1} b equals ||y||^2, which is how the
 // Gaussian density evaluates quadratic forms without a full solve.
 func (c *Cholesky) SolveHalf(b vec.Vector) (vec.Vector, error) {
-	if b.Dim() != c.d {
-		return nil, fmt.Errorf("%w: factor %d vs vector %d", ErrDimMismatch, c.d, b.Dim())
+	y := vec.New(c.d)
+	if err := c.SolveHalfInto(y, b); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// SolveHalfInto is SolveHalf writing into a caller-owned dst — the
+// allocation-free path for hot loops. dst and b may alias.
+func (c *Cholesky) SolveHalfInto(dst, b vec.Vector) error {
+	if b.Dim() != c.d || dst.Dim() != c.d {
+		return fmt.Errorf("%w: factor %d vs vectors %d, %d", ErrDimMismatch, c.d, dst.Dim(), b.Dim())
 	}
 	d := c.d
-	y := vec.New(d)
 	for i := 0; i < d; i++ {
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= c.l[i*d+k] * y[k]
+			s -= c.l[i*d+k] * dst[k]
 		}
-		y[i] = s / c.l[i*d+i]
+		dst[i] = s / c.l[i*d+i]
 	}
-	return y, nil
+	return nil
 }
 
 // Inverse returns A^{-1} computed column-by-column from the factor.

@@ -20,21 +20,37 @@ import (
 	"distclass/internal/vec"
 )
 
+// pcgStreamSalt is the fixed second PCG seed word; every generator in
+// the repository uses the same stream constant so a seed alone
+// reproduces a run.
+const pcgStreamSalt = 0x9e3779b97f4a7c15
+
 // RNG is a deterministic random number generator.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a generator seeded with the given seed.
 func New(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, pcgStreamSalt)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
 }
 
 // Split derives an independent child generator. The i'th Split of a
 // given generator is a fixed function of the parent's current state, so
 // per-node or per-trial streams are reproducible.
 func (r *RNG) Split() *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64(), r.src.Uint64()))}
+	pcg := rand.NewPCG(r.src.Uint64(), r.src.Uint64())
+	return &RNG{src: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets r to the exact state of New(seed) without allocating.
+// Hot paths that re-derive a short deterministic stream per call (the
+// engine's spread probe) reseed one cached generator instead of
+// constructing a new one each time.
+func (r *RNG) Reseed(seed uint64) {
+	r.pcg.Seed(seed, pcgStreamSalt)
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -301,6 +301,61 @@ func Geometric(n int, radius float64, r *rng.RNG, maxTries int) (*Graph, error) 
 	return nil, fmt.Errorf("topology: geometric(%d, %v) after %d tries: %w", n, radius, maxTries, ErrDisconnected)
 }
 
+// Regular samples a sparse random graph of mean degree just under 2d:
+// every node draws d random partners, and the union of the draws
+// (deduplicated — i drawing j and j drawing i is one edge) forms the
+// edge set. Construction is O(n·d), which makes this
+// the topology of choice at scales where the O(n²) generators (ER,
+// geometric) and the full mesh are out of reach — a 100k-node graph
+// builds in under a second. It resamples until connected, up to
+// maxTries attempts; for d >= 3 the first sample is connected with
+// overwhelming probability.
+func Regular(n, d int, r *rng.RNG, maxTries int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: n = %d must be positive", n)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("topology: degree %d must be positive", d)
+	}
+	if d >= n {
+		return Full(n)
+	}
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	for try := 0; try < maxTries; try++ {
+		seen := make(map[[2]int]bool, n*d)
+		edges := make([][2]int, 0, n*d)
+		for i := 0; i < n; i++ {
+			for picked := 0; picked < d; {
+				j := r.IntN(n)
+				if j == i {
+					continue
+				}
+				u, v := i, j
+				if u > v {
+					u, v = v, u
+				}
+				key := [2]int{u, v}
+				picked++ // a duplicate draw still consumes the slot
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				edges = append(edges, key)
+			}
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: regular(%d, %d) after %d tries: %w", n, d, maxTries, ErrDisconnected)
+}
+
 // Kind names a generator for CLI/bench parameterization.
 type Kind string
 
@@ -314,11 +369,13 @@ const (
 	KindTree      Kind = "tree"
 	KindER        Kind = "er"
 	KindGeometric Kind = "geometric"
+	KindRegular   Kind = "regular"
 )
 
 // Build constructs a connected n-node graph of the given kind using
 // sensible default parameters (grid/torus use the near-square factoring
-// of n; ER uses p = 2 ln(n)/n; geometric uses radius sqrt(3 ln(n)/n)).
+// of n; ER uses p = 2 ln(n)/n; geometric uses radius sqrt(3 ln(n)/n);
+// regular uses degree 8).
 func Build(kind Kind, n int, r *rng.RNG) (*Graph, error) {
 	switch kind {
 	case KindFull:
@@ -350,6 +407,11 @@ func Build(kind Kind, n int, r *rng.RNG) (*Graph, error) {
 		}
 		radius := math.Sqrt(3 * math.Log(float64(n)) / float64(n))
 		return Geometric(n, radius, r, 100)
+	case KindRegular:
+		if n == 1 {
+			return New(1, nil)
+		}
+		return Regular(n, 8, r, 100)
 	default:
 		return nil, fmt.Errorf("topology: unknown kind %q", kind)
 	}

@@ -247,8 +247,45 @@ func TestGeometric(t *testing.T) {
 	}
 }
 
+func TestRegular(t *testing.T) {
+	r := rng.New(9)
+	const n, d = 200, 8
+	g, err := Regular(n, d, r, 10)
+	if err != nil {
+		t.Fatalf("Regular: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Errorf("regular graph not connected")
+	}
+	// Every node drew d partners, so no node is isolated and the total
+	// edge count cannot exceed the n*d draw budget (duplicates only
+	// shrink it).
+	for i := 0; i < n; i++ {
+		if g.Degree(i) < 1 {
+			t.Errorf("node %d is isolated", i)
+		}
+	}
+	if m := g.EdgeCount(); m > n*d || m < n*d/2 {
+		t.Errorf("edge count %d outside (%d, %d]", m, n*d/2, n*d)
+	}
+	// d >= n degrades to the full mesh.
+	full, err := Regular(5, 10, r, 1)
+	if err != nil {
+		t.Fatalf("Regular(5, 10): %v", err)
+	}
+	if full.EdgeCount() != 10 {
+		t.Errorf("Regular(5, 10) edges = %d, want the full mesh's 10", full.EdgeCount())
+	}
+	if _, err := Regular(0, 3, r, 1); err == nil {
+		t.Errorf("n=0 should error")
+	}
+	if _, err := Regular(10, 0, r, 1); err == nil {
+		t.Errorf("d=0 should error")
+	}
+}
+
 func TestBuildAllKinds(t *testing.T) {
-	kinds := []Kind{KindFull, KindRing, KindGrid, KindTorus, KindStar, KindTree, KindER, KindGeometric}
+	kinds := []Kind{KindFull, KindRing, KindGrid, KindTorus, KindStar, KindTree, KindER, KindGeometric, KindRegular}
 	for _, kind := range kinds {
 		t.Run(string(kind), func(t *testing.T) {
 			r := rng.New(7)

@@ -102,6 +102,18 @@ func Sub(v, w Vector) (Vector, error) {
 	return out, nil
 }
 
+// SubInto sets dst = v - w without allocating. It panics if dimensions
+// differ; callers validate dimensions at package boundaries. dst may
+// alias v or w.
+func SubInto(dst, v, w Vector) {
+	if len(dst) != len(v) || len(v) != len(w) {
+		panic(fmt.Sprintf("vec: SubInto dimension mismatch: %d, %d, %d", len(dst), len(v), len(w)))
+	}
+	for i := range dst {
+		dst[i] = v[i] - w[i]
+	}
+}
+
 // Scale returns a*v.
 func Scale(a float64, v Vector) Vector {
 	out := make(Vector, len(v))
@@ -196,13 +208,35 @@ func (v Vector) NormInf() float64 {
 	return m
 }
 
-// Dist returns the Euclidean distance between v and w.
+// Dist returns the Euclidean distance between v and w. It runs
+// Norm2's overflow-safe scaled accumulation directly over the
+// elementwise differences, so it allocates nothing and returns the
+// bit-identical result of Sub followed by Norm2.
 func Dist(v, w Vector) (float64, error) {
-	d, err := Sub(v, w)
-	if err != nil {
-		return 0, err
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(v), len(w))
 	}
-	return d.Norm2(), nil
+	var scale, ssq float64
+	ssq = 1
+	for i := range v {
+		x := v[i] - w[i]
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0, nil
+	}
+	return scale * math.Sqrt(ssq), nil
 }
 
 // DistSq returns the squared Euclidean distance between v and w. It
