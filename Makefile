@@ -11,9 +11,9 @@ BENCH_OLD ?= $(firstword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
 BENCH_NEW ?= $(lastword $(shell ls -1 BENCH_*.json 2>/dev/null | tail -2))
 BENCH_THRESHOLD ?= 0.25
 
-.PHONY: check build test vet fmt lint lint-report lint-allows race bench bench-diff analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke
+.PHONY: check build test vet fmt lint lint-report lint-allows race bench bench-diff analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke wire-smoke
 
-check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke race
+check: fmt vet lint analyze-smoke churn-smoke engine-smoke monitor-smoke causal-smoke shard-smoke wire-smoke race
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,21 @@ causal-smoke:
 		$(GO) run ./cmd/distclass-analyze -causal -fail-anomalies -format json -o "$$dir/causal.$$b.json" "$$dir/causal.$$b.trace" || exit 1; \
 	done && \
 	echo "causal-smoke: happens-before clean and ledger exact on all backends"
+
+# Wire-transport smoke gate: the two-cluster workload on both wire
+# backends (pipe, tcp) under the v2 codec with frame batching. The
+# harness audits convergence, exact weight conservation and a clean
+# causal/provenance reconstruction over the batched frames, asserts
+# the deployment claim (v2+batching cuts wire bytes per message by at
+# least 40% vs v1 on tcp), and the distclass-analyze CLI re-audits the
+# batched causal traces — batching must be invisible to the ledger.
+wire-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiments -wire-smoke -wire-out "$$dir/wire" >/dev/null && \
+	for b in pipe tcp; do \
+		$(GO) run ./cmd/distclass-analyze -causal -fail-anomalies -format json -o "$$dir/wire.$$b.json" "$$dir/wire.$$b.trace" || exit 1; \
+	done && \
+	echo "wire-smoke: v2+batching conserves weight, ledger exact, >=40% fewer bytes/message"
 
 # Sharded-scheduler smoke gate: a 512-node cluster on the shard
 # backend with kill/restart churn must converge twice and end with an

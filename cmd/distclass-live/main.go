@@ -51,6 +51,8 @@ func main() {
 	flag.Float64Var(&cfg.tol, "tol", 0.05, "spread below which the run stops early")
 	flag.StringVar(&cfg.backend, "backend", "pipe", "concurrent backend: chan, pipe, tcp or shard")
 	flag.IntVar(&cfg.shards, "shards", 0, "worker-pool size for -backend shard (default GOMAXPROCS)")
+	flag.StringVar(&cfg.codec, "codec", "v1", "wire codec for -backend pipe/tcp: v1, v2 or v2f32")
+	flag.IntVar(&cfg.frameBatch, "frame-batch", 0, "coalesce up to this many queued messages per wire frame on -backend pipe/tcp (0 or 1 disables)")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL protocol event trace to this file")
 	flag.BoolVar(&cfg.causal, "causal", false, "stamp trace events with causal metadata (per-sender seq, peer, Lamport clock, moved weight) for distclass-analyze -causal; requires -trace")
 	flag.StringVar(&cfg.metricsAddr, "metrics", "", "serve /metrics, /manifest and /debug/pprof on this address (\":0\" picks a port)")
@@ -67,6 +69,8 @@ func main() {
 type runConfig struct {
 	n, k        int
 	shards      int
+	frameBatch  int
+	codec       string
 	method      string
 	topo        string
 	policy      string
@@ -90,16 +94,18 @@ type runConfig struct {
 // manifestConfig renders the effective flag values for the run manifest.
 func (c runConfig) manifestConfig() map[string]string {
 	return map[string]string{
-		"n":        strconv.Itoa(c.n),
-		"k":        strconv.Itoa(c.k),
-		"method":   c.method,
-		"topology": c.topo,
-		"policy":   c.policy,
-		"mode":     c.mode,
-		"backend":  c.backend,
-		"duration": c.duration.String(),
-		"interval": c.interval.String(),
-		"tol":      strconv.FormatFloat(c.tol, 'g', -1, 64),
+		"n":           strconv.Itoa(c.n),
+		"k":           strconv.Itoa(c.k),
+		"method":      c.method,
+		"topology":    c.topo,
+		"policy":      c.policy,
+		"mode":        c.mode,
+		"backend":     c.backend,
+		"codec":       c.codec,
+		"frame-batch": strconv.Itoa(c.frameBatch),
+		"duration":    c.duration.String(),
+		"interval":    c.interval.String(),
+		"tol":         strconv.FormatFloat(c.tol, 'g', -1, 64),
 	}
 }
 
@@ -181,6 +187,18 @@ func run(cfg runConfig) error {
 	}
 	if cfg.shards != 0 {
 		opts = append(opts, distclass.WithShards(cfg.shards))
+	}
+	if cfg.codec != "" {
+		codec, err := distclass.ParseCodec(cfg.codec)
+		if err != nil {
+			return err
+		}
+		if codec != distclass.CodecV1 {
+			opts = append(opts, distclass.WithCodec(codec))
+		}
+	}
+	if cfg.frameBatch != 0 {
+		opts = append(opts, distclass.WithFrameBatch(cfg.frameBatch))
 	}
 	if sink != nil {
 		opts = append(opts, distclass.WithTrace(sink))

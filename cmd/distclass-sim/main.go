@@ -32,6 +32,8 @@ func main() {
 		method     = flag.String("method", "gm", "classification method: gm or centroids")
 		topo       = flag.String("topology", "full", "topology: full, ring, grid, torus, star, tree, er, geometric, regular")
 		backend    = flag.String("backend", "round", "simulation backend: round or async")
+		codec      = flag.String("codec", "v1", "wire codec: v1, v2 or v2f32 (wire backends only; the simulator backends reject non-default values)")
+		frameBatch = flag.Int("frame-batch", 0, "coalesce up to this many queued messages per wire frame (wire backends only; 0 or 1 disables)")
 		policy     = flag.String("policy", "push", "gossip policy: push or roundrobin")
 		mode       = flag.String("mode", "push", "gossip mode: push, pull or pushpull")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -56,7 +58,7 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *causal, *metricsOut, *monitor)
+	err = run(*n, *k, *method, *topo, *backend, *policy, *mode, *seed, *rounds, *maxRounds, *crash, *clusters, *spreadStd, *plotOut, *traceFile, *causal, *metricsOut, *monitor, *codec, *frameBatch)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -66,7 +68,7 @@ func main() {
 	}
 }
 
-func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile string, causal bool, metricsOut, monitorAddr string) error {
+func run(n, k int, method, topo, backend, policy, mode string, seed uint64, rounds, maxRounds int, crash float64, clusters int, std float64, plotOut bool, traceFile string, causal bool, metricsOut, monitorAddr, codec string, frameBatch int) error {
 	var m distclass.Method
 	switch method {
 	case "gm":
@@ -103,6 +105,10 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 	if clusters < 1 {
 		return fmt.Errorf("clusters = %d must be positive", clusters)
 	}
+	wireCodec, err := distclass.ParseCodec(codec)
+	if err != nil {
+		return err
+	}
 
 	// Synthetic input: `clusters` well-separated 2-D blobs.
 	r := rng.New(seed)
@@ -124,6 +130,15 @@ func run(n, k int, method, topo, backend, policy, mode string, seed uint64, roun
 		distclass.WithCrashProb(crash),
 		distclass.WithMaxRounds(maxRounds),
 		distclass.WithMetrics(reg),
+	}
+	// Pass wire options through only when set: the engine rejects them
+	// on backends without a wire format, and this command's simulator
+	// backends have none.
+	if wireCodec != distclass.CodecV1 {
+		opts = append(opts, distclass.WithCodec(wireCodec))
+	}
+	if frameBatch != 0 {
+		opts = append(opts, distclass.WithFrameBatch(frameBatch))
 	}
 	if causal && traceFile == "" {
 		return fmt.Errorf("-causal requires -trace")

@@ -153,6 +153,11 @@ func render(st *monitor.Status, cfg topConfig) (string, error) {
 	if st.Rounds > 0 {
 		put(" (%.2f/round)", msg.ReceivesPerRound)
 	}
+	if msg.BytesPerSend > 0 {
+		// Live wire runs stamp send sizes; sim runs have none, so the
+		// column appears only where it means something.
+		put("  bytes/send %.1f", msg.BytesPerSend)
+	}
 	put("  drops %d  decode errors %d\n", msg.SendDrops, msg.DecodeErrors)
 
 	cons := st.Conservation

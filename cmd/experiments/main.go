@@ -13,13 +13,15 @@
 //	experiments -live-churn       # live Figure 4: kill real cluster nodes mid-run
 //	experiments -engine-smoke     # tiny workload on every engine backend
 //	experiments -monitor-smoke    # online monitor + HTTP plane on every backend
+//	experiments -wire-smoke       # v2 codec + frame batching on the wire backends
 //	experiments -all              # everything (long)
 //
 // Use -quick for reduced network sizes (fast smoke runs). The live
 // churn ablation takes -churn-fracs (comma-separated kill fractions)
 // and -strict (fail on non-convergence or conservation violations).
 // -backend moves the Figure 4 crash runs and the churn ablation onto
-// another engine substrate (round, async, chan, pipe, tcp).
+// another engine substrate (round, async, chan, pipe, tcp); -codec and
+// -frame-batch move the churn clusters onto the v2 wire stack.
 package main
 
 import (
@@ -98,6 +100,10 @@ func main() {
 		monSmoke    = flag.Bool("monitor-smoke", false, "run the engine-smoke workload on every backend with the online monitor attached and assert /health converged and /status conservation exact over HTTP")
 		causSmoke   = flag.Bool("causal-smoke", false, "run the engine-smoke workload on every backend with causal tracing and assert clean happens-before matching and an exact provenance ledger")
 		causalOut   = flag.String("causal-out", "", "with -causal-smoke: also write each backend's causal trace to <prefix>.<backend>.trace")
+		wireSmoke   = flag.Bool("wire-smoke", false, "run the two-cluster workload on both wire backends under the v2 codec with frame batching, audit conservation and the causal ledger, and assert v2+batching cuts wire bytes per message by at least 40% vs v1")
+		wireOut     = flag.String("wire-out", "", "with -wire-smoke: also write each wire backend's batched causal trace to <prefix>.<backend>.trace")
+		codecFlag   = flag.String("codec", "", "wire codec for the -live-churn clusters on wire backends: v1, v2 or v2f32")
+		frameBatch  = flag.Int("frame-batch", 0, "coalesce up to this many queued messages per wire frame in the -live-churn clusters (wire backends; 0 or 1 disables)")
 	)
 	flag.Parse()
 
@@ -105,9 +111,22 @@ func main() {
 		log.Print("-causal-out needs -causal-smoke")
 		os.Exit(2)
 	}
-	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*shardSmoke && !*monSmoke && !*causSmoke {
+	if *wireOut != "" && !*wireSmoke {
+		log.Print("-wire-out needs -wire-smoke")
+		os.Exit(2)
+	}
+	if !*all && *fig == 0 && *ablation == "" && !*liveChurn && !*engineSmoke && !*shardSmoke && !*monSmoke && !*causSmoke && !*wireSmoke {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var churnCodec distclass.Codec
+	if *codecFlag != "" {
+		c, err := distclass.ParseCodec(*codecFlag)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		churnCodec = c
 	}
 	backends := backendChoice{fig: engine.BackendRound, churn: engine.BackendPipe}
 	if *backendFlag != "" {
@@ -123,7 +142,10 @@ func main() {
 		log.Print(err)
 		os.Exit(1)
 	}
-	churn := churnOpts{enabled: *liveChurn, fracs: *churnFracs, strict: *strict, backend: backends.churn}
+	churn := churnOpts{
+		enabled: *liveChurn, fracs: *churnFracs, strict: *strict,
+		backend: backends.churn, codec: churnCodec, frameBatch: *frameBatch,
+	}
 	err = realMain(mainOpts{
 		fig: *fig, ablation: *ablation, all: *all, quick: *quick,
 		seed: *seed, csvDir: *csvDir, traceFile: *traceFile,
@@ -131,6 +153,7 @@ func main() {
 		engineSmoke: *engineSmoke, shardSmoke: *shardSmoke,
 		monitorAddr: *monitorAddr, monitorSmoke: *monSmoke,
 		causalSmoke: *causSmoke, causalOut: *causalOut,
+		wireSmoke: *wireSmoke, wireOut: *wireOut,
 	})
 	if perr := stopProf(); err == nil {
 		err = perr
@@ -150,10 +173,12 @@ type obs struct {
 
 // churnOpts carries the -live-churn flag group.
 type churnOpts struct {
-	enabled bool
-	fracs   string // comma-separated kill fractions
-	strict  bool
-	backend engine.Backend
+	enabled    bool
+	fracs      string // comma-separated kill fractions
+	strict     bool
+	backend    engine.Backend
+	codec      distclass.Codec
+	frameBatch int
 }
 
 // backendChoice resolves the -backend flag: the sim figures default to
@@ -182,6 +207,9 @@ type mainOpts struct {
 
 	causalSmoke bool
 	causalOut   string
+
+	wireSmoke bool
+	wireOut   string
 }
 
 // realMain sets up the trace recorder and metrics endpoint (so their
@@ -254,6 +282,7 @@ func run(m mainOpts, o obs) error {
 		m.shardSmoke = true
 		m.monitorSmoke = true
 		m.causalSmoke = true
+		m.wireSmoke = true
 	}
 	for _, f := range figs {
 		if f == 0 {
@@ -293,6 +322,11 @@ func run(m mainOpts, o obs) error {
 	}
 	if m.causalSmoke {
 		if err := runCausalSmoke(m.seed, m.causalOut, o); err != nil {
+			return err
+		}
+	}
+	if m.wireSmoke {
+		if err := runWireSmoke(m.seed, m.wireOut, o); err != nil {
 			return err
 		}
 	}
@@ -478,9 +512,11 @@ func runCausalSmoke(seed uint64, outPrefix string, o obs) error {
 	return nil
 }
 
-// causalSmokeBackend runs one causally traced workload on backend b and
-// audits the resulting trace.
-func causalSmokeBackend(b engine.Backend, seed uint64, outPrefix string, o obs) (*causal.Report, error) {
+// causalSmokeBackend runs one causally traced workload on backend b
+// and audits the resulting trace. Extra options (a non-default codec,
+// frame batching) ride along so the wire-smoke gate can rerun the same
+// audit over the batched v2 transport.
+func causalSmokeBackend(b engine.Backend, seed uint64, outPrefix string, o obs, extra ...distclass.Option) (*causal.Report, error) {
 	const n = 16
 	r := rng.New(seed)
 	values := make([]distclass.Value, n)
@@ -502,6 +538,7 @@ func causalSmokeBackend(b engine.Backend, seed uint64, outPrefix string, o obs) 
 		distclass.WithTrace(trace.NewRecorder(&buf)),
 		distclass.WithCausal(),
 	}
+	opts = append(opts, extra...)
 	switch b {
 	case engine.BackendRound, engine.BackendAsync:
 		sys, err := distclass.New(values, distclass.GaussianMixture(), opts...)
@@ -570,6 +607,144 @@ func causalSmokeBackend(b engine.Backend, seed uint64, outPrefix string, o obs) 
 		return nil, fmt.Errorf("causal-smoke %s: %v weight destroyed on a crash-free run", b, lr.Destroyed)
 	}
 	return rep, nil
+}
+
+// runWireSmoke is the wire-smoke CI gate for the v2 transport stack.
+// Phase one reruns the causal-smoke audit on both wire backends under
+// the v2 codec with frame batching: batching and quantization must not
+// disturb convergence, the exact weight-conservation audit, or the
+// happens-before/provenance reconstruction (with outPrefix != "" the
+// batched traces are written to <prefix>.<backend>.trace so
+// distclass-analyze can re-audit the same bytes). Phase two measures
+// the deployment claim on uninstrumented traffic: the same two-cluster
+// workload per codec config, compared by wire bytes per logical
+// message, asserting the batched v2 stack spends at least 40% less
+// than v1 on tcp.
+func runWireSmoke(seed uint64, outPrefix string, o obs) error {
+	fmt.Println("=== Wire smoke: v2 codec + frame batching on the wire backends ===")
+	wireBackends := []engine.Backend{engine.BackendPipe, engine.BackendTCP}
+	for _, b := range wireBackends {
+		if _, err := causalSmokeBackend(b, seed, outPrefix, o,
+			distclass.WithCodec(distclass.CodecV2),
+			distclass.WithFrameBatch(8),
+		); err != nil {
+			return fmt.Errorf("wire-smoke batched causal audit: %w", err)
+		}
+	}
+
+	configs := []struct {
+		name  string
+		codec distclass.Codec
+		batch int
+	}{
+		{"v1", distclass.CodecV1, 0},
+		{"v2+batch8", distclass.CodecV2, 8},
+		{"v2f32+batch8", distclass.CodecV2F32, 8},
+	}
+	const dropWant = 0.40
+	out := make([][]string, 0, len(wireBackends)*len(configs))
+	perMsg := map[engine.Backend]map[string]float64{}
+	for _, b := range wireBackends {
+		perMsg[b] = map[string]float64{}
+		for _, c := range configs {
+			bytesPerMsg, msgs, frames, err := wireSmokeBytes(b, seed, c.codec, c.batch)
+			if err != nil {
+				return fmt.Errorf("wire-smoke %s %s: %w", b, c.name, err)
+			}
+			perMsg[b][c.name] = bytesPerMsg
+			drop := "-"
+			if base := perMsg[b]["v1"]; c.codec != distclass.CodecV1 && base > 0 {
+				drop = fmt.Sprintf("%.1f%%", 100*(1-bytesPerMsg/base))
+			}
+			out = append(out, []string{
+				b.String(), c.name, fmt.Sprintf("%.1f", bytesPerMsg),
+				strconv.FormatInt(msgs, 10), strconv.FormatInt(frames, 10), drop,
+			})
+		}
+	}
+	fmt.Println(experiments.FormatTable(
+		[]string{"backend", "config", "bytes/msg", "messages", "frames", "drop"}, out))
+	base := perMsg[engine.BackendTCP]["v1"]
+	best := perMsg[engine.BackendTCP]["v2f32+batch8"]
+	if base <= 0 || best <= 0 {
+		return fmt.Errorf("wire-smoke: missing byte measurements (v1 %.1f, v2f32+batch8 %.1f)", base, best)
+	}
+	if drop := 1 - best/base; drop < dropWant {
+		return fmt.Errorf("wire-smoke: tcp bytes/message dropped only %.1f%% (v1 %.1f -> v2f32+batch8 %.1f), want >= %.0f%%",
+			100*drop, base, best, 100*dropWant)
+	}
+	fmt.Printf("wire-smoke: tcp bytes/message %.1f -> %.1f (-%.1f%%)\n", base, best, 100*(1-best/base))
+	return nil
+}
+
+// wireSmokeBytes runs one uninstrumented (no causal stamps) workload
+// on wire backend b under the given codec and batch bound, audits
+// convergence and conservation, and returns the measured wire bytes
+// per logical message plus the raw message and frame counts.
+func wireSmokeBytes(b engine.Backend, seed uint64, codec distclass.Codec, batch int) (float64, int64, int64, error) {
+	const n = 16
+	const tol = 0.05
+	r := rng.New(seed)
+	values := make([]distclass.Value, n)
+	for i := range values {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4
+		}
+		values[i] = distclass.Value{c + r.Normal(0, 1), r.Normal(0, 1)}
+	}
+	// A fresh registry per run: the byte and message counters must
+	// describe exactly this cluster, not the invocation's aggregate.
+	// The tick is deliberately aggressive — deployment-grade load makes
+	// send queues actually build, so the coalescing path is exercised
+	// rather than degenerating to one message per frame.
+	reg := distclass.NewRegistry()
+	opts := []distclass.Option{
+		distclass.WithK(2),
+		distclass.WithSeed(seed),
+		distclass.WithBackend(b),
+		distclass.WithTolerance(tol),
+		distclass.WithInterval(200 * time.Microsecond),
+		distclass.WithMetrics(reg),
+	}
+	if codec != distclass.CodecV1 {
+		opts = append(opts, distclass.WithCodec(codec))
+	}
+	if batch != 0 {
+		opts = append(opts, distclass.WithFrameBatch(batch))
+	}
+	cl, err := distclass.StartLive(values, distclass.GaussianMixture(), opts...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ok, err := cl.WaitConverged(10*time.Second, tol)
+	if err == nil && ok {
+		// Hold the converged cluster at steady state so full-k traffic
+		// dominates the byte average; a run stopped at the convergence
+		// instant over-weights the small single-collection startup
+		// frames and the measurement becomes trajectory noise.
+		time.Sleep(time.Second)
+	}
+	cl.Stop()
+	if err == nil {
+		err = cl.Err()
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("did not converge")
+	}
+	if drift := cl.TotalWeight() - n; drift > 1e-6 || drift < -1e-6 {
+		return 0, 0, 0, fmt.Errorf("weight not conserved: %v vs %d (drift %v)", cl.TotalWeight(), n, drift)
+	}
+	msgs := reg.Counter("livenet.sent").Value()
+	wireBytes := reg.Counter("livenet.bytes_sent").Value()
+	frames := reg.Counter("livenet.frames_sent").Value()
+	if msgs == 0 || wireBytes == 0 {
+		return 0, 0, 0, fmt.Errorf("no traffic measured (messages %d, bytes %d)", msgs, wireBytes)
+	}
+	return float64(wireBytes) / float64(msgs), msgs, frames, nil
 }
 
 // runMonitorSmoke runs the engine-smoke workload on every backend with
@@ -757,12 +932,14 @@ func runLiveChurn(churn churnOpts, quick bool, seed uint64, o obs) error {
 	}
 	fmt.Printf("=== Live churn: killing real cluster nodes mid-run (Figure 4, deployed; %s backend) ===\n", churn.backend)
 	cfg := live.ChurnConfig{
-		Backend:   churn.backend,
-		KillFracs: fracs,
-		Seed:      seed,
-		Strict:    churn.strict,
-		Metrics:   o.reg,
-		Trace:     o.sink,
+		Backend:    churn.backend,
+		KillFracs:  fracs,
+		Seed:       seed,
+		Strict:     churn.strict,
+		Codec:      churn.codec,
+		FrameBatch: churn.frameBatch,
+		Metrics:    o.reg,
+		Trace:      o.sink,
 	}
 	if quick {
 		cfg.N = 20

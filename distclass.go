@@ -51,6 +51,7 @@ import (
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
+	"distclass/internal/wire"
 )
 
 // Core algorithm types, re-exported from the implementation packages.
@@ -95,6 +96,9 @@ type (
 	// with WithMonitor, it watches the run's trace stream and serves
 	// /status, /health and /events (Monitor.Attach) over HTTP.
 	Monitor = monitor.Monitor
+	// Codec selects the wire encoding of classifications on the wire
+	// backends (pipe, tcp); see WithCodec.
+	Codec = wire.Codec
 )
 
 // NewRegistry returns an empty metrics registry for WithMetrics.
@@ -147,6 +151,21 @@ const (
 // ParseBackend maps a -backend flag value ("round", "async", "chan",
 // "pipe", "tcp", "shard") to a Backend.
 func ParseBackend(s string) (Backend, error) { return engine.ParseBackend(s) }
+
+// Wire codecs for the wire backends (pipe, tcp). CodecV1 is the
+// original float64 format; CodecV2 quantizes collection weights to
+// 32-bit fixed point with an exact-sum residual (weight conservation
+// audits stay exact); CodecV2F32 additionally carries coordinates as
+// float32 — the smallest frames, at ~1e-7 relative coordinate error.
+const (
+	CodecV1    = wire.CodecV1
+	CodecV2    = wire.CodecV2
+	CodecV2F32 = wire.CodecV2F32
+)
+
+// ParseCodec maps a -codec flag value ("v1", "v2", "v2f32") to a
+// Codec.
+func ParseCodec(s string) (Codec, error) { return wire.ParseCodec(s) }
 
 // Centroids returns the paper's Algorithm 2 instantiation: centroid
 // summaries with greedy closest-pair partitioning.
@@ -240,6 +259,8 @@ type options struct {
 	mon        *monitor.Monitor
 	monEvery   time.Duration
 	shards     int
+	codec      Codec
+	frameBatch int
 }
 
 // Option configures a System or LiveCluster.
@@ -339,6 +360,20 @@ func WithMonitorInterval(d time.Duration) Option { return func(o *options) { o.m
 // backend.
 func WithShards(n int) Option { return func(o *options) { o.shards = n } }
 
+// WithCodec selects the wire encoding on the wire backends (pipe,
+// tcp; default CodecV1). Every node of a cluster must run the same
+// codec: a receiver rejects frames newer than it understands and
+// downs that link. Rejected on backends without a wire format.
+func WithCodec(c Codec) Option { return func(o *options) { o.codec = c } }
+
+// WithFrameBatch lets each wire-backend writer coalesce up to n
+// queued classifications to the same peer into one batch frame per
+// flush (default 0/1, one frame per message; n >= 2 enables
+// batching). Batching changes framing only: delivery order, causal
+// stamps and the backpressure/Undeliverable contract are unchanged.
+// Rejected on backends without wire frames.
+func WithFrameBatch(n int) Option { return func(o *options) { o.frameBatch = n } }
+
 // collect applies the options over the given defaults.
 func collect(defaults options, opts []Option) options {
 	o := defaults
@@ -368,6 +403,8 @@ func (o options) engineConfig(values []Value, method Method) engine.Config {
 		MaxRounds:  o.maxRounds,
 		Interval:   o.interval,
 		Shards:     o.shards,
+		Codec:      o.codec,
+		FrameBatch: o.frameBatch,
 		EmitHeader: o.runHeader,
 		Causal:     o.causal,
 		Metrics:    o.reg,
@@ -515,9 +552,9 @@ type LiveCluster struct {
 // StartLive launches a live cluster with one node per value. Callers
 // must Stop it. Options honored: WithK, WithQ, WithSeed, WithTopology,
 // WithPolicy, WithMode, WithBackend (pipe, chan, tcp or shard; default
-// pipe), WithShards (shard only), WithInterval, WithTolerance (used by
-// WaitConverged), WithRunHeader, WithMetrics, WithTrace, and
-// WithMonitor.
+// pipe), WithShards (shard only), WithCodec and WithFrameBatch (pipe
+// and tcp only), WithInterval, WithTolerance (used by WaitConverged),
+// WithRunHeader, WithMetrics, WithTrace, and WithMonitor.
 // The probabilistic fault injections (WithCrashProb, WithDropProb) are
 // simulator-only and rejected here — live clusters crash via Kill.
 func StartLive(values []Value, method Method, opts ...Option) (*LiveCluster, error) {

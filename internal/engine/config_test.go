@@ -11,6 +11,7 @@ import (
 	"distclass/internal/core"
 	"distclass/internal/engine"
 	"distclass/internal/topology"
+	"distclass/internal/wire"
 )
 
 func baseConfig(b engine.Backend) engine.Config {
@@ -110,6 +111,51 @@ func TestConfigRejectsUnsupportedOptions(t *testing.T) {
 			}(),
 			want: "SendQueue does not apply",
 		},
+		{
+			name: "round codec",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendRound)
+				c.Codec = wire.CodecV2
+				return c
+			}(),
+			want: "no wire encoding",
+		},
+		{
+			name: "chan codec",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendChan)
+				c.Codec = wire.CodecV2F32
+				return c
+			}(),
+			want: "no wire encoding",
+		},
+		{
+			name: "shard frame batch",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendShard)
+				c.FrameBatch = 8
+				return c
+			}(),
+			want: "FrameBatch does not apply",
+		},
+		{
+			name: "negative frame batch",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendPipe)
+				c.FrameBatch = -1
+				return c
+			}(),
+			want: "must not be negative",
+		},
+		{
+			name: "unknown codec",
+			cfg: func() engine.Config {
+				c := baseConfig(engine.BackendPipe)
+				c.Codec = wire.Codec(42)
+				return c
+			}(),
+			want: "unknown codec",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -137,9 +183,14 @@ func TestConfigAcceptsSupportedOptions(t *testing.T) {
 	async.CrashProb = 0.01
 	pipe := baseConfig(engine.BackendPipe)
 	pipe.FailOnDecodeErrors = 3
+	pipe.Codec = wire.CodecV2
+	pipe.FrameBatch = 8
+	tcp := baseConfig(engine.BackendTCP)
+	tcp.Codec = wire.CodecV2F32
+	tcp.FrameBatch = 4
 	shard := baseConfig(engine.BackendShard)
 	shard.Shards = 2
-	for _, cfg := range []engine.Config{round, async, pipe, shard} {
+	for _, cfg := range []engine.Config{round, async, pipe, tcp, shard} {
 		eng, err := engine.New(cfg)
 		if err != nil {
 			t.Errorf("%s: New rejected a supported config: %v", cfg.Backend, err)

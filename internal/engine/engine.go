@@ -38,6 +38,7 @@ import (
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
+	"distclass/internal/wire"
 )
 
 // Backend selects the communication substrate an Engine runs on.
@@ -204,6 +205,16 @@ type Config struct {
 	// FailOnDecodeErrors, when positive, fails wire backends once the
 	// aggregate decode-error count reaches the threshold.
 	FailOnDecodeErrors int
+	// Codec selects the wire encoding of data frames (default
+	// wire.CodecV1; see the wire package for the v2 quantized formats).
+	// Only wire backends encode frames, so any non-default codec is
+	// rejected on backends without Caps.Wire.
+	Codec wire.Codec
+	// FrameBatch, when at least 2, lets wire-backend link writers
+	// coalesce up to that many queued messages into one frame per
+	// flush. Rejected on backends without Caps.Wire; 0 and 1 mean no
+	// coalescing.
+	FrameBatch int
 	// Metrics, when non-nil, backs all instrumentation; Trace receives
 	// typed protocol and driver events.
 	Metrics *metrics.Registry
@@ -282,6 +293,20 @@ func (c Config) validate() error {
 	}
 	if c.FailOnDecodeErrors > 0 && !caps.Wire {
 		return fmt.Errorf("engine: backend %s has no wire decoding; FailOnDecodeErrors does not apply", c.Backend)
+	}
+	switch c.Codec {
+	case wire.CodecV1, wire.CodecV2, wire.CodecV2F32:
+	default:
+		return fmt.Errorf("engine: unknown codec %s", c.Codec)
+	}
+	if c.Codec != wire.CodecV1 && !caps.Wire {
+		return fmt.Errorf("engine: backend %s has no wire encoding; Codec %s does not apply", c.Backend, c.Codec)
+	}
+	if c.FrameBatch < 0 {
+		return fmt.Errorf("engine: FrameBatch = %d must not be negative", c.FrameBatch)
+	}
+	if c.FrameBatch >= 2 && !caps.Wire {
+		return fmt.Errorf("engine: backend %s has no wire frames; FrameBatch does not apply", c.Backend)
 	}
 	if c.Shards != 0 && c.Backend != BackendShard {
 		return fmt.Errorf("engine: backend %s has no worker pool; Shards does not apply", c.Backend)

@@ -166,6 +166,8 @@ func newLiveEngine(cfg Config, graph *topology.Graph, nodes []*core.Node, nodeCf
 			Transport:          t,
 			SendQueue:          cfg.SendQueue,
 			FailOnDecodeErrors: cfg.FailOnDecodeErrors,
+			Codec:              cfg.Codec,
+			FrameBatch:         cfg.FrameBatch,
 			Metrics:            reg,
 			Trace:              cfg.Trace,
 			Causal:             cfg.Causal,

@@ -28,6 +28,7 @@ import (
 	"distclass/internal/topology"
 	"distclass/internal/trace"
 	"distclass/internal/vec"
+	"distclass/internal/wire"
 )
 
 // ChurnConfig parameterizes the churn ablation.
@@ -63,6 +64,12 @@ type ChurnConfig struct {
 	// an error instead of a row. Kill-free rows must conserve weight
 	// exactly on every backend. The churn-smoke CI gate runs strict.
 	Strict bool
+	// Codec selects the wire encoding and FrameBatch the per-flush
+	// coalescing bound on the wire backends (pipe, tcp). Zero values
+	// mean v1 frames, one message per frame; the engine rejects
+	// non-default values on backends without a wire format.
+	Codec      wire.Codec
+	FrameBatch int
 	// Metrics and Trace are handed to every cluster; spread and error
 	// probes are recorded to Trace with Round and Node -1 (churn probes
 	// are not tied to driver rounds).
@@ -162,17 +169,19 @@ func runChurnOnce(frac float64, cfg ChurnConfig, r *rng.RNG) (ChurnRow, error) {
 		return ChurnRow{}, err
 	}
 	eng, err := engine.New(engine.Config{
-		Backend:   cfg.Backend,
-		Method:    gm.Method{},
-		Values:    values,
-		Graph:     g,
-		K:         cfg.K,
-		Q:         core.DefaultQ,
-		Seed:      cfg.Seed + 1,
-		Tolerance: cfg.Tol,
-		Interval:  cfg.Interval,
-		Metrics:   cfg.Metrics,
-		Trace:     cfg.Trace,
+		Backend:    cfg.Backend,
+		Method:     gm.Method{},
+		Values:     values,
+		Graph:      g,
+		K:          cfg.K,
+		Q:          core.DefaultQ,
+		Seed:       cfg.Seed + 1,
+		Tolerance:  cfg.Tol,
+		Interval:   cfg.Interval,
+		Codec:      cfg.Codec,
+		FrameBatch: cfg.FrameBatch,
+		Metrics:    cfg.Metrics,
+		Trace:      cfg.Trace,
 	})
 	if err != nil {
 		return ChurnRow{}, err

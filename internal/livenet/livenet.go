@@ -68,11 +68,26 @@ const (
 	// u64 little-endian (the weight as IEEE-754 bits, so the receiver
 	// restamps the exact float the sender debited).
 	frameKindCausal byte = 2
+	// frameKindBatch coalesces several data messages into one wire
+	// frame (NetConfig.FrameBatch). After the kind byte: a flags byte
+	// (bit 0 set when each message carries a causal header), a u16
+	// message count, then per message the optional causalHeaderLen
+	// metadata followed by its self-delimiting wire payload. Causal
+	// headers ride inside the batch per message, so happens-before and
+	// weight provenance are identical to unbatched frames.
+	frameKindBatch byte = 3
 )
 
 // causalHeaderLen is the causal metadata length after the kind byte:
 // seq u64 + clock u64 + weight f64.
 const causalHeaderLen = 24
+
+// batchHeaderLen is the batch metadata length after the kind byte:
+// flags u8 + message count u16.
+const batchHeaderLen = 3
+
+// batchFlagCausal marks per-message causal headers in a batch frame.
+const batchFlagCausal byte = 1
 
 // Transport selects how node links are realized.
 type Transport int
@@ -131,11 +146,37 @@ type NetConfig struct {
 	// keeps decode errors non-fatal: the frame is skipped, counted and
 	// attributed per peer, and the link stays up.
 	FailOnDecodeErrors int
+	// Codec selects the wire encoding of outbound data frames (default
+	// wire.CodecV1). Receivers decode by the version byte on the frame,
+	// not by this setting, so mixed-codec nets interoperate as long as
+	// DecodeMax admits the version.
+	Codec wire.Codec
+	// FrameBatch, when at least 2, lets each link's writer coalesce up
+	// to that many consecutively queued data messages to the same peer
+	// into one batch frame per flush (bounded by MaxFrame; pull
+	// requests pass through unbatched in order). The per-link
+	// pending/backpressure/Undeliverable contracts are unchanged: a
+	// batch torn by a write error returns every one of its messages to
+	// the sender. 0 or 1 disables coalescing.
+	FrameBatch int
+	// DecodeMax, when positive, caps the wire format version this net's
+	// receivers accept — a stand-in for an old peer in cross-version
+	// deployments. 0 means the newest supported version. A frame
+	// rejected for its version (including batch frames when DecodeMax
+	// predates them) downs the receiving link after an attributed
+	// decode error: version skew is persistent, unlike transient
+	// corruption, so retrying the link would only repeat the fault.
+	DecodeMax int
 	// Metrics, when non-nil, backs the transport's counters: aggregate
-	// livenet.{sent,received,decode_errors,send_drops} counters and the
-	// livenet.links_down gauge (link endpoints currently disabled by
-	// I/O errors or peer death); the per-node
-	// livenet.node.<id>.{sent,received,decode_errors,send_drops}
+	// livenet.{sent,received,decode_errors,send_drops} counters (sent
+	// and received count logical messages — classifications and pull
+	// requests — not wire frames), the livenet.{bytes_sent,frames_sent}
+	// counters (physical frames written, including length prefix and
+	// batch headers) and the livenet.frames_per_batch histogram
+	// (messages folded into each physical frame; all 1s without
+	// batching); the livenet.links_down gauge (link endpoints currently
+	// disabled by I/O errors or peer death); the per-node
+	// livenet.node.<id>.{sent,received,bytes_sent,decode_errors,send_drops}
 	// counters; the per-node livenet.node.<id>.last_receive_seq
 	// staleness gauges (the net-wide receive sequence number at the
 	// node's last absorb — a node whose gauge lags the net total is
@@ -181,15 +222,18 @@ type Net struct {
 	// goroutine bookkeeping is reconfigured only under this lock.
 	churnMu sync.Mutex
 
-	reg       *metrics.Registry
-	sink      trace.Sink // nil when tracing is off
-	sent      *metrics.Counter
-	recv      *metrics.Counter
-	decErr    *metrics.Counter
-	drops     *metrics.Counter
-	linksDown *metrics.Gauge
-	hSend     *metrics.Histogram
-	hAbsorb   *metrics.Histogram
+	reg        *metrics.Registry
+	sink       trace.Sink // nil when tracing is off
+	sent       *metrics.Counter
+	recv       *metrics.Counter
+	decErr     *metrics.Counter
+	drops      *metrics.Counter
+	bytesSent  *metrics.Counter
+	framesSent *metrics.Counter
+	linksDown  *metrics.Gauge
+	hSend      *metrics.Histogram
+	hAbsorb    *metrics.Histogram
+	hBatch     *metrics.Histogram
 
 	recvSeq atomic.Int64 // net-wide receive sequence, drives staleness gauges
 
@@ -257,10 +301,11 @@ type peer struct {
 	// Per-node instruments, cached off the registry. Counters persist
 	// across Kill/Restart incarnations — they account the node id, not
 	// the incarnation.
-	sent   *metrics.Counter
-	recv   *metrics.Counter
-	decErr *metrics.Counter
-	drops  *metrics.Counter
+	sent      *metrics.Counter
+	recv      *metrics.Counter
+	decErr    *metrics.Counter
+	drops     *metrics.Counter
+	bytesSent *metrics.Counter
 	// lastRecv holds the net-wide receive sequence number at this
 	// node's most recent delivery; Net.recvSeq minus this gauge is the
 	// node's staleness in receives.
@@ -319,12 +364,13 @@ func StartNet(g *topology.Graph, cfg NetConfig) (*Net, error) {
 	peers := make([]*peer, g.N())
 	for i := range peers {
 		peers[i] = &peer{
-			id:       i,
-			sent:     reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
-			recv:     reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
-			decErr:   reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
-			drops:    reg.Counter(fmt.Sprintf("livenet.node.%d.send_drops", i)),
-			lastRecv: reg.Gauge(fmt.Sprintf("livenet.node.%d.last_receive_seq", i)),
+			id:        i,
+			sent:      reg.Counter(fmt.Sprintf("livenet.node.%d.sent", i)),
+			recv:      reg.Counter(fmt.Sprintf("livenet.node.%d.received", i)),
+			decErr:    reg.Counter(fmt.Sprintf("livenet.node.%d.decode_errors", i)),
+			drops:     reg.Counter(fmt.Sprintf("livenet.node.%d.send_drops", i)),
+			bytesSent: reg.Counter(fmt.Sprintf("livenet.node.%d.bytes_sent", i)),
+			lastRecv:  reg.Gauge(fmt.Sprintf("livenet.node.%d.last_receive_seq", i)),
 		}
 		peers[i].alive.Store(true)
 	}
@@ -372,15 +418,18 @@ func StartNet(g *topology.Graph, cfg NetConfig) (*Net, error) {
 	n := &Net{
 		peers: peers, graph: g, cfg: cfg,
 		ctx: ctx, cancel: cancel, dial: dial, closeLinker: closeLinker,
-		reg:       reg,
-		sink:      cfg.Trace,
-		sent:      reg.Counter("livenet.sent"),
-		recv:      reg.Counter("livenet.received"),
-		decErr:    reg.Counter("livenet.decode_errors"),
-		drops:     reg.Counter("livenet.send_drops"),
-		linksDown: reg.Gauge("livenet.links_down"),
-		hSend:     reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
-		hAbsorb:   reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
+		reg:        reg,
+		sink:       cfg.Trace,
+		sent:       reg.Counter("livenet.sent"),
+		recv:       reg.Counter("livenet.received"),
+		decErr:     reg.Counter("livenet.decode_errors"),
+		drops:      reg.Counter("livenet.send_drops"),
+		bytesSent:  reg.Counter("livenet.bytes_sent"),
+		framesSent: reg.Counter("livenet.frames_sent"),
+		linksDown:  reg.Gauge("livenet.links_down"),
+		hSend:      reg.MustHistogram("livenet.send_seconds", LatencyBuckets()),
+		hAbsorb:    reg.MustHistogram("livenet.absorb_seconds", LatencyBuckets()),
+		hBatch:     reg.MustHistogram("livenet.frames_per_batch", metrics.ExponentialBuckets(1, 2, 7)),
 	}
 	for _, p := range peers {
 		p.ctx, p.cancel = context.WithCancel(ctx)
@@ -471,7 +520,7 @@ func (n *Net) Send(i, peer int, pull bool, cls core.Classification) bool {
 	if pull {
 		f.data = []byte{frameKindPull}
 	} else {
-		payload, err := wire.MarshalClassification(cls)
+		payload, err := wire.MarshalClassificationCodec(cls, n.cfg.Codec)
 		if err != nil {
 			n.fail(fmt.Errorf("livenet: node %d: marshal: %w", i, err))
 			return false
@@ -538,11 +587,150 @@ func (n *Net) writeLoop(ctx context.Context, p *peer, l *link) {
 		case <-l.done:
 			return
 		case f := <-l.out:
-			if !n.writeOne(p, l, f) {
+			if !n.writeCoalesced(p, l, f) {
 				return
 			}
 		}
 	}
+}
+
+// writeCoalesced writes one dequeued frame, folding queued data
+// messages behind it into batch frames when NetConfig.FrameBatch asks
+// for coalescing. Order is preserved exactly: a pull request flushes
+// the accumulated batch before being written on its own.
+func (n *Net) writeCoalesced(p *peer, l *link, first outFrame) bool {
+	if n.cfg.FrameBatch < 2 {
+		return n.writeOne(p, l, first)
+	}
+	frames := []outFrame{first}
+drain:
+	for len(frames) < n.cfg.FrameBatch {
+		select {
+		case f := <-l.out:
+			frames = append(frames, f)
+		default:
+			break drain
+		}
+	}
+	return n.writeFrames(p, l, frames)
+}
+
+// writeFrames writes a run of dequeued frames, grouping consecutive
+// data messages into batch frames bounded by MaxFrame. On a write
+// error every frame not yet on the wire — including the remainder of
+// this run, which is no longer in the queue for returnQueue to find —
+// goes back to the engine through Undeliverable.
+func (n *Net) writeFrames(p *peer, l *link, frames []outFrame) bool {
+	abort := func(unwritten []outFrame) bool {
+		for _, f := range unwritten {
+			l.pending.Add(-1)
+			if f.cls == nil {
+				continue
+			}
+			if err := n.cfg.Handler.Undeliverable(p.id, f.cls); err != nil {
+				n.fail(fmt.Errorf("livenet: node %d: undeliverable after write error: %w", p.id, err))
+				break
+			}
+		}
+		return false
+	}
+	var batch []outFrame
+	size := 0
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		ok := n.writeBatch(p, l, batch)
+		batch, size = batch[:0], 0
+		return ok
+	}
+	for i, f := range frames {
+		if f.cls == nil { // pull request: never batched
+			if !flush() {
+				return abort(frames[i:])
+			}
+			if !n.writeOne(p, l, f) {
+				return abort(frames[i+1:])
+			}
+			continue
+		}
+		if len(batch) > 0 && batchHeaderLen+size+len(f.data)-1 > MaxFrame {
+			if !flush() {
+				return abort(frames[i:])
+			}
+		}
+		batch = append(batch, f)
+		size += len(f.data) - 1
+	}
+	if !flush() {
+		return abort(nil)
+	}
+	return true
+}
+
+// writeBatch writes the given data frames as one batch frame (or a
+// plain frame when there is only one — smaller than a one-message
+// batch) and does the per-message accounting. A failed write returns
+// every message to the engine: the receiver saw at most a torn frame
+// it will discard, so no split weight is lost.
+func (n *Net) writeBatch(p *peer, l *link, batch []outFrame) bool {
+	if len(batch) == 1 {
+		return n.writeOne(p, l, batch[0])
+	}
+	size := 1 + batchHeaderLen
+	for _, f := range batch {
+		size += len(f.data) - 1
+	}
+	buf := make([]byte, 0, size)
+	flags := byte(0)
+	if n.cfg.Causal {
+		flags |= batchFlagCausal
+	}
+	buf = append(buf, frameKindBatch, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(batch)))
+	for _, f := range batch {
+		buf = append(buf, f.data[1:]...)
+	}
+	start := time.Now()
+	if err := writeFrame(l.conn, buf); err != nil {
+		for _, f := range batch {
+			l.pending.Add(-1)
+			if aerr := n.cfg.Handler.Undeliverable(p.id, f.cls); aerr != nil {
+				n.fail(fmt.Errorf("livenet: node %d: undeliverable after write error: %w", p.id, aerr))
+				break
+			}
+		}
+		n.downLink(l)
+		return false
+	}
+	n.hSend.Observe(time.Since(start).Seconds())
+	n.noteFrameWritten(p, 4+len(buf), len(batch))
+	for _, f := range batch {
+		l.pending.Add(-1)
+		n.sent.Inc()
+		p.sent.Inc()
+		if n.sink != nil {
+			ev := trace.Event{
+				Round: -1, Node: p.id, Kind: trace.KindSend,
+				Value: float64(len(f.data)),
+			}
+			if f.data[0] == frameKindCausal {
+				ev.Seq, ev.Peer, ev.Clock, ev.Weight = f.seq, l.peer, f.clock, f.weight
+			}
+			_ = n.sink.Record(ev)
+		}
+	}
+	return true
+}
+
+// noteFrameWritten records one physical frame on the wire: its full
+// byte cost (length prefix included) aggregate and per node, and how
+// many logical messages it carried.
+func (n *Net) noteFrameWritten(p *peer, wireBytes, messages int) {
+	n.framesSent.Inc()
+	n.bytesSent.Add(int64(wireBytes))
+	p.bytesSent.Add(int64(wireBytes))
+	n.hBatch.Observe(float64(messages))
 }
 
 // flushQueue writes the link's remaining queued frames until the queue
@@ -554,7 +742,7 @@ func (n *Net) flushQueue(p *peer, l *link) {
 		case <-l.done:
 			return
 		case f := <-l.out:
-			if !n.writeOne(p, l, f) {
+			if !n.writeCoalesced(p, l, f) {
 				return
 			}
 		default:
@@ -603,6 +791,7 @@ func (n *Net) writeOne(p *peer, l *link, f outFrame) bool {
 		return false
 	}
 	n.hSend.Observe(time.Since(start).Seconds())
+	n.noteFrameWritten(p, 4+len(f.data), 1)
 	n.sent.Inc()
 	p.sent.Inc()
 	if n.sink != nil {
@@ -631,8 +820,22 @@ func (n *Net) recvLoop(p *peer, l *link) {
 			}
 			return
 		}
-		if len(data) == 0 || (data[0] != frameKindData && data[0] != frameKindPull && data[0] != frameKindCausal) {
+		if len(data) == 0 || data[0] > frameKindBatch {
 			if !n.noteDecodeError(p, l, fmt.Errorf("livenet: unknown frame kind")) {
+				return
+			}
+			continue
+		}
+		if data[0] == frameKindBatch {
+			if maxVer := n.cfg.DecodeMax; maxVer > 0 && maxVer < wire.VersionV2 {
+				// This receiver predates batch frames. The mismatch is
+				// persistent, so the link comes down after the attributed
+				// error — exactly like a payload version it cannot decode.
+				n.noteDecodeError(p, l, fmt.Errorf("livenet: batch frame but decoder is limited to format version %d", maxVer))
+				n.downLink(l)
+				return
+			}
+			if !n.recvBatch(p, l, data[1:]) {
 				return
 			}
 			continue
@@ -660,34 +863,97 @@ func (n *Net) recvLoop(p *peer, l *link) {
 			weight = math.Float64frombits(binary.LittleEndian.Uint64(payload[16:24]))
 			payload = payload[causalHeaderLen:]
 		}
-		cls, err := wire.UnmarshalClassification(payload)
+		cls, err := wire.UnmarshalClassificationLimit(payload, n.cfg.DecodeMax)
 		if err != nil {
 			if !n.noteDecodeError(p, l, err) {
 				return
 			}
+			if errors.Is(err, wire.ErrVersion) {
+				// A peer speaking a newer format will keep speaking it:
+				// down this link only, the rest of the net keeps running.
+				n.downLink(l)
+				return
+			}
 			continue // skip the frame, keep the link
 		}
-		start := time.Now()
-		if err := n.cfg.Handler.Deliver(p.id, l.peer, false, cls); err != nil {
-			n.fail(fmt.Errorf("livenet: node %d: deliver: %w", p.id, err))
+		if !n.deliverData(p, l, cls, causal, seq, msgClock, weight) {
 			return
 		}
-		n.hAbsorb.Observe(time.Since(start).Seconds())
-		n.recv.Inc()
-		p.recv.Inc()
-		p.lastRecv.Set(float64(n.recvSeq.Add(1)))
-		if n.sink != nil {
-			ev := trace.Event{
-				Round: -1, Node: p.id, Kind: trace.KindReceive,
-				Value: float64(len(cls)),
+	}
+}
+
+// recvBatch decodes one batch frame: per message an optional causal
+// header plus a self-delimiting wire payload, delivered in order. A
+// malformed message abandons the rest of the frame after one
+// attributed decode error (boundaries past a bad payload are
+// unknowable); a version rejection additionally downs the link. The
+// return mirrors the receive loop's convention: false stops the loop.
+func (n *Net) recvBatch(p *peer, l *link, payload []byte) bool {
+	if len(payload) < batchHeaderLen {
+		return n.noteDecodeError(p, l, fmt.Errorf("livenet: batch frame of %d bytes is shorter than its header", 1+len(payload)))
+	}
+	causal := payload[0]&batchFlagCausal != 0
+	count := int(binary.LittleEndian.Uint16(payload[1:batchHeaderLen]))
+	rest := payload[batchHeaderLen:]
+	for i := 0; i < count; i++ {
+		var seq, msgClock uint64
+		var weight float64
+		if causal {
+			if len(rest) < causalHeaderLen {
+				return n.noteDecodeError(p, l, fmt.Errorf("livenet: batch message %d of %d truncated in its causal header", i, count))
 			}
-			if causal {
-				ev.Seq, ev.Peer, ev.Weight = seq, l.peer, weight
-				ev.Clock = trace.MergeClock(&p.clock, msgClock)
+			seq = binary.LittleEndian.Uint64(rest[:8])
+			msgClock = binary.LittleEndian.Uint64(rest[8:16])
+			weight = math.Float64frombits(binary.LittleEndian.Uint64(rest[16:24]))
+			rest = rest[causalHeaderLen:]
+		}
+		cls, used, err := wire.UnmarshalNext(rest, n.cfg.DecodeMax)
+		if err != nil {
+			if !n.noteDecodeError(p, l, err) {
+				return false
 			}
-			_ = n.sink.Record(ev)
+			if errors.Is(err, wire.ErrVersion) {
+				n.downLink(l)
+				return false
+			}
+			return true
+		}
+		rest = rest[used:]
+		if !n.deliverData(p, l, cls, causal, seq, msgClock, weight) {
+			return false
 		}
 	}
+	if len(rest) != 0 {
+		return n.noteDecodeError(p, l, fmt.Errorf("livenet: %d trailing bytes after %d batched messages", len(rest), count))
+	}
+	return true
+}
+
+// deliverData hands one decoded data message to the protocol layer and
+// does the per-message receive accounting — identical for plain,
+// causal and batched frames. False stops the calling receive loop.
+func (n *Net) deliverData(p *peer, l *link, cls core.Classification, causal bool, seq, msgClock uint64, weight float64) bool {
+	start := time.Now()
+	if err := n.cfg.Handler.Deliver(p.id, l.peer, false, cls); err != nil {
+		n.fail(fmt.Errorf("livenet: node %d: deliver: %w", p.id, err))
+		return false
+	}
+	n.hAbsorb.Observe(time.Since(start).Seconds())
+	n.recv.Inc()
+	p.recv.Inc()
+	p.lastRecv.Set(float64(n.recvSeq.Add(1)))
+	if n.sink != nil {
+		ev := trace.Event{
+			Round: -1, Node: p.id, Kind: trace.KindReceive,
+			Value: float64(len(cls)),
+		}
+		if causal {
+			ev.Seq, ev.Peer, ev.Weight = seq, l.peer, weight
+			ev.Clock = trace.MergeClock(&p.clock, msgClock)
+		}
+		_ = n.sink.Record(ev)
+	}
+	return true
 }
 
 // noteDecodeError does the decode-error accounting for one bad frame,
@@ -830,16 +1096,28 @@ func (n *Net) Err() error {
 // N returns the number of nodes.
 func (n *Net) N() int { return len(n.peers) }
 
-// MessagesSent returns the number of frames fully written to the wire
-// so far (data frames and pull requests alike). Frames refused at a
-// full queue (SendDrops) are not sent.
+// MessagesSent returns the number of logical messages —
+// classifications and pull requests — fully written to the wire so
+// far. With batching several messages share one physical frame (see
+// FramesSent / BytesSent for the frame-level view); without it the two
+// counts coincide. Messages refused at a full queue (SendDrops) are
+// not sent.
 func (n *Net) MessagesSent() int64 { return n.sent.Value() }
 
-// MessagesReceived returns the number of data frames decoded and
-// delivered so far. After Stop on pipe transport it equals the number
-// of data frames written: the synchronous pipes hand every fully
-// written frame to the receiver.
+// MessagesReceived returns the number of classifications decoded and
+// delivered so far — logical messages, so a batch frame counts once
+// per message it carried. After Stop on pipe transport it equals the
+// number of classifications written: the synchronous pipes hand every
+// fully written frame to the receiver.
 func (n *Net) MessagesReceived() int64 { return n.recv.Value() }
+
+// FramesSent returns the number of physical frames written to the
+// wire — the syscall-level count batching exists to shrink.
+func (n *Net) FramesSent() int64 { return n.framesSent.Value() }
+
+// BytesSent returns the total bytes written to the wire, length
+// prefixes and batch headers included.
+func (n *Net) BytesSent() int64 { return n.bytesSent.Value() }
 
 // DecodeErrors returns the number of frames that failed to decode.
 func (n *Net) DecodeErrors() int64 { return n.decErr.Value() }

@@ -95,7 +95,7 @@ func (h *testHandler) returnedWeight() float64 {
 
 // testClassification builds a small single-collection classification of
 // the given weight — a realistic wire payload for transport tests.
-func testClassification(t *testing.T, weight float64) core.Classification {
+func testClassification(t testing.TB, weight float64) core.Classification {
 	t.Helper()
 	s, err := gm.Method{}.Summarize(vec.Of(1, 2))
 	if err != nil {

@@ -47,9 +47,14 @@ type Convergence struct {
 // per-round (never per-second: wall-clock rates would break /status
 // determinism and mean nothing for round-driven sims).
 type Messaging struct {
-	Sends               int     `json:"sends"`
-	Receives            int     `json:"receives"`
-	SentBytes           float64 `json:"sent_bytes"`
+	Sends     int     `json:"sends"`
+	Receives  int     `json:"receives"`
+	SentBytes float64 `json:"sent_bytes"`
+	// BytesPerSend is SentBytes/Sends — the live mean encoded message
+	// size, the number the wire codec and frame batching shrink. Omitted
+	// (0) for sim runs, whose sends carry no sizes, so pre-existing
+	// /status snapshots keep their exact bytes.
+	BytesPerSend        float64 `json:"bytes_per_send,omitempty"`
 	ReceivedCollections float64 `json:"received_collections"`
 	Splits              int     `json:"splits"`
 	Merges              int     `json:"merges"`
@@ -185,6 +190,9 @@ func (m *Monitor) Status() Status {
 	if m.rounds > 0 {
 		s.Messaging.SendsPerRound = float64(m.sends) / float64(m.rounds)
 		s.Messaging.ReceivesPerRound = float64(m.receives) / float64(m.rounds)
+	}
+	if m.sends > 0 && m.sentBytes > 0 {
+		s.Messaging.BytesPerSend = m.sentBytes / float64(m.sends)
 	}
 	if m.expectedSet && m.weightSeen > 0 {
 		s.Conservation.Drift = m.latestWeight - m.expected

@@ -49,6 +49,7 @@ func NewDiff(a, b *RunReport) *Diff {
 	addi("sends", a.Messaging.Sends, b.Messaging.Sends)
 	addi("receives", a.Messaging.Receives, b.Messaging.Receives)
 	add("sent_bytes", a.Messaging.SentBytes, b.Messaging.SentBytes)
+	add("bytes_per_send", a.Messaging.BytesPerSend, b.Messaging.BytesPerSend)
 	add("received_collections", a.Messaging.ReceivedCollections, b.Messaging.ReceivedCollections)
 	addi("splits", a.Messaging.Splits, b.Messaging.Splits)
 	addi("merges", a.Messaging.Merges, b.Messaging.Merges)

@@ -109,9 +109,15 @@ type Messaging struct {
 	// Sends and Receives count driver-delivered messages.
 	Sends    int `json:"sends"`
 	Receives int `json:"receives"`
-	// SentBytes sums the send events' values — encoded frame bytes in
+	// SentBytes sums the send events' values — encoded payload bytes in
 	// live traces, always 0 in sim traces (sim sends carry no size).
+	// Frame batching coalesces payloads but never changes them, so this
+	// total is comparable across codecs and batch settings.
 	SentBytes float64 `json:"sent_bytes"`
+	// BytesPerSend is SentBytes/Sends — the run's mean encoded message
+	// size, the number the wire codec and frame batching shrink. Omitted
+	// (0) for sim traces, which carry no sizes.
+	BytesPerSend float64 `json:"bytes_per_send,omitempty"`
 	// ReceivedCollections sums the receive events' values: inbox batch
 	// sizes (sim) or decoded collection counts (livenet) — the paper's
 	// "collections on the wire" complexity measure.
@@ -147,15 +153,19 @@ type RoundStat struct {
 
 // NodeHealth is one node's replayed health record.
 type NodeHealth struct {
-	Node         int `json:"node"`
-	Sends        int `json:"sends"`
-	Receives     int `json:"receives"`
-	Splits       int `json:"splits"`
-	Merges       int `json:"merges"`
-	Crashes      int `json:"crashes"`
-	Recovers     int `json:"recovers"`
-	DecodeErrors int `json:"decode_errors"`
-	SendDrops    int `json:"send_drops"`
+	Node     int `json:"node"`
+	Sends    int `json:"sends"`
+	Receives int `json:"receives"`
+	// SentBytes sums this node's send sizes (encoded payload bytes).
+	// Always 0 — and omitted — for sim traces; in live traces a node far
+	// off the mean indicates skewed load or an oversized model.
+	SentBytes    float64 `json:"sent_bytes,omitempty"`
+	Splits       int     `json:"splits"`
+	Merges       int     `json:"merges"`
+	Crashes      int     `json:"crashes"`
+	Recovers     int     `json:"recovers"`
+	DecodeErrors int     `json:"decode_errors"`
+	SendDrops    int     `json:"send_drops"`
 	// LastActivityRound is the last driver round with a send or receive
 	// from this node (-1 when the node only appears in round-less
 	// events, e.g. live traces).
@@ -230,6 +240,7 @@ type nodeState struct {
 	sends, receives, splits, merges int
 	crashes, recovers, decodeErrors int
 	sendDrops                       int
+	sentBytes                       float64
 	lastActivityRound               int
 	crashed                         bool
 }
@@ -312,6 +323,7 @@ func (a *analyzer) observe(e trace.Event) error {
 		a.msg.SentBytes += e.Value
 		if ns != nil {
 			ns.sends++
+			ns.sentBytes += e.Value
 			if e.Round >= 0 && e.Round > ns.lastActivityRound {
 				ns.lastActivityRound = e.Round
 			}
@@ -404,6 +416,12 @@ func (a *analyzer) finish() *RunReport {
 		SpreadCurve: a.spread,
 		ErrorCurve:  a.errs,
 	}
+	// Live traces stamp send events with payload sizes; derive the mean
+	// message size there. Sim sends carry no size, so the field stays 0
+	// and is omitted, keeping sim reports byte-identical to before.
+	if a.msg.Sends > 0 && a.msg.SentBytes > 0 {
+		rep.Messaging.BytesPerSend = a.msg.SentBytes / float64(a.msg.Sends)
+	}
 
 	for kind, count := range a.kinds {
 		//lint:allow mapiter collected and sorted below
@@ -431,7 +449,8 @@ func (a *analyzer) finish() *RunReport {
 		ns := a.nodes[id]
 		h := NodeHealth{
 			Node: id, Sends: ns.sends, Receives: ns.receives,
-			Splits: ns.splits, Merges: ns.merges,
+			SentBytes: ns.sentBytes,
+			Splits:    ns.splits, Merges: ns.merges,
 			Crashes: ns.crashes, Recovers: ns.recovers,
 			DecodeErrors:      ns.decodeErrors,
 			SendDrops:         ns.sendDrops,

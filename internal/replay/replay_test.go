@@ -214,3 +214,52 @@ func TestEmptyTrace(t *testing.T) {
 		t.Errorf("empty trace has %d anomalies", rep.Anomalies.Count)
 	}
 }
+
+// TestSentBytesSurfaced pins the byte accounting: live-style sends
+// (Value = encoded payload bytes) must surface as a network-wide mean
+// and per-node totals, while sim traces — whose sends carry no size —
+// must keep exactly the report they always had (no byte lines, fields
+// omitted).
+func TestSentBytesSurfaced(t *testing.T) {
+	s := record(t,
+		trace.Event{Round: -1, Node: 0, Kind: trace.KindSend, Value: 100},
+		trace.Event{Round: -1, Node: 0, Kind: trace.KindSend, Value: 60},
+		trace.Event{Round: -1, Node: 1, Kind: trace.KindSend, Value: 80},
+	)
+	rep := analyzeString(t, s, Options{})
+	if rep.Messaging.SentBytes != 240 {
+		t.Errorf("SentBytes = %v, want 240", rep.Messaging.SentBytes)
+	}
+	if rep.Messaging.BytesPerSend != 80 {
+		t.Errorf("BytesPerSend = %v, want 80", rep.Messaging.BytesPerSend)
+	}
+	if len(rep.NodeHealth) != 2 {
+		t.Fatalf("NodeHealth has %d entries, want 2", len(rep.NodeHealth))
+	}
+	if rep.NodeHealth[0].SentBytes != 160 || rep.NodeHealth[1].SentBytes != 80 {
+		t.Errorf("per-node bytes = %v and %v, want 160 and 80",
+			rep.NodeHealth[0].SentBytes, rep.NodeHealth[1].SentBytes)
+	}
+	var buf strings.Builder
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"bytes/send: 80 (mean encoded message size)", "per-node bytes:    min 80 / mean 120 / max 160"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// Sim-style sends (no sizes): byte lines absent, derived field zero.
+	sim := analyzeString(t, record(t, trace.Event{Round: 0, Node: 0, Kind: trace.KindSend}), Options{})
+	if sim.Messaging.BytesPerSend != 0 {
+		t.Errorf("sim BytesPerSend = %v, want 0", sim.Messaging.BytesPerSend)
+	}
+	buf.Reset()
+	if err := sim.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if strings.Contains(buf.String(), "bytes/send") || strings.Contains(buf.String(), "per-node bytes") {
+		t.Errorf("sim report grew byte lines:\n%s", buf.String())
+	}
+}

@@ -112,6 +112,14 @@ func (rep *RunReport) WriteText(w io.Writer) error {
 	m := rep.Messaging
 	p.f("\n-- messaging --\n")
 	p.f("sends: %d (%s bytes on the wire)\n", m.Sends, fnum(m.SentBytes))
+	// Byte lines only when the trace carries sizes (live traces); sim
+	// traces keep the exact report they always had.
+	if m.SentBytes > 0 {
+		p.f("bytes/send: %s (mean encoded message size)\n", fnum(m.BytesPerSend))
+		if stats, ok := nodeSpreadF(rep.NodeHealth, func(h NodeHealth) float64 { return h.SentBytes }); ok {
+			p.f("per-node bytes:    %s\n", stats)
+		}
+	}
 	p.f("receives: %d (%s collections received)\n", m.Receives, fnum(m.ReceivedCollections))
 	p.f("splits: %d (%s collections out)   merges: %d (%s collections in)\n",
 		m.Splits, fnum(m.SplitCollections), m.Merges, fnum(m.MergedCollections))
@@ -257,4 +265,25 @@ func nodeSpread(health []NodeHealth, get func(NodeHealth) int) (string, bool) {
 	}
 	mean := float64(sum) / float64(len(health))
 	return fmt.Sprintf("min %d / mean %s / max %d", min, fnum(mean), max), true
+}
+
+// nodeSpreadF is nodeSpread for float-valued per-node counters (byte
+// totals).
+func nodeSpreadF(health []NodeHealth, get func(NodeHealth) float64) (string, bool) {
+	if len(health) == 0 {
+		return "", false
+	}
+	min, max, sum := get(health[0]), get(health[0]), 0.0
+	for _, h := range health {
+		v := get(h)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(health))
+	return fmt.Sprintf("min %s / mean %s / max %s", fnum(min), fnum(mean), fnum(max)), true
 }

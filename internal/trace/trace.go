@@ -34,13 +34,20 @@ const (
 	// KindRecover: the driver brought a node back.
 	KindRecover Kind = "recover"
 	// KindSend: a driver delivered a send opportunity and a message
-	// left the node. In live deployments Value, when non-zero, is the
-	// encoded frame size in bytes.
+	// left the node. One event per logical message (one encoded
+	// classification), NOT per wire frame: when the live transport
+	// coalesces queued messages into a batch frame, every coalesced
+	// message still records its own send event. In live deployments
+	// Value, when non-zero, is that message's encoded payload size in
+	// bytes — codec-dependent, unchanged by batching (framing overhead
+	// is visible only in the livenet.bytes_sent counter).
 	KindSend Kind = "send"
 	// KindReceive: a node received and absorbed a message batch.
 	// Value is the batch size — the number of messages in the inbox
 	// batch (sim drivers) or of collections in the decoded message
-	// (live deployments) — never a byte count.
+	// (live deployments, one event per logical message even when the
+	// message arrived inside a coalesced batch frame) — never a byte
+	// count.
 	KindReceive Kind = "receive"
 	// KindDecodeError: an incoming frame failed to decode.
 	KindDecodeError Kind = "decode-error"

@@ -35,11 +35,40 @@ func FuzzUnmarshalClassification(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(gData)
+
+	// v2 seeds: both quantization modes, single- and multi-collection,
+	// plus a two-payload concatenation like a batched frame body (the
+	// trailing bytes exercise the whole-message reject path while the
+	// fuzzer mutates toward valid batch walks).
+	for _, codec := range []Codec{CodecV2, CodecV2F32} {
+		v2c, err := MarshalClassificationCodec(cCls, codec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2c)
+		v2g, err := MarshalClassificationCodec(gmCls(f, rng.New(3), 3, 2), codec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v2g)
+		f.Add(append(append([]byte{}, v2g...), v2c...))
+	}
 	f.Add([]byte{})
 	f.Add([]byte{Version})
 	f.Add([]byte{Version, tagGM, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{VersionV2, tagGM | flagF32, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{VersionMax + 1, tagGM, 1, 0, 1, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The prefix decoder must never panic and never over-consume.
+		if cls, n, err := UnmarshalNext(data, 0); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("UnmarshalNext consumed %d of %d bytes", n, len(data))
+			}
+			if _, err := MarshalClassificationCodec(cls, CodecV2); err != nil {
+				t.Fatalf("decoded prefix does not re-encode as v2: %v", err)
+			}
+		}
 		cls, err := UnmarshalClassification(data)
 		if err != nil {
 			return

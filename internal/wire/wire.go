@@ -19,6 +19,11 @@
 // message-size argument in §2 relies on payloads depending only on k
 // and d, and symmetric storage keeps the constant minimal. Auxiliary
 // vectors are verification instrumentation and are never transmitted.
+//
+// This file defines version 1 (f64 weights and coordinates, one
+// message per frame). codec.go adds the version-2 format — quantized
+// weights with an exact-sum residual and opt-in f32 coordinates — and
+// the Codec type that selects between them.
 package wire
 
 import (
@@ -29,10 +34,7 @@ import (
 
 	"distclass/internal/centroids"
 	"distclass/internal/core"
-	"distclass/internal/gauss"
 	"distclass/internal/gm"
-	"distclass/internal/mat"
-	"distclass/internal/vec"
 )
 
 // Version is the current format version.
@@ -112,82 +114,10 @@ func MarshalClassification(cls core.Classification) ([]byte, error) {
 }
 
 // UnmarshalClassification decodes a message produced by
-// MarshalClassification.
+// MarshalClassification or MarshalClassificationCodec, accepting any
+// format version up to VersionMax.
 func UnmarshalClassification(data []byte) (core.Classification, error) {
-	if len(data) < 6 {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrFormat, len(data))
-	}
-	if data[0] != Version {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrFormat, data[0], Version)
-	}
-	tag := data[1]
-	count := int(binary.LittleEndian.Uint16(data[2:4]))
-	d := int(binary.LittleEndian.Uint16(data[4:6]))
-	pos := 6
-	readF64 := func() (float64, error) {
-		if pos+8 > len(data) {
-			return 0, fmt.Errorf("%w: truncated at byte %d", ErrFormat, pos)
-		}
-		x := math.Float64frombits(binary.LittleEndian.Uint64(data[pos : pos+8]))
-		pos += 8
-		return x, nil
-	}
-	if count == 0 {
-		if pos != len(data) {
-			return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(data)-pos)
-		}
-		return core.Classification{}, nil
-	}
-	if tag != tagCentroids && tag != tagGM {
-		return nil, fmt.Errorf("%w: unknown method tag %d", ErrFormat, tag)
-	}
-	cls := make(core.Classification, 0, count)
-	for i := 0; i < count; i++ {
-		w, err := readF64()
-		if err != nil {
-			return nil, err
-		}
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("%w: collection %d has invalid weight %v", ErrFormat, i, w)
-		}
-		switch tag {
-		case tagCentroids:
-			point := vec.New(d)
-			for j := range point {
-				if point[j], err = readF64(); err != nil {
-					return nil, err
-				}
-			}
-			cls = append(cls, core.Collection{Summary: centroids.Centroid{Point: point}, Weight: w})
-		case tagGM:
-			mean := vec.New(d)
-			for j := range mean {
-				if mean[j], err = readF64(); err != nil {
-					return nil, err
-				}
-			}
-			cov := mat.New(d)
-			for r := 0; r < d; r++ {
-				for col := r; col < d; col++ {
-					x, err := readF64()
-					if err != nil {
-						return nil, err
-					}
-					cov.Set(r, col, x)
-					cov.Set(col, r, x)
-				}
-			}
-			g, err := gauss.New(mean, cov)
-			if err != nil {
-				return nil, fmt.Errorf("%w: collection %d: %v", ErrFormat, i, err)
-			}
-			cls = append(cls, core.Collection{Summary: gm.Summary{G: g}, Weight: w})
-		}
-	}
-	if pos != len(data) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(data)-pos)
-	}
-	return cls, nil
+	return UnmarshalClassificationLimit(data, VersionMax)
 }
 
 // MessageSize returns the encoded size in bytes of a classification

@@ -282,6 +282,317 @@ func TestPropertyUnmarshalNeverPanics(t *testing.T) {
 	}
 }
 
+// v2Order returns cls permuted the way marshalV2 permutes it: the
+// heaviest collection (first occurrence of the max) swapped to the
+// last position.
+func v2Order(cls core.Classification) core.Classification {
+	out := append(core.Classification{}, cls...)
+	if len(out) == 0 {
+		return out
+	}
+	heaviest := 0
+	for i, c := range out {
+		if c.Weight > out[heaviest].Weight {
+			heaviest = i
+		}
+	}
+	last := len(out) - 1
+	out[heaviest], out[last] = out[last], out[heaviest]
+	return out
+}
+
+func TestParseCodec(t *testing.T) {
+	for _, c := range Codecs() {
+		got, err := ParseCodec(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCodec(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCodec("v9"); err == nil {
+		t.Error("ParseCodec(v9) should fail")
+	}
+}
+
+func TestRoundTripV2GM(t *testing.T) {
+	r := rng.New(7)
+	cls := gmCls(t, r, 4, 2)
+	total := 0.0
+	for _, c := range cls {
+		total += c.Weight
+	}
+	for _, codec := range []Codec{CodecV2, CodecV2F32} {
+		t.Run(codec.String(), func(t *testing.T) {
+			data, err := MarshalClassificationCodec(cls, codec)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if data[0] != VersionV2 {
+				t.Fatalf("version byte = %d, want %d", data[0], VersionV2)
+			}
+			got, err := UnmarshalClassification(data)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if len(got) != len(cls) {
+				t.Fatalf("len = %d, want %d", len(got), len(cls))
+			}
+			want := v2Order(cls)
+			gotTotal := 0.0
+			for i := range got {
+				gotTotal += got[i].Weight
+				if e := math.Abs(got[i].Weight - want[i].Weight); e > total*float64(len(cls)+1)/(1<<32) {
+					t.Errorf("weight[%d] = %v, want %v (err %g)", i, got[i].Weight, want[i].Weight, e)
+				}
+				wg := want[i].Summary.(gm.Summary).G
+				gg := got[i].Summary.(gm.Summary).G
+				for j := range wg.Mean {
+					tol := 0.0
+					if codec == CodecV2F32 {
+						tol = math.Abs(wg.Mean[j])*1e-6 + 1e-5
+					}
+					if math.Abs(wg.Mean[j]-gg.Mean[j]) > tol {
+						t.Errorf("mean[%d][%d] = %v, want %v", i, j, gg.Mean[j], wg.Mean[j])
+					}
+				}
+			}
+			// The decoded weights must sum back to the transmitted total
+			// to within one ulp — the conservation contract.
+			if e := math.Abs(gotTotal - total); e > total*1e-15 {
+				t.Errorf("decoded total = %v, want %v (drift %g)", gotTotal, total, e)
+			}
+		})
+	}
+}
+
+func TestRoundTripV2SingleBitExact(t *testing.T) {
+	// Single-collection v2 messages carry only the exact f64 total, so
+	// the decoded weight is bit-identical.
+	cls := centroidCls(t, []float64{1.0 / 3}, vec.Of(0.1, -2.7))
+	data, err := MarshalClassificationCodec(cls, CodecV2)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalClassification(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if math.Float64bits(got[0].Weight) != math.Float64bits(cls[0].Weight) {
+		t.Errorf("weight = %b, want bit-exact %b", got[0].Weight, cls[0].Weight)
+	}
+	if !got[0].Summary.(centroids.Centroid).Point.Equal(cls[0].Summary.(centroids.Centroid).Point) {
+		t.Error("point changed in round trip")
+	}
+}
+
+func TestRoundTripV2Empty(t *testing.T) {
+	for _, codec := range []Codec{CodecV2, CodecV2F32} {
+		data, err := MarshalClassificationCodec(core.Classification{}, codec)
+		if err != nil {
+			t.Fatalf("Marshal empty: %v", err)
+		}
+		got, err := UnmarshalClassification(data)
+		if err != nil {
+			t.Fatalf("Unmarshal empty: %v", err)
+		}
+		if len(got) != 0 {
+			t.Errorf("len = %d, want 0", len(got))
+		}
+	}
+}
+
+func TestUnmarshalNextBatchPayload(t *testing.T) {
+	// Batch frames concatenate self-delimiting payloads; UnmarshalNext
+	// must walk mixed-version payloads and report exact consumption.
+	r := rng.New(21)
+	parts := []core.Classification{
+		gmCls(t, r, 2, 3),
+		gmCls(t, r, 1, 3),
+		gmCls(t, r, 3, 3),
+	}
+	var buf []byte
+	for i, cls := range parts {
+		codec := CodecV1
+		if i%2 == 1 {
+			codec = CodecV2
+		}
+		data, err := MarshalClassificationCodec(cls, codec)
+		if err != nil {
+			t.Fatalf("Marshal[%d]: %v", i, err)
+		}
+		buf = append(buf, data...)
+	}
+	pos := 0
+	for i := range parts {
+		cls, n, err := UnmarshalNext(buf[pos:], 0)
+		if err != nil {
+			t.Fatalf("UnmarshalNext[%d]: %v", i, err)
+		}
+		if len(cls) != len(parts[i]) {
+			t.Fatalf("part %d: len = %d, want %d", i, len(cls), len(parts[i]))
+		}
+		pos += n
+	}
+	if pos != len(buf) {
+		t.Errorf("consumed %d of %d bytes", pos, len(buf))
+	}
+}
+
+func TestUnmarshalVersionLimit(t *testing.T) {
+	// A v1-only decoder must reject v2 payloads with ErrVersion (which
+	// still matches the non-fatal ErrFormat path) — the cross-version
+	// interop contract livenet's DecodeMax builds on.
+	cls := centroidCls(t, []float64{1, 2}, vec.Of(1), vec.Of(2))
+	data, err := MarshalClassificationCodec(cls, CodecV2)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	_, err = UnmarshalClassificationLimit(data, Version)
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("error = %v, want ErrVersion", err)
+	}
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("ErrVersion must match ErrFormat, got %v", err)
+	}
+	// The same payload decodes fine at the newest version.
+	if _, err := UnmarshalClassificationLimit(data, VersionMax); err != nil {
+		t.Errorf("decode at VersionMax: %v", err)
+	}
+	// Unknown future versions are rejected even with no limit.
+	future := append([]byte{}, data...)
+	future[0] = VersionMax + 1
+	if _, err := UnmarshalClassification(future); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version error = %v, want ErrVersion", err)
+	}
+}
+
+func TestUnmarshalV2Rejects(t *testing.T) {
+	valid, err := MarshalClassificationCodec(centroidCls(t, []float64{1, 3}, vec.Of(1, 2), vec.Of(3, 4)), CodecV2)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	badTag := append([]byte{}, valid...)
+	badTag[1] = 77
+	truncHeader := valid[:10]
+	truncFrac := valid[:headerV2+2]
+	truncCoord := valid[:len(valid)-5]
+	trailing := append(append([]byte{}, valid...), 0)
+	zeroFrac := append([]byte{}, valid...)
+	for i := 0; i < 4; i++ {
+		zeroFrac[headerV2+i] = 0
+	}
+	badTotal := append([]byte{}, valid...)
+	for i := 0; i < 8; i++ {
+		badTotal[6+i] = 0
+	}
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"bad tag", badTag},
+		{"short header", truncHeader},
+		{"truncated fractions", truncFrac},
+		{"truncated coords", truncCoord},
+		{"trailing bytes", trailing},
+		{"zero fraction", zeroFrac},
+		{"zero total", badTotal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalClassification(tt.data); !errors.Is(err, ErrFormat) {
+				t.Errorf("error = %v, want ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestMessageSizeCodec(t *testing.T) {
+	r := rng.New(9)
+	for _, codec := range Codecs() {
+		cls := gmCls(t, r, 4, 3)
+		data, err := MarshalClassificationCodec(cls, codec)
+		if err != nil {
+			t.Fatalf("Marshal(%s): %v", codec, err)
+		}
+		if want := MessageSizeCodec(gm.Method{}, 4, 3, codec); len(data) != want {
+			t.Errorf("%s: encoded %d bytes, MessageSizeCodec predicts %d", codec, len(data), want)
+		}
+	}
+	// The v2 codecs must be strictly smaller than v1 for k>1 payloads,
+	// and f32 coordinates roughly halve the remainder.
+	v1 := MessageSizeCodec(gm.Method{}, 2, 2, CodecV1)
+	v2 := MessageSizeCodec(gm.Method{}, 2, 2, CodecV2)
+	v2f := MessageSizeCodec(gm.Method{}, 2, 2, CodecV2F32)
+	if !(v2f < v2 && v2 < v1) {
+		t.Errorf("sizes not decreasing: v1=%d v2=%d v2f32=%d", v1, v2, v2f)
+	}
+}
+
+// TestPropertyV2RoundTrip bounds the quantization and f32 error of the
+// v2 codecs against the conservation tolerance: per-weight error stays
+// within (count+1)/2^32 of the total, the decoded sum stays within one
+// ulp of the exact transmitted total, and f32 coordinates stay within
+// single-precision relative error.
+func TestPropertyV2RoundTrip(t *testing.T) {
+	f := func(seed uint64, useF32 bool) bool {
+		r := rng.New(seed)
+		n := 1 + r.IntN(6)
+		d := 1 + r.IntN(4)
+		codec := CodecV2
+		if useF32 {
+			codec = CodecV2F32
+		}
+		cls := make(core.Classification, 0, n)
+		method := centroids.Method{}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			v := vec.New(d)
+			for j := range v {
+				v[j] = r.UniformRange(-100, 100)
+			}
+			s, err := method.Summarize(v)
+			if err != nil {
+				return false
+			}
+			w := r.UniformRange(0.01, 5)
+			total += w
+			cls = append(cls, core.Collection{Summary: s, Weight: w})
+		}
+		data, err := MarshalClassificationCodec(cls, codec)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalClassification(data)
+		if err != nil || len(got) != len(cls) {
+			return false
+		}
+		want := v2Order(cls)
+		gotTotal := 0.0
+		wTol := total * float64(n+1) / (1 << 32)
+		for i := range got {
+			gotTotal += got[i].Weight
+			if math.Abs(got[i].Weight-want[i].Weight) > wTol {
+				return false
+			}
+			a := want[i].Summary.(centroids.Centroid).Point
+			b := got[i].Summary.(centroids.Centroid).Point
+			for j := range a {
+				cTol := 0.0
+				if useF32 {
+					cTol = math.Abs(a[j])*1e-6 + 1e-5
+				}
+				if math.Abs(a[j]-b[j]) > cTol {
+					return false
+				}
+			}
+		}
+		return math.Abs(gotTotal-total) <= total*1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func BenchmarkMarshalGM(b *testing.B) {
 	r := rng.New(11)
 	cls := gmCls(b, r, 7, 2)
@@ -306,3 +617,37 @@ func BenchmarkUnmarshalGM(b *testing.B) {
 		}
 	}
 }
+
+func benchmarkMarshalCodec(b *testing.B, codec Codec) {
+	r := rng.New(11)
+	cls := gmCls(b, r, 7, 2)
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		data, err := MarshalClassificationCodec(cls, codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(data)
+	}
+	b.ReportMetric(float64(n), "wire_bytes")
+}
+
+func benchmarkUnmarshalCodec(b *testing.B, codec Codec) {
+	r := rng.New(12)
+	data, err := MarshalClassificationCodec(gmCls(b, r, 7, 2), codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalClassification(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalGMV2(b *testing.B)      { benchmarkMarshalCodec(b, CodecV2) }
+func BenchmarkMarshalGMV2F32(b *testing.B)   { benchmarkMarshalCodec(b, CodecV2F32) }
+func BenchmarkUnmarshalGMV2(b *testing.B)    { benchmarkUnmarshalCodec(b, CodecV2) }
+func BenchmarkUnmarshalGMV2F32(b *testing.B) { benchmarkUnmarshalCodec(b, CodecV2F32) }
